@@ -1,0 +1,63 @@
+//! Criterion microbenchmarks for the coding-theory substrate: constant
+//! weight enumeration, colex (un)ranking, star expansion, and Lemma 3.2
+//! random-code generation.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pfe_codes::constant_weight::ConstantWeightCode;
+use pfe_codes::random_code::{RandomCode, RandomCodeParams};
+use pfe_codes::star::StarIter;
+use pfe_codes::subsets::FixedWeightIter;
+
+fn bench_enumeration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("codes");
+    g.bench_function("enumerate_B_20_5", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for w in FixedWeightIter::new(20, 5) {
+                acc ^= black_box(w);
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("rank_unrank_B_24_6", |b| {
+        let code = ConstantWeightCode::new(24, 6);
+        let size = code.size();
+        b.iter(|| {
+            let mut acc = 0u64;
+            for r in (0..size).step_by((size / 100).max(1) as usize) {
+                let w = code.unrank(black_box(r));
+                acc ^= w;
+                black_box(code.rank(w));
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("star_expand_q4_k6", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for child in StarIter::new(0b111111, 16, 4) {
+                acc += child.len();
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("random_code_d32_target12", |b| {
+        b.iter(|| {
+            let code = RandomCode::generate(RandomCodeParams {
+                d: 32,
+                epsilon: 0.25,
+                gamma: 0.03,
+                target_size: 12,
+                seed: black_box(7),
+            })
+            .expect("generates");
+            black_box(code.len())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_enumeration);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion microbenchmarks for the projection hot path: `PEXT` packing,
+//! pattern-key fingerprinting, and exact frequency-vector computation.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pfe_row::{pext_u64, ColumnSet, FrequencyVector, PatternKey};
+use pfe_stream::gen::{uniform_binary, uniform_qary};
+
+fn bench_pext(c: &mut Criterion) {
+    let rows: Vec<u64> = (0..10_000u64).map(|i| i.wrapping_mul(0x9e3779b97f4a7c15)).collect();
+    let mask = 0b1010_1100_0110_1010u64;
+    let mut g = c.benchmark_group("projection");
+    g.throughput(Throughput::Elements(rows.len() as u64));
+    g.bench_function("pext_10k_rows", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &r in &rows {
+                acc ^= pext_u64(black_box(r), mask);
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("pext_plus_fingerprint_10k_rows", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &r in &rows {
+                acc ^= PatternKey::from(pext_u64(black_box(r), mask)).fingerprint64(7);
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+fn bench_freq_vector(c: &mut Criterion) {
+    let bin = uniform_binary(20, 10_000, 1);
+    let qar = uniform_qary(8, 16, 10_000, 2);
+    let bcols = ColumnSet::from_indices(20, &[0, 3, 7, 11, 15, 19]).expect("valid");
+    let qcols = ColumnSet::from_indices(16, &[0, 5, 10, 15]).expect("valid");
+    let mut g = c.benchmark_group("freq_vector");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("binary_10k_rows", |b| {
+        b.iter(|| black_box(FrequencyVector::compute(&bin, &bcols).expect("fits").f0()))
+    });
+    g.bench_function("qary_10k_rows", |b| {
+        b.iter(|| black_box(FrequencyVector::compute(&qar, &qcols).expect("fits").f0()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_pext, bench_freq_vector);
+criterion_main!(benches);

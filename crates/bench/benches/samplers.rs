@@ -1,0 +1,63 @@
+//! Criterion microbenchmarks for the sampling substrate: Algorithm R vs
+//! the skip-ahead Algorithm L (the point of L is fewer RNG draws on long
+//! streams), the weighted reservoir, and the turnstile ℓ₀-sampler.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pfe_sketch::{L0Sampler, Reservoir, ReservoirL, WeightedReservoir};
+
+const N: u64 = 100_000;
+const T: usize = 64;
+
+fn bench_reservoirs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reservoir_100k_stream_t64");
+    g.throughput(Throughput::Elements(N));
+    g.bench_function("algorithm_r", |b| {
+        b.iter(|| {
+            let mut r = Reservoir::new(T, 1);
+            for i in 0..N {
+                r.insert(black_box(i));
+            }
+            black_box(r.sample().len())
+        })
+    });
+    g.bench_function("algorithm_l_skip_ahead", |b| {
+        b.iter(|| {
+            let mut r = ReservoirL::new(T, 1);
+            for i in 0..N {
+                r.insert(black_box(i));
+            }
+            black_box(r.sample().len())
+        })
+    });
+    g.bench_function("weighted_a_res", |b| {
+        b.iter(|| {
+            let mut r = WeightedReservoir::new(T, 1);
+            for i in 0..N {
+                r.insert(black_box(i), 1.0 + (i % 10) as f64);
+            }
+            black_box(r.seen())
+        })
+    });
+    g.finish();
+}
+
+fn bench_l0(c: &mut Criterion) {
+    let mut g = c.benchmark_group("l0_sampler");
+    let n = 10_000u64;
+    g.throughput(Throughput::Elements(n));
+    g.bench_function("update_10k_16reps", |b| {
+        b.iter(|| {
+            let mut s = L0Sampler::new(7);
+            for i in 0..n {
+                s.update(black_box(i), 1);
+            }
+            black_box(s.sample())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_reservoirs, bench_l0);
+criterion_main!(benches);

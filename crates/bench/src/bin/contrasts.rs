@@ -1,0 +1,146 @@
+//! Related-work contrast experiments (paper §1 and §2.2): why the
+//! projected-frequency model is neither the hypotheticals model nor the
+//! independence-assumption world.
+//!
+//! 1. **Hypotheticals / provisioning** (Assadi et al. \[2\]): union-distinct
+//!    over turned-on columns is `poly(d/ε)`-space easy, yet carries no
+//!    signal about projected `F_0` — on the same data the two statistics
+//!    diverge by orders of magnitude, and the union summary cannot decide
+//!    the Theorem 4.1 Index instances.
+//! 2. **Subcube heavy hitters under independence** (Kveton et al. \[13\]):
+//!    the `O(dQ)`-space Naïve-Bayes estimator is accurate exactly when the
+//!    independence assumption holds and fails on correlated columns, where
+//!    the paper's assumption-free sampling summary stays correct.
+//!
+//! Run: `cargo run -p pfe-bench --release --bin contrasts`
+
+use pfe_bench::report::{banner, fmt_bytes, fmt_f64, Table};
+use pfe_core::{MarginalsSummary, UniformSampleSummary};
+use pfe_lowerbounds::f0::{ExactF0Oracle, F0Protocol};
+use pfe_lowerbounds::hypotheticals::{model_divergence, HypotheticalsProtocol};
+use pfe_lowerbounds::index_problem::run_trials;
+use pfe_row::{ColumnSet, FrequencyVector};
+use pfe_sketch::traits::SpaceUsage;
+use pfe_stream::gen::{correlated_columns, uniform_qary};
+
+fn hypotheticals_contrast() {
+    banner("Hypotheticals model vs projected F0 (paper Section 2.2, [2])");
+    // Divergence on one dataset.
+    let data = uniform_qary(4, 14, 20_000, 1);
+    let mut t = Table::new(
+        "Union-distinct vs projected F0, same data (Q=4, d=14, n=20k)",
+        &["|C|", "union-distinct (hypotheticals)", "projected F0 (this paper)"],
+    );
+    for width in [2u32, 6, 10, 14] {
+        let cols =
+            ColumnSet::from_indices(14, &(0..width).collect::<Vec<_>>()).expect("valid");
+        let (union, f0) = model_divergence(&data, &cols);
+        assert!(union <= 4, "union-distinct exceeded alphabet");
+        t.row(&[width.to_string(), union.to_string(), f0.to_string()]);
+    }
+    t.print();
+    t.save_tsv("contrasts_divergence.tsv");
+
+    // Index decision: union summary vs projected-F0 exact oracle.
+    let mut t = Table::new(
+        "Theorem 4.1 Index instances (d=12, k=3, Q=8)",
+        &["oracle", "statistic", "accuracy", "mean summary size"],
+    );
+    {
+        let p: F0Protocol<ExactF0Oracle> = F0Protocol::new(12, 3, 8, 16, 1);
+        let r = run_trials(&p, 40, 2);
+        t.row(&[
+            "exact projected F0".into(),
+            "distinct row vectors".into(),
+            fmt_f64(r.accuracy()),
+            fmt_bytes(r.mean_summary_bytes as usize),
+        ]);
+        assert_eq!(r.accuracy(), 1.0);
+    }
+    {
+        let p = HypotheticalsProtocol::new(12, 3, 8, 16, 64, 1);
+        let r = run_trials(&p, 40, 2);
+        t.row(&[
+            "per-column KMV union".into(),
+            "distinct values in union".into(),
+            fmt_f64(r.accuracy()),
+            fmt_bytes(r.mean_summary_bytes as usize),
+        ]);
+        assert!(r.accuracy() <= 0.6, "union statistic decided Index?!");
+    }
+    t.print();
+    t.save_tsv("contrasts_protocol.tsv");
+    println!(
+        "\nreading: the poly(d)-space union summary is accurate for its own\n\
+         statistic yet at chance on the projected-F0 decision — the models\n\
+         genuinely differ (paper: 'these disparities highlight the differences\n\
+         in our models')."
+    );
+}
+
+fn independence_contrast() {
+    banner("Independence-assumption baseline vs assumption-free sampling ([13])");
+    let d = 10;
+    let n = 40_000;
+    let independent = uniform_qary(2, d, n, 3);
+    // Two independent source columns, eight (possibly negated) copies:
+    // maximally concentrated joint distribution.
+    let correlated = correlated_columns(d, n, 2, 4);
+    // Error metric: additive error as a fraction of n — the guarantee form
+    // of Theorem 5.1 (|est - true| <= eps * ||f||_1).
+    let mut t = Table::new(
+        "Top-pattern frequency estimation, additive error / n",
+        &[
+            "data",
+            "query",
+            "NaiveBayes O(dQ) space",
+            "uniform sample (Thm 5.1)",
+            "NB bytes",
+            "sample bytes",
+        ],
+    );
+    for (name, data) in [("independent", &independent), ("correlated", &correlated)] {
+        let marg = MarginalsSummary::build(data);
+        let samp = UniformSampleSummary::build(data, 4096, 5);
+        let cols = ColumnSet::full(d).expect("valid");
+        let exact = FrequencyVector::compute(data, &cols).expect("fits");
+        let (key, count) = exact
+            .sorted_counts()
+            .into_iter()
+            .max_by_key(|&(_, c)| c)
+            .expect("nonempty");
+        let err_m =
+            (marg.frequency(&cols, key).expect("ok") - count as f64).abs() / n as f64;
+        let err_s =
+            (samp.frequency(&cols, key).expect("ok") - count as f64).abs() / n as f64;
+        t.row(&[
+            name.into(),
+            format!("{cols}"),
+            fmt_f64(err_m),
+            fmt_f64(err_s),
+            fmt_bytes(marg.space_bytes()),
+            fmt_bytes(samp.space_bytes()),
+        ]);
+        if name == "independent" {
+            assert!(err_m < 0.02, "NB should work on independent data: {err_m}");
+        } else {
+            assert!(err_m > 0.1, "NB should fail on correlated data: {err_m}");
+        }
+        assert!(err_s < 0.03, "sampling should work on {name}: {err_s}");
+    }
+    t.print();
+    t.save_tsv("contrasts_independence.tsv");
+    println!(
+        "\nreading: prior subcube-HH work 'proceeded under strong statistical\n\
+         independence assumptions' (paper §1); the assumption buys O(dQ) space\n\
+         but silently breaks on correlated columns, which the paper's\n\
+         assumption-free summaries handle."
+    );
+}
+
+fn main() {
+    banner("RELATED-WORK CONTRASTS — the models the paper distinguishes itself from");
+    hypotheticals_contrast();
+    independence_contrast();
+    println!("\nresults written under {:?}", pfe_bench::report::results_dir());
+}

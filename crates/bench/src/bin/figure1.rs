@@ -1,0 +1,185 @@
+//! Regenerates **Figure 1** of the paper: the space–approximation tradeoff
+//! of the α-net scheme at `d = 20`, plus an empirical validation with real
+//! sketches at `d = 12`.
+//!
+//! Panes (as in the paper):
+//!   (a) relative space `2^{H(1/2−α)d}/2^d` vs `α` — we print both the
+//!       analytic bound and the *exact* `|N|/2^d`;
+//!   (b) approximation factor `2^{αd}` vs `α` (log2 scale in the paper);
+//!   (c) the tradeoff curve: relative space vs factor.
+//!
+//! The paper's reading of pane (c): at relative space `2^{-2}` the factor
+//! is "on the order of 10s"; at `2^{-8}` it is "on the order of hundreds",
+//! with `2^{12} = 4096 ≪ 2^{20}` summaries kept. Both checkpoints are
+//! asserted below.
+//!
+//! Run: `cargo run -p pfe-bench --release --bin figure1`
+
+use pfe_bench::report::{banner, fmt_bytes, fmt_f64, Table};
+use pfe_codes::entropy::{binary_entropy, f0_distortion};
+use pfe_core::alpha_net::{AlphaNet, AlphaNetF0, NetMode};
+use pfe_core::ExactSummary;
+use pfe_hash::rng::Xoshiro256pp;
+use pfe_row::ColumnSet;
+use pfe_sketch::kmv::Kmv;
+use pfe_sketch::traits::SpaceUsage;
+use pfe_stream::gen::{clustered_subspace, uniform_binary, ClusteredConfig};
+use pfe_stream::interleave;
+
+const D_ANALYTIC: u32 = 20;
+const D_EMPIRICAL: u32 = 12;
+
+fn analytic_panes() {
+    banner(format!("Figure 1 (analytic), d = {D_ANALYTIC}").as_str());
+    let mut t = Table::new(
+        "Figure 1 — curves (panes a, b, c)",
+        &[
+            "alpha",
+            "relative space (bound 2^{H(1/2-a)d}/2^d)",
+            "relative space (exact |N|/2^d)",
+            "approx factor 2^{alpha d}",
+            "log2 factor",
+            "summaries kept |N|",
+        ],
+    );
+    // (alpha, exact log2 relative space, factor, |N|) per grid point.
+    let mut points: Vec<(f64, f64, f64, f64)> = Vec::with_capacity(49);
+    for i in 1..=49 {
+        let alpha = i as f64 / 100.0;
+        let net = AlphaNet::new(D_ANALYTIC, alpha).expect("valid");
+        let bound = net.relative_space_bound();
+        let exact = net.relative_space();
+        let factor = f0_distortion(D_ANALYTIC, alpha);
+        t.row(&[
+            fmt_f64(alpha),
+            format!("2^{:.2}", bound.log2()),
+            format!("2^{:.2}", exact.log2()),
+            fmt_f64(factor),
+            fmt_f64(factor.log2()),
+            (net.size() as u64).to_string(),
+        ]);
+        points.push((alpha, exact.log2(), factor, net.size() as f64));
+    }
+    t.print();
+    t.save_tsv("figure1_analytic.tsv");
+
+    // The paper's §6 illustration claims: "factor on the order of 10s" at
+    // relative space ~2^-2; "order of hundreds" (with ~4096 << 2^20
+    // summaries) at ~2^-8. The exact curve is step-wise in alpha, so take
+    // the grid point closest to each checkpoint.
+    let closest = |target: f64| {
+        points
+            .iter()
+            .min_by(|a, b| {
+                (a.1 - target)
+                    .abs()
+                    .partial_cmp(&(b.1 - target).abs())
+                    .expect("finite")
+            })
+            .copied()
+            .expect("nonempty grid")
+    };
+    let (_, _, f2, _) = closest(-2.0);
+    let (_, _, f8, n8) = closest(-8.0);
+    assert!(
+        (4.0..200.0).contains(&f2),
+        "factor at 2^-2 relative space = {f2}, expected order of 10s"
+    );
+    assert!(
+        (64.0..4096.0).contains(&f8),
+        "factor at 2^-8 relative space = {f8}, expected order of hundreds"
+    );
+    println!(
+        "\npaper checkpoints: factor {} at relative space 2^-2 (order of 10s); \
+         factor {} with {} summaries at 2^-8 (paper: ~4096 << 2^20 ~ 1e6).",
+        fmt_f64(f2),
+        fmt_f64(f8),
+        fmt_f64(n8),
+    );
+    assert!(
+        binary_entropy(0.5 - 0.25) < 1.0,
+        "entropy sanity for the sublinearity claim"
+    );
+}
+
+fn empirical_pane() {
+    banner(format!("Figure 1 (empirical), d = {D_EMPIRICAL}: real sketches, measured space & error").as_str());
+    // Mixed workload: uniform (diverse) + planted clusters (compressible).
+    let uniform = uniform_binary(D_EMPIRICAL, 2048, 11);
+    let clustered = clustered_subspace(&ClusteredConfig {
+        d: D_EMPIRICAL,
+        n: 2048,
+        clusters: 4,
+        subspace_size: 6,
+        noise: 0.05,
+        seed: 12,
+    })
+    .data;
+    let data = interleave(&uniform, &clustered);
+    let exact = ExactSummary::build(&data);
+    let exact_bytes = exact.space_bytes();
+
+    let mut t = Table::new(
+        "Empirical tradeoff (KMV k=64 per subset)",
+        &[
+            "alpha",
+            "sketches",
+            "measured bytes",
+            "rel. space vs exact",
+            "worst obs. ratio",
+            "median obs. ratio",
+            "distortion bound 2^{ceil(alpha d)}",
+        ],
+    );
+    let mut rng = Xoshiro256pp::seed_from_u64(99);
+    for &alpha in &[0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40, 0.45] {
+        let net = AlphaNet::new(D_EMPIRICAL, alpha).expect("valid");
+        let summary = AlphaNetF0::build(&data, net, NetMode::Full, 1 << 22, |mask| {
+            Kmv::new(64, mask ^ 0xf00d)
+        })
+        .expect("build");
+        // 200 random queries of random sizes.
+        let mut ratios: Vec<f64> = Vec::with_capacity(200);
+        for _ in 0..200 {
+            let mask = rng.next_u64() & ((1 << D_EMPIRICAL) - 1);
+            let cols = ColumnSet::from_mask(D_EMPIRICAL, mask).expect("valid");
+            let ans = summary.f0(&cols).expect("ok");
+            let truth = exact.f0(&cols).expect("ok").value.max(1.0);
+            let r = (ans.estimate.max(1.0) / truth).max(truth / ans.estimate.max(1.0));
+            ratios.push(r);
+        }
+        ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let worst = *ratios.last().expect("nonempty");
+        let median = ratios[ratios.len() / 2];
+        let bound = 2f64.powi(net.max_rounding() as i32);
+        // Sketch slack: KMV(64) has ~13% rse; allow 2x on top of rounding.
+        assert!(
+            worst <= bound * 2.0,
+            "alpha={alpha}: worst ratio {worst} above distortion bound {bound} x sketch slack"
+        );
+        t.row(&[
+            fmt_f64(alpha),
+            summary.num_sketches().to_string(),
+            fmt_bytes(summary.space_bytes()),
+            fmt_f64(summary.space_bytes() as f64 / exact_bytes as f64),
+            fmt_f64(worst),
+            fmt_f64(median),
+            fmt_f64(bound),
+        ]);
+    }
+    t.print();
+    t.save_tsv("figure1_empirical.tsv");
+    println!(
+        "\nexact baseline: {} for {} rows x {} cols",
+        fmt_bytes(exact_bytes),
+        data.num_rows(),
+        D_EMPIRICAL
+    );
+}
+
+fn main() {
+    banner("FIGURE 1 REPRODUCTION — alpha-net space/approximation tradeoff");
+    analytic_panes();
+    empirical_pane();
+    println!("\nresults written under {:?}", pfe_bench::report::results_dir());
+}

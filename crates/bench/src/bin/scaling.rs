@@ -1,0 +1,99 @@
+//! Build-cost scaling study (E-P1): the α-net's one-pass cost in practice.
+//!
+//! Algorithm 1 feeds every row to every net sketch, so build time is
+//! `Θ(n · |N|)` sketch updates and space is `Θ(|N|)` sketches. This binary
+//! measures both across `d` (net grows like `2^{H(1/2−α)d}`) and across
+//! `n` (linear), and checks the measured growth tracks the analytic
+//! `|N|` counts — the systems-facing counterpart of Lemma 6.2.
+//!
+//! Run: `cargo run -p pfe-bench --release --bin scaling`
+
+use std::time::Instant;
+
+use pfe_bench::report::{banner, fmt_bytes, fmt_f64, Table};
+use pfe_core::alpha_net::{AlphaNet, AlphaNetF0, NetMode};
+use pfe_sketch::kmv::Kmv;
+use pfe_sketch::traits::SpaceUsage;
+use pfe_stream::gen::uniform_binary;
+
+fn sweep_d() {
+    banner("Build scaling in d (alpha = 0.25, n = 2048, KMV k = 64)");
+    let mut t = Table::new(
+        "Net build vs dimension",
+        &["d", "|N| (sketches)", "build ms", "bytes", "ms per sketch-krow"],
+    );
+    let n = 2048usize;
+    let mut prev_sketches = 0u128;
+    for d in [8u32, 10, 12, 14, 16] {
+        let data = uniform_binary(d, n, 1);
+        let net = AlphaNet::new(d, 0.25).expect("valid");
+        let start = Instant::now();
+        let summary = AlphaNetF0::build(&data, net, NetMode::Full, 1 << 24, |m| {
+            Kmv::new(64, m)
+        })
+        .expect("build");
+        let elapsed = start.elapsed().as_secs_f64() * 1e3;
+        let sketches = summary.num_sketches() as u128;
+        assert_eq!(sketches, net.size(), "materialization must equal |N|");
+        assert!(
+            sketches >= prev_sketches,
+            "net size must grow with d at fixed alpha"
+        );
+        prev_sketches = sketches;
+        let per_unit = elapsed / (sketches as f64 * n as f64 / 1000.0);
+        t.row(&[
+            d.to_string(),
+            sketches.to_string(),
+            fmt_f64(elapsed),
+            fmt_bytes(summary.space_bytes()),
+            fmt_f64(per_unit),
+        ]);
+    }
+    t.print();
+    t.save_tsv("scaling_d.tsv");
+}
+
+fn sweep_n() {
+    banner("Build scaling in n (d = 12, alpha = 0.25)");
+    let mut t = Table::new(
+        "Net build vs rows",
+        &["n", "build ms", "ms/row (x1000)"],
+    );
+    let net = AlphaNet::new(12, 0.25).expect("valid");
+    let mut times: Vec<(usize, f64)> = Vec::new();
+    for n in [1000usize, 4000, 16000] {
+        let data = uniform_binary(12, n, 2);
+        let start = Instant::now();
+        let summary = AlphaNetF0::build(&data, net, NetMode::Full, 1 << 24, |m| {
+            Kmv::new(64, m)
+        })
+        .expect("build");
+        let elapsed = start.elapsed().as_secs_f64() * 1e3;
+        assert!(summary.num_sketches() > 0);
+        times.push((n, elapsed));
+        t.row(&[
+            n.to_string(),
+            fmt_f64(elapsed),
+            fmt_f64(elapsed / n as f64 * 1000.0),
+        ]);
+    }
+    t.print();
+    t.save_tsv("scaling_n.tsv");
+    // Linearity: 16x the rows should cost within ~3x of 16x the base time
+    // (allowing cache effects and timer noise).
+    let (n0, t0) = times[0];
+    let (n2, t2) = times[2];
+    let ratio = (t2 / t0) / (n2 as f64 / n0 as f64);
+    assert!(
+        (0.2..5.0).contains(&ratio),
+        "build time not ~linear in n: normalized ratio {ratio}"
+    );
+    println!("\nlinearity check: time ratio / row ratio = {ratio:.2} (1.0 = perfectly linear)");
+}
+
+fn main() {
+    banner("SCALING STUDY — alpha-net build cost (E-P1)");
+    sweep_d();
+    sweep_n();
+    println!("\nresults written under {:?}", pfe_bench::report::results_dir());
+}

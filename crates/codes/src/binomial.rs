@@ -1,0 +1,226 @@
+//! Binomial coefficients — exact (checked `u128`) and logarithmic forms.
+//!
+//! The paper's space bounds are expressed through `C(d, k)` (code sizes,
+//! Theorem 4.1) and partial binomial sums (net sizes, Lemma 6.2). Exact
+//! values are used when they fit in `u128`; the `ln`/`log2` forms are used
+//! for the analytic curves at scales where the exact value overflows.
+
+/// Exact binomial coefficient `C(n, k)`, or `None` on `u128` overflow.
+///
+/// Uses the multiplicative formula with division at every step (each prefix
+/// product is itself a binomial coefficient, so divisions are exact).
+/// `None` is returned when any *intermediate* product `C(n, i)·(n-i)`
+/// overflows, so final values up to roughly `u128::MAX / n` are guaranteed
+/// representable; callers needing larger magnitudes use [`binomial_f64`].
+pub fn binomial(n: u64, k: u64) -> Option<u128> {
+    if k > n {
+        return Some(0);
+    }
+    let k = k.min(n - k);
+    let mut acc: u128 = 1;
+    for i in 0..k {
+        // acc * (n - i) / (i + 1), with exact intermediate division:
+        acc = acc.checked_mul((n - i) as u128)?;
+        acc /= (i + 1) as u128;
+    }
+    Some(acc)
+}
+
+/// Natural log of `C(n, k)` via `ln Γ` (Stirling–Lanczos approximation).
+///
+/// Accurate to ~1e-10 relative error for the ranges used here; exact-value
+/// tests pin it against [`binomial`] where both are available.
+pub fn ln_binomial(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    if k == 0 || k == n {
+        return 0.0;
+    }
+    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+}
+
+/// Base-2 log of `C(n, k)`.
+pub fn log2_binomial(n: u64, k: u64) -> f64 {
+    ln_binomial(n, k) / std::f64::consts::LN_2
+}
+
+/// `C(n, k)` as an `f64` (may be `inf` for astronomically large values).
+pub fn binomial_f64(n: u64, k: u64) -> f64 {
+    match binomial(n, k) {
+        Some(v) if v <= (1u128 << 100) => v as f64,
+        _ => ln_binomial(n, k).exp(),
+    }
+}
+
+/// `ln(n!)` using exact accumulation for small `n` and Lanczos `ln Γ` above.
+pub fn ln_factorial(n: u64) -> f64 {
+    if n < 2 {
+        return 0.0;
+    }
+    if n <= 256 {
+        // Exact summation is cheap and avoids approximation error entirely.
+        return (2..=n).map(|i| (i as f64).ln()).sum();
+    }
+    ln_gamma(n as f64 + 1.0)
+}
+
+/// Lanczos approximation to `ln Γ(x)` for `x > 0`.
+pub fn ln_gamma(x: f64) -> f64 {
+    // g = 7, n = 9 Lanczos coefficients (standard table).
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    debug_assert!(x > 0.0);
+    let x = x - 1.0;
+    let mut a = COEF[0];
+    let t = x + 7.5;
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// Partial binomial sum `Σ_{i=0}^{m} C(n, i)`, or `None` on overflow.
+///
+/// This is the exact count of subsets of `[n]` with size at most `m`,
+/// used for exact α-net sizes (Lemma 6.2 bounds it by `2^{H(m/n) n}`).
+pub fn binomial_sum(n: u64, m: u64) -> Option<u128> {
+    let mut acc: u128 = 0;
+    for i in 0..=m.min(n) {
+        acc = acc.checked_add(binomial(n, i)?)?;
+    }
+    Some(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_exact() {
+        assert_eq!(binomial(0, 0), Some(1));
+        assert_eq!(binomial(5, 0), Some(1));
+        assert_eq!(binomial(5, 5), Some(1));
+        assert_eq!(binomial(5, 2), Some(10));
+        assert_eq!(binomial(10, 3), Some(120));
+        assert_eq!(binomial(52, 5), Some(2_598_960));
+        assert_eq!(binomial(4, 7), Some(0));
+    }
+
+    #[test]
+    fn pascal_identity() {
+        for n in 1..40u64 {
+            for k in 1..n {
+                let lhs = binomial(n, k).expect("fits");
+                let rhs = binomial(n - 1, k - 1).expect("fits") + binomial(n - 1, k).expect("fits");
+                assert_eq!(lhs, rhs, "Pascal fails at ({n},{k})");
+            }
+        }
+    }
+
+    #[test]
+    fn symmetry() {
+        for n in 0..50u64 {
+            for k in 0..=n {
+                assert_eq!(binomial(n, k), binomial(n, n - k));
+            }
+        }
+    }
+
+    #[test]
+    fn row_sums_are_powers_of_two() {
+        for n in 0..30u64 {
+            assert_eq!(binomial_sum(n, n), Some(1u128 << n));
+        }
+    }
+
+    #[test]
+    fn central_binomial_lower_bound_from_paper() {
+        // Section 3.2: C(d, d/2) >= 2^d / sqrt(2d).
+        for d in (2..60u64).step_by(2) {
+            let lhs = binomial(d, d / 2).expect("fits") as f64;
+            let rhs = 2f64.powi(d as i32) / ((2 * d) as f64).sqrt();
+            assert!(lhs >= rhs, "central binomial bound fails at d={d}");
+        }
+    }
+
+    #[test]
+    fn ratio_lower_bound_from_paper() {
+        // Section 3.2: C(d, k) >= (d/k)^k for k < d/2.
+        for d in 4..50u64 {
+            for k in 1..d / 2 {
+                let lhs = binomial(d, k).expect("fits") as f64;
+                let rhs = (d as f64 / k as f64).powi(k as i32);
+                assert!(lhs >= rhs, "(d/k)^k bound fails at d={d}, k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn ln_matches_exact() {
+        for n in [10u64, 30, 60, 120, 500, 1000] {
+            for k in [0u64, 1, n / 4, n / 2] {
+                if let Some(exact) = binomial(n, k) {
+                    let approx = ln_binomial(n, k);
+                    let truth = (exact as f64).ln();
+                    let err = if truth == 0.0 {
+                        approx.abs()
+                    } else {
+                        (approx - truth).abs() / truth.max(1.0)
+                    };
+                    assert!(err < 1e-9, "ln_binomial({n},{k}) err {err}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Γ(n) = (n-1)! — check a few points.
+        assert!((ln_gamma(1.0) - 0.0).abs() < 1e-10);
+        assert!((ln_gamma(2.0) - 0.0).abs() < 1e-10);
+        assert!((ln_gamma(5.0) - (24.0f64).ln()).abs() < 1e-9);
+        assert!((ln_gamma(11.0) - (3_628_800.0f64).ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn binomial_f64_handles_huge() {
+        // C(400, 200) overflows u128 but must come back finite and huge.
+        let v = binomial_f64(400, 200);
+        assert!(v.is_finite());
+        assert!(v > 1e100);
+    }
+
+    #[test]
+    fn overflow_returns_none() {
+        assert!(binomial(400, 200).is_none());
+        // Values with headroom for the intermediate product still fit:
+        // C(120, 60) ~ 9.7e34 and 9.7e34 * 62 < u128::MAX.
+        assert!(binomial(120, 60).is_some());
+        assert_eq!(
+            binomial(120, 60).map(|v| (v as f64).log10().floor() as i32),
+            Some(34)
+        );
+    }
+
+    #[test]
+    fn binomial_sum_prefix_monotone() {
+        let n = 24;
+        let mut prev = 0u128;
+        for m in 0..=n {
+            let s = binomial_sum(n, m).expect("fits");
+            assert!(s > prev || (m == 0 && s == 1));
+            prev = s;
+        }
+        assert_eq!(prev, 1u128 << n);
+    }
+}

@@ -1,0 +1,160 @@
+//! The index function `e(·)` of Remark 1: a canonical bijection between
+//! `Q`-ary words `w ∈ [Q]^m` and frequency-vector positions
+//! `{0, 1, ..., Q^m - 1}`.
+//!
+//! We use the base-`Q` positional encoding with position 0 as the least
+//! significant digit, matching the paper's example (`e(00)=0, e(01)=1, ...,
+//! e(11)=3` — i.e. the word read as a base-`Q` numeral with the *first*
+//! column most significant; see [`PatternIndexer::encode`] for the exact
+//! convention and the test pinning the paper's example).
+
+/// Canonical index function for words over `[Q]^m`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PatternIndexer {
+    q: u32,
+    m: u32,
+}
+
+impl PatternIndexer {
+    /// Indexer for words of length `m` over alphabet `[Q]`.
+    ///
+    /// # Panics
+    /// Panics if `q == 0`, or if `Q^m` overflows `u128` (the frequency
+    /// vector would be unaddressable).
+    pub fn new(q: u32, m: u32) -> Self {
+        assert!(q >= 1, "alphabet size must be >= 1");
+        (q as u128)
+            .checked_pow(m)
+            .expect("index space Q^m overflows u128");
+        Self { q, m }
+    }
+
+    /// Alphabet size `Q`.
+    pub fn alphabet(&self) -> u32 {
+        self.q
+    }
+
+    /// Word length `m`.
+    pub fn word_len(&self) -> u32 {
+        self.m
+    }
+
+    /// Size of the index space `Q^m`.
+    pub fn domain_size(&self) -> u128 {
+        (self.q as u128).pow(self.m)
+    }
+
+    /// `e(w)`: encode a word as its index. The paper's convention
+    /// (`e(01) = 1` for Q=2) reads the word as a base-`Q` numeral with the
+    /// first symbol most significant.
+    ///
+    /// # Panics
+    /// Panics if `word.len() != m` or any symbol is `>= Q`.
+    pub fn encode(&self, word: &[u16]) -> u128 {
+        assert_eq!(word.len(), self.m as usize, "word length mismatch");
+        let mut acc: u128 = 0;
+        for &s in word {
+            assert!((s as u32) < self.q, "symbol {s} outside alphabet [{}]", self.q);
+            acc = acc * self.q as u128 + s as u128;
+        }
+        acc
+    }
+
+    /// `e^{-1}(i)`: decode an index back to its word.
+    ///
+    /// # Panics
+    /// Panics if `index >= Q^m`.
+    pub fn decode(&self, mut index: u128) -> Vec<u16> {
+        assert!(index < self.domain_size(), "index {index} out of range");
+        let mut word = vec![0u16; self.m as usize];
+        for slot in word.iter_mut().rev() {
+            *slot = (index % self.q as u128) as u16;
+            index /= self.q as u128;
+        }
+        word
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_example_binary_length_two() {
+        // Remark 1's example: e(00)=0, e(01)=1, e(10)=2, e(11)=3.
+        let ix = PatternIndexer::new(2, 2);
+        assert_eq!(ix.encode(&[0, 0]), 0);
+        assert_eq!(ix.encode(&[0, 1]), 1);
+        assert_eq!(ix.encode(&[1, 0]), 2);
+        assert_eq!(ix.encode(&[1, 1]), 3);
+    }
+
+    #[test]
+    fn roundtrip_small_domains() {
+        for (q, m) in [(2u32, 5u32), (3, 4), (5, 3), (7, 2)] {
+            let ix = PatternIndexer::new(q, m);
+            for i in 0..ix.domain_size() {
+                assert_eq!(ix.encode(&ix.decode(i)), i);
+            }
+        }
+    }
+
+    #[test]
+    fn encode_is_injective() {
+        let ix = PatternIndexer::new(3, 3);
+        let mut seen = std::collections::HashSet::new();
+        for a in 0..3u16 {
+            for b in 0..3u16 {
+                for c in 0..3u16 {
+                    assert!(seen.insert(ix.encode(&[a, b, c])));
+                }
+            }
+        }
+        assert_eq!(seen.len() as u128, ix.domain_size());
+    }
+
+    #[test]
+    fn zero_length_words() {
+        let ix = PatternIndexer::new(4, 0);
+        assert_eq!(ix.domain_size(), 1);
+        assert_eq!(ix.encode(&[]), 0);
+        assert_eq!(ix.decode(0), Vec::<u16>::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside alphabet")]
+    fn rejects_oversized_symbol() {
+        PatternIndexer::new(2, 3).encode(&[0, 2, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn rejects_wrong_length() {
+        PatternIndexer::new(2, 3).encode(&[0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn decode_rejects_out_of_range() {
+        PatternIndexer::new(2, 3).decode(8);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(q in 2u32..10, m in 1u32..8, salt in any::<u64>()) {
+            let ix = PatternIndexer::new(q, m);
+            let index = (salt as u128) % ix.domain_size();
+            prop_assert_eq!(ix.encode(&ix.decode(index)), index);
+        }
+
+        #[test]
+        fn prop_order_preserving_prefix(q in 2u32..6, m in 2u32..6) {
+            // Lexicographic order on words = numeric order on indices.
+            let ix = PatternIndexer::new(q, m);
+            let a = ix.decode(0);
+            let b = ix.decode(ix.domain_size() - 1);
+            prop_assert!(a <= b);
+        }
+    }
+}

@@ -1,0 +1,1025 @@
+//! The α-net summaries of Section 6 (Algorithm 1, Lemmas 6.2/6.4,
+//! Theorem 6.5).
+//!
+//! An α-net `N = {U ⊆ [d] : |U| ≤ (1/2−α)d or |U| ≥ (1/2+α)d}` has size at
+//! most `2^{H(1/2−α)d+1}` (Lemma 6.2) — strictly sublinear in `2^d`. The
+//! summary keeps one β-approximate sketch per net subset; a query `C` not
+//! in the net is *rounded* to an α-neighbour `C′ ∈ N` with
+//! `|C Δ C′| ≤ ⌈αd⌉`, and the answer for `C′` is returned. The price is
+//! the rounding distortion of Lemma 6.4:
+//!
+//! - `F_0`: `r = Q^{|CΔC′|}` (binary: `2^{αd}` worst case),
+//! - `F_p, p > 1`: `r = Q^{|CΔC′|(p−1)}`,
+//! - `F_p, p < 1`: `r = Q^{|CΔC′|(1−p)}`,
+//!
+//! for an overall `β·r(α,d)` approximation (Theorem 6.5). Against keeping
+//! all `2^d` sketches this trades an `N^α`-type factor for
+//! `min(N^{H(1/2−α)}, n)`-type space, `N = 2^d` — the tradeoff Figure 1
+//! plots and our `figure1` bench regenerates.
+
+use pfe_codes::binomial::binomial_sum;
+use pfe_codes::entropy::{binary_entropy, net_size_bound_log2};
+use pfe_codes::subsets::FixedWeightIter;
+use pfe_hash::builder::{seeded_map, SeededHashMap};
+use pfe_row::{ColumnSet, Dataset, PatternCodec, PatternKey};
+use pfe_sketch::traits::{DistinctSketch, MomentSketch, SpaceUsage};
+
+use crate::problem::{check_dims, QueryError};
+
+/// Seed for pattern-key fingerprinting; fixed so that the same pattern maps
+/// to the same 64-bit item in every sketch (sketch-internal hashing is
+/// seeded per sketch by the factory).
+const FINGERPRINT_SEED: u64 = 0xf1a9_f1a9_f1a9_f1a9;
+
+/// Which net subsets to materialize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetMode {
+    /// Every subset of the net (the paper's Algorithm 1).
+    Full,
+    /// Only the boundary weights `(1/2−α)d` and `(1/2+α)d` — an engineering
+    /// ablation: all queries are rounded (even net members of other sizes),
+    /// trading accuracy on small/large queries for far fewer sketches.
+    BoundaryOnly,
+}
+
+/// The α-net over `P([d])` (Definition 6.1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AlphaNet {
+    d: u32,
+    alpha: f64,
+    /// Largest "small" size `⌊(1/2−α)d⌋`.
+    small: u32,
+    /// Smallest "large" size `⌈(1/2+α)d⌉`.
+    large: u32,
+}
+
+/// A query after net rounding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoundedQuery {
+    /// The net member the query was rounded to (equals the query if it was
+    /// already a member).
+    pub target: ColumnSet,
+    /// `|C Δ C′|`.
+    pub sym_diff: u32,
+}
+
+impl AlphaNet {
+    /// Define the α-net for dimension `d`.
+    ///
+    /// ```
+    /// use pfe_core::alpha_net::AlphaNet;
+    ///
+    /// let net = AlphaNet::new(20, 0.25).unwrap();
+    /// assert_eq!(net.small_size(), 5);   // floor((1/2 - 0.25) * 20)
+    /// assert_eq!(net.large_size(), 15);  // ceil((1/2 + 0.25) * 20)
+    /// // Lemma 6.2: strictly sublinear in 2^d.
+    /// assert!(net.size() < 1 << 20);
+    /// ```
+    ///
+    /// # Errors
+    /// Fails unless `1 ≤ d ≤ 63` and `α ∈ (0, 1/2)`.
+    pub fn new(d: u32, alpha: f64) -> Result<Self, QueryError> {
+        if d == 0 || d > 63 {
+            return Err(QueryError::BadParameter(format!("d={d} outside 1..=63")));
+        }
+        if !(alpha > 0.0 && alpha < 0.5) {
+            return Err(QueryError::BadParameter(format!("alpha={alpha} outside (0, 1/2)")));
+        }
+        let small = ((0.5 - alpha) * d as f64).floor() as u32;
+        let large = ((0.5 + alpha) * d as f64).ceil() as u32;
+        debug_assert!(small < large);
+        Ok(Self { d, alpha, small, large })
+    }
+
+    /// Dimension `d`.
+    pub fn dimension(&self) -> u32 {
+        self.d
+    }
+
+    /// The parameter `α`.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Largest small-side size `⌊(1/2−α)d⌋`.
+    pub fn small_size(&self) -> u32 {
+        self.small
+    }
+
+    /// Smallest large-side size `⌈(1/2+α)d⌉`.
+    pub fn large_size(&self) -> u32 {
+        self.large
+    }
+
+    /// Net membership (Definition 6.1).
+    pub fn contains(&self, cols: &ColumnSet) -> bool {
+        cols.dimension() == self.d && (cols.len() <= self.small || cols.len() >= self.large)
+    }
+
+    /// Exact net size `|N|`.
+    pub fn size(&self) -> u128 {
+        let lo = binomial_sum(self.d as u64, self.small as u64).expect("fits for d <= 63");
+        let hi = binomial_sum(self.d as u64, (self.d - self.large) as u64).expect("fits");
+        lo + hi
+    }
+
+    /// Lemma 6.2's bound `2^{H(1/2−α)d+1}` in log2 form.
+    pub fn size_bound_log2(&self) -> f64 {
+        net_size_bound_log2(self.d, self.alpha)
+    }
+
+    /// Worst-case rounding `max_C |C Δ C′|` over all queries — at most
+    /// `⌈αd⌉` (paper's bound); exact value `⌈(large − small)/2⌉` attained
+    /// at the middle size.
+    pub fn max_rounding(&self) -> u32 {
+        (self.large - self.small).div_ceil(2)
+    }
+
+    /// Round a query to its nearest net member (fewest column changes;
+    /// ties prefer shrinking). Deterministic: shrinking drops the largest
+    /// column indices, growing adds the smallest absent indices.
+    ///
+    /// ```
+    /// use pfe_core::alpha_net::AlphaNet;
+    /// use pfe_row::ColumnSet;
+    ///
+    /// let net = AlphaNet::new(12, 0.25).unwrap();   // small=3, large=9
+    /// let mid = ColumnSet::from_indices(12, &[0, 2, 4, 6, 8]).unwrap();
+    /// let r = net.round(&mid).unwrap();
+    /// assert!(net.contains(&r.target));
+    /// assert_eq!(r.sym_diff, 2);                     // 5 -> 3 columns
+    /// ```
+    ///
+    /// # Errors
+    /// Dimension mismatch.
+    pub fn round(&self, cols: &ColumnSet) -> Result<RoundedQuery, QueryError> {
+        check_dims(self.d, cols)?;
+        if self.contains(cols) {
+            return Ok(RoundedQuery { target: *cols, sym_diff: 0 });
+        }
+        let len = cols.len();
+        let shrink_cost = len - self.small;
+        let grow_cost = self.large - len;
+        if shrink_cost <= grow_cost {
+            // Drop the largest indices.
+            let mut mask = cols.mask();
+            for _ in 0..shrink_cost {
+                let top = 63 - mask.leading_zeros();
+                mask &= !(1u64 << top);
+            }
+            Ok(RoundedQuery {
+                target: ColumnSet::from_mask(self.d, mask).expect("subset of valid mask"),
+                sym_diff: shrink_cost,
+            })
+        } else {
+            // Add the smallest absent indices.
+            let mut mask = cols.mask();
+            let full = (1u64 << self.d) - 1;
+            for _ in 0..grow_cost {
+                let absent = full & !mask;
+                let low = absent.trailing_zeros();
+                mask |= 1u64 << low;
+            }
+            Ok(RoundedQuery {
+                target: ColumnSet::from_mask(self.d, mask).expect("subset of valid mask"),
+                sym_diff: grow_cost,
+            })
+        }
+    }
+
+    /// Iterate the masks of the materialized subsets under `mode`.
+    pub fn members(&self, mode: NetMode) -> impl Iterator<Item = u64> + '_ {
+        let weights: Vec<u32> = match mode {
+            NetMode::Full => (0..=self.small).chain(self.large..=self.d).collect(),
+            NetMode::BoundaryOnly => vec![self.small, self.large],
+        };
+        weights
+            .into_iter()
+            .flat_map(move |w| FixedWeightIter::new(self.d, w))
+    }
+
+    /// Number of materialized subsets under `mode`.
+    pub fn member_count(&self, mode: NetMode) -> u128 {
+        match mode {
+            NetMode::Full => self.size(),
+            NetMode::BoundaryOnly => {
+                pfe_codes::binomial::binomial(self.d as u64, self.small as u64).expect("fits")
+                    + pfe_codes::binomial::binomial(self.d as u64, self.large as u64)
+                        .expect("fits")
+            }
+        }
+    }
+
+    /// Rounding distortion bound for `F_0` at this net's worst case over
+    /// alphabet `q`: `q^{max_rounding}` (Lemma 6.4(1), generalized from the
+    /// binary `2^{αd}`).
+    pub fn f0_distortion_bound(&self, q: u32) -> f64 {
+        (q as f64).powi(self.max_rounding() as i32)
+    }
+
+    /// Rounding distortion bound for `F_p`: `q^{max_rounding·|p−1|}`
+    /// (Lemma 6.4(2)–(3)).
+    pub fn fp_distortion_bound(&self, q: u32, p: f64) -> f64 {
+        (q as f64).powf(self.max_rounding() as f64 * (p - 1.0).abs())
+    }
+
+    /// The relative-space curve value of Figure 1: `|N| / 2^d` (exact).
+    pub fn relative_space(&self) -> f64 {
+        self.size() as f64 / 2f64.powi(self.d as i32)
+    }
+
+    /// The analytic relative-space bound `2^{H(1/2−α)d}/2^d` plotted in
+    /// Figure 1's leftmost pane.
+    pub fn relative_space_bound(&self) -> f64 {
+        (binary_entropy(0.5 - self.alpha) * self.d as f64 - self.d as f64).exp2()
+    }
+
+    /// The inverse of Lemma 6.2: the most accurate net (smallest α, hence
+    /// smallest distortion) whose exact size fits within `max_sketches`.
+    ///
+    /// Scans the finitely many distinct nets for dimension `d` (the net is
+    /// determined by the integer pair `(small, large)`), so the returned
+    /// net is exactly optimal for the budget, not a bound-based guess.
+    ///
+    /// # Errors
+    /// Fails if `d` is out of range or even the sparsest net (α near 1/2,
+    /// size 2: the empty and full subsets... plus singletons) exceeds the
+    /// budget.
+    pub fn for_budget(d: u32, max_sketches: u128) -> Result<Self, QueryError> {
+        let mut best: Option<AlphaNet> = None;
+        // Alpha grid fine enough to hit every (small, large) pair.
+        let steps = (4 * d).max(8);
+        for i in 1..steps {
+            let alpha = i as f64 / (2.0 * steps as f64); // (0, 1/2)
+            let net = AlphaNet::new(d, alpha)?;
+            if net.size() <= max_sketches {
+                match best {
+                    Some(b) if b.alpha <= alpha => {}
+                    _ => best = Some(net),
+                }
+            }
+        }
+        best.ok_or_else(|| {
+            QueryError::BadParameter(format!(
+                "no alpha-net of dimension {d} fits within {max_sketches} sketches"
+            ))
+        })
+    }
+}
+
+/// Per-query answer from an α-net summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetAnswer {
+    /// The sketch's estimate on the rounded query.
+    pub estimate: f64,
+    /// The net member actually answered.
+    pub answered_on: ColumnSet,
+    /// `|C Δ C′|` for this query.
+    pub sym_diff: u32,
+    /// The per-query distortion factor `q^{|CΔC′|}` (for `F_0`) or
+    /// `q^{|CΔC′|·|p−1|}` (for `F_p`) — tighter than the worst-case
+    /// `q^{αd}` when the query rounds by less.
+    pub distortion_bound: f64,
+}
+
+/// Shared build loop: one sketch per net member, fed all projected rows.
+///
+/// Subset-major order (all rows per subset, then next subset) keeps each
+/// sketch hot in cache; the binary path projects with `PEXT` and the Q-ary
+/// path reuses one codec per subset width.
+fn build_sketch_map<T>(
+    data: &Dataset,
+    net: &AlphaNet,
+    mode: NetMode,
+    max_subsets: u128,
+    mut make: impl FnMut(u64) -> T,
+    mut feed: impl FnMut(&mut T, u64),
+) -> Result<SeededHashMap<u64, T>, QueryError> {
+    check_dims(net.d, &ColumnSet::empty(data.dimension()).expect("d <= 63"))?;
+    let count = net.member_count(mode);
+    if count > max_subsets {
+        return Err(QueryError::BadParameter(format!(
+            "net would materialize {count} subsets, above the safety cap {max_subsets}"
+        )));
+    }
+    let mut map: SeededHashMap<u64, T> = seeded_map(0xa1fa);
+    map.reserve(count as usize);
+    let q = data.alphabet();
+    for mask in net.members(mode) {
+        let cols = ColumnSet::from_mask(net.d, mask).expect("valid member");
+        let mut sketch = make(mask);
+        match data {
+            Dataset::Binary(m) => {
+                for &row in m.rows() {
+                    let key = pfe_row::pext_u64(row, mask);
+                    feed(&mut sketch, PatternKey::from(key).fingerprint64(FINGERPRINT_SEED));
+                }
+            }
+            Dataset::Qary(m) => {
+                let codec = PatternCodec::new(q, cols.len())?;
+                for i in 0..m.num_rows() {
+                    let key = m.project_row(i, &cols, &codec);
+                    feed(&mut sketch, key.fingerprint64(FINGERPRINT_SEED));
+                }
+            }
+        }
+        map.insert(mask, sketch);
+    }
+    Ok(map)
+}
+
+/// α-net summary for projected `F_0` (Algorithm 1 with a distinct-count
+/// plug-in).
+pub struct AlphaNetF0<S: DistinctSketch> {
+    net: AlphaNet,
+    mode: NetMode,
+    sketches: SeededHashMap<u64, S>,
+    q: u32,
+}
+
+impl<S: DistinctSketch> AlphaNetF0<S> {
+    /// Build over a dataset. `factory(mask)` creates the β-approximate
+    /// sketch for one subset (typically seeding it from the mask);
+    /// `max_subsets` is a safety cap against runaway materialization.
+    ///
+    /// # Errors
+    /// Parameter/codec errors, or net size above `max_subsets`.
+    pub fn build(
+        data: &Dataset,
+        net: AlphaNet,
+        mode: NetMode,
+        max_subsets: u128,
+        mut factory: impl FnMut(u64) -> S,
+    ) -> Result<Self, QueryError> {
+        if data.dimension() != net.d {
+            return Err(QueryError::DimensionMismatch { data: data.dimension(), query: net.d });
+        }
+        let sketches = build_sketch_map(
+            data,
+            &net,
+            mode,
+            max_subsets,
+            &mut factory,
+            |s: &mut S, fp| s.insert(fp),
+        )?;
+        Ok(Self { net, mode, sketches, q: data.alphabet() })
+    }
+
+    /// Build over a dataset with subset-level parallelism: the net members
+    /// are partitioned across `threads` workers, each building its share of
+    /// sketches over the full data (the build is embarrassingly parallel —
+    /// sketches never interact). Produces *identical* sketches to
+    /// [`build`](Self::build) with the same factory, since each sketch's
+    /// randomness comes from its own mask-derived seed.
+    ///
+    /// # Errors
+    /// Same as [`build`](Self::build); additionally rejects `threads == 0`.
+    pub fn build_parallel(
+        data: &Dataset,
+        net: AlphaNet,
+        mode: NetMode,
+        max_subsets: u128,
+        factory: impl Fn(u64) -> S + Sync,
+        threads: usize,
+    ) -> Result<Self, QueryError>
+    where
+        S: Send,
+    {
+        if threads == 0 {
+            return Err(QueryError::BadParameter("threads must be >= 1".into()));
+        }
+        if data.dimension() != net.d {
+            return Err(QueryError::DimensionMismatch { data: data.dimension(), query: net.d });
+        }
+        let count = net.member_count(mode);
+        if count > max_subsets {
+            return Err(QueryError::BadParameter(format!(
+                "net would materialize {count} subsets, above the safety cap {max_subsets}"
+            )));
+        }
+        let members: Vec<u64> = net.members(mode).collect();
+        let q = data.alphabet();
+        // Pre-validate codecs once (all widths that occur).
+        if let Dataset::Qary(_) = data {
+            for &mask in &members {
+                PatternCodec::new(q, mask.count_ones())?;
+            }
+        }
+        let chunk = members.len().div_ceil(threads).max(1);
+        let partial_maps = std::thread::scope(|scope| {
+            let handles: Vec<_> = members
+                .chunks(chunk)
+                .map(|slice| {
+                    let factory = &factory;
+                    scope.spawn(move || {
+                        let mut local: Vec<(u64, S)> = Vec::with_capacity(slice.len());
+                        for &mask in slice {
+                            let mut sketch = factory(mask);
+                            match data {
+                                Dataset::Binary(m) => {
+                                    for &row in m.rows() {
+                                        let key = pfe_row::pext_u64(row, mask);
+                                        sketch.insert(
+                                            PatternKey::from(key)
+                                                .fingerprint64(FINGERPRINT_SEED),
+                                        );
+                                    }
+                                }
+                                Dataset::Qary(m) => {
+                                    let cols = ColumnSet::from_mask(net.d, mask)
+                                        .expect("valid member");
+                                    let codec = PatternCodec::new(q, cols.len())
+                                        .expect("pre-validated");
+                                    for i in 0..m.num_rows() {
+                                        let key = m.project_row(i, &cols, &codec);
+                                        sketch.insert(
+                                            key.fingerprint64(FINGERPRINT_SEED),
+                                        );
+                                    }
+                                }
+                            }
+                            local.push((mask, sketch));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker thread panicked"))
+                .collect::<Vec<_>>()
+        });
+        let mut sketches: SeededHashMap<u64, S> = seeded_map(0xa1fa);
+        sketches.reserve(count as usize);
+        for local in partial_maps {
+            for (mask, sketch) in local {
+                sketches.insert(mask, sketch);
+            }
+        }
+        Ok(Self { net, mode, sketches, q })
+    }
+
+    /// Create an empty streaming summary for binary rows (`Q = 2`); feed
+    /// rows with [`push_packed`](Self::push_packed). One-pass semantics:
+    /// identical to [`build`](Self::build) over the same rows in any order
+    /// (for order-insensitive sketches).
+    ///
+    /// # Errors
+    /// Parameter errors; net size above `max_subsets`.
+    pub fn new_streaming(
+        net: AlphaNet,
+        mode: NetMode,
+        max_subsets: u128,
+        mut factory: impl FnMut(u64) -> S,
+    ) -> Result<Self, QueryError> {
+        let count = net.member_count(mode);
+        if count > max_subsets {
+            return Err(QueryError::BadParameter(format!(
+                "net would materialize {count} subsets, above the safety cap {max_subsets}"
+            )));
+        }
+        let mut sketches: SeededHashMap<u64, S> = seeded_map(0xa1fa);
+        sketches.reserve(count as usize);
+        for mask in net.members(mode) {
+            sketches.insert(mask, factory(mask));
+        }
+        Ok(Self { net, mode, sketches, q: 2 })
+    }
+
+    /// Observe one packed binary row (streaming ingestion; row-major
+    /// update of every net sketch).
+    ///
+    /// # Panics
+    /// Panics if the row has bits at or above `d`.
+    pub fn push_packed(&mut self, row: u64) {
+        assert!(
+            row & !((1u64 << self.net.d) - 1) == 0,
+            "row has bits above d={}",
+            self.net.d
+        );
+        assert_eq!(self.q, 2, "push_packed requires a binary summary");
+        for (&mask, sketch) in self.sketches.iter_mut() {
+            let key = pfe_row::pext_u64(row, mask);
+            sketch.insert(PatternKey::from(key).fingerprint64(FINGERPRINT_SEED));
+        }
+    }
+
+    /// The net definition.
+    pub fn net(&self) -> &AlphaNet {
+        &self.net
+    }
+
+    /// Number of sketches kept.
+    pub fn num_sketches(&self) -> usize {
+        self.sketches.len()
+    }
+
+    /// Round a query exactly as [`f0`](Self::f0) will (BoundaryOnly mode
+    /// also rounds in-net queries of non-boundary sizes).
+    pub fn effective_rounding(&self, cols: &ColumnSet) -> Result<RoundedQuery, QueryError> {
+        let mut r = self.net.round(cols)?;
+        if self.mode == NetMode::BoundaryOnly && !self.sketches.contains_key(&r.target.mask()) {
+            // Round again to the nearest boundary weight.
+            let len = cols.len();
+            let (target_w, cost) = if len <= self.net.small {
+                (self.net.small, self.net.small - len)
+            } else {
+                (self.net.large, len - self.net.large)
+            };
+            let mut mask = cols.mask();
+            if len < target_w {
+                let full = (1u64 << self.net.d) - 1;
+                for _ in 0..(target_w - len) {
+                    let absent = full & !mask;
+                    mask |= 1u64 << absent.trailing_zeros();
+                }
+            } else {
+                for _ in 0..(len - target_w) {
+                    let top = 63 - mask.leading_zeros();
+                    mask &= !(1u64 << top);
+                }
+            }
+            r = RoundedQuery {
+                target: ColumnSet::from_mask(self.net.d, mask).expect("valid"),
+                sym_diff: cost,
+            };
+        }
+        Ok(r)
+    }
+
+    /// Answer a projected `F_0` query (Algorithm 1 lines 4–6).
+    ///
+    /// # Errors
+    /// Dimension errors.
+    pub fn f0(&self, cols: &ColumnSet) -> Result<NetAnswer, QueryError> {
+        let r = self.effective_rounding(cols)?;
+        let sketch = self
+            .sketches
+            .get(&r.target.mask())
+            .expect("rounded target is materialized");
+        Ok(NetAnswer {
+            estimate: sketch.estimate(),
+            answered_on: r.target,
+            sym_diff: r.sym_diff,
+            distortion_bound: (self.q as f64).powi(r.sym_diff as i32),
+        })
+    }
+}
+
+impl<S: DistinctSketch> SpaceUsage for AlphaNetF0<S> {
+    fn space_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self
+                .sketches
+                .values()
+                .map(|s| s.space_bytes() + std::mem::size_of::<u64>())
+                .sum::<usize>()
+    }
+}
+
+/// α-net summary for projected `F_p` (Algorithm 1 with a moment-sketch
+/// plug-in: `AmsF2` for `p = 2`, `StableFp` for `0 < p < 2`).
+pub struct AlphaNetFp<M: MomentSketch> {
+    net: AlphaNet,
+    mode: NetMode,
+    sketches: SeededHashMap<u64, M>,
+    q: u32,
+    p: f64,
+}
+
+impl<M: MomentSketch> AlphaNetFp<M> {
+    /// Build over a dataset; `factory(mask)` must produce sketches whose
+    /// [`MomentSketch::p`] all equal the same `p`.
+    ///
+    /// # Errors
+    /// Parameter/codec errors, net size above `max_subsets`.
+    pub fn build(
+        data: &Dataset,
+        net: AlphaNet,
+        mode: NetMode,
+        max_subsets: u128,
+        mut factory: impl FnMut(u64) -> M,
+    ) -> Result<Self, QueryError> {
+        if data.dimension() != net.d {
+            return Err(QueryError::DimensionMismatch { data: data.dimension(), query: net.d });
+        }
+        let mut p = None;
+        let sketches = build_sketch_map(
+            data,
+            &net,
+            mode,
+            max_subsets,
+            |mask| {
+                let s = factory(mask);
+                p.get_or_insert(s.p());
+                s
+            },
+            |s: &mut M, fp| s.update(fp, 1),
+        )?;
+        let p = p.ok_or(QueryError::EmptyData)?;
+        Ok(Self { net, mode, sketches, q: data.alphabet(), p })
+    }
+
+    /// The moment order this net answers.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// The net definition.
+    pub fn net(&self) -> &AlphaNet {
+        &self.net
+    }
+
+    /// Number of sketches kept.
+    pub fn num_sketches(&self) -> usize {
+        self.sketches.len()
+    }
+
+    /// Answer a projected `F_p` query.
+    ///
+    /// # Errors
+    /// Dimension errors; `UnsupportedMoment` if `p` differs from the build
+    /// order.
+    pub fn fp(&self, cols: &ColumnSet, p: f64) -> Result<NetAnswer, QueryError> {
+        if (p - self.p).abs() > 1e-12 {
+            return Err(QueryError::UnsupportedMoment { requested: p, supported: self.p });
+        }
+        let mut r = self.net.round(cols)?;
+        if self.mode == NetMode::BoundaryOnly && !self.sketches.contains_key(&r.target.mask()) {
+            // Delegate to the same boundary rounding as the F0 net by
+            // rebuilding the rounded query inline (duplicated tiny logic to
+            // avoid a trait dance).
+            let len = cols.len();
+            let (target_w, cost) = if len <= self.net.small {
+                (self.net.small, self.net.small - len)
+            } else {
+                (self.net.large, len - self.net.large)
+            };
+            let mut mask = cols.mask();
+            if len < target_w {
+                let full = (1u64 << self.net.d) - 1;
+                for _ in 0..(target_w - len) {
+                    let absent = full & !mask;
+                    mask |= 1u64 << absent.trailing_zeros();
+                }
+            } else {
+                for _ in 0..(len - target_w) {
+                    let top = 63 - mask.leading_zeros();
+                    mask &= !(1u64 << top);
+                }
+            }
+            r = RoundedQuery {
+                target: ColumnSet::from_mask(self.net.d, mask).expect("valid"),
+                sym_diff: cost,
+            };
+        }
+        let sketch = self
+            .sketches
+            .get(&r.target.mask())
+            .expect("rounded target is materialized");
+        Ok(NetAnswer {
+            estimate: sketch.estimate(),
+            answered_on: r.target,
+            sym_diff: r.sym_diff,
+            distortion_bound: (self.q as f64).powf(r.sym_diff as f64 * (self.p - 1.0).abs()),
+        })
+    }
+}
+
+impl<M: MomentSketch> SpaceUsage for AlphaNetFp<M> {
+    fn space_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self
+                .sketches
+                .values()
+                .map(|s| s.space_bytes() + std::mem::size_of::<u64>())
+                .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfe_sketch::kmv::Kmv;
+    use pfe_stream::gen::uniform_binary;
+
+    fn net(d: u32, alpha: f64) -> AlphaNet {
+        AlphaNet::new(d, alpha).expect("valid")
+    }
+
+    #[test]
+    fn definition_sizes() {
+        let n = net(20, 0.25);
+        assert_eq!(n.small_size(), 5);
+        assert_eq!(n.large_size(), 15);
+        assert!(n.contains(&ColumnSet::from_indices(20, &[0, 1, 2]).expect("v")));
+        assert!(!n.contains(&ColumnSet::from_indices(20, &(0..8).collect::<Vec<_>>()).expect("v")));
+        assert!(n.contains(&ColumnSet::full(20).expect("v")));
+    }
+
+    #[test]
+    fn size_matches_lemma_bound() {
+        for d in [12u32, 16, 20] {
+            for &alpha in &[0.1, 0.2, 0.3] {
+                let n = net(d, alpha);
+                assert!(
+                    (n.size() as f64).log2() <= n.size_bound_log2() + 1e-9,
+                    "Lemma 6.2 violated at d={d}, alpha={alpha}"
+                );
+                assert!(n.size() < 1u128 << d, "net not sublinear in 2^d");
+            }
+        }
+    }
+
+    #[test]
+    fn member_enumeration_matches_size() {
+        let n = net(12, 0.2);
+        assert_eq!(n.members(NetMode::Full).count() as u128, n.size());
+        assert_eq!(
+            n.members(NetMode::BoundaryOnly).count() as u128,
+            n.member_count(NetMode::BoundaryOnly)
+        );
+        // All members really are members.
+        for mask in n.members(NetMode::Full) {
+            let c = ColumnSet::from_mask(12, mask).expect("v");
+            assert!(n.contains(&c));
+        }
+    }
+
+    #[test]
+    fn rounding_bounds_and_membership() {
+        let n = net(20, 0.2);
+        for len in 0..=20u32 {
+            let cols = ColumnSet::from_indices(20, &(0..len).collect::<Vec<_>>()).expect("v");
+            let r = n.round(&cols).expect("ok");
+            assert!(n.contains(&r.target), "rounded target not in net");
+            assert!(
+                r.sym_diff <= n.max_rounding(),
+                "rounding {} exceeds max {}",
+                r.sym_diff,
+                n.max_rounding()
+            );
+            assert_eq!(
+                r.target.symmetric_difference(&cols).len(),
+                r.sym_diff,
+                "sym_diff miscounted"
+            );
+            // Rounding is monotone: either subset or superset of the query.
+            assert!(r.target.is_subset_of(&cols) || cols.is_subset_of(&r.target));
+        }
+    }
+
+    #[test]
+    fn max_rounding_at_most_alpha_d() {
+        for d in [10u32, 15, 20, 30] {
+            for &alpha in &[0.05, 0.15, 0.25, 0.4] {
+                let n = net(d, alpha);
+                let bound = (alpha * d as f64).ceil() as u32 + 1;
+                assert!(
+                    n.max_rounding() <= bound,
+                    "max rounding {} above ceil(alpha d)+1 = {bound} at d={d}, alpha={alpha}",
+                    n.max_rounding()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn f0_net_exact_on_members_within_sketch_error() {
+        let d = 10;
+        let data = uniform_binary(d, 2000, 1);
+        let n = net(d, 0.2);
+        let summary = AlphaNetF0::build(&data, n, NetMode::Full, 1 << 20, |mask| {
+            Kmv::new(256, mask ^ 0xbeef)
+        })
+        .expect("build");
+        // A query already in the net: answer within KMV error of exact.
+        let cols = ColumnSet::from_indices(d, &[0, 1, 2]).expect("v");
+        assert!(n.contains(&cols));
+        let ans = summary.f0(&cols).expect("ok");
+        assert_eq!(ans.sym_diff, 0);
+        assert_eq!(ans.distortion_bound, 1.0);
+        let exact = pfe_row::FrequencyVector::compute(&data, &cols).expect("fits");
+        let rel = (ans.estimate - exact.f0() as f64).abs() / exact.f0() as f64;
+        assert!(rel < 0.3, "in-net estimate off by {rel}");
+    }
+
+    #[test]
+    fn f0_net_respects_distortion_bound_on_rounded_queries() {
+        let d = 12;
+        let data = uniform_binary(d, 4000, 2);
+        let n = net(d, 0.25);
+        let summary = AlphaNetF0::build(&data, n, NetMode::Full, 1 << 20, |mask| {
+            Kmv::new(512, mask ^ 0xcafe)
+        })
+        .expect("build");
+        // Mid-size queries get rounded; estimate must stay within
+        // (sketch error) x (distortion bound) of the exact answer.
+        for mask in [0b111111u64, 0b101010101010, 0b110011001100] {
+            let cols = ColumnSet::from_mask(d, mask).expect("v");
+            let ans = summary.f0(&cols).expect("ok");
+            let exact = pfe_row::FrequencyVector::compute(&data, &cols).expect("fits");
+            let ratio = ans.estimate / exact.f0() as f64;
+            let allowed = ans.distortion_bound * 1.5; // sketch slack
+            assert!(
+                ratio <= allowed && ratio >= 1.0 / allowed,
+                "mask {mask:#b}: ratio {ratio} outside ±{allowed}x"
+            );
+        }
+    }
+
+    #[test]
+    fn boundary_mode_far_fewer_sketches() {
+        let d = 14;
+        let data = uniform_binary(d, 500, 3);
+        let n = net(d, 0.2);
+        let full = AlphaNetF0::build(&data, n, NetMode::Full, 1 << 24, |m| Kmv::new(16, m))
+            .expect("build");
+        let boundary =
+            AlphaNetF0::build(&data, n, NetMode::BoundaryOnly, 1 << 24, |m| Kmv::new(16, m))
+                .expect("build");
+        // Boundary mode keeps exactly C(d, small) + C(d, large) sketches —
+        // strictly fewer than the full net (which adds all interior
+        // small/large weights).
+        assert_eq!(
+            boundary.num_sketches() as u128,
+            n.member_count(NetMode::BoundaryOnly)
+        );
+        assert!(boundary.num_sketches() < full.num_sketches());
+        // Boundary mode still answers every query.
+        for len in 0..=d {
+            let cols = ColumnSet::from_indices(d, &(0..len).collect::<Vec<_>>()).expect("v");
+            boundary.f0(&cols).expect("answerable");
+        }
+    }
+
+    #[test]
+    fn safety_cap_enforced() {
+        let d = 20;
+        let data = uniform_binary(d, 10, 4);
+        let n = net(d, 0.05); // huge net
+        let r = AlphaNetF0::build(&data, n, NetMode::Full, 1000, |m| Kmv::new(8, m));
+        assert!(matches!(r, Err(QueryError::BadParameter(_))));
+    }
+
+    #[test]
+    fn space_tracks_sketch_count() {
+        let d = 12;
+        let data = uniform_binary(d, 200, 5);
+        let tight = AlphaNetF0::build(&data, net(d, 0.4), NetMode::Full, 1 << 24, |m| {
+            Kmv::new(16, m)
+        })
+        .expect("build");
+        let loose = AlphaNetF0::build(&data, net(d, 0.1), NetMode::Full, 1 << 24, |m| {
+            Kmv::new(16, m)
+        })
+        .expect("build");
+        assert!(loose.num_sketches() > tight.num_sketches());
+        assert!(loose.space_bytes() > tight.space_bytes());
+    }
+
+    #[test]
+    fn bad_params_rejected() {
+        assert!(AlphaNet::new(0, 0.2).is_err());
+        assert!(AlphaNet::new(64, 0.2).is_err());
+        assert!(AlphaNet::new(10, 0.0).is_err());
+        assert!(AlphaNet::new(10, 0.5).is_err());
+    }
+
+    #[test]
+    fn parallel_build_identical_to_sequential() {
+        let d = 12;
+        let data = uniform_binary(d, 1500, 21);
+        let n = net(d, 0.25);
+        let seq = AlphaNetF0::build(&data, n, NetMode::Full, 1 << 22, |m| Kmv::new(64, m))
+            .expect("build");
+        for threads in [1usize, 2, 4, 7] {
+            let par = AlphaNetF0::build_parallel(
+                &data,
+                n,
+                NetMode::Full,
+                1 << 22,
+                |m| Kmv::new(64, m),
+                threads,
+            )
+            .expect("parallel build");
+            assert_eq!(par.num_sketches(), seq.num_sketches());
+            for mask in [0b11u64, 0b111111000000, 0b101010101010] {
+                let cols = ColumnSet::from_mask(d, mask).expect("valid");
+                assert_eq!(
+                    par.f0(&cols).expect("ok").estimate,
+                    seq.f0(&cols).expect("ok").estimate,
+                    "threads={threads}: parallel diverged at mask {mask:#b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_build_qary_and_errors() {
+        let data = pfe_stream::gen::uniform_qary(3, 8, 300, 22);
+        let n = net(8, 0.3);
+        let par = AlphaNetF0::build_parallel(&data, n, NetMode::Full, 1 << 16, |m| {
+            Kmv::new(32, m)
+        }, 3)
+        .expect("qary parallel build");
+        let seq = AlphaNetF0::build(&data, n, NetMode::Full, 1 << 16, |m| Kmv::new(32, m))
+            .expect("build");
+        let cols = ColumnSet::from_indices(8, &[0, 3, 6]).expect("valid");
+        assert_eq!(
+            par.f0(&cols).expect("ok").estimate,
+            seq.f0(&cols).expect("ok").estimate
+        );
+        // threads = 0 is a typed error.
+        assert!(matches!(
+            AlphaNetF0::build_parallel(&data, n, NetMode::Full, 1 << 16, |m| Kmv::new(8, m), 0),
+            Err(QueryError::BadParameter(_))
+        ));
+    }
+
+    #[test]
+    fn budget_planner_returns_optimal_feasible_net() {
+        let d = 16;
+        for &budget in &[4u128, 64, 1024, 1 << 15] {
+            let net = AlphaNet::for_budget(d, budget).expect("feasible");
+            assert!(net.size() <= budget, "planner exceeded budget");
+            // No distinct net with smaller alpha fits: check the next finer
+            // grid step below the chosen alpha.
+            let finer = net.alpha() - 1.0 / (8.0 * d as f64);
+            if finer > 0.0 {
+                let tighter = AlphaNet::new(d, finer).expect("valid");
+                if tighter.small_size() != net.small_size()
+                    || tighter.large_size() != net.large_size()
+                {
+                    assert!(
+                        tighter.size() > budget,
+                        "a strictly finer net also fits: planner suboptimal"
+                    );
+                }
+            }
+        }
+        // Budget 1 is infeasible (even the sparsest net has >= 2 members).
+        assert!(AlphaNet::for_budget(d, 1).is_err());
+    }
+
+    #[test]
+    fn budget_planner_monotone_in_budget() {
+        let d = 14;
+        let mut prev_alpha = 1.0;
+        for &budget in &[8u128, 128, 2048, 1 << 13] {
+            let net = AlphaNet::for_budget(d, budget).expect("feasible");
+            assert!(
+                net.alpha() <= prev_alpha,
+                "larger budget produced worse alpha"
+            );
+            prev_alpha = net.alpha();
+        }
+    }
+
+    #[test]
+    fn streaming_matches_batch_build() {
+        // The one-pass model: pushing rows one at a time must produce the
+        // same summary as the batch build (KMV is order-insensitive).
+        let d = 10;
+        let data = uniform_binary(d, 800, 7);
+        let n = net(d, 0.25);
+        let batch = AlphaNetF0::build(&data, n, NetMode::Full, 1 << 20, |m| Kmv::new(64, m))
+            .expect("build");
+        let mut streamed =
+            AlphaNetF0::new_streaming(n, NetMode::Full, 1 << 20, |m| Kmv::new(64, m))
+                .expect("new");
+        if let pfe_row::Dataset::Binary(m) = &data {
+            for &row in m.rows() {
+                streamed.push_packed(row);
+            }
+        } else {
+            unreachable!("generator yields binary data");
+        }
+        for mask in [0b11u64, 0b1111100000, 0b1010101010, (1 << d) - 1] {
+            let cols = ColumnSet::from_mask(d, mask).expect("valid");
+            assert_eq!(
+                batch.f0(&cols).expect("ok").estimate,
+                streamed.f0(&cols).expect("ok").estimate,
+                "streamed summary diverged at mask {mask:#b}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bits above d")]
+    fn push_packed_rejects_out_of_range() {
+        let n = net(4, 0.25);
+        let mut s = AlphaNetF0::new_streaming(n, NetMode::Full, 1 << 10, |m| Kmv::new(8, m))
+            .expect("new");
+        s.push_packed(1 << 5);
+    }
+
+    #[test]
+    fn relative_space_below_bound() {
+        for &alpha in &[0.1, 0.2, 0.3, 0.4] {
+            let n = net(20, alpha);
+            assert!(n.relative_space() <= 2.0 * n.relative_space_bound() + 1e-12);
+            assert!(n.relative_space() < 1.0);
+        }
+    }
+}

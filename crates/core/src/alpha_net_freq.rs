@@ -1,0 +1,545 @@
+//! α-net summaries for point frequency and heavy hitters — the closing
+//! remark of the paper's Section 6.
+//!
+//! > "similar results are possible for the other functions considered,
+//! > ℓ_p frequency estimation, ℓ_p heavy hitters and ℓ_p sampling. The key
+//! > insight is that all these functions depend at their heart on the
+//! > quantity `f_j/‖f‖_p` [...] If we evaluate this quantity on a superset
+//! > of columns, then both the numerator and denominator may shrink or
+//! > grow, in the same ways as analyzed in Lemma 6.4."
+//!
+//! We realize the remark with *grow-side* rounding: a query `C` not in the
+//! net is rounded to a superset `C′ ⊇ C` of size `(1/2+α)d`. On a superset,
+//! a pattern `b ∈ [Q]^{|C|}` corresponds to the set of its extensions on
+//! `C′ \ C`, and `f_C(b) = Σ_{ext} f_{C′}(b·ext)` exactly. So:
+//!
+//! - **point frequency**: sum the sketch's point estimates over all
+//!   `Q^{|C′\C|}` extensions (at most `Q^{2αd}` terms — the same magnitude
+//!   Lemma 6.4 charges the answer anyway). CountMin overestimates each
+//!   term, so the summed estimate inherits a one-sided
+//!   `ε‖f‖₁·Q^{|C′\C|}` error bound.
+//! - **heavy hitters**: take the rounded subset's SpaceSaving candidates,
+//!   *project* them onto `C` (projection can only merge, never split,
+//!   heavy patterns — no false negatives among monitored items), aggregate
+//!   their estimates, and threshold.
+
+use pfe_hash::builder::{seeded_map, SeededHashMap};
+use pfe_row::{ColumnSet, Dataset, PatternCodec, PatternKey};
+use pfe_sketch::count_min::CountMin;
+use pfe_sketch::space_saving::SpaceSaving;
+use pfe_sketch::traits::{FrequencySketch, SpaceUsage};
+
+use crate::alpha_net::{AlphaNet, RoundedQuery};
+use crate::problem::{check_dims, HeavyHitter, QueryError};
+
+/// Upper bound on extension enumeration per query (`Q^{|C′\C|}` terms).
+const MAX_EXTENSIONS: u128 = 1 << 20;
+
+/// Grow-side rounding: the smallest net superset of `C` (or `C` itself if
+/// it is already in the net). The cost is at most `large − small − 1 ≤
+/// ⌈2αd⌉` columns, twice the nearest-neighbour bound — the price of
+/// keeping the pattern correspondence exact.
+fn round_up(net: &AlphaNet, cols: &ColumnSet) -> Result<RoundedQuery, QueryError> {
+    check_dims(net.dimension(), cols)?;
+    if net.contains(cols) {
+        return Ok(RoundedQuery { target: *cols, sym_diff: 0 });
+    }
+    let d = net.dimension();
+    let target_w = net.large_size();
+    let mut mask = cols.mask();
+    let full = (1u64 << d) - 1;
+    let cost = target_w - cols.len();
+    for _ in 0..cost {
+        let absent = full & !mask;
+        mask |= 1u64 << absent.trailing_zeros();
+    }
+    Ok(RoundedQuery {
+        target: ColumnSet::from_mask(d, mask).expect("valid"),
+        sym_diff: cost,
+    })
+}
+
+/// The per-query answer of the frequency net.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FreqNetAnswer {
+    /// The (summed) frequency estimate for the queried pattern.
+    pub estimate: f64,
+    /// The net member the sketches were read from.
+    pub answered_on: ColumnSet,
+    /// Number of added columns (`|C′ \ C|`).
+    pub grown_by: u32,
+    /// Number of extension patterns summed.
+    pub extensions: u128,
+}
+
+/// α-net point-frequency summary: one CountMin per net subset.
+pub struct AlphaNetFrequency {
+    net: AlphaNet,
+    sketches: SeededHashMap<u64, CountMin>,
+    q: u32,
+    n_rows: u64,
+    fingerprint_seed: u64,
+}
+
+impl AlphaNetFrequency {
+    /// Build over a dataset with `depth × width` CountMin sketches.
+    ///
+    /// # Errors
+    /// Parameter/codec errors; net size above `max_subsets`.
+    pub fn build(
+        data: &Dataset,
+        net: AlphaNet,
+        depth: usize,
+        width: usize,
+        max_subsets: u128,
+        seed: u64,
+    ) -> Result<Self, QueryError> {
+        if data.dimension() != net.dimension() {
+            return Err(QueryError::DimensionMismatch {
+                data: data.dimension(),
+                query: net.dimension(),
+            });
+        }
+        let count = net.size();
+        if count > max_subsets {
+            return Err(QueryError::BadParameter(format!(
+                "net would materialize {count} subsets, above the safety cap {max_subsets}"
+            )));
+        }
+        let q = data.alphabet();
+        let fingerprint_seed = 0xfe_0fe0 ^ seed;
+        let mut sketches: SeededHashMap<u64, CountMin> = seeded_map(0xcafe);
+        sketches.reserve(count as usize);
+        for mask in net.members(crate::alpha_net::NetMode::Full) {
+            let cols = ColumnSet::from_mask(net.dimension(), mask).expect("valid");
+            let mut cm = CountMin::new(depth, width, seed ^ mask);
+            match data {
+                Dataset::Binary(m) => {
+                    for &row in m.rows() {
+                        let key = pfe_row::pext_u64(row, mask);
+                        cm.update(PatternKey::from(key).fingerprint64(fingerprint_seed), 1);
+                    }
+                }
+                Dataset::Qary(m) => {
+                    let codec = PatternCodec::new(q, cols.len())?;
+                    for i in 0..m.num_rows() {
+                        let key = m.project_row(i, &cols, &codec);
+                        cm.update(key.fingerprint64(fingerprint_seed), 1);
+                    }
+                }
+            }
+            sketches.insert(mask, cm);
+        }
+        Ok(Self {
+            net,
+            sketches,
+            q,
+            n_rows: data.num_rows() as u64,
+            fingerprint_seed,
+        })
+    }
+
+    /// The net definition.
+    pub fn net(&self) -> &AlphaNet {
+        &self.net
+    }
+
+    /// Number of sketches kept.
+    pub fn num_sketches(&self) -> usize {
+        self.sketches.len()
+    }
+
+    /// Rows ingested (`n = ‖f‖₁`).
+    pub fn n(&self) -> u64 {
+        self.n_rows
+    }
+
+    /// Estimate `f_{e(b)}` for a pattern `b` given over the *query* columns
+    /// `cols` (as a [`PatternKey`] in the `cols` codec).
+    ///
+    /// The estimate is the sum of CountMin point queries over all
+    /// extensions of `b` to the rounded superset — an overestimate (like
+    /// CountMin itself) by at most `#extensions × ε‖f‖₁`.
+    ///
+    /// # Errors
+    /// Dimension/codec errors; `BadParameter` if `Q^{|C′\C|}` exceeds the
+    /// enumeration cap.
+    pub fn frequency(&self, cols: &ColumnSet, key: PatternKey) -> Result<FreqNetAnswer, QueryError> {
+        let r = round_up(&self.net, cols)?;
+        let sketch = self
+            .sketches
+            .get(&r.target.mask())
+            .expect("rounded target materialized");
+        // Enumerate extensions: patterns on target whose restriction to
+        // cols equals `key`.
+        let extra = r.target.symmetric_difference(cols);
+        let num_ext = (self.q as u128)
+            .checked_pow(extra.len())
+            .filter(|&n| n <= MAX_EXTENSIONS)
+            .ok_or_else(|| {
+                QueryError::BadParameter(format!(
+                    "extension enumeration Q^{} exceeds cap",
+                    extra.len()
+                ))
+            })?;
+        let query_codec = PatternCodec::new(self.q, cols.len())?;
+        let target_codec = PatternCodec::new(self.q, r.target.len())?;
+        let base_pattern = query_codec.decode(key);
+        // Positions of the original columns inside the target's ascending
+        // order, so digits can be interleaved correctly.
+        let target_cols = r.target.to_indices();
+        let orig_pos: Vec<usize> = cols
+            .iter()
+            .map(|c| target_cols.binary_search(&c).expect("cols subset of target"))
+            .collect();
+        let ext_pos: Vec<usize> = extra
+            .iter()
+            .map(|c| target_cols.binary_search(&c).expect("extra subset of target"))
+            .collect();
+        let mut pattern = vec![0u16; target_cols.len()];
+        for (digit, &pos) in base_pattern.iter().zip(&orig_pos) {
+            pattern[pos] = *digit;
+        }
+        let mut total = 0.0;
+        for ext_index in 0..num_ext {
+            let mut v = ext_index;
+            for &pos in &ext_pos {
+                pattern[pos] = (v % self.q as u128) as u16;
+                v /= self.q as u128;
+            }
+            let ext_key = target_codec.encode_pattern(&pattern);
+            total += sketch.estimate(ext_key.fingerprint64(self.fingerprint_seed));
+        }
+        Ok(FreqNetAnswer {
+            estimate: total,
+            answered_on: r.target,
+            grown_by: r.sym_diff,
+            extensions: num_ext,
+        })
+    }
+}
+
+impl SpaceUsage for AlphaNetFrequency {
+    fn space_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self
+                .sketches
+                .values()
+                .map(|s| s.space_bytes() + std::mem::size_of::<u64>())
+                .sum::<usize>()
+    }
+}
+
+/// α-net heavy-hitter summary: one SpaceSaving per net subset, with
+/// candidate projection at query time.
+pub struct AlphaNetHeavyHitters {
+    net: AlphaNet,
+    /// Per subset: SpaceSaving over *pattern keys* (not fingerprints — the
+    /// keys must be decodable for projection).
+    sketches: SeededHashMap<u64, SpaceSavingKeys>,
+    q: u32,
+    n_rows: u64,
+}
+
+/// SpaceSaving over `u128` pattern keys (thin adaptation: SpaceSaving in
+/// `pfe-sketch` is keyed on `u64`; net subsets have `|C′| ≤ d ≤ 63`, and we
+/// require `Q^{|C′|} ≤ 2^64` at build time so keys fit losslessly).
+#[derive(Debug, Clone)]
+struct SpaceSavingKeys(SpaceSaving);
+
+impl AlphaNetHeavyHitters {
+    /// Build with `slots` SpaceSaving slots per subset.
+    ///
+    /// # Errors
+    /// Parameter/codec errors; cap exceeded; `Q^{large} > 2^64` (keys must
+    /// fit `u64` losslessly for projection).
+    pub fn build(
+        data: &Dataset,
+        net: AlphaNet,
+        slots: usize,
+        max_subsets: u128,
+    ) -> Result<Self, QueryError> {
+        if data.dimension() != net.dimension() {
+            return Err(QueryError::DimensionMismatch {
+                data: data.dimension(),
+                query: net.dimension(),
+            });
+        }
+        let count = net.size();
+        if count > max_subsets {
+            return Err(QueryError::BadParameter(format!(
+                "net would materialize {count} subsets, above the safety cap {max_subsets}"
+            )));
+        }
+        let q = data.alphabet();
+        // Keys must fit u64: Q^{d} with the largest materialized width.
+        let max_width = net.dimension(); // full set is in the net
+        if (q as f64).log2() * max_width as f64 > 63.0 {
+            return Err(QueryError::BadParameter(format!(
+                "Q^{max_width} exceeds u64; SpaceSaving keys would alias"
+            )));
+        }
+        let mut sketches: SeededHashMap<u64, SpaceSavingKeys> = seeded_map(0x55aa);
+        sketches.reserve(count as usize);
+        for mask in net.members(crate::alpha_net::NetMode::Full) {
+            let cols = ColumnSet::from_mask(net.dimension(), mask).expect("valid");
+            let mut ss = SpaceSaving::new(slots);
+            match data {
+                Dataset::Binary(m) => {
+                    for &row in m.rows() {
+                        ss.insert(pfe_row::pext_u64(row, mask));
+                    }
+                }
+                Dataset::Qary(m) => {
+                    let codec = PatternCodec::new(q, cols.len())?;
+                    for i in 0..m.num_rows() {
+                        ss.insert(m.project_row(i, &cols, &codec).raw() as u64);
+                    }
+                }
+            }
+            sketches.insert(mask, SpaceSavingKeys(ss));
+        }
+        Ok(Self {
+            net,
+            sketches,
+            q,
+            n_rows: data.num_rows() as u64,
+        })
+    }
+
+    /// The net definition.
+    pub fn net(&self) -> &AlphaNet {
+        &self.net
+    }
+
+    /// Number of sketches kept.
+    pub fn num_sketches(&self) -> usize {
+        self.sketches.len()
+    }
+
+    /// `φ`-`ℓ₁` heavy hitters of the projection `cols` with slack `c > 1`:
+    /// the rounded subset's monitored candidates are projected onto `cols`,
+    /// aggregated, and thresholded at `(φ/c)·n`.
+    ///
+    /// Guarantee: every true `φ`-heavy pattern of `cols` whose mass is
+    /// monitored on the rounded superset (SpaceSaving guarantees monitoring
+    /// for mass `> n/slots`) is reported, because projection aggregates —
+    /// never splits — its extensions' counts.
+    ///
+    /// # Errors
+    /// Dimension/codec/parameter errors.
+    pub fn heavy_hitters(
+        &self,
+        cols: &ColumnSet,
+        phi: f64,
+        c: f64,
+    ) -> Result<Vec<HeavyHitter>, QueryError> {
+        if !(phi > 0.0 && phi <= 1.0) {
+            return Err(QueryError::BadParameter(format!("phi={phi} outside (0,1]")));
+        }
+        if c <= 1.0 || !c.is_finite() {
+            return Err(QueryError::BadParameter(format!("slack c={c} must be > 1")));
+        }
+        let r = round_up(&self.net, cols)?;
+        let sketch = &self
+            .sketches
+            .get(&r.target.mask())
+            .expect("rounded target materialized")
+            .0;
+        let target_codec = PatternCodec::new(self.q, r.target.len())?;
+        let query_codec = PatternCodec::new(self.q, cols.len())?;
+        // Project candidates onto the query columns and aggregate.
+        let target_cols = r.target.to_indices();
+        let keep: Vec<usize> = cols
+            .iter()
+            .map(|c| target_cols.binary_search(&c).expect("subset"))
+            .collect();
+        let mut agg: std::collections::BTreeMap<PatternKey, u64> = std::collections::BTreeMap::new();
+        for (key64, count) in sketch.candidates(0) {
+            let full_pattern = target_codec.decode(PatternKey::new(key64 as u128));
+            let projected: Vec<u16> = keep.iter().map(|&i| full_pattern[i]).collect();
+            *agg.entry(query_codec.encode_pattern(&projected)).or_insert(0) += count;
+        }
+        let threshold = (phi / c) * self.n_rows as f64;
+        let mut out: Vec<HeavyHitter> = agg
+            .into_iter()
+            .filter(|&(_, count)| count as f64 >= threshold)
+            .map(|(key, count)| HeavyHitter { key, estimate: count as f64 })
+            .collect();
+        out.sort_by(|a, b| {
+            b.estimate
+                .partial_cmp(&a.estimate)
+                .expect("finite")
+                .then(a.key.cmp(&b.key))
+        });
+        Ok(out)
+    }
+}
+
+impl SpaceUsage for AlphaNetHeavyHitters {
+    fn space_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self
+                .sketches
+                .values()
+                .map(|s| s.0.space_bytes() + std::mem::size_of::<u64>())
+                .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfe_row::FrequencyVector;
+    use pfe_stream::gen::zipf_patterns;
+
+    fn fixture(d: u32, n: usize, seed: u64) -> Dataset {
+        zipf_patterns(d, n, 30, 1.4, seed)
+    }
+
+    #[test]
+    fn frequency_in_net_matches_count_min() {
+        let d = 10;
+        let data = fixture(d, 5000, 1);
+        let net = AlphaNet::new(d, 0.25).expect("valid");
+        let summary = AlphaNetFrequency::build(&data, net, 4, 512, 1 << 20, 7).expect("build");
+        // In-net query (size 2 <= small): single point query, no extension.
+        let cols = ColumnSet::from_indices(d, &[0, 1]).expect("valid");
+        let exact = FrequencyVector::compute(&data, &cols).expect("fits");
+        let (key, count) = exact.sorted_counts().into_iter().max_by_key(|&(_, c)| c).expect("ne");
+        let ans = summary.frequency(&cols, key).expect("ok");
+        assert_eq!(ans.grown_by, 0);
+        assert_eq!(ans.extensions, 1);
+        // CountMin overestimates; error <= eps * n with eps = e/512.
+        assert!(ans.estimate >= count as f64);
+        assert!(ans.estimate <= count as f64 + 0.02 * 5000.0);
+    }
+
+    #[test]
+    fn frequency_rounded_sums_extensions() {
+        let d = 10;
+        let data = fixture(d, 5000, 2);
+        let net = AlphaNet::new(d, 0.2).expect("valid");
+        let summary = AlphaNetFrequency::build(&data, net, 4, 1024, 1 << 20, 8).expect("build");
+        // Mid-size query gets grown; the summed estimate still brackets the
+        // true count from above, within #extensions * eps * n.
+        let cols = ColumnSet::from_indices(d, &[0, 2, 4, 6]).expect("valid");
+        assert!(!net.contains(&cols));
+        let exact = FrequencyVector::compute(&data, &cols).expect("fits");
+        let (key, count) = exact.sorted_counts().into_iter().max_by_key(|&(_, c)| c).expect("ne");
+        let ans = summary.frequency(&cols, key).expect("ok");
+        assert!(ans.grown_by >= 1);
+        assert_eq!(ans.extensions, 2u128.pow(ans.grown_by));
+        assert!(
+            ans.estimate >= count as f64,
+            "summed estimate {} below true count {count}",
+            ans.estimate
+        );
+        let slack = ans.extensions as f64 * (std::f64::consts::E / 1024.0) * 5000.0;
+        assert!(
+            ans.estimate <= count as f64 + slack,
+            "estimate {} above count {count} + slack {slack}",
+            ans.estimate
+        );
+    }
+
+    #[test]
+    fn heavy_hitters_recall_through_rounding() {
+        let d = 12;
+        let data = fixture(d, 20_000, 3);
+        let net = AlphaNet::new(d, 0.2).expect("valid");
+        let summary = AlphaNetHeavyHitters::build(&data, net, 128, 1 << 22).expect("build");
+        for mask in [0b111100001111u64, 0b10101010, 0b11] {
+            let cols = ColumnSet::from_mask(d, mask).expect("valid");
+            let exact = FrequencyVector::compute(&data, &cols).expect("fits");
+            let truth: Vec<PatternKey> = exact
+                .heavy_hitters(0.1, 1.0)
+                .into_iter()
+                .map(|(k, _)| k)
+                .collect();
+            let reported: Vec<PatternKey> = summary
+                .heavy_hitters(&cols, 0.1, 2.0)
+                .expect("ok")
+                .into_iter()
+                .map(|h| h.key)
+                .collect();
+            for k in &truth {
+                assert!(
+                    reported.contains(k),
+                    "mask {mask:#b}: missed true heavy hitter {k:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn heavy_hitter_estimates_bracket_truth() {
+        let d = 10;
+        let data = fixture(d, 10_000, 4);
+        let net = AlphaNet::new(d, 0.25).expect("valid");
+        let summary = AlphaNetHeavyHitters::build(&data, net, 256, 1 << 20).expect("build");
+        let cols = ColumnSet::from_indices(d, &[1, 3, 5, 7]).expect("valid");
+        let exact = FrequencyVector::compute(&data, &cols).expect("fits");
+        for h in summary.heavy_hitters(&cols, 0.05, 2.0).expect("ok") {
+            let truth = exact.frequency(h.key) as f64;
+            // SpaceSaving overestimates by at most n/slots per candidate,
+            // summed over extensions that were monitored.
+            assert!(h.estimate >= truth * 0.5, "estimate far below truth");
+            assert!(
+                h.estimate <= truth + 10_000.0 / 256.0 * 64.0,
+                "estimate {} too far above truth {truth}",
+                h.estimate
+            );
+        }
+    }
+
+    #[test]
+    fn extension_cap_enforced() {
+        // Large alphabet + wide growth -> enumeration refused, typed error.
+        let data = pfe_stream::gen::uniform_qary(64, 12, 100, 5);
+        let net = AlphaNet::new(12, 0.3).expect("valid");
+        let summary = AlphaNetFrequency::build(&data, net, 2, 64, 1 << 20, 9).expect("build");
+        let cols = ColumnSet::from_indices(12, &[0, 1, 2, 3, 4]).expect("valid");
+        // grown_by = large(10) - 5 = 5 -> 64^5 = 2^30 > cap.
+        let r = summary.frequency(&cols, PatternKey::new(0));
+        assert!(matches!(r, Err(QueryError::BadParameter(_))));
+    }
+
+    #[test]
+    fn space_scales_with_net() {
+        let d = 10;
+        let data = fixture(d, 1000, 6);
+        let tight = AlphaNetFrequency::build(
+            &data,
+            AlphaNet::new(d, 0.4).expect("valid"),
+            2,
+            64,
+            1 << 20,
+            0,
+        )
+        .expect("build");
+        let loose = AlphaNetFrequency::build(
+            &data,
+            AlphaNet::new(d, 0.1).expect("valid"),
+            2,
+            64,
+            1 << 20,
+            0,
+        )
+        .expect("build");
+        assert!(loose.num_sketches() > tight.num_sketches());
+        assert!(loose.space_bytes() > tight.space_bytes());
+    }
+
+    #[test]
+    fn u64_key_capacity_checked() {
+        // Q=16, d=63 would need 252 bits for keys: rejected.
+        let m = pfe_row::QaryMatrix::new(16, 63);
+        let data = Dataset::Qary(m);
+        let net = AlphaNet::new(63, 0.25).expect("valid");
+        assert!(matches!(
+            AlphaNetHeavyHitters::build(&data, net, 8, u128::MAX),
+            Err(QueryError::BadParameter(_))
+        ));
+    }
+}

@@ -1,0 +1,160 @@
+//! A convenience facade bundling the summaries for side-by-side use — the
+//! configuration the examples and experiment binaries drive.
+
+use pfe_row::{ColumnSet, Dataset};
+use pfe_sketch::kmv::Kmv;
+use pfe_sketch::traits::SpaceUsage;
+
+use crate::alpha_net::{AlphaNet, AlphaNetF0, NetAnswer, NetMode};
+use crate::exact::ExactSummary;
+use crate::problem::QueryError;
+use crate::uniform_sample::UniformSampleSummary;
+
+/// Configuration for [`SummarySuite`].
+#[derive(Debug, Clone, Copy)]
+pub struct SuiteConfig {
+    /// α-net parameter.
+    pub alpha: f64,
+    /// KMV capacity per net subset.
+    pub kmv_k: usize,
+    /// Uniform-sample reservoir size.
+    pub sample_t: usize,
+    /// Net materialization cap.
+    pub max_subsets: u128,
+    /// Base seed.
+    pub seed: u64,
+    /// Whether to retain the exact baseline (Θ(nd) space).
+    pub keep_exact: bool,
+}
+
+impl Default for SuiteConfig {
+    fn default() -> Self {
+        Self {
+            alpha: 0.25,
+            kmv_k: 256,
+            sample_t: 4096,
+            max_subsets: 1 << 22,
+            seed: 0,
+            keep_exact: true,
+        }
+    }
+}
+
+/// Exact + uniform-sample + α-net summaries over one dataset.
+pub struct SummarySuite {
+    exact: Option<ExactSummary>,
+    sample: UniformSampleSummary,
+    net_f0: AlphaNetF0<Kmv>,
+}
+
+impl SummarySuite {
+    /// Build all summaries over `data`.
+    ///
+    /// # Errors
+    /// Propagates parameter/codec/cap errors from the component builders.
+    pub fn build(data: &Dataset, cfg: &SuiteConfig) -> Result<Self, QueryError> {
+        let net = AlphaNet::new(data.dimension(), cfg.alpha)?;
+        let kmv_k = cfg.kmv_k;
+        let seed = cfg.seed;
+        let net_f0 = AlphaNetF0::build(data, net, NetMode::Full, cfg.max_subsets, |mask| {
+            Kmv::new(kmv_k, mask ^ seed)
+        })?;
+        Ok(Self {
+            exact: cfg.keep_exact.then(|| ExactSummary::build(data)),
+            sample: UniformSampleSummary::build(data, cfg.sample_t, cfg.seed ^ 0x5a5a),
+            net_f0,
+        })
+    }
+
+    /// The exact baseline, if retained.
+    pub fn exact(&self) -> Option<&ExactSummary> {
+        self.exact.as_ref()
+    }
+
+    /// The Theorem 5.1 uniform-sample summary.
+    pub fn sample(&self) -> &UniformSampleSummary {
+        &self.sample
+    }
+
+    /// The Section 6 α-net `F_0` summary.
+    pub fn net_f0(&self) -> &AlphaNetF0<Kmv> {
+        &self.net_f0
+    }
+
+    /// Answer `F_0` through the α-net.
+    ///
+    /// # Errors
+    /// Dimension errors.
+    pub fn f0(&self, cols: &ColumnSet) -> Result<NetAnswer, QueryError> {
+        self.net_f0.f0(cols)
+    }
+
+    /// Space of each component in bytes: `(exact, sample, net)`.
+    pub fn space_breakdown(&self) -> (usize, usize, usize) {
+        (
+            self.exact.as_ref().map(|e| e.space_bytes()).unwrap_or(0),
+            self.sample.space_bytes(),
+            self.net_f0.space_bytes(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfe_stream::gen::uniform_binary;
+
+    #[test]
+    fn suite_builds_and_answers() {
+        let data = uniform_binary(12, 1000, 1);
+        let suite = SummarySuite::build(&data, &SuiteConfig::default()).expect("build");
+        let cols = ColumnSet::from_indices(12, &[0, 1, 2, 3, 4, 5]).expect("v");
+        let net_ans = suite.f0(&cols).expect("ok");
+        let exact = suite
+            .exact()
+            .expect("kept")
+            .f0(&cols)
+            .expect("ok")
+            .value;
+        let ratio = net_ans.estimate / exact;
+        assert!(
+            ratio <= net_ans.distortion_bound * 1.5 && ratio >= 1.0 / (net_ans.distortion_bound * 1.5),
+            "suite answer ratio {ratio} outside bound {}",
+            net_ans.distortion_bound
+        );
+    }
+
+    #[test]
+    fn space_breakdown_ordering() {
+        // With a large-enough dataset the exact baseline dominates the
+        // sample, while the net dominates everything at small alpha.
+        let data = uniform_binary(14, 50_000, 2);
+        let suite = SummarySuite::build(
+            &data,
+            &SuiteConfig {
+                alpha: 0.35,
+                sample_t: 512,
+                kmv_k: 64,
+                ..Default::default()
+            },
+        )
+        .expect("build");
+        let (exact, sample, _net) = suite.space_breakdown();
+        assert!(exact > sample, "exact {exact} not above sample {sample}");
+    }
+
+    #[test]
+    fn no_exact_mode() {
+        let data = uniform_binary(10, 100, 3);
+        let suite = SummarySuite::build(
+            &data,
+            &SuiteConfig {
+                keep_exact: false,
+                ..Default::default()
+            },
+        )
+        .expect("build");
+        assert!(suite.exact().is_none());
+        assert_eq!(suite.space_breakdown().0, 0);
+    }
+}

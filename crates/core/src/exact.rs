@@ -1,0 +1,194 @@
+//! The exact baseline: retain the entire input and answer every query
+//! exactly — the paper's "trivial naïve solution" taking `Θ(nd)` space
+//! (Section 3.1). Every approximate summary in this crate is measured
+//! against it, both for accuracy and for space.
+
+use pfe_row::{ColumnSet, Dataset, FrequencyVector, PatternKey};
+use pfe_sketch::traits::SpaceUsage;
+
+use crate::problem::{check_dims, HeavyHitter, QueryError, ScalarEstimate};
+use crate::sampling::ExactLpSampler;
+
+/// Exact summary: the full dataset.
+#[derive(Debug, Clone)]
+pub struct ExactSummary {
+    data: Dataset,
+}
+
+impl ExactSummary {
+    /// Ingest the dataset (stores a copy — `Θ(nd)` space by design).
+    pub fn build(data: &Dataset) -> Self {
+        Self { data: data.clone() }
+    }
+
+    /// The underlying data.
+    pub fn data(&self) -> &Dataset {
+        &self.data
+    }
+
+    /// Materialize the exact frequency vector `f(A, C)`.
+    ///
+    /// # Errors
+    /// Dimension or codec errors.
+    pub fn freq_vector(&self, cols: &ColumnSet) -> Result<FrequencyVector, QueryError> {
+        check_dims(self.data.dimension(), cols)?;
+        Ok(FrequencyVector::compute(&self.data, cols)?)
+    }
+
+    /// Exact projected `F_0`.
+    ///
+    /// # Errors
+    /// Dimension or codec errors.
+    pub fn f0(&self, cols: &ColumnSet) -> Result<ScalarEstimate, QueryError> {
+        let f = self.freq_vector(cols)?;
+        Ok(ScalarEstimate {
+            value: f.f0() as f64,
+            answered_on: *cols,
+            factor_bound: 1.0,
+        })
+    }
+
+    /// Exact projected `F_p` for `p ≥ 0`.
+    ///
+    /// # Errors
+    /// Dimension, codec, or parameter errors.
+    pub fn fp(&self, cols: &ColumnSet, p: f64) -> Result<ScalarEstimate, QueryError> {
+        if !p.is_finite() || p < 0.0 {
+            return Err(QueryError::BadParameter(format!("p={p} must be finite and >= 0")));
+        }
+        let f = self.freq_vector(cols)?;
+        Ok(ScalarEstimate {
+            value: f.fp(p),
+            answered_on: *cols,
+            factor_bound: 1.0,
+        })
+    }
+
+    /// Exact point frequency of a pattern.
+    ///
+    /// # Errors
+    /// Dimension or codec errors.
+    pub fn frequency(&self, cols: &ColumnSet, key: PatternKey) -> Result<f64, QueryError> {
+        Ok(self.freq_vector(cols)?.frequency(key) as f64)
+    }
+
+    /// Exact `φ`-`ℓ_p` heavy hitters.
+    ///
+    /// # Errors
+    /// Dimension, codec, or parameter errors.
+    pub fn heavy_hitters(
+        &self,
+        cols: &ColumnSet,
+        phi: f64,
+        p: f64,
+    ) -> Result<Vec<HeavyHitter>, QueryError> {
+        if !(phi > 0.0 && phi <= 1.0) {
+            return Err(QueryError::BadParameter(format!("phi={phi} outside (0,1]")));
+        }
+        if !p.is_finite() || p <= 0.0 {
+            return Err(QueryError::BadParameter(format!("p={p} must be finite and > 0")));
+        }
+        let f = self.freq_vector(cols)?;
+        Ok(f.heavy_hitters(phi, p)
+            .into_iter()
+            .map(|(key, c)| HeavyHitter { key, estimate: c as f64 })
+            .collect())
+    }
+
+    /// An exact `ℓ_p` sampler over the projected patterns (the offline
+    /// sampler Theorem 5.5 proves cannot be compressed for `p ≠ 1`).
+    ///
+    /// # Errors
+    /// Dimension, codec, parameter, or empty-data errors.
+    pub fn lp_sampler(
+        &self,
+        cols: &ColumnSet,
+        p: f64,
+        seed: u64,
+    ) -> Result<ExactLpSampler, QueryError> {
+        let f = self.freq_vector(cols)?;
+        ExactLpSampler::from_freq_vector(&f, p, seed)
+    }
+}
+
+impl SpaceUsage for ExactSummary {
+    fn space_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.data.space_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfe_row::BinaryMatrix;
+
+    fn paper_example() -> (ExactSummary, ColumnSet) {
+        let rows = vec![0b011u64, 0b010, 0b100, 0b111, 0b011];
+        let data = Dataset::Binary(BinaryMatrix::from_rows(3, rows));
+        (
+            ExactSummary::build(&data),
+            ColumnSet::from_indices(3, &[0, 1]).expect("valid"),
+        )
+    }
+
+    #[test]
+    fn exact_f0_matches_paper_example() {
+        let (s, cols) = paper_example();
+        let ans = s.f0(&cols).expect("ok");
+        assert_eq!(ans.value, 3.0);
+        assert_eq!(ans.factor_bound, 1.0);
+        assert_eq!(ans.answered_on, cols);
+    }
+
+    #[test]
+    fn exact_fp_and_frequency() {
+        let (s, cols) = paper_example();
+        assert_eq!(s.fp(&cols, 2.0).expect("ok").value, 11.0);
+        assert_eq!(s.fp(&cols, 1.0).expect("ok").value, 5.0);
+        assert_eq!(s.frequency(&cols, PatternKey::new(3)).expect("ok"), 3.0);
+    }
+
+    #[test]
+    fn heavy_hitters_exact() {
+        let (s, cols) = paper_example();
+        let hh = s.heavy_hitters(&cols, 0.5, 1.0).expect("ok");
+        assert_eq!(hh.len(), 1);
+        assert_eq!(hh[0].estimate, 3.0);
+    }
+
+    #[test]
+    fn parameter_validation() {
+        let (s, cols) = paper_example();
+        assert!(matches!(
+            s.fp(&cols, -1.0),
+            Err(QueryError::BadParameter(_))
+        ));
+        assert!(matches!(
+            s.heavy_hitters(&cols, 0.0, 1.0),
+            Err(QueryError::BadParameter(_))
+        ));
+        assert!(matches!(
+            s.heavy_hitters(&cols, 0.5, 0.0),
+            Err(QueryError::BadParameter(_))
+        ));
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let (s, _) = paper_example();
+        let wrong = ColumnSet::full(5).expect("valid");
+        assert!(matches!(
+            s.f0(&wrong),
+            Err(QueryError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn space_is_theta_nd() {
+        let big = Dataset::Binary(BinaryMatrix::from_rows(20, vec![0u64; 10_000]));
+        let small = Dataset::Binary(BinaryMatrix::from_rows(20, vec![0u64; 10]));
+        let sb = ExactSummary::build(&big).space_bytes();
+        let ss = ExactSummary::build(&small).space_bytes();
+        assert!(sb > 100 * ss / 2, "space not proportional to n: {sb} vs {ss}");
+    }
+}

@@ -1,0 +1,114 @@
+//! The `F_1` summary — one word of space.
+//!
+//! Section 5.3: "For `p = 1`, the frequency is always the number `n` of
+//! rows in the original instance irrespective of the column set `C`, so
+//! only one word of space is required." This type is that word. It exists
+//! so the problem family's space-complexity picture is complete in code:
+//! `F_1` is the unique point where the projected problem is trivial, and
+//! the rounding distortion of Lemma 6.4 correspondingly degenerates to 1
+//! as `p → 1` from either side.
+
+use pfe_row::{ColumnSet, Dataset};
+use pfe_sketch::traits::SpaceUsage;
+
+use crate::problem::{check_dims, QueryError, ScalarEstimate};
+
+/// One-word projected-`F_1` summary: a row counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct F1Counter {
+    n: u64,
+    d: u32,
+}
+
+impl F1Counter {
+    /// Create an empty counter for `d`-column streams.
+    pub fn new(d: u32) -> Self {
+        Self { n: 0, d }
+    }
+
+    /// Build from a dataset (counts rows; looks at nothing else).
+    pub fn build(data: &Dataset) -> Self {
+        Self {
+            n: data.num_rows() as u64,
+            d: data.dimension(),
+        }
+    }
+
+    /// Observe one row (streaming ingestion; the row content is irrelevant).
+    pub fn push(&mut self) {
+        self.n += 1;
+    }
+
+    /// Answer `F_1(A, C) = n` for **any** projection, exactly.
+    ///
+    /// # Errors
+    /// Dimension mismatch (the only thing that can go wrong).
+    pub fn f1(&self, cols: &ColumnSet) -> Result<ScalarEstimate, QueryError> {
+        check_dims(self.d, cols)?;
+        Ok(ScalarEstimate {
+            value: self.n as f64,
+            answered_on: *cols,
+            factor_bound: 1.0,
+        })
+    }
+
+    /// The count itself.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+}
+
+impl SpaceUsage for F1Counter {
+    fn space_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() // the paper's "one word" (plus d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfe_row::FrequencyVector;
+    use pfe_stream::gen::uniform_binary;
+
+    #[test]
+    fn exact_for_every_projection() {
+        let data = uniform_binary(12, 777, 1);
+        let c = F1Counter::build(&data);
+        for mask in [0u64, 0b1, 0b101010101010, (1 << 12) - 1] {
+            let cols = ColumnSet::from_mask(12, mask).expect("valid");
+            let ans = c.f1(&cols).expect("ok");
+            assert_eq!(ans.value, 777.0);
+            assert_eq!(ans.factor_bound, 1.0);
+            // Cross-check against the exact frequency vector.
+            let f = FrequencyVector::compute(&data, &cols).expect("fits");
+            assert_eq!(f.fp(1.0), ans.value);
+        }
+    }
+
+    #[test]
+    fn streaming_push() {
+        let mut c = F1Counter::new(8);
+        for _ in 0..100 {
+            c.push();
+        }
+        assert_eq!(c.n(), 100);
+        let cols = ColumnSet::full(8).expect("valid");
+        assert_eq!(c.f1(&cols).expect("ok").value, 100.0);
+    }
+
+    #[test]
+    fn one_word_of_space() {
+        let c = F1Counter::new(20);
+        assert!(c.space_bytes() <= 16, "space {} bytes", c.space_bytes());
+    }
+
+    #[test]
+    fn dimension_checked() {
+        let c = F1Counter::new(8);
+        let wrong = ColumnSet::full(9).expect("valid");
+        assert!(matches!(
+            c.f1(&wrong),
+            Err(QueryError::DimensionMismatch { .. })
+        ));
+    }
+}

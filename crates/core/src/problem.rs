@@ -1,0 +1,127 @@
+//! Problem and answer types for projected frequency estimation
+//! (Section 2.1 of the paper).
+
+use pfe_row::{ColumnSet, PatternCodecError, PatternKey};
+
+/// Errors surfaced by summaries at query time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryError {
+    /// The query's dimension does not match the summarized data.
+    DimensionMismatch {
+        /// Dimension of the summarized data.
+        data: u32,
+        /// Dimension of the query column set.
+        query: u32,
+    },
+    /// The pattern domain `Q^{|C|}` cannot be packed bijectively.
+    Codec(PatternCodecError),
+    /// The summary does not support this moment order (e.g. an `F_2`-only
+    /// net asked for `p = 0.5`).
+    UnsupportedMoment {
+        /// The requested order.
+        requested: f64,
+        /// The order the summary was built for.
+        supported: f64,
+    },
+    /// A parameter is outside its valid range.
+    BadParameter(String),
+    /// The summary holds no data.
+    EmptyData,
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::DimensionMismatch { data, query } => {
+                write!(f, "query dimension {query} does not match data dimension {data}")
+            }
+            Self::Codec(e) => write!(f, "pattern codec: {e}"),
+            Self::UnsupportedMoment { requested, supported } => {
+                write!(f, "summary supports p={supported}, asked for p={requested}")
+            }
+            Self::BadParameter(msg) => write!(f, "bad parameter: {msg}"),
+            Self::EmptyData => write!(f, "summary holds no data"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<PatternCodecError> for QueryError {
+    fn from(e: PatternCodecError) -> Self {
+        Self::Codec(e)
+    }
+}
+
+/// An approximate scalar answer with its provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalarEstimate {
+    /// The point estimate.
+    pub value: f64,
+    /// The column set the estimate was actually computed on (differs from
+    /// the query when an α-net rounded it).
+    pub answered_on: ColumnSet,
+    /// Multiplicative error factor guaranteed by the summary for this
+    /// answer (`β·r` in Theorem 6.5 terms); `1.0` means exact.
+    pub factor_bound: f64,
+}
+
+/// A reported heavy hitter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HeavyHitter {
+    /// The pattern (packed).
+    pub key: PatternKey,
+    /// Estimated absolute frequency.
+    pub estimate: f64,
+}
+
+/// A sampled pattern with its (approximate) sampling probability, matching
+/// the paper's ℓ_p-sampling contract (return the item and a `(1±ε')`
+/// approximation of its probability).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampledPattern {
+    /// The sampled pattern (packed).
+    pub key: PatternKey,
+    /// Approximate probability mass of this pattern under the ℓ_p
+    /// distribution.
+    pub probability: f64,
+}
+
+/// Validate that a query column set matches the data dimension.
+pub fn check_dims(data_d: u32, cols: &ColumnSet) -> Result<(), QueryError> {
+    if cols.dimension() != data_d {
+        return Err(QueryError::DimensionMismatch {
+            data: data_d,
+            query: cols.dimension(),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dim_check() {
+        let cols = ColumnSet::full(8).expect("valid");
+        assert!(check_dims(8, &cols).is_ok());
+        assert_eq!(
+            check_dims(9, &cols),
+            Err(QueryError::DimensionMismatch { data: 9, query: 8 })
+        );
+    }
+
+    #[test]
+    fn error_display() {
+        let e = QueryError::UnsupportedMoment { requested: 0.5, supported: 2.0 };
+        assert!(e.to_string().contains("p=2"));
+        assert!(QueryError::EmptyData.to_string().contains("no data"));
+    }
+
+    #[test]
+    fn codec_error_converts() {
+        let e: QueryError = PatternCodecError::EmptyAlphabet.into();
+        assert!(matches!(e, QueryError::Codec(_)));
+    }
+}

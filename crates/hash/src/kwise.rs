@@ -1,0 +1,289 @@
+//! k-wise independent hash families over the Mersenne prime `p = 2^61 - 1`.
+//!
+//! A degree-`(k-1)` polynomial with independent uniform coefficients in
+//! `F_p` evaluated at the item gives a k-wise independent family — the
+//! standard construction behind the analyses of AMS, CountSketch and
+//! CountMin. We use `p = 2^61 - 1` because reduction modulo a Mersenne prime
+//! needs only shifts and adds.
+
+use crate::rng::SplitMix64;
+
+/// The Mersenne prime `2^61 - 1`.
+pub const MERSENNE61: u64 = (1 << 61) - 1;
+
+/// Reduce a 128-bit product modulo `2^61 - 1`.
+#[inline]
+fn mod_mersenne61(x: u128) -> u64 {
+    // x = hi * 2^61 + lo  =>  x ≡ hi + lo (mod 2^61-1); two folds suffice
+    // because after one fold the value is < 2^62.
+    let lo = (x & MERSENNE61 as u128) as u64;
+    let hi = (x >> 61) as u64;
+    let mut s = lo.wrapping_add(mod_once(hi));
+    if s >= MERSENNE61 {
+        s -= MERSENNE61;
+    }
+    s
+}
+
+/// Reduce a u64 (< 2^64) modulo `2^61 - 1`.
+#[inline]
+fn mod_once(x: u64) -> u64 {
+    let mut s = (x & MERSENNE61) + (x >> 61);
+    if s >= MERSENNE61 {
+        s -= MERSENNE61;
+    }
+    s
+}
+
+/// Multiply-add in `F_{2^61-1}`: `(a * b + c) mod p`.
+#[inline]
+fn mul_add_mod(a: u64, b: u64, c: u64) -> u64 {
+    mod_mersenne61(a as u128 * b as u128 + c as u128)
+}
+
+/// A k-wise independent hash function `F_p -> F_p` given by a random
+/// degree-`(k-1)` polynomial.
+#[derive(Debug, Clone)]
+pub struct PolyHash {
+    /// Coefficients, constant term last (Horner order: highest degree first).
+    coeffs: Vec<u64>,
+}
+
+impl PolyHash {
+    /// Draw a fresh function with independence `k` from `seed`.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn new(k: usize, seed: u64) -> Self {
+        assert!(k >= 1, "independence k must be >= 1");
+        let mut sm = SplitMix64::new(seed);
+        let coeffs = (0..k)
+            .map(|_| {
+                // Rejection-sample a uniform element of F_p.
+                loop {
+                    let v = sm.next_u64() & ((1 << 61) - 1);
+                    if v < MERSENNE61 {
+                        return v;
+                    }
+                }
+            })
+            .collect();
+        Self { coeffs }
+    }
+
+    /// Independence level (number of coefficients).
+    pub fn independence(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// Evaluate at `x` (reduced into `F_p` first). Output is in `[0, p)`.
+    #[inline]
+    pub fn eval(&self, x: u64) -> u64 {
+        let x = mod_once(x);
+        let mut acc = 0u64;
+        for &c in &self.coeffs {
+            acc = mul_add_mod(acc, x, c);
+        }
+        acc
+    }
+
+    /// Evaluate and map to a bucket in `[0, m)` by multiply-shift on the
+    /// 61-bit output (low bias for `m << 2^61`).
+    #[inline]
+    pub fn bucket(&self, x: u64, m: usize) -> usize {
+        debug_assert!(m > 0);
+        ((self.eval(x) as u128 * m as u128) >> 61) as usize
+    }
+
+    /// Evaluate and map to the unit interval `[0, 1)`.
+    #[inline]
+    pub fn unit(&self, x: u64) -> f64 {
+        self.eval(x) as f64 / MERSENNE61 as f64
+    }
+}
+
+/// Pairwise (2-wise) independent hash — a thin wrapper fixing `k = 2`.
+#[derive(Debug, Clone)]
+pub struct TwoWise(PolyHash);
+
+impl TwoWise {
+    /// Draw a pairwise independent function from `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self(PolyHash::new(2, seed))
+    }
+
+    /// Evaluate at `x`; output in `[0, 2^61-1)`.
+    #[inline]
+    pub fn eval(&self, x: u64) -> u64 {
+        self.0.eval(x)
+    }
+
+    /// Bucket in `[0, m)`.
+    #[inline]
+    pub fn bucket(&self, x: u64, m: usize) -> usize {
+        self.0.bucket(x, m)
+    }
+}
+
+/// 4-wise independent hash — the independence level the AMS `F_2` analysis
+/// requires for its variance bound.
+#[derive(Debug, Clone)]
+pub struct FourWise(PolyHash);
+
+impl FourWise {
+    /// Draw a 4-wise independent function from `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self(PolyHash::new(4, seed))
+    }
+
+    /// Evaluate at `x`; output in `[0, 2^61-1)`.
+    #[inline]
+    pub fn eval(&self, x: u64) -> u64 {
+        self.0.eval(x)
+    }
+
+    /// Bucket in `[0, m)`.
+    #[inline]
+    pub fn bucket(&self, x: u64, m: usize) -> usize {
+        self.0.bucket(x, m)
+    }
+}
+
+/// A ±1 sign hash built from a 4-wise independent polynomial (parity of the
+/// low bit), as required by AMS / CountSketch.
+#[derive(Debug, Clone)]
+pub struct SignHash(PolyHash);
+
+impl SignHash {
+    /// Draw a 4-wise independent sign function from `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self(PolyHash::new(4, seed))
+    }
+
+    /// Returns `+1` or `-1`.
+    #[inline]
+    pub fn sign(&self, x: u64) -> i64 {
+        if self.0.eval(x) & 1 == 0 {
+            1
+        } else {
+            -1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mersenne_reduction_correct() {
+        // Cross-check against naive u128 arithmetic.
+        let cases: [(u64, u64, u64); 4] = [
+            (MERSENNE61 - 1, MERSENNE61 - 1, MERSENNE61 - 2),
+            (12345, 67890, 11),
+            (0, 999, 999),
+            (1 << 60, 1 << 60, (1 << 59) + 7),
+        ];
+        for (a, b, c) in cases {
+            let expect = ((a as u128 * b as u128 + c as u128) % MERSENNE61 as u128) as u64;
+            assert_eq!(mul_add_mod(a, b, c), expect, "a={a} b={b} c={c}");
+        }
+    }
+
+    #[test]
+    fn mod_once_idempotent_on_reduced() {
+        for v in [0u64, 1, MERSENNE61 - 1] {
+            assert_eq!(mod_once(v), v);
+        }
+        assert_eq!(mod_once(MERSENNE61), 0);
+        assert_eq!(mod_once(u64::MAX), u64::MAX % MERSENNE61);
+    }
+
+    #[test]
+    fn polyhash_deterministic_per_seed() {
+        let h1 = PolyHash::new(3, 5);
+        let h2 = PolyHash::new(3, 5);
+        let h3 = PolyHash::new(3, 6);
+        for x in 0..100u64 {
+            assert_eq!(h1.eval(x), h2.eval(x));
+        }
+        assert!((0..100u64).any(|x| h1.eval(x) != h3.eval(x)));
+    }
+
+    #[test]
+    fn polyhash_outputs_in_field() {
+        let h = PolyHash::new(5, 99);
+        for x in 0..1000u64 {
+            assert!(h.eval(x) < MERSENNE61);
+        }
+    }
+
+    #[test]
+    fn bucket_uniformity() {
+        let h = TwoWise::new(123);
+        let m = 16;
+        let mut counts = vec![0u32; m];
+        let n = 160_000u64;
+        for x in 0..n {
+            counts[h.bucket(x, m)] += 1;
+        }
+        let expect = n as f64 / m as f64;
+        for (i, &c) in counts.iter().enumerate() {
+            let dev = (c as f64 - expect).abs() / expect;
+            assert!(dev < 0.05, "bucket {i} deviation {dev}");
+        }
+    }
+
+    #[test]
+    fn sign_hash_balanced_and_pairwise_decorrelated() {
+        let s = SignHash::new(77);
+        let n = 100_000u64;
+        let sum: i64 = (0..n).map(|x| s.sign(x)).sum();
+        assert!(
+            (sum.abs() as f64) < 4.0 * (n as f64).sqrt(),
+            "sign sum {sum} too far from 0"
+        );
+        // Pairwise: product of signs at (x, x+1) should also be balanced.
+        let psum: i64 = (0..n).map(|x| s.sign(x) * s.sign(x + 1)).sum();
+        assert!(
+            (psum.abs() as f64) < 4.0 * (n as f64).sqrt(),
+            "pair sum {psum} correlated"
+        );
+    }
+
+    #[test]
+    fn empirical_pairwise_independence() {
+        // For a pairwise family, P[h(a)=i and h(b)=j] ~ 1/m^2 averaged over
+        // seeds. Estimate over 2000 seeds with m=4.
+        let m = 4;
+        let (a, b) = (17u64, 42u64);
+        let mut joint = vec![vec![0u32; m]; m];
+        let seeds = 4000u64;
+        for seed in 0..seeds {
+            let h = TwoWise::new(seed);
+            joint[h.bucket(a, m)][h.bucket(b, m)] += 1;
+        }
+        let expect = seeds as f64 / (m * m) as f64;
+        for (i, row) in joint.iter().enumerate() {
+            for (j, &c) in row.iter().enumerate() {
+                let dev = (c as f64 - expect).abs() / expect;
+                assert!(dev < 0.25, "joint ({i},{j}) deviation {dev}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "independence k must be >= 1")]
+    fn polyhash_rejects_zero_k() {
+        PolyHash::new(0, 1);
+    }
+
+    #[test]
+    fn unit_in_range() {
+        let h = PolyHash::new(2, 8);
+        for x in 0..1000u64 {
+            let u = h.unit(x);
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+}

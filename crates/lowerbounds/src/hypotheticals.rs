@@ -1,0 +1,212 @@
+//! The "provisioning / hypotheticals" contrast (Assadi–Khanna–Li–Tannen
+//! \[2\], discussed in the paper's Section 2.2).
+//!
+//! In the hypotheticals model a query turns a set of columns *on* and asks
+//! for the number of distinct **values in the union** of those columns —
+//! not distinct *row vectors*. The paper's Related Work notes the models
+//! diverge sharply:
+//!
+//! - union-distinct over scenarios admits `poly(d/ε)` space (one distinct
+//!   sketch per column, merged at query time), and in the binary case the
+//!   union has at most 2 distinct values no matter how many columns are on;
+//! - projected `F_0` (distinct row *vectors*) can reach `2^d` and needs
+//!   `2^{Ω(d)}` space (Section 4).
+//!
+//! This module implements the hypotheticals-model summary and the
+//! experiment that exhibits the divergence on the *same* dataset — the
+//! paper's "these disparities highlight the differences in our models",
+//! executed.
+
+use pfe_row::{ColumnSet, Dataset, FrequencyVector};
+use pfe_sketch::kmv::Kmv;
+use pfe_sketch::traits::{DistinctSketch, SpaceUsage};
+
+use crate::index_problem::MembershipProtocol;
+
+/// Per-column distinct-value sketches: the `poly(d/ε)`-space summary for
+/// union-distinct queries over arbitrary scenarios.
+pub struct HypotheticalsSummary {
+    per_column: Vec<Kmv>,
+    d: u32,
+}
+
+impl HypotheticalsSummary {
+    /// Build with a KMV of capacity `k` per column. All columns share one
+    /// hash seed — required so the sketches merge as a true set union
+    /// (identical values must hash identically across columns).
+    pub fn build(data: &Dataset, k: usize, seed: u64) -> Self {
+        let d = data.dimension();
+        let mut per_column: Vec<Kmv> = (0..d).map(|_| Kmv::new(k, seed)).collect();
+        for i in 0..data.num_rows() {
+            for (c, &v) in data.row_dense(i).iter().enumerate() {
+                // The union semantics: values are column-agnostic symbols.
+                per_column[c].insert(v as u64);
+            }
+        }
+        Self { per_column, d }
+    }
+
+    /// Estimate the number of distinct values in the union of the turned-on
+    /// columns (merge the per-column sketches).
+    ///
+    /// # Panics
+    /// Panics (debug) on dimension mismatch.
+    pub fn union_distinct(&self, scenario: &ColumnSet) -> f64 {
+        debug_assert_eq!(scenario.dimension(), self.d);
+        let mut it = scenario.iter();
+        let Some(first) = it.next() else {
+            return 0.0;
+        };
+        let mut acc = self.per_column[first as usize].clone();
+        for c in it {
+            acc.merge(&self.per_column[c as usize]);
+        }
+        acc.estimate()
+    }
+
+    /// Exact union-distinct for verification.
+    pub fn exact_union_distinct(data: &Dataset, scenario: &ColumnSet) -> u64 {
+        let mut values = std::collections::BTreeSet::new();
+        for i in 0..data.num_rows() {
+            let row = data.row_dense(i);
+            for c in scenario.iter() {
+                values.insert(row[c as usize]);
+            }
+        }
+        values.len() as u64
+    }
+}
+
+impl SpaceUsage for HypotheticalsSummary {
+    fn space_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.per_column.iter().map(Kmv::space_bytes).sum::<usize>()
+    }
+}
+
+/// The Index protocol of Theorem 4.1, decided with the hypotheticals
+/// summary instead of a projected-`F_0` oracle — demonstrating that the
+/// union-distinct statistic carries *no* signal about row-vector
+/// distinctness: accuracy stays at chance while the summary is tiny.
+pub struct HypotheticalsProtocol {
+    inner: crate::f0::F0Protocol<crate::f0::ExactF0Oracle>,
+    kmv_k: usize,
+}
+
+impl HypotheticalsProtocol {
+    /// Wrap a Theorem 4.1 instance family.
+    pub fn new(d: u32, k: u32, q: u32, universe: usize, kmv_k: usize, seed: u64) -> Self {
+        Self {
+            inner: crate::f0::F0Protocol::new(d, k, q, universe, seed),
+            kmv_k,
+        }
+    }
+}
+
+impl MembershipProtocol for HypotheticalsProtocol {
+    type Summary = (HypotheticalsSummary, f64);
+
+    fn universe(&self) -> usize {
+        self.inner.universe_words.len()
+    }
+
+    fn alice(&self, held: &[usize]) -> (HypotheticalsSummary, f64) {
+        let words: Vec<u64> = held.iter().map(|&i| self.inner.universe_words[i]).collect();
+        let inst =
+            pfe_stream::adversarial::F0Instance::build(self.inner.code, self.inner.q, &words);
+        let summary = HypotheticalsSummary::build(&inst.data, self.kmv_k, 0x417);
+        // Bob thresholds union-distinct at Q/2 (the best data-independent
+        // rule available; the experiment shows no rule can work).
+        (summary, self.inner.q as f64 / 2.0)
+    }
+
+    fn bob(&self, summary: &(HypotheticalsSummary, f64), index: usize) -> bool {
+        let y = self.inner.universe_words[index];
+        let cols =
+            ColumnSet::from_mask(self.inner.code.dimension(), y).expect("support in range");
+        summary.0.union_distinct(&cols) >= summary.1
+    }
+
+    fn summary_bytes(&self, summary: &(HypotheticalsSummary, f64)) -> usize {
+        summary.0.space_bytes()
+    }
+}
+
+/// Exact divergence measurement on one dataset: `(union_distinct,
+/// projected_f0)` for the same scenario/query.
+pub fn model_divergence(data: &Dataset, cols: &ColumnSet) -> (u64, u64) {
+    let union = HypotheticalsSummary::exact_union_distinct(data, cols);
+    let f0 = FrequencyVector::compute(data, cols)
+        .expect("codec fits")
+        .f0();
+    (union, f0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index_problem::run_trials;
+    use pfe_stream::gen::{uniform_binary, uniform_qary};
+
+    #[test]
+    fn union_distinct_binary_is_at_most_two() {
+        // The paper: "in the hypotheticals setting in the binary case, each
+        // column only has 2 distinct values ... the union also only has 2."
+        let data = uniform_binary(16, 5000, 1);
+        let s = HypotheticalsSummary::build(&data, 64, 2);
+        for mask in [0b1u64, 0b1111, (1 << 16) - 1] {
+            let cols = ColumnSet::from_mask(16, mask).expect("valid");
+            assert!(s.union_distinct(&cols) <= 2.0 + 1e-9);
+            assert!(HypotheticalsSummary::exact_union_distinct(&data, &cols) <= 2);
+        }
+    }
+
+    #[test]
+    fn divergence_union_constant_f0_exponential() {
+        // Same data, same column set: union-distinct stays <= Q while
+        // projected F0 grows toward 2^{|C|}-scale.
+        let data = uniform_qary(4, 14, 20_000, 3);
+        let cols = ColumnSet::from_indices(14, &(0..10).collect::<Vec<_>>()).expect("valid");
+        let (union, f0) = model_divergence(&data, &cols);
+        assert!(union <= 4);
+        assert!(f0 > 1000, "projected F0 {f0} not exponential-scale");
+    }
+
+    #[test]
+    fn union_estimate_accurate_in_poly_space() {
+        let data = uniform_qary(50, 10, 10_000, 4);
+        let s = HypotheticalsSummary::build(&data, 256, 5);
+        let cols = ColumnSet::from_indices(10, &[0, 3, 7]).expect("valid");
+        let est = s.union_distinct(&cols);
+        let truth = HypotheticalsSummary::exact_union_distinct(&data, &cols) as f64;
+        let rel = (est - truth).abs() / truth;
+        assert!(rel < 0.2, "union-distinct relative error {rel}");
+        // Space is O(d * k), independent of n and of 2^d.
+        assert!(s.space_bytes() < 10 * 256 * 8 + 4096);
+    }
+
+    #[test]
+    fn hypotheticals_summary_cannot_decide_index() {
+        // The contrast experiment: on Theorem 4.1 instances the union
+        // statistic is identical in yes and no cases (all Q values appear
+        // in every support column either way), so accuracy is one-sided
+        // chance — while the projected-F0 exact oracle gets 1.0 on the
+        // same instances (tested in f0.rs).
+        let p = HypotheticalsProtocol::new(12, 3, 8, 16, 64, 1);
+        let r = run_trials(&p, 40, 2);
+        assert!(
+            r.accuracy() <= 0.6,
+            "union-distinct unexpectedly decides Index: {}",
+            r.accuracy()
+        );
+        assert!(r.mean_summary_bytes < 50_000.0);
+    }
+
+    #[test]
+    fn empty_scenario_is_zero() {
+        let data = uniform_binary(8, 100, 6);
+        let s = HypotheticalsSummary::build(&data, 16, 7);
+        let cols = ColumnSet::empty(8).expect("valid");
+        assert_eq!(s.union_distinct(&cols), 0.0);
+    }
+}

@@ -1,0 +1,243 @@
+//! The Index problem and the one-way protocol harness (Section 3.3).
+//!
+//! Alice holds `a ∈ {0,1}^N`, Bob an index `i ∈ [N]`, and Bob must output
+//! `a_i` after a single message from Alice. Randomized one-way
+//! communication for Index is `Ω(N)` [Kremer–Nisan–Ron], so any summary
+//! that lets Bob decide membership solves Index and must be `Ω(N)` bits.
+//!
+//! The harness makes the reductions *executable*: a
+//! [`MembershipProtocol`] says how Alice encodes her held set as a dataset
+//! and how Bob decides membership from a summary; [`run_trials`] samples
+//! balanced yes/no instances and reports accuracy and summary size. An
+//! exact-oracle protocol must reach accuracy 1.0 (the reduction is
+//! correct); a small-space summary whose guarantee is weaker than the
+//! construction's separation degrades toward coin-flipping — which is the
+//! lower bound, observed.
+
+use pfe_hash::rng::Xoshiro256pp;
+
+/// A membership reduction: Alice holds a subset of a finite universe of
+/// codewords; Bob must decide whether universe element `i` is held.
+pub trait MembershipProtocol {
+    /// The message Alice sends (a summary of her encoded dataset).
+    type Summary;
+
+    /// Universe size `N` (the Index instance length).
+    fn universe(&self) -> usize;
+
+    /// Alice: encode held indices (sorted, distinct) into a summary.
+    fn alice(&self, held: &[usize]) -> Self::Summary;
+
+    /// Bob: decide whether `index` is held, from the summary alone.
+    fn bob(&self, summary: &Self::Summary, index: usize) -> bool;
+
+    /// Size of the summary in bytes (the communication cost).
+    fn summary_bytes(&self, summary: &Self::Summary) -> usize;
+}
+
+/// Outcome of a batch of protocol trials.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialReport {
+    /// Trials run.
+    pub trials: usize,
+    /// Correct decisions overall.
+    pub correct: usize,
+    /// Correct decisions on `y ∈ T` instances.
+    pub yes_correct: usize,
+    /// Number of `y ∈ T` instances.
+    pub yes_total: usize,
+    /// Correct decisions on `y ∉ T` instances.
+    pub no_correct: usize,
+    /// Number of `y ∉ T` instances.
+    pub no_total: usize,
+    /// Mean summary size over trials, in bytes.
+    pub mean_summary_bytes: f64,
+}
+
+impl TrialReport {
+    /// Overall accuracy in `[0, 1]`.
+    pub fn accuracy(&self) -> f64 {
+        if self.trials == 0 {
+            return 0.0;
+        }
+        self.correct as f64 / self.trials as f64
+    }
+
+    /// Accuracy on held ("yes") instances.
+    pub fn yes_accuracy(&self) -> f64 {
+        if self.yes_total == 0 {
+            return 1.0;
+        }
+        self.yes_correct as f64 / self.yes_total as f64
+    }
+
+    /// Accuracy on not-held ("no") instances.
+    pub fn no_accuracy(&self) -> f64 {
+        if self.no_total == 0 {
+            return 1.0;
+        }
+        self.no_correct as f64 / self.no_total as f64
+    }
+}
+
+/// Run `trials` balanced membership trials: each trial draws Alice's held
+/// set (each universe element held independently with probability 1/2) and
+/// a Bob index, forced to alternate between held and not-held so both
+/// branches are exercised equally.
+///
+/// # Panics
+/// Panics if the universe is empty or `trials == 0`.
+pub fn run_trials<P: MembershipProtocol>(
+    protocol: &P,
+    trials: usize,
+    seed: u64,
+) -> TrialReport {
+    let n = protocol.universe();
+    assert!(n >= 2, "universe must have at least 2 elements");
+    assert!(trials > 0, "need at least one trial");
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    let mut report = TrialReport {
+        trials,
+        correct: 0,
+        yes_correct: 0,
+        yes_total: 0,
+        no_correct: 0,
+        no_total: 0,
+        mean_summary_bytes: 0.0,
+    };
+    let mut total_bytes = 0usize;
+    for trial in 0..trials {
+        let want_yes = trial % 2 == 0;
+        // Draw Alice's set; ensure at least one held and one free slot so
+        // the forced query exists.
+        let mut held: Vec<usize> = (0..n).filter(|_| rng.bernoulli(0.5)).collect();
+        if held.is_empty() {
+            held.push(rng.range_u64(n as u64) as usize);
+        }
+        if held.len() == n {
+            let drop = rng.range_u64(n as u64) as usize;
+            held.retain(|&x| x != drop);
+        }
+        let index = loop {
+            let i = rng.range_u64(n as u64) as usize;
+            if held.binary_search(&i).is_ok() == want_yes {
+                break i;
+            }
+        };
+        let summary = protocol.alice(&held);
+        total_bytes += protocol.summary_bytes(&summary);
+        let decision = protocol.bob(&summary, index);
+        let truth = want_yes;
+        if want_yes {
+            report.yes_total += 1;
+            if decision == truth {
+                report.yes_correct += 1;
+            }
+        } else {
+            report.no_total += 1;
+            if decision == truth {
+                report.no_correct += 1;
+            }
+        }
+        if decision == truth {
+            report.correct += 1;
+        }
+    }
+    report.mean_summary_bytes = total_bytes as f64 / trials as f64;
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A protocol that simply ships Alice's bit vector: always correct,
+    /// `N/8`-ish bytes — the Index upper bound.
+    struct ShipTheBits {
+        n: usize,
+    }
+
+    impl MembershipProtocol for ShipTheBits {
+        type Summary = Vec<bool>;
+
+        fn universe(&self) -> usize {
+            self.n
+        }
+
+        fn alice(&self, held: &[usize]) -> Vec<bool> {
+            let mut bits = vec![false; self.n];
+            for &i in held {
+                bits[i] = true;
+            }
+            bits
+        }
+
+        fn bob(&self, summary: &Vec<bool>, index: usize) -> bool {
+            summary[index]
+        }
+
+        fn summary_bytes(&self, s: &Vec<bool>) -> usize {
+            s.len().div_ceil(8)
+        }
+    }
+
+    /// A protocol that sends nothing: Bob guesses "no" always — 50%
+    /// accuracy on balanced trials.
+    struct SendNothing {
+        n: usize,
+    }
+
+    impl MembershipProtocol for SendNothing {
+        type Summary = ();
+
+        fn universe(&self) -> usize {
+            self.n
+        }
+
+        fn alice(&self, _held: &[usize]) {}
+
+        fn bob(&self, _summary: &(), _index: usize) -> bool {
+            false
+        }
+
+        fn summary_bytes(&self, _s: &()) -> usize {
+            0
+        }
+    }
+
+    #[test]
+    fn exact_protocol_is_perfect() {
+        let p = ShipTheBits { n: 64 };
+        let r = run_trials(&p, 200, 1);
+        assert_eq!(r.accuracy(), 1.0);
+        assert_eq!(r.yes_accuracy(), 1.0);
+        assert_eq!(r.no_accuracy(), 1.0);
+        assert!((r.mean_summary_bytes - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trivial_protocol_is_half_right() {
+        let p = SendNothing { n: 64 };
+        let r = run_trials(&p, 200, 2);
+        // Balanced trials: all "no" answers are right, all "yes" wrong.
+        assert_eq!(r.yes_accuracy(), 0.0);
+        assert_eq!(r.no_accuracy(), 1.0);
+        assert!((r.accuracy() - 0.5).abs() < 0.01);
+        assert_eq!(r.mean_summary_bytes, 0.0);
+    }
+
+    #[test]
+    fn balanced_yes_no_split() {
+        let p = ShipTheBits { n: 32 };
+        let r = run_trials(&p, 101, 3);
+        assert_eq!(r.yes_total + r.no_total, 101);
+        assert!((r.yes_total as i64 - r.no_total as i64).abs() <= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 elements")]
+    fn rejects_tiny_universe() {
+        let p = ShipTheBits { n: 1 };
+        run_trials(&p, 10, 0);
+    }
+}

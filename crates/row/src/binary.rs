@@ -1,0 +1,278 @@
+//! Packed binary rows and matrices (`A ∈ {0,1}^{n×d}`, `d ≤ 63`).
+//!
+//! A binary row is a `u64` with bit `i` holding column `i`. Projection onto
+//! a [`ColumnSet`] is a parallel-bit-extract: the selected bits are packed
+//! toward the least-significant end in ascending column order. This is the
+//! hot operation of the whole workspace (the α-net updates every sketch in
+//! the net with a projected key per row), so it is branch-light and
+//! allocation-free.
+
+use crate::column_set::ColumnSet;
+
+/// Portable parallel bit extract: pack the bits of `x` selected by `mask`
+/// toward the LSB, preserving ascending bit order.
+///
+/// Equivalent to the BMI2 `PEXT` instruction; one iteration per set mask
+/// bit.
+#[inline]
+pub fn pext_u64(x: u64, mut mask: u64) -> u64 {
+    let mut out = 0u64;
+    let mut pos = 0u32;
+    while mask != 0 {
+        let b = mask.trailing_zeros();
+        out |= ((x >> b) & 1) << pos;
+        pos += 1;
+        mask &= mask - 1;
+    }
+    out
+}
+
+/// Inverse of [`pext_u64`]: scatter the low bits of `x` into the positions
+/// of `mask` (parallel bit deposit).
+#[inline]
+pub fn pdep_u64(x: u64, mut mask: u64) -> u64 {
+    let mut out = 0u64;
+    let mut pos = 0u32;
+    while mask != 0 {
+        let b = mask.trailing_zeros();
+        out |= ((x >> pos) & 1) << b;
+        pos += 1;
+        mask &= mask - 1;
+    }
+    out
+}
+
+/// A binary matrix with `n` rows of `d ≤ 63` columns, rows packed as `u64`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BinaryMatrix {
+    d: u32,
+    rows: Vec<u64>,
+}
+
+impl BinaryMatrix {
+    /// Empty matrix with `d` columns.
+    ///
+    /// # Panics
+    /// Panics if `d > 63`.
+    pub fn new(d: u32) -> Self {
+        assert!(d <= 63, "BinaryMatrix supports d <= 63, got {d}");
+        Self { d, rows: Vec::new() }
+    }
+
+    /// Matrix from packed rows.
+    ///
+    /// # Panics
+    /// Panics if `d > 63` or any row has bits at or above `d`.
+    pub fn from_rows(d: u32, rows: Vec<u64>) -> Self {
+        assert!(d <= 63, "BinaryMatrix supports d <= 63, got {d}");
+        let limit = if d == 0 { 0 } else { (1u64 << d) - 1 };
+        for (i, &r) in rows.iter().enumerate() {
+            assert!(r & !limit == 0, "row {i} has bits above d={d}");
+        }
+        Self { d, rows }
+    }
+
+    /// Number of columns `d`.
+    #[inline]
+    pub fn dimension(&self) -> u32 {
+        self.d
+    }
+
+    /// Number of rows `n`.
+    #[inline]
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True iff the matrix has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    /// Panics if the row has bits at or above `d`.
+    pub fn push(&mut self, row: u64) {
+        let limit = if self.d == 0 { 0 } else { (1u64 << self.d) - 1 };
+        assert!(row & !limit == 0, "row has bits above d={}", self.d);
+        self.rows.push(row);
+    }
+
+    /// Packed row `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= n`.
+    #[inline]
+    pub fn row(&self, i: usize) -> u64 {
+        self.rows[i]
+    }
+
+    /// All packed rows.
+    #[inline]
+    pub fn rows(&self) -> &[u64] {
+        &self.rows
+    }
+
+    /// Project row `i` onto `cols`, packed toward the LSB.
+    ///
+    /// # Panics
+    /// Panics (debug) on dimension mismatch.
+    #[inline]
+    pub fn project_row(&self, i: usize, cols: &ColumnSet) -> u64 {
+        debug_assert_eq!(cols.dimension(), self.d, "column-set dimension mismatch");
+        pext_u64(self.rows[i], cols.mask())
+    }
+
+    /// Iterate projected keys for all rows.
+    pub fn projected_keys<'a>(&'a self, cols: &ColumnSet) -> impl Iterator<Item = u64> + 'a {
+        debug_assert_eq!(cols.dimension(), self.d);
+        let mask = cols.mask();
+        self.rows.iter().map(move |&r| pext_u64(r, mask))
+    }
+
+    /// Value at `(row, col)` as 0/1.
+    ///
+    /// # Panics
+    /// Panics if out of range.
+    pub fn get(&self, row: usize, col: u32) -> u16 {
+        assert!(col < self.d, "column {col} out of range");
+        ((self.rows[row] >> col) & 1) as u16
+    }
+
+    /// Expand row `i` to a dense symbol vector (for Q-ary interop).
+    pub fn row_dense(&self, i: usize) -> Vec<u16> {
+        (0..self.d).map(|c| self.get(i, c)).collect()
+    }
+
+    /// Heap + inline size in bytes (space accounting).
+    pub fn space_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.rows.capacity() * std::mem::size_of::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pext_basic() {
+        // Extract bits 1 and 3 of 0b1010 -> both set -> 0b11.
+        assert_eq!(pext_u64(0b1010, 0b1010), 0b11);
+        assert_eq!(pext_u64(0b1010, 0b0101), 0b00);
+        assert_eq!(pext_u64(0xffff_ffff_ffff_fffe, 1), 0);
+        assert_eq!(pext_u64(u64::MAX, u64::MAX), u64::MAX);
+        assert_eq!(pext_u64(0, u64::MAX), 0);
+        assert_eq!(pext_u64(u64::MAX, 0), 0);
+    }
+
+    #[test]
+    fn pdep_inverts_pext_on_mask() {
+        let mask = 0b1011_0100u64;
+        for x in 0..256u64 {
+            let masked = x & mask;
+            assert_eq!(pdep_u64(pext_u64(masked, mask), mask), masked);
+        }
+    }
+
+    #[test]
+    fn paper_running_example() {
+        // Section 2 example: A in {0,1}^{5x3} with columns {1,2,3} (we use
+        // 0-based {0,1,2}); C = {1,2} (paper's first two columns = our
+        // {0,1}).  Rows: 110, 010, 001, 111, 110 — written (col0,col1,col2).
+        let rows = vec![
+            0b011u64, // 1 1 0 -> col0=1, col1=1, col2=0
+            0b010,    // 0 1 0
+            0b100,    // 0 0 1
+            0b111,    // 1 1 1
+            0b011,    // 1 1 0
+        ];
+        let m = BinaryMatrix::from_rows(3, rows);
+        let c = ColumnSet::from_indices(3, &[0, 1]).expect("valid");
+        let keys: Vec<u64> = m.projected_keys(&c).collect();
+        // Projected rows: 11, 01, 00, 11, 11 (as (col0,col1) pairs,
+        // LSB = col0): 0b11, 0b10, 0b00, 0b11, 0b11.
+        assert_eq!(keys, vec![0b11, 0b10, 0b00, 0b11, 0b11]);
+        // Distinct count = 3, matching the paper's F0 = 3.
+        let distinct: std::collections::HashSet<_> = keys.iter().collect();
+        assert_eq!(distinct.len(), 3);
+    }
+
+    #[test]
+    fn projection_onto_full_set_is_identity() {
+        let m = BinaryMatrix::from_rows(5, vec![0b10101, 0b01010]);
+        let full = ColumnSet::full(5).expect("valid");
+        assert_eq!(m.project_row(0, &full), 0b10101);
+        assert_eq!(m.project_row(1, &full), 0b01010);
+    }
+
+    #[test]
+    fn projection_onto_empty_set_is_zero() {
+        let m = BinaryMatrix::from_rows(5, vec![0b11111]);
+        let empty = ColumnSet::empty(5).expect("valid");
+        assert_eq!(m.project_row(0, &empty), 0);
+    }
+
+    #[test]
+    fn get_and_dense_roundtrip() {
+        let m = BinaryMatrix::from_rows(4, vec![0b1010]);
+        assert_eq!(m.get(0, 0), 0);
+        assert_eq!(m.get(0, 1), 1);
+        assert_eq!(m.row_dense(0), vec![0, 1, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bits above d")]
+    fn push_rejects_out_of_range_bits() {
+        BinaryMatrix::new(3).push(0b1000);
+    }
+
+    #[test]
+    fn space_accounting_grows() {
+        let mut m = BinaryMatrix::new(8);
+        let s0 = m.space_bytes();
+        for i in 0..1000 {
+            m.push(i % 256);
+        }
+        assert!(m.space_bytes() > s0 + 1000 * 8 / 2);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_pext_popcount(x in any::<u64>(), mask in any::<u64>()) {
+            // The projected value fits in |mask| bits.
+            let y = pext_u64(x, mask);
+            let k = mask.count_ones();
+            if k < 64 {
+                prop_assert!(y < (1u64 << k));
+            }
+            // Ones are preserved: popcount(y) = popcount(x & mask).
+            prop_assert_eq!(y.count_ones(), (x & mask).count_ones());
+        }
+
+        #[test]
+        fn prop_pext_order_preserving(a in any::<u64>(), b in any::<u64>(), mask in any::<u64>()) {
+            // pext is monotone w.r.t. the masked values' numeric order.
+            let (am, bm) = (a & mask, b & mask);
+            let (pa, pb) = (pext_u64(a, mask), pext_u64(b, mask));
+            prop_assert_eq!(am < bm, pa < pb);
+            prop_assert_eq!(am == bm, pa == pb);
+        }
+
+        #[test]
+        fn prop_projection_distinct_counts_bounded(
+            rows in proptest::collection::vec(0u64..(1 << 10), 1..200),
+            mask in 0u64..(1 << 10),
+        ) {
+            // F0 of a projection never exceeds F0 of the full data
+            // (projection merges patterns; it cannot split them).
+            let m = BinaryMatrix::from_rows(10, rows.clone());
+            let cols = ColumnSet::from_mask(10, mask).expect("valid");
+            let full: std::collections::HashSet<u64> = rows.iter().copied().collect();
+            let proj: std::collections::HashSet<u64> = m.projected_keys(&cols).collect();
+            prop_assert!(proj.len() <= full.len());
+            prop_assert!(proj.len() <= 1 << cols.len());
+        }
+    }
+}

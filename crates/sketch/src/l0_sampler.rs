@@ -1,0 +1,270 @@
+//! ℓ₀-sampler: draw a (near-)uniform element of the *support* of a
+//! dynamic (insert/delete) frequency vector.
+//!
+//! Classic level-set construction: level `l` retains items whose hash has
+//! at least `l` trailing zero bits, in a 1-sparse recovery cell
+//! `(count, key-sum, checksum)`. On query, the lowest level that is exactly
+//! 1-sparse yields a uniform support element w.h.p. `ℓ_0` sampling is the
+//! `p → 0` end of the `ℓ_p`-sampling family the paper studies; the
+//! projected version inherits Theorem 5.5's hardness (`p ≠ 1`), and this
+//! substrate is what a classical (non-projected) streaming system would
+//! use — included to make the dichotomy comparisons concrete.
+
+use crate::traits::SpaceUsage;
+use pfe_hash::hash_u64;
+
+/// One 1-sparse recovery cell.
+#[derive(Debug, Clone, Copy, Default)]
+struct Cell {
+    /// Net count of updates routed here.
+    count: i64,
+    /// Sum of `key·delta`.
+    key_sum: i128,
+    /// Sum of `hash(key)·delta` (verification fingerprint).
+    check_sum: i128,
+}
+
+impl Cell {
+    fn update(&mut self, key: u64, delta: i64, seed: u64) {
+        self.count += delta;
+        self.key_sum += key as i128 * delta as i128;
+        self.check_sum += hash_u64(key, seed) as i128 * delta as i128;
+    }
+
+    /// If the cell holds exactly one key with net count > 0, recover it.
+    fn recover(&self, seed: u64) -> Option<u64> {
+        if self.count <= 0 {
+            return None;
+        }
+        let key = self.key_sum / self.count as i128;
+        if key < 0 || key > u64::MAX as i128 {
+            return None;
+        }
+        let key = key as u64;
+        // Verify: key_sum and check_sum must both be consistent.
+        if self.key_sum == key as i128 * self.count as i128
+            && self.check_sum == hash_u64(key, seed) as i128 * self.count as i128
+        {
+            Some(key)
+        } else {
+            None
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.count == 0 && self.key_sum == 0 && self.check_sum == 0
+    }
+}
+
+/// One independent level-set repetition.
+#[derive(Debug, Clone)]
+struct Repetition {
+    levels: Vec<Cell>,
+    seed: u64,
+}
+
+impl Repetition {
+    fn new(seed: u64) -> Self {
+        Self {
+            levels: vec![Cell::default(); 65],
+            seed,
+        }
+    }
+
+    fn update(&mut self, item: u64, delta: i64) {
+        let h = hash_u64(item, self.seed ^ 0x10_5a3b);
+        let tz = h.trailing_zeros().min(64);
+        for l in 0..=tz {
+            self.levels[l as usize].update(item, delta, self.seed);
+        }
+    }
+
+    /// Scan from the deepest non-empty level upward; the first recoverable
+    /// cell yields the sample. A single repetition fails with constant
+    /// probability (no level is exactly 1-sparse).
+    fn sample(&self) -> Option<u64> {
+        for cell in self.levels.iter().rev() {
+            if cell.is_empty() {
+                continue;
+            }
+            if let Some(key) = cell.recover(self.seed) {
+                return Some(key);
+            }
+        }
+        None
+    }
+
+    fn is_empty(&self) -> bool {
+        self.levels.iter().all(Cell::is_empty)
+    }
+}
+
+/// Level-set ℓ₀-sampler over 64-bit items with insert/delete support.
+///
+/// Runs `reps` independent level-set structures; a query returns the first
+/// repetition that recovers, driving the failure probability to
+/// `q^reps` for a constant per-repetition failure rate `q < 1`.
+#[derive(Debug, Clone)]
+pub struct L0Sampler {
+    reps: Vec<Repetition>,
+}
+
+impl L0Sampler {
+    /// Create with the default 16 repetitions (failure rate well below
+    /// 1%).
+    pub fn new(seed: u64) -> Self {
+        Self::with_repetitions(16, seed)
+    }
+
+    /// Create with an explicit repetition count.
+    ///
+    /// # Panics
+    /// Panics if `reps == 0`.
+    pub fn with_repetitions(reps: usize, seed: u64) -> Self {
+        assert!(reps > 0, "need at least one repetition");
+        Self {
+            reps: (0..reps)
+                .map(|j| Repetition::new(hash_u64(j as u64, seed ^ 0x10ad_5eed)))
+                .collect(),
+        }
+    }
+
+    /// Number of independent repetitions.
+    pub fn repetitions(&self) -> usize {
+        self.reps.len()
+    }
+
+    /// Apply an update `(item, delta)`; deletions must match insertions
+    /// for the recovery to stay sound (the strict-turnstile model).
+    pub fn update(&mut self, item: u64, delta: i64) {
+        for rep in &mut self.reps {
+            rep.update(item, delta);
+        }
+    }
+
+    /// Draw a near-uniform support element, or `None` if the vector is
+    /// empty (or, with probability exponentially small in the repetition
+    /// count, every repetition failed to recover).
+    pub fn sample(&self) -> Option<u64> {
+        self.reps.iter().find_map(Repetition::sample)
+    }
+
+    /// True if every cell of every repetition is empty (no net content).
+    pub fn is_empty(&self) -> bool {
+        self.reps.iter().all(Repetition::is_empty)
+    }
+}
+
+impl SpaceUsage for L0Sampler {
+    fn space_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self
+                .reps
+                .iter()
+                .map(|r| r.levels.capacity() * std::mem::size_of::<Cell>() + std::mem::size_of::<Repetition>())
+                .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singleton_recovered_exactly() {
+        let mut s = L0Sampler::new(1);
+        s.update(42, 3);
+        assert_eq!(s.sample(), Some(42));
+    }
+
+    #[test]
+    fn deletions_cancel() {
+        let mut s = L0Sampler::new(2);
+        s.update(7, 5);
+        s.update(9, 2);
+        s.update(7, -5);
+        assert_eq!(s.sample(), Some(9));
+        s.update(9, -2);
+        assert!(s.is_empty());
+        assert_eq!(s.sample(), None);
+    }
+
+    #[test]
+    fn samples_are_support_members() {
+        let mut s = L0Sampler::new(3);
+        for i in 100..200u64 {
+            s.update(i, 1);
+        }
+        let got = s.sample().expect("support nonempty");
+        assert!((100..200).contains(&got));
+    }
+
+    #[test]
+    fn near_uniform_over_seeds() {
+        // Over many independent samplers, each of 8 items should be drawn
+        // roughly equally often.
+        let items: Vec<u64> = (0..8).map(|i| 1000 + i * 13).collect();
+        let mut counts = std::collections::HashMap::new();
+        let runs = 4000;
+        let mut failures = 0;
+        for seed in 0..runs {
+            let mut s = L0Sampler::new(seed);
+            for &it in &items {
+                s.update(it, 1);
+            }
+            match s.sample() {
+                Some(got) => *counts.entry(got).or_insert(0u32) += 1,
+                None => failures += 1,
+            }
+        }
+        assert!(failures < runs / 20, "too many recovery failures: {failures}");
+        let expect = (runs - failures) as f64 / items.len() as f64;
+        for &it in &items {
+            let c = counts.get(&it).copied().unwrap_or(0) as f64;
+            let dev = (c - expect).abs() / expect;
+            assert!(dev < 0.35, "item {it} drawn with deviation {dev}");
+        }
+    }
+
+    #[test]
+    fn survives_heavy_multiplicity() {
+        let mut s = L0Sampler::new(9);
+        for _ in 0..1000 {
+            s.update(5, 1);
+        }
+        assert_eq!(s.sample(), Some(5));
+    }
+
+    #[test]
+    fn space_constant() {
+        let mut s = L0Sampler::new(11);
+        for i in 0..100_000u64 {
+            s.update(i, 1);
+        }
+        // 16 reps x 65 cells x 48 bytes plus struct overhead.
+        assert!(s.space_bytes() < 16 * 65 * 64 + 1024);
+    }
+
+    #[test]
+    fn repetitions_drive_failure_down() {
+        // With 16 reps, recovery over 100-item supports should virtually
+        // never fail.
+        let mut failures = 0;
+        for seed in 0..300u64 {
+            let mut s = L0Sampler::new(seed);
+            for i in 0..100u64 {
+                s.update(i, 1);
+            }
+            if s.sample().is_none() {
+                failures += 1;
+            }
+        }
+        assert!(failures <= 1, "failures {failures} with 16 reps");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one repetition")]
+    fn rejects_zero_reps() {
+        L0Sampler::with_repetitions(0, 0);
+    }
+}

@@ -1,0 +1,217 @@
+//! Misra–Gries deterministic heavy-hitter summary.
+//!
+//! Keeps at most `k` counters; every item with frequency `> n/(k+1)` is
+//! guaranteed present, and each kept estimate underestimates the true count
+//! by at most `n/(k+1)` (more precisely, by the number of decrement steps).
+//! This is the deterministic counterpart to the sampling-based heavy hitters
+//! of Theorem 5.1 and is used by examples as the classical-streaming
+//! baseline.
+
+use crate::traits::{SpaceUsage};
+use pfe_hash::builder::{seeded_map, SeededHashMap};
+
+/// Misra–Gries summary with at most `k` counters.
+#[derive(Debug, Clone)]
+pub struct MisraGries {
+    counters: SeededHashMap<u64, u64>,
+    k: usize,
+    n: u64,
+    decrements: u64,
+}
+
+impl MisraGries {
+    /// Create with capacity `k` (counter budget).
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "MisraGries needs k >= 1");
+        Self {
+            counters: seeded_map(0x4d47),
+            k,
+            n: 0,
+            decrements: 0,
+        }
+    }
+
+    /// Counter budget `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Stream length so far.
+    pub fn stream_len(&self) -> u64 {
+        self.n
+    }
+
+    /// Observe one occurrence of `item`.
+    pub fn insert(&mut self, item: u64) {
+        self.n += 1;
+        if let Some(c) = self.counters.get_mut(&item) {
+            *c += 1;
+            return;
+        }
+        if self.counters.len() < self.k {
+            self.counters.insert(item, 1);
+            return;
+        }
+        // Decrement phase: all counters drop by one; zeros evicted.
+        self.decrements += 1;
+        self.counters.retain(|_, c| {
+            *c -= 1;
+            *c > 0
+        });
+    }
+
+    /// Lower-bound estimate of `item`'s frequency (0 if not tracked).
+    pub fn estimate(&self, item: u64) -> u64 {
+        self.counters.get(&item).copied().unwrap_or(0)
+    }
+
+    /// Upper-bound estimate: tracked count plus the global decrement total.
+    pub fn estimate_upper(&self, item: u64) -> u64 {
+        self.estimate(item) + self.decrements
+    }
+
+    /// The maximum possible undercount (`= #decrement phases ≤ n/(k+1)`).
+    pub fn error_bound(&self) -> u64 {
+        self.decrements
+    }
+
+    /// Candidate heavy hitters with estimated count at least `threshold`
+    /// under the *upper* bound (no false negatives for true counts
+    /// `≥ threshold`), sorted by descending lower estimate.
+    pub fn candidates(&self, threshold: u64) -> Vec<(u64, u64)> {
+        let mut out: Vec<(u64, u64)> = self
+            .counters
+            .iter()
+            .filter(|(_, &c)| c + self.decrements >= threshold)
+            .map(|(&i, &c)| (i, c))
+            .collect();
+        out.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Merge another summary (Agarwal et al. mergeable-summaries scheme:
+    /// add counters, then reduce to the top `k` by subtracting the
+    /// `(k+1)`-th largest value).
+    pub fn merge(&mut self, other: &Self) {
+        for (&item, &c) in &other.counters {
+            *self.counters.entry(item).or_insert(0) += c;
+        }
+        self.n += other.n;
+        self.decrements += other.decrements;
+        if self.counters.len() > self.k {
+            let mut counts: Vec<u64> = self.counters.values().copied().collect();
+            counts.sort_unstable_by(|a, b| b.cmp(a));
+            let cut = counts[self.k]; // (k+1)-th largest
+            self.decrements += cut;
+            self.counters.retain(|_, c| {
+                *c = c.saturating_sub(cut);
+                *c > 0
+            });
+        }
+    }
+}
+
+impl SpaceUsage for MisraGries {
+    fn space_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.counters.capacity()
+                * (std::mem::size_of::<u64>() * 2 + std::mem::size_of::<usize>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfe_hash::rng::{Xoshiro256pp, ZipfTable};
+
+    #[test]
+    fn guarantees_undercount_bounded() {
+        let mut mg = MisraGries::new(9);
+        let mut truth = std::collections::HashMap::new();
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
+        let zipf = ZipfTable::new(100, 1.5);
+        for _ in 0..10_000 {
+            let item = zipf.sample(&mut rng) as u64;
+            *truth.entry(item).or_insert(0u64) += 1;
+            mg.insert(item);
+        }
+        let bound = mg.stream_len() / 10; // n/(k+1)
+        assert!(mg.error_bound() <= bound);
+        for (&item, &count) in &truth {
+            let est = mg.estimate(item);
+            assert!(est <= count, "overestimate for {item}");
+            assert!(
+                count - est <= mg.error_bound(),
+                "undercount beyond bound for {item}: {count} vs {est}"
+            );
+        }
+    }
+
+    #[test]
+    fn frequent_items_never_missed() {
+        let mut mg = MisraGries::new(4);
+        // Item 0 occupies 60% of a length-1000 stream: must be tracked.
+        for i in 0..1000u64 {
+            mg.insert(if i % 5 < 3 { 0 } else { i });
+        }
+        assert!(mg.estimate(0) > 0, "majority item evicted");
+        let cands = mg.candidates(200);
+        assert!(cands.iter().any(|&(i, _)| i == 0));
+    }
+
+    #[test]
+    fn exact_when_few_distinct() {
+        let mut mg = MisraGries::new(10);
+        for _ in 0..100 {
+            for item in 0..5u64 {
+                mg.insert(item);
+            }
+        }
+        for item in 0..5u64 {
+            assert_eq!(mg.estimate(item), 100);
+        }
+        assert_eq!(mg.error_bound(), 0);
+    }
+
+    #[test]
+    fn merge_preserves_guarantee() {
+        let mut a = MisraGries::new(5);
+        let mut b = MisraGries::new(5);
+        let mut truth = std::collections::HashMap::new();
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
+        for _ in 0..2000 {
+            let item = rng.range_u64(20);
+            *truth.entry(item).or_insert(0u64) += 1;
+            a.insert(item);
+        }
+        for _ in 0..2000 {
+            let item = rng.range_u64(20);
+            *truth.entry(item).or_insert(0u64) += 1;
+            b.insert(item);
+        }
+        a.merge(&b);
+        for (&item, &count) in &truth {
+            let est = a.estimate(item);
+            assert!(est <= count);
+            assert!(count - est <= a.error_bound());
+        }
+    }
+
+    #[test]
+    fn space_bounded_by_k() {
+        let mut mg = MisraGries::new(16);
+        for i in 0..100_000u64 {
+            mg.insert(i);
+        }
+        assert!(mg.space_bytes() < 16 * 64 + 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "k >= 1")]
+    fn rejects_zero_k() {
+        MisraGries::new(0);
+    }
+}

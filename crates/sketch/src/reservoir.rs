@@ -1,0 +1,190 @@
+//! Uniform reservoir sampling (Vitter's Algorithm R).
+//!
+//! Maintains a uniform sample of `t` items from a stream of unknown length —
+//! the entire machinery behind the paper's Theorem 5.1 upper bound: a
+//! uniform row sample taken *before* the query `C` arrives supports
+//! `ε‖f‖_1`-additive frequency estimates for every later projection. The
+//! sampler is generic over the item type so `pfe-core` can store full rows.
+
+use crate::traits::SpaceUsage;
+use pfe_hash::rng::Xoshiro256pp;
+
+/// Uniform reservoir sampler of capacity `t`.
+#[derive(Debug, Clone)]
+pub struct Reservoir<T> {
+    items: Vec<T>,
+    t: usize,
+    seen: u64,
+    rng: Xoshiro256pp,
+}
+
+impl<T> Reservoir<T> {
+    /// Create with capacity `t`.
+    ///
+    /// # Panics
+    /// Panics if `t == 0`.
+    pub fn new(t: usize, seed: u64) -> Self {
+        assert!(t > 0, "reservoir capacity must be positive");
+        Self {
+            items: Vec::with_capacity(t.min(1 << 20)),
+            t,
+            seen: 0,
+            rng: Xoshiro256pp::seed_from_u64(seed),
+        }
+    }
+
+    /// Capacity `t`.
+    pub fn capacity(&self) -> usize {
+        self.t
+    }
+
+    /// Stream length observed so far.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Current sample (length `min(t, seen)`).
+    pub fn sample(&self) -> &[T] {
+        &self.items
+    }
+
+    /// The sampling rate `min(t, seen)/seen` used to scale estimates
+    /// (Theorem 5.1's `α = t/n`); 1.0 while under-full, 0 on an empty
+    /// stream.
+    pub fn rate(&self) -> f64 {
+        if self.seen == 0 {
+            0.0
+        } else {
+            self.items.len() as f64 / self.seen as f64
+        }
+    }
+
+    /// Observe one item.
+    pub fn insert(&mut self, item: T) {
+        self.seen += 1;
+        if self.items.len() < self.t {
+            self.items.push(item);
+            return;
+        }
+        // Algorithm R: replace slot j with probability t/seen.
+        let j = self.rng.range_u64(self.seen);
+        if (j as usize) < self.t {
+            self.items[j as usize] = item;
+        }
+    }
+
+    /// Estimate the stream frequency of items matching `pred`:
+    /// `(matching in sample) / rate` (the `ĝ/α` estimator of Theorem 5.1).
+    pub fn estimate_count<F: Fn(&T) -> bool>(&self, pred: F) -> f64 {
+        if self.seen == 0 {
+            return 0.0;
+        }
+        let g = self.items.iter().filter(|x| pred(x)).count() as f64;
+        g / self.rate()
+    }
+}
+
+impl<T> SpaceUsage for Reservoir<T> {
+    fn space_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.items.capacity() * std::mem::size_of::<T>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn underfull_keeps_everything() {
+        let mut r = Reservoir::new(100, 1);
+        for i in 0..50u64 {
+            r.insert(i);
+        }
+        assert_eq!(r.sample().len(), 50);
+        assert_eq!(r.rate(), 1.0);
+        let mut s: Vec<u64> = r.sample().to_vec();
+        s.sort_unstable();
+        assert_eq!(s, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn capacity_respected() {
+        let mut r = Reservoir::new(10, 2);
+        for i in 0..10_000u64 {
+            r.insert(i);
+        }
+        assert_eq!(r.sample().len(), 10);
+        assert_eq!(r.seen(), 10_000);
+    }
+
+    #[test]
+    fn uniformity_over_positions() {
+        // Each stream position should land in the final sample with
+        // probability t/n; aggregate over many independent runs.
+        let (t, n, runs) = (10usize, 100u64, 3000u64);
+        let mut hits = vec![0u32; n as usize];
+        for seed in 0..runs {
+            let mut r = Reservoir::new(t, seed);
+            for i in 0..n {
+                r.insert(i);
+            }
+            for &x in r.sample() {
+                hits[x as usize] += 1;
+            }
+        }
+        let expect = runs as f64 * t as f64 / n as f64;
+        for (i, &h) in hits.iter().enumerate() {
+            let dev = (h as f64 - expect).abs() / expect;
+            assert!(dev < 0.30, "position {i} inclusion deviates {dev}");
+        }
+    }
+
+    #[test]
+    fn count_estimation_unbiased() {
+        // Stream: 30% of items match; estimate should track 0.3 * n.
+        let n = 50_000u64;
+        let mut r = Reservoir::new(2000, 7);
+        for i in 0..n {
+            r.insert(i % 10);
+        }
+        let est = r.estimate_count(|&x| x < 3);
+        let truth = 0.3 * n as f64;
+        let rel = (est - truth).abs() / truth;
+        assert!(rel < 0.1, "relative error {rel}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed| {
+            let mut r = Reservoir::new(5, seed);
+            for i in 0..1000u64 {
+                r.insert(i);
+            }
+            r.sample().to_vec()
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4));
+    }
+
+    #[test]
+    fn space_bounded_by_capacity() {
+        let mut r = Reservoir::new(64, 0);
+        for i in 0..1_000_000u64 {
+            r.insert(i);
+        }
+        assert!(r.space_bytes() < 64 * 8 + 256);
+    }
+
+    #[test]
+    fn empty_stream_estimates_zero() {
+        let r: Reservoir<u64> = Reservoir::new(4, 0);
+        assert_eq!(r.estimate_count(|_| true), 0.0);
+        assert_eq!(r.rate(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn rejects_zero_capacity() {
+        Reservoir::<u64>::new(0, 0);
+    }
+}

@@ -1,0 +1,180 @@
+//! Reservoir sampling, Algorithm L (Li 1994): skip-ahead optimization.
+//!
+//! Statistically equivalent to Algorithm R (each stream position kept with
+//! probability `t/n`) but O(t·(1 + log(n/t))) random draws instead of one
+//! per item: after the reservoir fills, the number of items to *skip*
+//! before the next replacement is drawn geometrically.
+//!
+//! Note on when this wins: the benefit is *fewer RNG draws*, which matters
+//! when the generator is expensive (cryptographic, syscall-backed) or when
+//! draws contend. With this workspace's inlined xoshiro, Algorithm R's
+//! per-item draw is already ~1–2 ns and the measured wall-clock of L is
+//! comparable, not better (see `benches/samplers.rs`); L is provided for
+//! completeness and for swap-in use with costlier generators.
+
+use crate::traits::SpaceUsage;
+use pfe_hash::rng::Xoshiro256pp;
+
+/// Skip-ahead uniform reservoir of capacity `t`.
+#[derive(Debug, Clone)]
+pub struct ReservoirL<T> {
+    items: Vec<T>,
+    t: usize,
+    seen: u64,
+    /// Items still to skip before the next replacement.
+    skip: u64,
+    /// The running `W` of Algorithm L.
+    w: f64,
+    rng: Xoshiro256pp,
+}
+
+impl<T> ReservoirL<T> {
+    /// Create with capacity `t`.
+    ///
+    /// # Panics
+    /// Panics if `t == 0`.
+    pub fn new(t: usize, seed: u64) -> Self {
+        assert!(t > 0, "reservoir capacity must be positive");
+        Self {
+            items: Vec::with_capacity(t.min(1 << 20)),
+            t,
+            seen: 0,
+            skip: 0,
+            w: 1.0,
+            rng: Xoshiro256pp::seed_from_u64(seed),
+        }
+    }
+
+    /// Capacity `t`.
+    pub fn capacity(&self) -> usize {
+        self.t
+    }
+
+    /// Stream length observed so far.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Current sample.
+    pub fn sample(&self) -> &[T] {
+        &self.items
+    }
+
+    fn draw_skip(&mut self) {
+        // W *= U^(1/t); skip ~ floor(log(U') / log(1-W)).
+        self.w *= self.rng.f64_open_zero().powf(1.0 / self.t as f64);
+        let u = self.rng.f64_open_zero();
+        let denom = (1.0 - self.w).ln();
+        self.skip = if denom.abs() < 1e-300 {
+            u64::MAX
+        } else {
+            (u.ln() / denom).floor() as u64
+        };
+    }
+
+    /// Observe one item.
+    pub fn insert(&mut self, item: T) {
+        self.seen += 1;
+        if self.items.len() < self.t {
+            self.items.push(item);
+            if self.items.len() == self.t {
+                self.draw_skip();
+            }
+            return;
+        }
+        if self.skip > 0 {
+            self.skip -= 1;
+            return;
+        }
+        let j = self.rng.range_u64(self.t as u64) as usize;
+        self.items[j] = item;
+        self.draw_skip();
+    }
+}
+
+impl<T> SpaceUsage for ReservoirL<T> {
+    fn space_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.items.capacity() * std::mem::size_of::<T>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn underfull_keeps_everything() {
+        let mut r = ReservoirL::new(64, 1);
+        for i in 0..40u64 {
+            r.insert(i);
+        }
+        let mut s = r.sample().to_vec();
+        s.sort_unstable();
+        assert_eq!(s, (0..40).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn capacity_respected() {
+        let mut r = ReservoirL::new(16, 2);
+        for i in 0..100_000u64 {
+            r.insert(i);
+        }
+        assert_eq!(r.sample().len(), 16);
+        assert_eq!(r.seen(), 100_000);
+    }
+
+    #[test]
+    fn marginal_inclusion_matches_algorithm_r() {
+        // Every position kept with probability t/n — same contract as the
+        // plain reservoir; aggregate over independent runs.
+        let (t, n, runs) = (8usize, 80u64, 4000u64);
+        let mut hits = vec![0u32; n as usize];
+        for seed in 0..runs {
+            let mut r = ReservoirL::new(t, seed);
+            for i in 0..n {
+                r.insert(i);
+            }
+            for &x in r.sample() {
+                hits[x as usize] += 1;
+            }
+        }
+        let expect = runs as f64 * t as f64 / n as f64;
+        for (i, &h) in hits.iter().enumerate() {
+            let dev = (h as f64 - expect).abs() / expect;
+            assert!(dev < 0.25, "position {i} inclusion deviates {dev}");
+        }
+    }
+
+    #[test]
+    fn long_stream_cheap_rng() {
+        // The skip counter must actually skip: across a 1M stream with
+        // t=16, replacements (and thus RNG draws) number O(t log(n/t)),
+        // not O(n). We can't count draws directly; instead verify the
+        // whole stream processes quickly and the sample stays valid.
+        let mut r = ReservoirL::new(16, 3);
+        for i in 0..1_000_000u64 {
+            r.insert(i);
+        }
+        assert_eq!(r.sample().len(), 16);
+        assert!(r.sample().iter().all(|&x| x < 1_000_000));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed| {
+            let mut r = ReservoirL::new(4, seed);
+            for i in 0..10_000u64 {
+                r.insert(i);
+            }
+            r.sample().to_vec()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn rejects_zero_capacity() {
+        ReservoirL::<u64>::new(0, 0);
+    }
+}

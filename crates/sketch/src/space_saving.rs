@@ -1,0 +1,210 @@
+//! SpaceSaving heavy-hitter summary (Metwally–Agrawal–El Abbadi).
+//!
+//! Keeps exactly `k` monitored items with (count, error) pairs; on overflow
+//! the minimum-count item is replaced, inheriting its count as error. Every
+//! item with true frequency `> n/k` is monitored, and estimates satisfy
+//! `f_i ≤ est_i ≤ f_i + n/k`. Complements Misra–Gries (which underestimates)
+//! so examples can show both one-sided guarantees.
+
+use crate::traits::SpaceUsage;
+use pfe_hash::builder::{seeded_map, SeededHashMap};
+
+/// A monitored item's state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Slot {
+    count: u64,
+    /// Overestimation bound inherited at takeover.
+    error: u64,
+}
+
+/// SpaceSaving summary with `k` monitored slots.
+#[derive(Debug, Clone)]
+pub struct SpaceSaving {
+    slots: SeededHashMap<u64, Slot>,
+    k: usize,
+    n: u64,
+}
+
+impl SpaceSaving {
+    /// Create with `k` monitored slots.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "SpaceSaving needs k >= 1");
+        Self {
+            slots: seeded_map(0x5553),
+            k,
+            n: 0,
+        }
+    }
+
+    /// Slot budget `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Stream length so far.
+    pub fn stream_len(&self) -> u64 {
+        self.n
+    }
+
+    /// Observe one occurrence of `item`.
+    pub fn insert(&mut self, item: u64) {
+        self.n += 1;
+        if let Some(s) = self.slots.get_mut(&item) {
+            s.count += 1;
+            return;
+        }
+        if self.slots.len() < self.k {
+            self.slots.insert(item, Slot { count: 1, error: 0 });
+            return;
+        }
+        // Replace the minimum-count item (ties broken by key for
+        // determinism); O(k) scan — k is small by design.
+        let (&victim, &vslot) = self
+            .slots
+            .iter()
+            .min_by(|a, b| a.1.count.cmp(&b.1.count).then(a.0.cmp(b.0)))
+            .expect("k >= 1 slots");
+        self.slots.remove(&victim);
+        self.slots.insert(
+            item,
+            Slot {
+                count: vslot.count + 1,
+                error: vslot.count,
+            },
+        );
+    }
+
+    /// Overestimate of `item`'s frequency (0 if unmonitored).
+    pub fn estimate(&self, item: u64) -> u64 {
+        self.slots.get(&item).map(|s| s.count).unwrap_or(0)
+    }
+
+    /// Guaranteed lower bound: count minus inherited error.
+    pub fn estimate_lower(&self, item: u64) -> u64 {
+        self.slots
+            .get(&item)
+            .map(|s| s.count - s.error)
+            .unwrap_or(0)
+    }
+
+    /// Monitored items with estimate at least `threshold`, sorted by
+    /// descending estimate (then key).
+    pub fn candidates(&self, threshold: u64) -> Vec<(u64, u64)> {
+        let mut out: Vec<(u64, u64)> = self
+            .slots
+            .iter()
+            .filter(|(_, s)| s.count >= threshold)
+            .map(|(&i, s)| (i, s.count))
+            .collect();
+        out.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        out
+    }
+
+    /// The worst-case overestimate `n/k`.
+    pub fn error_bound(&self) -> u64 {
+        self.n / self.k as u64
+    }
+}
+
+impl SpaceUsage for SpaceSaving {
+    fn space_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.slots.capacity()
+                * (std::mem::size_of::<u64>() + std::mem::size_of::<Slot>()
+                    + std::mem::size_of::<usize>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfe_hash::rng::{Xoshiro256pp, ZipfTable};
+
+    #[test]
+    fn estimates_bracket_truth() {
+        let mut ss = SpaceSaving::new(20);
+        let mut truth = std::collections::HashMap::new();
+        let mut rng = Xoshiro256pp::seed_from_u64(5);
+        let zipf = ZipfTable::new(200, 1.4);
+        for _ in 0..20_000 {
+            let item = zipf.sample(&mut rng) as u64;
+            *truth.entry(item).or_insert(0u64) += 1;
+            ss.insert(item);
+        }
+        for (&item, &count) in &truth {
+            let est = ss.estimate(item);
+            if est > 0 {
+                assert!(est >= count.min(est), "bracket violated");
+                assert!(est <= count + ss.error_bound(), "over by too much");
+                assert!(ss.estimate_lower(item) <= count, "lower bound above truth");
+            }
+        }
+    }
+
+    #[test]
+    fn majority_item_monitored() {
+        let mut ss = SpaceSaving::new(3);
+        for i in 0..999u64 {
+            ss.insert(if i % 3 != 2 { 7 } else { 1000 + i });
+        }
+        // Item 7 has frequency 666 > n/k = 333: must be monitored.
+        assert!(ss.estimate(7) >= 666);
+    }
+
+    #[test]
+    fn exact_when_few_distinct() {
+        let mut ss = SpaceSaving::new(8);
+        for _ in 0..50 {
+            for item in 0..4u64 {
+                ss.insert(item);
+            }
+        }
+        for item in 0..4u64 {
+            assert_eq!(ss.estimate(item), 50);
+            assert_eq!(ss.estimate_lower(item), 50);
+        }
+    }
+
+    #[test]
+    fn always_k_slots_at_most() {
+        let mut ss = SpaceSaving::new(5);
+        for i in 0..10_000u64 {
+            ss.insert(i);
+        }
+        assert!(ss.candidates(0).len() <= 5);
+    }
+
+    #[test]
+    fn candidates_sorted_desc() {
+        let mut ss = SpaceSaving::new(10);
+        for (item, reps) in [(1u64, 30), (2, 20), (3, 10)] {
+            for _ in 0..reps {
+                ss.insert(item);
+            }
+        }
+        let c = ss.candidates(1);
+        assert_eq!(c[0].0, 1);
+        assert!(c.windows(2).all(|w| w[0].1 >= w[1].1));
+    }
+
+    #[test]
+    fn deterministic_under_ties() {
+        let run = || {
+            let mut ss = SpaceSaving::new(3);
+            for i in 0..100u64 {
+                ss.insert(i % 7);
+            }
+            ss.candidates(0)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "k >= 1")]
+    fn rejects_zero_k() {
+        SpaceSaving::new(0);
+    }
+}

@@ -1,0 +1,227 @@
+//! Weighted reservoir sampling (Efraimidis–Spirakis A-Res).
+//!
+//! Keeps the `k` items with the largest keys `u_i^{1/w_i}`
+//! (`u_i ~ U(0,1)`), which yields a without-replacement sample where the
+//! probability of inclusion is proportional to weight — the substrate for
+//! `ℓ_p`-sampling experiments: sampling patterns with weight `f_i^p` from a
+//! materialized frequency vector realizes the "naïve" exact `ℓ_p` sampler
+//! the paper's Theorem 5.5 shows cannot be compressed for `p ≠ 1`.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::traits::SpaceUsage;
+use pfe_hash::rng::Xoshiro256pp;
+
+/// Heap entry: (key, insertion index, item). Min-heap by key via reversed
+/// ordering so the root is the weakest survivor.
+#[derive(Debug, Clone)]
+struct Entry<T> {
+    key: f64,
+    tie: u64,
+    item: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key && self.tie == other.tie
+    }
+}
+
+impl<T> Eq for Entry<T> {}
+
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: smaller key = "greater" for BinaryHeap max-root, making
+        // the root the minimum-key entry. Ties broken by insertion index.
+        other
+            .key
+            .partial_cmp(&self.key)
+            .expect("keys are finite")
+            .then(other.tie.cmp(&self.tie))
+    }
+}
+
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Weighted without-replacement reservoir of capacity `k`.
+#[derive(Debug, Clone)]
+pub struct WeightedReservoir<T> {
+    heap: BinaryHeap<Entry<T>>,
+    k: usize,
+    seen: u64,
+    total_weight: f64,
+    rng: Xoshiro256pp,
+}
+
+impl<T> WeightedReservoir<T> {
+    /// Create with capacity `k`.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn new(k: usize, seed: u64) -> Self {
+        assert!(k > 0, "weighted reservoir capacity must be positive");
+        Self {
+            heap: BinaryHeap::with_capacity(k + 1),
+            k,
+            seen: 0,
+            total_weight: 0.0,
+            rng: Xoshiro256pp::seed_from_u64(seed),
+        }
+    }
+
+    /// Capacity `k`.
+    pub fn capacity(&self) -> usize {
+        self.k
+    }
+
+    /// Items observed.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Total weight observed.
+    pub fn total_weight(&self) -> f64 {
+        self.total_weight
+    }
+
+    /// Observe `item` with `weight > 0` (zero/negative weights are skipped —
+    /// they have zero inclusion probability by definition).
+    pub fn insert(&mut self, item: T, weight: f64) {
+        self.seen += 1;
+        if !weight.is_finite() || weight <= 0.0 {
+            return;
+        }
+        self.total_weight += weight;
+        // A-Res key: u^(1/w); computed in log space for numerical range.
+        let u = self.rng.f64_open_zero();
+        let key = u.ln() / weight; // monotone transform of u^(1/w); larger is better
+        if self.heap.len() < self.k {
+            self.heap.push(Entry { key, tie: self.seen, item });
+            return;
+        }
+        let weakest = self.heap.peek().expect("nonempty at capacity");
+        if key > weakest.key {
+            self.heap.pop();
+            self.heap.push(Entry { key, tie: self.seen, item });
+        }
+    }
+
+    /// Current sample (order unspecified).
+    pub fn sample(&self) -> Vec<&T> {
+        self.heap.iter().map(|e| &e.item).collect()
+    }
+
+    /// Consume and return the sampled items.
+    pub fn into_sample(self) -> Vec<T> {
+        self.heap.into_iter().map(|e| e.item).collect()
+    }
+}
+
+impl<T> SpaceUsage for WeightedReservoir<T> {
+    fn space_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.heap.capacity() * std::mem::size_of::<Entry<T>>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_respected() {
+        let mut r = WeightedReservoir::new(5, 1);
+        for i in 0..100u64 {
+            r.insert(i, 1.0);
+        }
+        assert_eq!(r.sample().len(), 5);
+    }
+
+    #[test]
+    fn heavy_weight_dominates_k1() {
+        // One item with weight 1000 among 100 items of weight 1: a k=1
+        // sample picks it with probability ~1000/1100 ~ 0.91.
+        let runs = 2000;
+        let mut hits = 0;
+        for seed in 0..runs {
+            let mut r = WeightedReservoir::new(1, seed);
+            for i in 0..100u64 {
+                r.insert(i, 1.0);
+            }
+            r.insert(999, 1000.0);
+            if *r.sample()[0] == 999u64 {
+                hits += 1;
+            }
+        }
+        let frac = hits as f64 / runs as f64;
+        assert!(
+            (frac - 1000.0 / 1100.0).abs() < 0.04,
+            "inclusion fraction {frac}"
+        );
+    }
+
+    #[test]
+    fn uniform_weights_match_plain_reservoir_marginals() {
+        let (k, n, runs) = (4usize, 40u64, 4000u64);
+        let mut hits = vec![0u32; n as usize];
+        for seed in 0..runs {
+            let mut r = WeightedReservoir::new(k, seed);
+            for i in 0..n {
+                r.insert(i, 1.0);
+            }
+            for &x in &r.into_sample() {
+                hits[x as usize] += 1;
+            }
+        }
+        let expect = runs as f64 * k as f64 / n as f64;
+        for (i, &h) in hits.iter().enumerate() {
+            let dev = (h as f64 - expect).abs() / expect;
+            assert!(dev < 0.3, "item {i} inclusion deviates {dev}");
+        }
+    }
+
+    #[test]
+    fn zero_and_negative_weights_skipped() {
+        let mut r = WeightedReservoir::new(3, 2);
+        r.insert(1u64, 0.0);
+        r.insert(2, -5.0);
+        r.insert(3, f64::NAN);
+        assert!(r.sample().is_empty());
+        r.insert(4, 1.0);
+        assert_eq!(r.sample().len(), 1);
+    }
+
+    #[test]
+    fn total_weight_tracked() {
+        let mut r = WeightedReservoir::new(2, 3);
+        r.insert(1u64, 2.0);
+        r.insert(2, 3.0);
+        r.insert(3, 0.0);
+        assert!((r.total_weight() - 5.0).abs() < 1e-12);
+        assert_eq!(r.seen(), 3);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed| {
+            let mut r = WeightedReservoir::new(3, seed);
+            for i in 0..50u64 {
+                r.insert(i, (i + 1) as f64);
+            }
+            let mut s = r.into_sample();
+            s.sort_unstable();
+            s
+        };
+        assert_eq!(run(5), run(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn rejects_zero_capacity() {
+        WeightedReservoir::<u64>::new(0, 0);
+    }
+}

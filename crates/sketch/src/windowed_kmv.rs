@@ -1,0 +1,235 @@
+//! Sliding-window distinct counting: timestamped KMV.
+//!
+//! The paper's problem definitions cite sliding-window distinct elements
+//! (Braverman et al., \[4\]) as part of the classical-streaming landscape
+//! the projected model builds on. This substrate answers `F_0` over *any
+//! suffix window* of the stream: for each hash value we keep the **most
+//! recent** arrival time, and retain a value only if its hash is among the
+//! `k` smallest of items seen after it — equivalently, we keep the
+//! ascending-hash "staircase" of recent items. A query for window `w`
+//! takes the ≤ `k` smallest retained hashes with timestamp inside the
+//! window and applies the standard KMV estimator.
+//!
+//! Space is `O(k log(n/k))` in expectation (the staircase property);
+//! the structure is exact for under-full windows, like plain KMV.
+
+use crate::traits::{vec_bytes, SpaceUsage};
+use pfe_hash::hash_u64;
+
+/// Timestamped-KMV sliding-window distinct counter.
+#[derive(Debug, Clone)]
+pub struct WindowedKmv {
+    /// Retained (hash, last-seen time), sorted by hash ascending; the
+    /// timestamps form a staircase: each retained entry is more recent
+    /// than every retained entry with a smaller hash... (inverse — see
+    /// `insert` invariant note).
+    entries: Vec<(u64, u64)>,
+    k: usize,
+    seed: u64,
+    now: u64,
+    /// Lazy-prune trigger: prune when `entries.len()` exceeds this.
+    prune_at: usize,
+}
+
+impl WindowedKmv {
+    /// Create with KMV capacity `k` per window query.
+    ///
+    /// # Panics
+    /// Panics if `k < 2`.
+    pub fn new(k: usize, seed: u64) -> Self {
+        assert!(k >= 2, "WindowedKmv requires k >= 2");
+        Self {
+            entries: Vec::new(),
+            k,
+            seed,
+            now: 0,
+            prune_at: (4 * k).max(64),
+        }
+    }
+
+    /// Stream length so far.
+    pub fn len_stream(&self) -> u64 {
+        self.now
+    }
+
+    /// Retained entry count (the space the structure actually uses).
+    pub fn retained(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Observe one item (time advances by 1).
+    ///
+    /// Invariant maintained: an entry `(h, t)` is retained iff fewer than
+    /// `k` retained hashes smaller than `h` have timestamp `≥ t` — i.e.
+    /// `h` would be among the `k` minima of some suffix window.
+    pub fn insert(&mut self, item: u64) {
+        self.now += 1;
+        let h = hash_u64(item, self.seed);
+        match self.entries.binary_search_by_key(&h, |&(eh, _)| eh) {
+            Ok(pos) => {
+                // Same item (hash injective per seed): refresh its time.
+                self.entries[pos].1 = self.now;
+            }
+            Err(pos) => {
+                self.entries.insert(pos, (h, self.now));
+            }
+        }
+        // Lazy amortized prune: dead entries (>= k smaller-hash entries at
+        // least as recent) can never be among any window's k minima, so
+        // deferring their removal does not change query answers.
+        if self.entries.len() > self.prune_at {
+            self.prune();
+            self.prune_at = (2 * self.entries.len()).max(4 * self.k).max(64);
+        }
+    }
+
+    /// Remove dead entries: walk ascending hashes; an entry is dead if `k`
+    /// entries with smaller hash are at least as recent.
+    fn prune(&mut self) {
+        let mut kept: Vec<(u64, u64)> = Vec::with_capacity(self.entries.len());
+        // Sorted timestamps of kept (smaller-hash) entries, to query
+        // "how many >= t" by binary search.
+        let mut ts_sorted: Vec<u64> = Vec::with_capacity(self.entries.len());
+        for &(h, t) in &self.entries {
+            let newer = ts_sorted.len() - ts_sorted.partition_point(|&x| x < t);
+            if newer < self.k {
+                kept.push((h, t));
+                let ins = ts_sorted.partition_point(|&x| x < t);
+                ts_sorted.insert(ins, t);
+            }
+        }
+        self.entries = kept;
+    }
+
+    /// Estimate the number of distinct items among the last `window` stream
+    /// positions (`window >= 1`; clamped to the stream length).
+    pub fn estimate_window(&self, window: u64) -> f64 {
+        if self.now == 0 {
+            return 0.0;
+        }
+        let window = window.min(self.now).max(1);
+        let cutoff = self.now - window; // times > cutoff are inside
+        let mut minima = 0usize;
+        let mut kth: Option<u64> = None;
+        for &(h, t) in &self.entries {
+            if t > cutoff {
+                minima += 1;
+                if minima == self.k {
+                    kth = Some(h);
+                    break;
+                }
+            }
+        }
+        match kth {
+            None => minima as f64, // under-full: exact distinct count
+            Some(h) => {
+                let vk = (h as f64 + 1.0) / (u64::MAX as f64 + 1.0);
+                (self.k as f64 - 1.0) / vk
+            }
+        }
+    }
+
+    /// Estimate over the whole stream (window = everything).
+    pub fn estimate_all(&self) -> f64 {
+        self.estimate_window(self.now.max(1))
+    }
+}
+
+impl SpaceUsage for WindowedKmv {
+    fn space_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + vec_bytes(&self.entries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfe_hash::rng::Xoshiro256pp;
+
+    #[test]
+    fn underfull_windows_exact() {
+        let mut s = WindowedKmv::new(64, 1);
+        for i in 0..40u64 {
+            s.insert(i);
+        }
+        assert_eq!(s.estimate_window(40), 40.0);
+        assert_eq!(s.estimate_window(10), 10.0);
+        assert_eq!(s.estimate_window(1), 1.0);
+    }
+
+    #[test]
+    fn distinct_in_window_not_stream() {
+        // Stream: 0..50 then 0..50 again. Window of 50 sees 50 distinct;
+        // whole stream also 50 distinct.
+        let mut s = WindowedKmv::new(128, 2);
+        for _ in 0..2 {
+            for i in 0..50u64 {
+                s.insert(i);
+            }
+        }
+        assert_eq!(s.estimate_window(50), 50.0);
+        assert_eq!(s.estimate_all(), 50.0);
+    }
+
+    #[test]
+    fn window_estimates_track_truth() {
+        let mut s = WindowedKmv::new(256, 3);
+        let mut rng = Xoshiro256pp::seed_from_u64(4);
+        let stream: Vec<u64> = (0..50_000).map(|_| rng.range_u64(5_000)).collect();
+        for &x in &stream {
+            s.insert(x);
+        }
+        for &w in &[100u64, 1000, 20_000] {
+            let truth: std::collections::HashSet<u64> = stream
+                [(stream.len() - w as usize)..]
+                .iter()
+                .copied()
+                .collect();
+            let est = s.estimate_window(w);
+            let rel = (est - truth.len() as f64).abs() / truth.len() as f64;
+            assert!(rel < 0.3, "window {w}: est {est} vs {} (rel {rel})", truth.len());
+        }
+    }
+
+    #[test]
+    fn retained_space_logarithmic() {
+        let mut s = WindowedKmv::new(32, 5);
+        for i in 0..100_000u64 {
+            s.insert(i);
+        }
+        // O(k log(n/k)) after a prune; lazy pruning at most doubles it.
+        let envelope = 2.0 * 32.0 * ((100_000f64 / 32.0).log2() + 4.0);
+        assert!(
+            (s.retained() as f64) < envelope,
+            "retained {} above staircase envelope {envelope}",
+            s.retained()
+        );
+    }
+
+    #[test]
+    fn refreshing_an_item_keeps_it_alive() {
+        let mut s = WindowedKmv::new(4, 6);
+        // Insert a burst, then keep refreshing item 7 only.
+        for i in 0..100u64 {
+            s.insert(i);
+        }
+        for _ in 0..100 {
+            s.insert(7);
+        }
+        // A window of the last 50 positions has exactly one distinct item.
+        assert_eq!(s.estimate_window(50), 1.0);
+    }
+
+    #[test]
+    fn empty_stream() {
+        let s = WindowedKmv::new(8, 7);
+        assert_eq!(s.estimate_window(10), 0.0);
+        assert_eq!(s.estimate_all(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "k >= 2")]
+    fn rejects_tiny_k() {
+        WindowedKmv::new(1, 0);
+    }
+}

@@ -1,0 +1,156 @@
+//! Row-stream adapters.
+//!
+//! The computational model of Section 2 presents `A` as a stream whose
+//! order the algorithm cannot control ("our lower bounds are not strongly
+//! dependent on the order in which the data is presented"); summaries must
+//! therefore be order-insensitive. These adapters let tests and benches
+//! feed the same dataset in different orders and verify that estimates are
+//! unchanged (for order-oblivious summaries) or statistically equivalent
+//! (for samplers).
+
+use pfe_hash::rng::Xoshiro256pp;
+use pfe_row::{BinaryMatrix, Dataset, QaryMatrix};
+
+/// A dataset with its rows visited in a permuted order.
+pub fn shuffled(data: &Dataset, seed: u64) -> Dataset {
+    let mut order: Vec<usize> = (0..data.num_rows()).collect();
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    rng.shuffle(&mut order);
+    reorder(data, &order)
+}
+
+/// A dataset with its rows in the given visiting order.
+///
+/// # Panics
+/// Panics if `order` is not a permutation of `0..n`.
+pub fn reorder(data: &Dataset, order: &[usize]) -> Dataset {
+    assert_eq!(order.len(), data.num_rows(), "order length mismatch");
+    let mut seen = vec![false; order.len()];
+    for &i in order {
+        assert!(!seen[i], "order repeats row {i}");
+        seen[i] = true;
+    }
+    match data {
+        Dataset::Binary(m) => {
+            let rows = order.iter().map(|&i| m.row(i)).collect();
+            Dataset::Binary(BinaryMatrix::from_rows(m.dimension(), rows))
+        }
+        Dataset::Qary(m) => {
+            let mut out = QaryMatrix::new(m.alphabet(), m.dimension());
+            for &i in order {
+                out.push_row(m.row(i));
+            }
+            Dataset::Qary(out)
+        }
+    }
+}
+
+/// Interleave two datasets (same shape) round-robin — models two merged
+/// stream sources.
+///
+/// # Panics
+/// Panics on shape/alphabet mismatch.
+pub fn interleave(a: &Dataset, b: &Dataset) -> Dataset {
+    assert_eq!(a.dimension(), b.dimension(), "dimension mismatch");
+    assert_eq!(a.alphabet(), b.alphabet(), "alphabet mismatch");
+    match (a, b) {
+        (Dataset::Binary(x), Dataset::Binary(y)) => {
+            let mut rows = Vec::with_capacity(x.num_rows() + y.num_rows());
+            let mut ix = x.rows().iter();
+            let mut iy = y.rows().iter();
+            loop {
+                match (ix.next(), iy.next()) {
+                    (None, None) => break,
+                    (rx, ry) => {
+                        if let Some(&r) = rx {
+                            rows.push(r);
+                        }
+                        if let Some(&r) = ry {
+                            rows.push(r);
+                        }
+                    }
+                }
+            }
+            Dataset::Binary(BinaryMatrix::from_rows(x.dimension(), rows))
+        }
+        _ => {
+            // General path through dense rows.
+            let q = a.alphabet().max(2);
+            let mut out = QaryMatrix::new(q, a.dimension());
+            let (na, nb) = (a.num_rows(), b.num_rows());
+            for i in 0..na.max(nb) {
+                if i < na {
+                    out.push_row(&a.row_dense(i));
+                }
+                if i < nb {
+                    out.push_row(&b.row_dense(i));
+                }
+            }
+            Dataset::Qary(out)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::uniform_binary;
+    use pfe_row::{ColumnSet, FrequencyVector};
+
+    #[test]
+    fn shuffle_preserves_frequency_vector() {
+        let ds = uniform_binary(12, 500, 1);
+        let sh = shuffled(&ds, 42);
+        assert_eq!(ds.num_rows(), sh.num_rows());
+        let cols = ColumnSet::from_indices(12, &[0, 3, 7, 11]).expect("valid");
+        let f1 = FrequencyVector::compute(&ds, &cols).expect("fits");
+        let f2 = FrequencyVector::compute(&sh, &cols).expect("fits");
+        assert_eq!(f1.sorted_counts(), f2.sorted_counts());
+    }
+
+    #[test]
+    fn shuffle_actually_permutes() {
+        let ds = uniform_binary(12, 500, 2);
+        let sh = shuffled(&ds, 43);
+        assert_ne!(ds, sh);
+    }
+
+    #[test]
+    fn reorder_identity() {
+        let ds = uniform_binary(8, 100, 3);
+        let order: Vec<usize> = (0..100).collect();
+        assert_eq!(reorder(&ds, &order), ds);
+    }
+
+    #[test]
+    #[should_panic(expected = "order repeats")]
+    fn reorder_rejects_duplicates() {
+        let ds = uniform_binary(8, 3, 4);
+        reorder(&ds, &[0, 0, 1]);
+    }
+
+    #[test]
+    fn interleave_preserves_multiset() {
+        let a = uniform_binary(10, 70, 5);
+        let b = uniform_binary(10, 30, 6);
+        let c = interleave(&a, &b);
+        assert_eq!(c.num_rows(), 100);
+        let cols = ColumnSet::full(10).expect("valid");
+        let fa = FrequencyVector::compute(&a, &cols).expect("fits");
+        let fb = FrequencyVector::compute(&b, &cols).expect("fits");
+        let fc = FrequencyVector::compute(&c, &cols).expect("fits");
+        assert_eq!(fa.total() + fb.total(), fc.total());
+        // Every pattern count adds up.
+        for (k, c_count) in fc.sorted_counts() {
+            assert_eq!(fa.frequency(k) + fb.frequency(k), c_count);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn interleave_rejects_shape_mismatch() {
+        let a = uniform_binary(10, 5, 0);
+        let b = uniform_binary(11, 5, 0);
+        interleave(&a, &b);
+    }
+}

@@ -1,0 +1,68 @@
+//! Quickstart: the paper's model in fifty lines.
+//!
+//! Build a dataset, ingest it into three summaries *before* any query is
+//! known, then answer projection queries that arrive afterwards — the
+//! defining constraint of projected frequency estimation.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use subspace_exploration::core::alpha_net::{AlphaNet, AlphaNetF0, NetMode};
+use subspace_exploration::core::{ExactSummary, UniformSampleSummary};
+use subspace_exploration::row::ColumnSet;
+use subspace_exploration::sketch::kmv::Kmv;
+use subspace_exploration::sketch::traits::SpaceUsage;
+use subspace_exploration::stream::gen::zipf_patterns;
+
+fn main() {
+    // 20 columns, 50k rows, heavy-hitter-rich (Zipf over 100 patterns).
+    let d = 20;
+    let data = zipf_patterns(d, 50_000, 100, 1.3, 42);
+
+    // --- Observation phase: build summaries without knowing the query.
+    let exact = ExactSummary::build(&data); // Theta(nd) baseline
+    let sample = UniformSampleSummary::build(&data, 4096, 1); // Thm 5.1
+    let net = AlphaNet::new(d, 0.25).expect("valid alpha");
+    let net_f0 = AlphaNetF0::build(&data, net, NetMode::Full, 1 << 22, |mask| {
+        Kmv::new(256, mask)
+    })
+    .expect("net builds"); // Section 6, Algorithm 1
+
+    println!("summaries built (space):");
+    println!("  exact          : {:>12} bytes", exact.space_bytes());
+    println!("  uniform sample : {:>12} bytes", sample.space_bytes());
+    println!("  alpha-net F0   : {:>12} bytes ({} sketches)", net_f0.space_bytes(), net_f0.num_sketches());
+
+    // --- Query phase: the column subset arrives only now.
+    let cols = ColumnSet::from_indices(d, &[1, 4, 9, 13, 17]).expect("valid");
+    println!("\nquery C = {cols} (revealed after the data)");
+
+    // Projected F0 (distinct patterns).
+    let f0_exact = exact.f0(&cols).expect("ok").value;
+    let f0_net = net_f0.f0(&cols).expect("ok");
+    println!("\nprojected F0:");
+    println!("  exact    : {f0_exact}");
+    println!(
+        "  alpha-net: {:.1} (answered on {}, |C delta C'| = {}, distortion bound {}x)",
+        f0_net.estimate, f0_net.answered_on, f0_net.sym_diff, f0_net.distortion_bound
+    );
+
+    // Point frequency of the most common pattern (Thm 5.1 estimator).
+    let f = exact.freq_vector(&cols).expect("ok");
+    let (top_key, top_count) = f
+        .sorted_counts()
+        .into_iter()
+        .max_by_key(|&(_, c)| c)
+        .expect("nonempty");
+    let est = sample.frequency(&cols, top_key).expect("ok");
+    println!("\ntop pattern frequency:");
+    println!("  exact   : {top_count}");
+    println!("  sampled : {est:.0} (additive error guarantee eps * n)");
+
+    // phi-l_1 heavy hitters via the sample.
+    let hh = sample.heavy_hitters(&cols, 0.1, 1.0, 2.0).expect("ok");
+    println!("\nheavy hitters (phi = 0.1, p = 1): {} reported", hh.len());
+    for h in hh.iter().take(5) {
+        let pattern = f.codec().decode(h.key);
+        println!("  pattern {pattern:?} ~ {:.0} occurrences", h.estimate);
+    }
+}

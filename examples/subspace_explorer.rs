@@ -1,0 +1,87 @@
+//! Subspace clustering exploration (the paper's third motivating
+//! scenario): search for column subsets where the data is *dense* —
+//! projected F0 far below the diverse-data expectation — which signals a
+//! planted subspace cluster. The α-net summary prunes the exponential
+//! search space; exact computation verifies the survivors.
+//!
+//! Run: `cargo run --release --example subspace_explorer`
+
+use subspace_exploration::core::alpha_net::{AlphaNet, AlphaNetF0, NetMode};
+use subspace_exploration::core::ExactSummary;
+use subspace_exploration::row::ColumnSet;
+use subspace_exploration::sketch::kmv::Kmv;
+use subspace_exploration::stream::gen::{clustered_subspace, ClusteredConfig};
+
+fn main() {
+    // Sparse regime: n well below 2^width, so diverse subspaces show high
+    // F0 while cluster-aligned subspaces compress dramatically.
+    let d = 16;
+    let cfg = ClusteredConfig {
+        d,
+        n: 1200,
+        clusters: 2,
+        subspace_size: 8,
+        noise: 0.01,
+        seed: 5,
+    };
+    let planted = clustered_subspace(&cfg);
+    let data = planted.data;
+
+    let exact = ExactSummary::build(&data);
+    let net = AlphaNet::new(d, 0.2).expect("valid");
+    let summary = AlphaNetF0::build(&data, net, NetMode::Full, 1 << 24, |mask| {
+        Kmv::new(256, mask)
+    })
+    .expect("builds");
+
+    // Score every width-10 subset by estimated F0: diverse subspaces run
+    // near 1024-pattern saturation; a subspace covering a planted cluster's
+    // relevant columns collapses (half the rows land on ~4 patterns).
+    let width = 10u32;
+    let mut scored: Vec<(u64, f64)> = Vec::new();
+    for mask in subspace_exploration::codes::subsets::FixedWeightIter::new(d, width) {
+        let cols = ColumnSet::from_mask(d, mask).expect("valid");
+        let ans = summary.f0(&cols).expect("ok");
+        scored.push((mask, ans.estimate));
+    }
+    scored.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+
+    println!(
+        "explored {} width-{width} subspaces through one summary\n",
+        scored.len()
+    );
+    println!("densest candidates (lowest estimated F0; verify with exact):");
+    let mut hits = 0;
+    for &(mask, est) in scored.iter().take(10) {
+        let cols = ColumnSet::from_mask(d, mask).expect("valid");
+        let truth = exact.f0(&cols).expect("ok").value;
+        // Overlap with any planted cluster's relevant columns.
+        let overlap = planted
+            .relevant_columns
+            .iter()
+            .map(|&rel| (rel & mask).count_ones())
+            .max()
+            .expect("clusters exist");
+        if overlap >= 6 {
+            hits += 1;
+        }
+        println!(
+            "  {cols:<28} est F0 {est:>7.0}   exact F0 {truth:>6}   planted-overlap {overlap}/8"
+        );
+    }
+    assert!(
+        hits >= 6,
+        "subspace search failed: only {hits}/10 top candidates overlap a planted cluster"
+    );
+    println!(
+        "\n{hits}/10 top candidates overlap a planted cluster's relevant columns — \
+         the net-pruned search recovers the planted structure."
+    );
+
+    // Contrast: a random irrelevant subspace looks diverse.
+    let noise_cols = ColumnSet::from_mask(d, scored.last().expect("nonempty").0).expect("valid");
+    println!(
+        "least dense subspace {noise_cols}: exact F0 = {} (diverse, no cluster)",
+        exact.f0(&noise_cols).expect("ok").value
+    );
+}

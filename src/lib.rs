@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+//! Projected frequency estimation over column subspaces — a from-scratch
+//! Rust reproduction of Cormode, Dickens & Woodruff, *Subspace
+//! Exploration: Bounds on Projected Frequency Estimation* (PODS 2021,
+//! arXiv:2101.07546).
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! - [`hash`] — deterministic PRNGs, k-wise independent and tabulation
+//!   hashing, seeded `BuildHasher`;
+//! - [`codes`] — constant-weight codes `B(d,k)`, Lemma 3.2 random codes,
+//!   greedy codes, the `star_Q` operator, binomials and entropy;
+//! - [`row`] — column sets, packed binary and Q-ary matrices, pattern
+//!   keys, exact frequency vectors;
+//! - [`sketch`] — KMV/HLL/LinearCounting/BJKST distinct counters,
+//!   CountMin/CountSketch, Misra–Gries/SpaceSaving, AMS F2, p-stable Fp,
+//!   reservoirs, windowed KMV, ℓ₀-sampler;
+//! - [`stream`] — workload generators and the paper's adversarial
+//!   lower-bound instances;
+//! - [`core`] — the paper's summaries: exact baseline, Theorem 5.1
+//!   uniform sampling, the Section 6 α-net family, related-work baselines;
+//! - [`lowerbounds`] — executable Index reductions for Theorems 4.1,
+//!   5.3, 5.4, 5.5 and the related-work contrast models.
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
+//! `EXPERIMENTS.md` for paper-vs-measured results.
+pub use pfe_codes as codes;
+pub use pfe_core as core;
+pub use pfe_hash as hash;
+pub use pfe_lowerbounds as lowerbounds;
+pub use pfe_row as row;
+pub use pfe_sketch as sketch;
+pub use pfe_stream as stream;

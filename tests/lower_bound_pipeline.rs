@@ -1,0 +1,97 @@
+//! Integration: the full Index-reduction pipeline for every lower-bound
+//! theorem, at parameters small enough for CI but large enough to separate.
+
+use subspace_exploration::codes::random_code::RandomCodeParams;
+use subspace_exploration::lowerbounds::f0::{ExactF0Oracle, F0Protocol};
+use subspace_exploration::lowerbounds::fp::{ExactFpOracle, FpLargeProtocol, FpSmallProtocol};
+use subspace_exploration::lowerbounds::heavy_hitters::{ExactHhOracle, HhProtocol};
+use subspace_exploration::lowerbounds::index_problem::run_trials;
+use subspace_exploration::lowerbounds::sampling::{SamplerLargeProtocol, SamplerSmallProtocol};
+
+fn lemma32_params(seed: u64) -> RandomCodeParams {
+    RandomCodeParams {
+        d: 32,
+        epsilon: 0.25,
+        gamma: 0.03,
+        target_size: 12,
+        seed,
+    }
+}
+
+#[test]
+fn theorem_4_1_reduction_exact() {
+    let p: F0Protocol<ExactF0Oracle> = F0Protocol::new(14, 3, 9, 24, 1);
+    let r = run_trials(&p, 40, 2);
+    assert_eq!(r.accuracy(), 1.0);
+    assert!(r.mean_summary_bytes > 0.0);
+}
+
+#[test]
+fn theorem_5_3_reduction_exact() {
+    let p: HhProtocol<ExactHhOracle> = HhProtocol::new(lemma32_params(3), 2.0, 0.25);
+    let r = run_trials(&p, 16, 4);
+    assert_eq!(r.accuracy(), 1.0);
+}
+
+#[test]
+fn theorem_5_4_small_p_reduction_exact() {
+    let p: FpSmallProtocol<ExactFpOracle> = FpSmallProtocol::new(lemma32_params(5), 0.25);
+    let r = run_trials(&p, 16, 6);
+    assert_eq!(r.accuracy(), 1.0);
+}
+
+#[test]
+fn theorem_5_4_large_p_reduction_exact() {
+    let p: FpLargeProtocol<ExactFpOracle> = FpLargeProtocol::new(lemma32_params(7), 2.0);
+    let r = run_trials(&p, 16, 8);
+    assert_eq!(r.accuracy(), 1.0);
+}
+
+#[test]
+fn theorem_5_5_sampling_reductions() {
+    let large = SamplerLargeProtocol::new(lemma32_params(9), 2.0, 200, 10);
+    assert_eq!(run_trials(&large, 12, 11).accuracy(), 1.0);
+    let small = SamplerSmallProtocol::new(lemma32_params(12), 0.5, 200, 13);
+    assert_eq!(run_trials(&small, 12, 14).accuracy(), 1.0);
+}
+
+#[test]
+fn greedy_code_drives_protocols_deterministically() {
+    // The deterministic greedy construction (no sampling, no seed) feeds
+    // the same protocols as the Lemma 3.2 random codes; results must be
+    // perfect and reproducible.
+    use subspace_exploration::codes::greedy_code::GreedyCode;
+    use subspace_exploration::codes::random_code::RandomCode;
+    let params = lemma32_params(0);
+    let greedy = GreedyCode::generate(32, 8, params.intersection_cap(), 12);
+    assert!(greedy.len() >= 12, "greedy produced only {}", greedy.len());
+    let code = RandomCode::from_verified_words(params, greedy.words()[..12].to_vec())
+        .expect("greedy words satisfy Lemma 3.2 invariants");
+    let hh: HhProtocol<ExactHhOracle> = HhProtocol::with_code(code.clone(), 2.0, 0.25);
+    assert_eq!(run_trials(&hh, 12, 30).accuracy(), 1.0);
+    let fp: FpSmallProtocol<ExactFpOracle> = FpSmallProtocol::with_code(code, 0.25);
+    assert_eq!(run_trials(&fp, 12, 31).accuracy(), 1.0);
+}
+
+#[test]
+fn reductions_accuracy_across_p_values() {
+    // The dichotomy holds for several p on both sides of 1.
+    for p_small in [0.2, 0.4] {
+        let proto: FpSmallProtocol<ExactFpOracle> =
+            FpSmallProtocol::new(lemma32_params(20), p_small);
+        assert_eq!(
+            run_trials(&proto, 10, 21).accuracy(),
+            1.0,
+            "p={p_small} failed"
+        );
+    }
+    for p_large in [1.5, 3.0] {
+        let proto: HhProtocol<ExactHhOracle> =
+            HhProtocol::new(lemma32_params(22), p_large, 0.25);
+        assert_eq!(
+            run_trials(&proto, 10, 23).accuracy(),
+            1.0,
+            "p={p_large} failed"
+        );
+    }
+}

@@ -1,0 +1,120 @@
+//! Cross-crate property tests: invariants of the paper tying the layers
+//! together, on randomized inputs.
+
+use proptest::prelude::*;
+use subspace_exploration::core::alpha_net::AlphaNet;
+use subspace_exploration::core::ExactSummary;
+use subspace_exploration::row::{BinaryMatrix, ColumnSet, Dataset, FrequencyVector};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Lemma 6.4, measured: rounding a query through any α-net never
+    /// distorts F0 by more than 2^{|C delta C'|} on any binary data.
+    #[test]
+    fn f0_rounding_distortion_bound(
+        rows in proptest::collection::vec(0u64..(1 << 10), 1..120),
+        mask in 0u64..(1 << 10),
+        alpha_pct in 5u32..45,
+    ) {
+        let d = 10;
+        let data = Dataset::Binary(BinaryMatrix::from_rows(d, rows));
+        let cols = ColumnSet::from_mask(d, mask).expect("valid");
+        let net = AlphaNet::new(d, alpha_pct as f64 / 100.0).expect("valid");
+        let r = net.round(&cols).expect("ok");
+        let f_orig = FrequencyVector::compute(&data, &cols).expect("fits");
+        let f_round = FrequencyVector::compute(&data, &r.target).expect("fits");
+        let (a, b) = (f_orig.f0() as f64, f_round.f0() as f64);
+        let ratio = (a / b).max(b / a);
+        let bound = 2f64.powi(r.sym_diff as i32);
+        prop_assert!(ratio <= bound + 1e-9, "ratio {ratio} > bound {bound}");
+    }
+
+    /// F_p rounding distortion (p = 2): bound 2^{|delta| (p-1)}.
+    #[test]
+    fn f2_rounding_distortion_bound(
+        rows in proptest::collection::vec(0u64..(1 << 8), 1..100),
+        mask in 0u64..(1 << 8),
+    ) {
+        let d = 8;
+        let data = Dataset::Binary(BinaryMatrix::from_rows(d, rows));
+        let cols = ColumnSet::from_mask(d, mask).expect("valid");
+        let net = AlphaNet::new(d, 0.3).expect("valid");
+        let r = net.round(&cols).expect("ok");
+        let f_orig = FrequencyVector::compute(&data, &cols).expect("fits");
+        let f_round = FrequencyVector::compute(&data, &r.target).expect("fits");
+        let (a, b) = (f_orig.fp(2.0), f_round.fp(2.0));
+        let ratio = (a / b).max(b / a);
+        let bound = 2f64.powi(r.sym_diff as i32); // 2^{|delta| * (2-1)}
+        prop_assert!(ratio <= bound + 1e-9, "ratio {ratio} > bound {bound}");
+    }
+
+    /// Monotonicity: adding columns never decreases F0 and never increases
+    /// the maximum frequency (projection refines patterns).
+    #[test]
+    fn f0_monotone_under_column_growth(
+        rows in proptest::collection::vec(0u64..(1 << 9), 1..100),
+        small_mask in 0u64..(1 << 9),
+        extra in 0u64..(1 << 9),
+    ) {
+        let d = 9;
+        let data = Dataset::Binary(BinaryMatrix::from_rows(d, rows));
+        let small = ColumnSet::from_mask(d, small_mask).expect("valid");
+        let large = ColumnSet::from_mask(d, small_mask | extra).expect("valid");
+        let f_small = FrequencyVector::compute(&data, &small).expect("fits");
+        let f_large = FrequencyVector::compute(&data, &large).expect("fits");
+        prop_assert!(f_large.f0() >= f_small.f0());
+        let max_small = f_small.iter().map(|(_, c)| c).max().unwrap_or(0);
+        let max_large = f_large.iter().map(|(_, c)| c).max().unwrap_or(0);
+        prop_assert!(max_large <= max_small);
+    }
+
+    /// F_p interleaves correctly with the exact summary facade, and the
+    /// norms obey ||f||_1 <= ||f||_p for p < 1 (the Corollary 5.2 step).
+    #[test]
+    fn norm_ordering_for_small_p(
+        rows in proptest::collection::vec(0u64..(1 << 8), 2..100),
+        mask in 1u64..(1 << 8),
+        p_pct in 10u32..99,
+    ) {
+        let d = 8;
+        let data = Dataset::Binary(BinaryMatrix::from_rows(d, rows));
+        let exact = ExactSummary::build(&data);
+        let cols = ColumnSet::from_mask(d, mask).expect("valid");
+        let p = p_pct as f64 / 100.0;
+        let f = exact.freq_vector(&cols).expect("ok");
+        let l1 = f.lp_norm(1.0);
+        let lp = f.lp_norm(p);
+        prop_assert!(l1 <= lp + 1e-9, "||f||_1 = {l1} > ||f||_{p} = {lp}");
+    }
+
+    /// The α-net size is always within Lemma 6.2's bound, and strictly
+    /// sublinear in 2^d whenever the net actually excludes a middle size
+    /// (for αd below ~1 the net degenerates to the full power set — the
+    /// trivial exhaustive scheme, still correct with distortion 1).
+    #[test]
+    fn net_size_lemma62(d in 4u32..24, alpha_pct in 2u32..48) {
+        let alpha = alpha_pct as f64 / 100.0;
+        let net = AlphaNet::new(d, alpha).expect("valid");
+        let size = net.size() as f64;
+        prop_assert!(size.log2() <= net.size_bound_log2() + 1e-9);
+        prop_assert!(net.size() <= (1u128 << d));
+        if net.large_size() - net.small_size() >= 2 {
+            prop_assert!(net.size() < (1u128 << d), "non-degenerate net not sublinear");
+        }
+    }
+
+    /// Rounded queries always land in the net with symmetric difference at
+    /// most ceil((large-small)/2) <= alpha*d + 1.
+    #[test]
+    fn rounding_always_lands_in_net(d in 4u32..30, alpha_pct in 2u32..48, mask in any::<u64>()) {
+        let alpha = alpha_pct as f64 / 100.0;
+        let net = AlphaNet::new(d, alpha).expect("valid");
+        let mask = mask & ((1u64 << d) - 1);
+        let cols = ColumnSet::from_mask(d, mask).expect("valid");
+        let r = net.round(&cols).expect("ok");
+        prop_assert!(net.contains(&r.target));
+        prop_assert!(r.sym_diff <= (alpha * d as f64).ceil() as u32 + 1);
+        prop_assert_eq!(r.target.symmetric_difference(&cols).len(), r.sym_diff);
+    }
+}
