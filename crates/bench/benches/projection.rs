@@ -8,7 +8,9 @@ use pfe_row::{pext_u64, ColumnSet, FrequencyVector, PatternKey};
 use pfe_stream::gen::{uniform_binary, uniform_qary};
 
 fn bench_pext(c: &mut Criterion) {
-    let rows: Vec<u64> = (0..10_000u64).map(|i| i.wrapping_mul(0x9e3779b97f4a7c15)).collect();
+    let rows: Vec<u64> = (0..10_000u64)
+        .map(|i| i.wrapping_mul(0x9e3779b97f4a7c15))
+        .collect();
     let mask = 0b1010_1100_0110_1010u64;
     let mut g = c.benchmark_group("projection");
     g.throughput(Throughput::Elements(rows.len() as u64));

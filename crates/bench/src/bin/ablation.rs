@@ -43,7 +43,14 @@ fn distortion_tightness() {
     banner("Lemma 6.4: measured rounding distortion vs bound (E-A1)");
     let mut t = Table::new(
         "Worst measured distortion over 300 queries",
-        &["data", "P", "alpha", "worst measured", "bound 2^{max |delta| * x}", "tight?"],
+        &[
+            "data",
+            "P",
+            "alpha",
+            "worst measured",
+            "bound 2^{max |delta| * x}",
+            "tight?",
+        ],
     );
     for (name, data) in datasets() {
         let exact = ExactSummary::build(&data);
@@ -86,7 +93,11 @@ fn distortion_tightness() {
                     fmt_f64(alpha),
                     fmt_f64(worst),
                     fmt_f64(worst_bound),
-                    if worst > 0.5 * worst_bound { "near-tight".into() } else { "loose".to_string() },
+                    if worst > 0.5 * worst_bound {
+                        "near-tight".into()
+                    } else {
+                        "loose".to_string()
+                    },
                 ]);
             }
         }
@@ -113,8 +124,7 @@ fn sketch_plugins() {
         net: AlphaNet,
         factory: impl FnMut(u64) -> S,
     ) -> (usize, f64, f64) {
-        let summary = AlphaNetF0::build(data, net, NetMode::Full, 1 << 22, factory)
-            .expect("build");
+        let summary = AlphaNetF0::build(data, net, NetMode::Full, 1 << 22, factory).expect("build");
         let mut rng = Xoshiro256pp::seed_from_u64(5);
         let mut ratios: Vec<f64> = Vec::new();
         for _ in 0..200 {
@@ -135,11 +145,26 @@ fn sketch_plugins() {
     let (b, m, w) = run(&data, &exact, net, |mask| Kmv::new(64, mask));
     t.row(&["KMV k=64".to_string(), fmt_bytes(b), fmt_f64(m), fmt_f64(w)]);
     let (b, m, w) = run(&data, &exact, net, |mask| HyperLogLog::new(6, mask));
-    t.row(&["HLL b=6 (64 regs)".to_string(), fmt_bytes(b), fmt_f64(m), fmt_f64(w)]);
+    t.row(&[
+        "HLL b=6 (64 regs)".to_string(),
+        fmt_bytes(b),
+        fmt_f64(m),
+        fmt_f64(w),
+    ]);
     let (b, m, w) = run(&data, &exact, net, |mask| LinearCounting::new(512, mask));
-    t.row(&["LinearCounting m=512".to_string(), fmt_bytes(b), fmt_f64(m), fmt_f64(w)]);
+    t.row(&[
+        "LinearCounting m=512".to_string(),
+        fmt_bytes(b),
+        fmt_f64(m),
+        fmt_f64(w),
+    ]);
     let (b, m, w) = run(&data, &exact, net, |mask| Bjkst::new(64, mask));
-    t.row(&["BJKST budget=64".to_string(), fmt_bytes(b), fmt_f64(m), fmt_f64(w)]);
+    t.row(&[
+        "BJKST budget=64".to_string(),
+        fmt_bytes(b),
+        fmt_f64(m),
+        fmt_f64(w),
+    ]);
     t.print();
     t.save_tsv("ablation_plugins.tsv");
 }
@@ -151,14 +176,20 @@ fn net_modes() {
     let exact = ExactSummary::build(&data);
     let mut t = Table::new(
         "Full vs BoundaryOnly (KMV k=64)",
-        &["alpha", "mode", "sketches", "bytes", "median ratio", "worst ratio"],
+        &[
+            "alpha",
+            "mode",
+            "sketches",
+            "bytes",
+            "median ratio",
+            "worst ratio",
+        ],
     );
     for &alpha in &[0.15, 0.25, 0.35] {
         let net = AlphaNet::new(D, alpha).expect("valid");
         for (mode, label) in [(NetMode::Full, "full"), (NetMode::BoundaryOnly, "boundary")] {
-            let summary =
-                AlphaNetF0::build(&data, net, mode, 1 << 22, |mask| Kmv::new(64, mask))
-                    .expect("build");
+            let summary = AlphaNetF0::build(&data, net, mode, 1 << 22, |mask| Kmv::new(64, mask))
+                .expect("build");
             let mut rng = Xoshiro256pp::seed_from_u64(7);
             let mut ratios: Vec<f64> = Vec::new();
             for _ in 0..200 {
@@ -188,5 +219,8 @@ fn main() {
     distortion_tightness();
     sketch_plugins();
     net_modes();
-    println!("\nresults written under {:?}", pfe_bench::report::results_dir());
+    println!(
+        "\nresults written under {:?}",
+        pfe_bench::report::results_dir()
+    );
 }

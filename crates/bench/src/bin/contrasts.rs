@@ -29,11 +29,14 @@ fn hypotheticals_contrast() {
     let data = uniform_qary(4, 14, 20_000, 1);
     let mut t = Table::new(
         "Union-distinct vs projected F0, same data (Q=4, d=14, n=20k)",
-        &["|C|", "union-distinct (hypotheticals)", "projected F0 (this paper)"],
+        &[
+            "|C|",
+            "union-distinct (hypotheticals)",
+            "projected F0 (this paper)",
+        ],
     );
     for width in [2u32, 6, 10, 14] {
-        let cols =
-            ColumnSet::from_indices(14, &(0..width).collect::<Vec<_>>()).expect("valid");
+        let cols = ColumnSet::from_indices(14, &(0..width).collect::<Vec<_>>()).expect("valid");
         let (union, f0) = model_divergence(&data, &cols);
         assert!(union <= 4, "union-distinct exceeded alphabet");
         t.row(&[width.to_string(), union.to_string(), f0.to_string()]);
@@ -109,10 +112,8 @@ fn independence_contrast() {
             .into_iter()
             .max_by_key(|&(_, c)| c)
             .expect("nonempty");
-        let err_m =
-            (marg.frequency(&cols, key).expect("ok") - count as f64).abs() / n as f64;
-        let err_s =
-            (samp.frequency(&cols, key).expect("ok") - count as f64).abs() / n as f64;
+        let err_m = (marg.frequency(&cols, key).expect("ok") - count as f64).abs() / n as f64;
+        let err_s = (samp.frequency(&cols, key).expect("ok") - count as f64).abs() / n as f64;
         t.row(&[
             name.into(),
             format!("{cols}"),
@@ -142,5 +143,8 @@ fn main() {
     banner("RELATED-WORK CONTRASTS — the models the paper distinguishes itself from");
     hypotheticals_contrast();
     independence_contrast();
-    println!("\nresults written under {:?}", pfe_bench::report::results_dir());
+    println!(
+        "\nresults written under {:?}",
+        pfe_bench::report::results_dir()
+    );
 }

@@ -100,7 +100,11 @@ fn main() {
         }
         t.row(&[
             fmt_f64(alpha),
-            if query_in_net { "yes".into() } else { "no".to_string() },
+            if query_in_net {
+                "yes".into()
+            } else {
+                "no".to_string()
+            },
             fmt_f64(distortion),
             fmt_f64(r.accuracy()),
             fmt_f64(r.yes_accuracy()),
@@ -127,5 +131,8 @@ fn main() {
         fmt_f64(first_out_acc),
         Q as f64 / K as f64
     );
-    println!("\nresults written under {:?}", pfe_bench::report::results_dir());
+    println!(
+        "\nresults written under {:?}",
+        pfe_bench::report::results_dir()
+    );
 }

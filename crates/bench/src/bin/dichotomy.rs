@@ -43,13 +43,23 @@ fn easy_side() {
     let summary = UniformSampleSummary::build(&data, 4096, 2);
     let mut t = Table::new(
         "Recall/precision of sampled heavy hitters (phi = 0.1, slack c = 2)",
-        &["p", "true HH", "reported", "recall", "precision vs phi/c^2 floor", "summary bytes"],
+        &[
+            "p",
+            "true HH",
+            "reported",
+            "recall",
+            "precision vs phi/c^2 floor",
+            "summary bytes",
+        ],
     );
     for &p in &[0.25, 0.5, 0.75, 1.0] {
         let cols = ColumnSet::full(d).expect("valid");
         let exact = FrequencyVector::compute(&data, &cols).expect("fits");
-        let truth: std::collections::BTreeSet<PatternKey> =
-            exact.heavy_hitters(0.1, p).into_iter().map(|(k, _)| k).collect();
+        let truth: std::collections::BTreeSet<PatternKey> = exact
+            .heavy_hitters(0.1, p)
+            .into_iter()
+            .map(|(k, _)| k)
+            .collect();
         let reported: std::collections::BTreeSet<PatternKey> = summary
             .heavy_hitters(&cols, 0.1, p, 2.0)
             .expect("ok")
@@ -128,7 +138,14 @@ fn hard_side() {
     banner("Hard side: l_2 heavy hitters on the Theorem 5.3 instance");
     let mut t = Table::new(
         "Index accuracy, exact vs sampled summary (p = 2, phi = 0.25)",
-        &["oracle", "trials", "accuracy", "yes-acc", "no-acc", "mean summary size"],
+        &[
+            "oracle",
+            "trials",
+            "accuracy",
+            "yes-acc",
+            "no-acc",
+            "mean summary size",
+        ],
     );
     let trials = 20;
     {
@@ -215,8 +232,14 @@ fn sampling_sides() {
     let no_mass = m_prime_mass(&code, &[1, 2, 3], 0, 0.5);
     assert!(yes_mass > 0.1, "yes-case M' mass {yes_mass} not constant");
     assert_eq!(no_mass, 0.0, "no-case M' mass must be zero");
-    t.row(&["M' mass, y in T (constant fraction)".to_string(), fmt_f64(yes_mass)]);
-    t.row(&["M' mass, y not in T (exactly zero)".to_string(), fmt_f64(no_mass)]);
+    t.row(&[
+        "M' mass, y in T (constant fraction)".to_string(),
+        fmt_f64(yes_mass),
+    ]);
+    t.row(&[
+        "M' mass, y not in T (exactly zero)".to_string(),
+        fmt_f64(no_mass),
+    ]);
 
     // The l_1 exception: reservoir-based sampling of the same instance is
     // accurate in small space (p = 1 dichotomy side).
@@ -230,13 +253,16 @@ fn sampling_sides() {
     let draws = sample.l1_sample(&cols, 4000, 9).expect("ok");
     // Empirical l1 rate of the all-zero pattern vs truth f_0/n.
     let truth = f.frequency(PatternKey::new(0)) as f64 / f.total() as f64;
-    let obs = draws.iter().filter(|s| s.key == PatternKey::new(0)).count() as f64
-        / draws.len() as f64;
+    let obs =
+        draws.iter().filter(|s| s.key == PatternKey::new(0)).count() as f64 / draws.len() as f64;
     assert!(
         (obs - truth).abs() < 0.05,
         "l1 sampler off: observed {obs} vs true {truth}"
     );
-    t.row(&["l_1 sampler |observed - true| rate (small space, OK)".to_string(), fmt_f64((obs - truth).abs())]);
+    t.row(&[
+        "l_1 sampler |observed - true| rate (small space, OK)".to_string(),
+        fmt_f64((obs - truth).abs()),
+    ]);
     t.print();
     t.save_tsv("dichotomy_sampling.tsv");
 }
@@ -247,5 +273,8 @@ fn main() {
     hard_side();
     fp_gaps();
     sampling_sides();
-    println!("\nresults written under {:?}", pfe_bench::report::results_dir());
+    println!(
+        "\nresults written under {:?}",
+        pfe_bench::report::results_dir()
+    );
 }

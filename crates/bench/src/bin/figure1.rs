@@ -103,7 +103,10 @@ fn analytic_panes() {
 }
 
 fn empirical_pane() {
-    banner(format!("Figure 1 (empirical), d = {D_EMPIRICAL}: real sketches, measured space & error").as_str());
+    banner(
+        format!("Figure 1 (empirical), d = {D_EMPIRICAL}: real sketches, measured space & error")
+            .as_str(),
+    );
     // Mixed workload: uniform (diverse) + planted clusters (compressible).
     let uniform = uniform_binary(D_EMPIRICAL, 2048, 11);
     let clustered = clustered_subspace(&ClusteredConfig {
@@ -181,5 +184,8 @@ fn main() {
     banner("FIGURE 1 REPRODUCTION — alpha-net space/approximation tradeoff");
     analytic_panes();
     empirical_pane();
-    println!("\nresults written under {:?}", pfe_bench::report::results_dir());
+    println!(
+        "\nresults written under {:?}",
+        pfe_bench::report::results_dir()
+    );
 }

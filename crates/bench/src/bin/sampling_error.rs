@@ -82,5 +82,8 @@ fn main() {
         "\nscaling check: observed p95 at t=16384 vs t=1024 should be ~1/4: \
          see table rows above (Chernoff prediction column halves per 4x t)."
     );
-    println!("\nresults written under {:?}", pfe_bench::report::results_dir());
+    println!(
+        "\nresults written under {:?}",
+        pfe_bench::report::results_dir()
+    );
 }

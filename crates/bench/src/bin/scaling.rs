@@ -20,7 +20,13 @@ fn sweep_d() {
     banner("Build scaling in d (alpha = 0.25, n = 2048, KMV k = 64)");
     let mut t = Table::new(
         "Net build vs dimension",
-        &["d", "|N| (sketches)", "build ms", "bytes", "ms per sketch-krow"],
+        &[
+            "d",
+            "|N| (sketches)",
+            "build ms",
+            "bytes",
+            "ms per sketch-krow",
+        ],
     );
     let n = 2048usize;
     let mut prev_sketches = 0u128;
@@ -28,10 +34,8 @@ fn sweep_d() {
         let data = uniform_binary(d, n, 1);
         let net = AlphaNet::new(d, 0.25).expect("valid");
         let start = Instant::now();
-        let summary = AlphaNetF0::build(&data, net, NetMode::Full, 1 << 24, |m| {
-            Kmv::new(64, m)
-        })
-        .expect("build");
+        let summary = AlphaNetF0::build(&data, net, NetMode::Full, 1 << 24, |m| Kmv::new(64, m))
+            .expect("build");
         let elapsed = start.elapsed().as_secs_f64() * 1e3;
         let sketches = summary.num_sketches() as u128;
         assert_eq!(sketches, net.size(), "materialization must equal |N|");
@@ -55,19 +59,14 @@ fn sweep_d() {
 
 fn sweep_n() {
     banner("Build scaling in n (d = 12, alpha = 0.25)");
-    let mut t = Table::new(
-        "Net build vs rows",
-        &["n", "build ms", "ms/row (x1000)"],
-    );
+    let mut t = Table::new("Net build vs rows", &["n", "build ms", "ms/row (x1000)"]);
     let net = AlphaNet::new(12, 0.25).expect("valid");
     let mut times: Vec<(usize, f64)> = Vec::new();
     for n in [1000usize, 4000, 16000] {
         let data = uniform_binary(12, n, 2);
         let start = Instant::now();
-        let summary = AlphaNetF0::build(&data, net, NetMode::Full, 1 << 24, |m| {
-            Kmv::new(64, m)
-        })
-        .expect("build");
+        let summary = AlphaNetF0::build(&data, net, NetMode::Full, 1 << 24, |m| Kmv::new(64, m))
+            .expect("build");
         let elapsed = start.elapsed().as_secs_f64() * 1e3;
         assert!(summary.num_sketches() > 0);
         times.push((n, elapsed));
@@ -95,5 +94,8 @@ fn main() {
     banner("SCALING STUDY — alpha-net build cost (E-P1)");
     sweep_d();
     sweep_n();
-    println!("\nresults written under {:?}", pfe_bench::report::results_dir());
+    println!(
+        "\nresults written under {:?}",
+        pfe_bench::report::results_dir()
+    );
 }

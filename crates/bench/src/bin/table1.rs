@@ -54,7 +54,10 @@ fn analytic_rows() {
         (table1_theorem41(16, 4, 16), "(d/k)^k x d over [Q]"),
         (table1_corollary42(12, 16), "2^d Q^{d/2} x d over [Q]"),
         (table1_corollary43(12), "2^d d^{d/2} x d over [d]"),
-        (table1_corollary44(12, 16, 2), "2^d Q^{d/2} x d log_q Q over [q]"),
+        (
+            table1_corollary44(12, 16, 2),
+            "2^d Q^{d/2} x d log_q Q over [q]",
+        ),
     ];
     let mut t = Table::new(
         "Table 1 — F0 lower-bound family",
@@ -107,12 +110,15 @@ fn measure_separation(
         &ColumnSet::from_mask(d, held[0]).expect("valid"),
     )
     .expect("fits");
-    let f_no = FrequencyVector::compute(
-        &inst.data,
-        &ColumnSet::from_mask(d, absent).expect("valid"),
+    let f_no =
+        FrequencyVector::compute(&inst.data, &ColumnSet::from_mask(d, absent).expect("valid"))
+            .expect("fits");
+    (
+        f_yes.f0(),
+        f_no.f0(),
+        inst.yes_threshold(),
+        inst.no_ceiling(),
     )
-    .expect("fits");
-    (f_yes.f0(), f_no.f0(), inst.yes_threshold(), inst.no_ceiling())
 }
 
 fn measured_separations() {
@@ -170,7 +176,12 @@ fn corollary44_reduction() {
     let reduced = alphabet_reduce(&inst.data, small_q);
     let mut t = Table::new(
         "Corollary 4.4 over [q]",
-        &["case", "original F0 (over [Q])", "reduced F0 (over [q])", "dims"],
+        &[
+            "case",
+            "original F0 (over [Q])",
+            "reduced F0 (over [q])",
+            "dims",
+        ],
     );
     for (case, y) in [("y in T", held[0]), ("y not in T", absent)] {
         let cols = ColumnSet::from_mask(d, y).expect("valid");
@@ -256,5 +267,8 @@ fn main() {
     measured_separations();
     corollary44_reduction();
     index_protocol_cliff();
-    println!("\nresults written under {:?}", pfe_bench::report::results_dir());
+    println!(
+        "\nresults written under {:?}",
+        pfe_bench::report::results_dir()
+    );
 }

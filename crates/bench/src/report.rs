@@ -78,7 +78,8 @@ impl Table {
     pub fn print(&self) {
         let stdout = std::io::stdout();
         let mut lock = stdout.lock();
-        lock.write_all(self.render().as_bytes()).expect("stdout write");
+        lock.write_all(self.render().as_bytes())
+            .expect("stdout write");
     }
 
     /// Write as TSV under `results/<file>`.

@@ -73,7 +73,12 @@ impl ConstantWeightCode {
     /// # Panics
     /// Panics if `word ∉ B(d, k)`.
     pub fn rank(&self, word: u64) -> u128 {
-        assert!(self.contains(word), "word {word:#x} not in B({}, {})", self.d, self.k);
+        assert!(
+            self.contains(word),
+            "word {word:#x} not in B({}, {})",
+            self.d,
+            self.k
+        );
         colex_rank(word)
     }
 

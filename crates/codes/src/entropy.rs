@@ -12,7 +12,10 @@ use crate::binomial::binomial_sum;
 /// # Panics
 /// Panics if `x` is outside `[0, 1]`.
 pub fn binary_entropy(x: f64) -> f64 {
-    assert!((0.0..=1.0).contains(&x), "entropy argument {x} outside [0,1]");
+    assert!(
+        (0.0..=1.0).contains(&x),
+        "entropy argument {x} outside [0,1]"
+    );
     if x == 0.0 || x == 1.0 {
         return 0.0;
     }
@@ -24,10 +27,7 @@ pub fn binary_entropy(x: f64) -> f64 {
 /// # Panics
 /// Panics if `alpha` is outside `(0, 1/2)`.
 pub fn net_size_bound_log2(d: u32, alpha: f64) -> f64 {
-    assert!(
-        alpha > 0.0 && alpha < 0.5,
-        "alpha {alpha} outside (0, 1/2)"
-    );
+    assert!(alpha > 0.0 && alpha < 0.5, "alpha {alpha} outside (0, 1/2)");
     binary_entropy(0.5 - alpha) * d as f64 + 1.0
 }
 
@@ -136,7 +136,10 @@ mod tests {
         for d in [10u32, 16, 20] {
             for &alpha in &[0.08, 0.15, 0.25, 0.4] {
                 let exact = exact_net_size(d, alpha).expect("fits");
-                assert!(exact < 1u128 << d, "net not sublinear at d={d}, alpha={alpha}");
+                assert!(
+                    exact < 1u128 << d,
+                    "net not sublinear at d={d}, alpha={alpha}"
+                );
             }
         }
     }

@@ -54,7 +54,11 @@ impl PatternIndexer {
         assert_eq!(word.len(), self.m as usize, "word length mismatch");
         let mut acc: u128 = 0;
         for &s in word {
-            assert!((s as u32) < self.q, "symbol {s} outside alphabet [{}]", self.q);
+            assert!(
+                (s as u32) < self.q,
+                "symbol {s} outside alphabet [{}]",
+                self.q
+            );
             acc = acc * self.q as u128 + s as u128;
         }
         acc

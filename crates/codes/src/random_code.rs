@@ -86,7 +86,10 @@ impl RandomCode {
     /// the lemma's regime, e.g. `target_size >> 2^{γ²d}`).
     pub fn generate(params: RandomCodeParams) -> Result<Self, RandomCodeError> {
         if params.d == 0 || params.d > 63 {
-            return Err(RandomCodeError::BadParams(format!("d={} outside 1..=63", params.d)));
+            return Err(RandomCodeError::BadParams(format!(
+                "d={} outside 1..=63",
+                params.d
+            )));
         }
         if !(0.0..1.0).contains(&params.epsilon) || params.epsilon <= 0.0 {
             return Err(RandomCodeError::BadParams(format!(
@@ -123,10 +126,7 @@ impl RandomCode {
                 break;
             }
             let w = random_weight_k_word(&mut rng, params.d, k);
-            if words
-                .iter()
-                .all(|&x| x != w && (x & w).count_ones() <= cap)
-            {
+            if words.iter().all(|&x| x != w && (x & w).count_ones() <= cap) {
                 words.push(w);
             }
         }
@@ -332,7 +332,7 @@ mod tests {
     #[test]
     fn from_verified_words_accepts_valid_and_rejects_invalid() {
         let p = params(16, 0.25, 0.2, 4, 0); // weight 4, cap floor((0.0625+0.2)*16)=4
-        // Disjoint-support words trivially satisfy any cap.
+                                             // Disjoint-support words trivially satisfy any cap.
         let good = vec![0b1111u64, 0b1111_0000, 0b1111_0000_0000];
         let code = RandomCode::from_verified_words(p, good).expect("valid words wrap");
         assert_eq!(code.len(), 3);

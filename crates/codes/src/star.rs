@@ -45,8 +45,8 @@ impl StarIter {
             "support mask {y:#x} has bits above d={d}"
         );
         let support: Vec<u32> = (0..d).filter(|&i| y & (1 << i) != 0).collect();
-        let total = star_count(q, support.len() as u32)
-            .expect("child-word count Q^k overflows u128");
+        let total =
+            star_count(q, support.len() as u32).expect("child-word count Q^k overflows u128");
         Self {
             support,
             d,

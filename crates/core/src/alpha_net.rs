@@ -83,12 +83,19 @@ impl AlphaNet {
             return Err(QueryError::BadParameter(format!("d={d} outside 1..=63")));
         }
         if !(alpha > 0.0 && alpha < 0.5) {
-            return Err(QueryError::BadParameter(format!("alpha={alpha} outside (0, 1/2)")));
+            return Err(QueryError::BadParameter(format!(
+                "alpha={alpha} outside (0, 1/2)"
+            )));
         }
         let small = ((0.5 - alpha) * d as f64).floor() as u32;
         let large = ((0.5 + alpha) * d as f64).ceil() as u32;
         debug_assert!(small < large);
-        Ok(Self { d, alpha, small, large })
+        Ok(Self {
+            d,
+            alpha,
+            small,
+            large,
+        })
     }
 
     /// Dimension `d`.
@@ -155,7 +162,10 @@ impl AlphaNet {
     pub fn round(&self, cols: &ColumnSet) -> Result<RoundedQuery, QueryError> {
         check_dims(self.d, cols)?;
         if self.contains(cols) {
-            return Ok(RoundedQuery { target: *cols, sym_diff: 0 });
+            return Ok(RoundedQuery {
+                target: *cols,
+                sym_diff: 0,
+            });
         }
         let len = cols.len();
         let shrink_cost = len - self.small;
@@ -204,8 +214,7 @@ impl AlphaNet {
             NetMode::Full => self.size(),
             NetMode::BoundaryOnly => {
                 pfe_codes::binomial::binomial(self.d as u64, self.small as u64).expect("fits")
-                    + pfe_codes::binomial::binomial(self.d as u64, self.large as u64)
-                        .expect("fits")
+                    + pfe_codes::binomial::binomial(self.d as u64, self.large as u64).expect("fits")
             }
         }
     }
@@ -312,7 +321,10 @@ fn build_sketch_map<T>(
             Dataset::Binary(m) => {
                 for &row in m.rows() {
                     let key = pfe_row::pext_u64(row, mask);
-                    feed(&mut sketch, PatternKey::from(key).fingerprint64(FINGERPRINT_SEED));
+                    feed(
+                        &mut sketch,
+                        PatternKey::from(key).fingerprint64(FINGERPRINT_SEED),
+                    );
                 }
             }
             Dataset::Qary(m) => {
@@ -330,6 +342,7 @@ fn build_sketch_map<T>(
 
 /// α-net summary for projected `F_0` (Algorithm 1 with a distinct-count
 /// plug-in).
+#[derive(Clone)]
 pub struct AlphaNetF0<S: DistinctSketch> {
     net: AlphaNet,
     mode: NetMode,
@@ -352,7 +365,10 @@ impl<S: DistinctSketch> AlphaNetF0<S> {
         mut factory: impl FnMut(u64) -> S,
     ) -> Result<Self, QueryError> {
         if data.dimension() != net.d {
-            return Err(QueryError::DimensionMismatch { data: data.dimension(), query: net.d });
+            return Err(QueryError::DimensionMismatch {
+                data: data.dimension(),
+                query: net.d,
+            });
         }
         let sketches = build_sketch_map(
             data,
@@ -362,7 +378,12 @@ impl<S: DistinctSketch> AlphaNetF0<S> {
             &mut factory,
             |s: &mut S, fp| s.insert(fp),
         )?;
-        Ok(Self { net, mode, sketches, q: data.alphabet() })
+        Ok(Self {
+            net,
+            mode,
+            sketches,
+            q: data.alphabet(),
+        })
     }
 
     /// Build over a dataset with subset-level parallelism: the net members
@@ -389,7 +410,10 @@ impl<S: DistinctSketch> AlphaNetF0<S> {
             return Err(QueryError::BadParameter("threads must be >= 1".into()));
         }
         if data.dimension() != net.d {
-            return Err(QueryError::DimensionMismatch { data: data.dimension(), query: net.d });
+            return Err(QueryError::DimensionMismatch {
+                data: data.dimension(),
+                query: net.d,
+            });
         }
         let count = net.member_count(mode);
         if count > max_subsets {
@@ -420,21 +444,18 @@ impl<S: DistinctSketch> AlphaNetF0<S> {
                                     for &row in m.rows() {
                                         let key = pfe_row::pext_u64(row, mask);
                                         sketch.insert(
-                                            PatternKey::from(key)
-                                                .fingerprint64(FINGERPRINT_SEED),
+                                            PatternKey::from(key).fingerprint64(FINGERPRINT_SEED),
                                         );
                                     }
                                 }
                                 Dataset::Qary(m) => {
-                                    let cols = ColumnSet::from_mask(net.d, mask)
-                                        .expect("valid member");
-                                    let codec = PatternCodec::new(q, cols.len())
-                                        .expect("pre-validated");
+                                    let cols =
+                                        ColumnSet::from_mask(net.d, mask).expect("valid member");
+                                    let codec =
+                                        PatternCodec::new(q, cols.len()).expect("pre-validated");
                                     for i in 0..m.num_rows() {
                                         let key = m.project_row(i, &cols, &codec);
-                                        sketch.insert(
-                                            key.fingerprint64(FINGERPRINT_SEED),
-                                        );
+                                        sketch.insert(key.fingerprint64(FINGERPRINT_SEED));
                                     }
                                 }
                             }
@@ -456,7 +477,12 @@ impl<S: DistinctSketch> AlphaNetF0<S> {
                 sketches.insert(mask, sketch);
             }
         }
-        Ok(Self { net, mode, sketches, q })
+        Ok(Self {
+            net,
+            mode,
+            sketches,
+            q,
+        })
     }
 
     /// Create an empty streaming summary for binary rows (`Q = 2`); feed
@@ -470,20 +496,113 @@ impl<S: DistinctSketch> AlphaNetF0<S> {
         net: AlphaNet,
         mode: NetMode,
         max_subsets: u128,
+        factory: impl FnMut(u64) -> S,
+    ) -> Result<Self, QueryError> {
+        Self::new_streaming_qary(net, mode, max_subsets, 2, factory)
+    }
+
+    /// Create an empty streaming summary over alphabet `q`; feed rows with
+    /// [`push_dense`](Self::push_dense) (or [`push_packed`](Self::push_packed)
+    /// when `q = 2`). Validates every net codec up front so pushes are
+    /// panic-free on in-alphabet rows.
+    ///
+    /// # Errors
+    /// Parameter/codec errors; net size above `max_subsets`.
+    pub fn new_streaming_qary(
+        net: AlphaNet,
+        mode: NetMode,
+        max_subsets: u128,
+        q: u32,
         mut factory: impl FnMut(u64) -> S,
     ) -> Result<Self, QueryError> {
+        if q < 2 {
+            return Err(QueryError::BadParameter(format!(
+                "alphabet q={q} must be >= 2"
+            )));
+        }
         let count = net.member_count(mode);
         if count > max_subsets {
             return Err(QueryError::BadParameter(format!(
                 "net would materialize {count} subsets, above the safety cap {max_subsets}"
             )));
         }
+        if q > 2 {
+            // Only widths that actually occur among materialized members
+            // (mirrors `build`, which never sees non-member widths).
+            let widths: Vec<u32> = match mode {
+                NetMode::Full => (0..=net.small).chain(net.large..=net.d).collect(),
+                NetMode::BoundaryOnly => vec![net.small, net.large],
+            };
+            for w in widths {
+                PatternCodec::new(q, w)?;
+            }
+        }
         let mut sketches: SeededHashMap<u64, S> = seeded_map(0xa1fa);
         sketches.reserve(count as usize);
         for mask in net.members(mode) {
             sketches.insert(mask, factory(mask));
         }
-        Ok(Self { net, mode, sketches, q: 2 })
+        Ok(Self {
+            net,
+            mode,
+            sketches,
+            q,
+        })
+    }
+
+    /// Observe one dense row over alphabet `q` (streaming ingestion;
+    /// row-major update of every net sketch). Produces the same sketch
+    /// contents as [`build`](Self::build) over the same rows.
+    ///
+    /// # Panics
+    /// Panics on wrong row length or out-of-alphabet symbols.
+    pub fn push_dense(&mut self, row: &[u16]) {
+        assert_eq!(row.len(), self.net.d as usize, "row length != d");
+        for &s in row {
+            assert!((s as u32) < self.q, "symbol {s} outside alphabet");
+        }
+        if self.q == 2 {
+            let mut packed = 0u64;
+            for (i, &s) in row.iter().enumerate() {
+                packed |= (s as u64) << i;
+            }
+            self.push_packed(packed);
+            return;
+        }
+        // One codec per projection width, built on the stack per call
+        // (PatternCodec is Copy and cheap to construct).
+        let mut codecs: [Option<PatternCodec>; 64] = [None; 64];
+        for (&mask, sketch) in self.sketches.iter_mut() {
+            let cols = ColumnSet::from_mask(self.net.d, mask).expect("valid member");
+            let w = cols.len() as usize;
+            let codec = *codecs[w].get_or_insert_with(|| {
+                PatternCodec::new(self.q, w as u32).expect("validated at construction")
+            });
+            let key = codec.encode_row(row, &cols);
+            sketch.insert(key.fingerprint64(FINGERPRINT_SEED));
+        }
+    }
+
+    /// Merge a summary built over a disjoint segment of the same stream:
+    /// per-subset sketch merge through [`DistinctSketch::merge`]. Both
+    /// summaries must share the net, mode, alphabet, and per-mask sketch
+    /// parameters/seeds (use the same factory on both sides); then merging
+    /// shard summaries is *exactly* union-equivalent for union-mergeable
+    /// sketches such as KMV, HLL, and LinearCounting.
+    ///
+    /// # Panics
+    /// Panics on net/mode/alphabet mismatch (and propagates the underlying
+    /// sketch's parameter-mismatch panics).
+    pub fn merge(&mut self, other: &Self) {
+        assert_eq!(self.net, other.net, "alpha-net merge: net mismatch");
+        assert_eq!(self.mode, other.mode, "alpha-net merge: mode mismatch");
+        assert_eq!(self.q, other.q, "alpha-net merge: alphabet mismatch");
+        for (mask, theirs) in other.sketches.iter() {
+            self.sketches
+                .get_mut(mask)
+                .expect("identical net membership")
+                .merge(theirs);
+        }
     }
 
     /// Observe one packed binary row (streaming ingestion; row-major
@@ -579,6 +698,7 @@ impl<S: DistinctSketch> SpaceUsage for AlphaNetF0<S> {
 
 /// α-net summary for projected `F_p` (Algorithm 1 with a moment-sketch
 /// plug-in: `AmsF2` for `p = 2`, `StableFp` for `0 < p < 2`).
+#[derive(Clone)]
 pub struct AlphaNetFp<M: MomentSketch> {
     net: AlphaNet,
     mode: NetMode,
@@ -601,7 +721,10 @@ impl<M: MomentSketch> AlphaNetFp<M> {
         mut factory: impl FnMut(u64) -> M,
     ) -> Result<Self, QueryError> {
         if data.dimension() != net.d {
-            return Err(QueryError::DimensionMismatch { data: data.dimension(), query: net.d });
+            return Err(QueryError::DimensionMismatch {
+                data: data.dimension(),
+                query: net.d,
+            });
         }
         let mut p = None;
         let sketches = build_sketch_map(
@@ -617,7 +740,13 @@ impl<M: MomentSketch> AlphaNetFp<M> {
             |s: &mut M, fp| s.update(fp, 1),
         )?;
         let p = p.ok_or(QueryError::EmptyData)?;
-        Ok(Self { net, mode, sketches, q: data.alphabet(), p })
+        Ok(Self {
+            net,
+            mode,
+            sketches,
+            q: data.alphabet(),
+            p,
+        })
     }
 
     /// The moment order this net answers.
@@ -642,7 +771,10 @@ impl<M: MomentSketch> AlphaNetFp<M> {
     /// order.
     pub fn fp(&self, cols: &ColumnSet, p: f64) -> Result<NetAnswer, QueryError> {
         if (p - self.p).abs() > 1e-12 {
-            return Err(QueryError::UnsupportedMoment { requested: p, supported: self.p });
+            return Err(QueryError::UnsupportedMoment {
+                requested: p,
+                supported: self.p,
+            });
         }
         let mut r = self.net.round(cols)?;
         if self.mode == NetMode::BoundaryOnly && !self.sketches.contains_key(&r.target.mask()) {
@@ -835,9 +967,10 @@ mod tests {
         let n = net(d, 0.2);
         let full = AlphaNetF0::build(&data, n, NetMode::Full, 1 << 24, |m| Kmv::new(16, m))
             .expect("build");
-        let boundary =
-            AlphaNetF0::build(&data, n, NetMode::BoundaryOnly, 1 << 24, |m| Kmv::new(16, m))
-                .expect("build");
+        let boundary = AlphaNetF0::build(&data, n, NetMode::BoundaryOnly, 1 << 24, |m| {
+            Kmv::new(16, m)
+        })
+        .expect("build");
         // Boundary mode keeps exactly C(d, small) + C(d, large) sketches —
         // strictly fewer than the full net (which adds all interior
         // small/large weights).
@@ -919,10 +1052,9 @@ mod tests {
     fn parallel_build_qary_and_errors() {
         let data = pfe_stream::gen::uniform_qary(3, 8, 300, 22);
         let n = net(8, 0.3);
-        let par = AlphaNetF0::build_parallel(&data, n, NetMode::Full, 1 << 16, |m| {
-            Kmv::new(32, m)
-        }, 3)
-        .expect("qary parallel build");
+        let par =
+            AlphaNetF0::build_parallel(&data, n, NetMode::Full, 1 << 16, |m| Kmv::new(32, m), 3)
+                .expect("qary parallel build");
         let seq = AlphaNetF0::build(&data, n, NetMode::Full, 1 << 16, |m| Kmv::new(32, m))
             .expect("build");
         let cols = ColumnSet::from_indices(8, &[0, 3, 6]).expect("valid");
@@ -986,8 +1118,7 @@ mod tests {
         let batch = AlphaNetF0::build(&data, n, NetMode::Full, 1 << 20, |m| Kmv::new(64, m))
             .expect("build");
         let mut streamed =
-            AlphaNetF0::new_streaming(n, NetMode::Full, 1 << 20, |m| Kmv::new(64, m))
-                .expect("new");
+            AlphaNetF0::new_streaming(n, NetMode::Full, 1 << 20, |m| Kmv::new(64, m)).expect("new");
         if let pfe_row::Dataset::Binary(m) = &data {
             for &row in m.rows() {
                 streamed.push_packed(row);
@@ -1006,11 +1137,84 @@ mod tests {
     }
 
     #[test]
+    fn sharded_merge_equals_single_build() {
+        // KMV with per-mask seeds is union-mergeable: building shards over
+        // disjoint row segments and merging must equal one build exactly.
+        let d = 12;
+        let data = uniform_binary(d, 2000, 17);
+        let n = net(d, 0.25);
+        let single = AlphaNetF0::build(&data, n, NetMode::Full, 1 << 22, |m| Kmv::new(64, m))
+            .expect("build");
+        let mut shards: Vec<AlphaNetF0<Kmv>> = (0..3)
+            .map(|_| {
+                AlphaNetF0::new_streaming(n, NetMode::Full, 1 << 22, |m| Kmv::new(64, m))
+                    .expect("new")
+            })
+            .collect();
+        if let pfe_row::Dataset::Binary(m) = &data {
+            for (i, &row) in m.rows().iter().enumerate() {
+                shards[i % 3].push_packed(row);
+            }
+        } else {
+            unreachable!("generator yields binary data");
+        }
+        let mut merged = shards.remove(0);
+        for s in &shards {
+            merged.merge(s);
+        }
+        for mask in [0b11u64, 0b111111000000, 0b101010101010, (1 << d) - 1] {
+            let cols = ColumnSet::from_mask(d, mask).expect("valid");
+            assert_eq!(
+                merged.f0(&cols).expect("ok").estimate,
+                single.f0(&cols).expect("ok").estimate,
+                "sharded merge diverged at mask {mask:#b}"
+            );
+        }
+    }
+
+    #[test]
+    fn qary_streaming_push_matches_build() {
+        let data = pfe_stream::gen::uniform_qary(4, 7, 400, 23);
+        let n = net(7, 0.3);
+        let built = AlphaNetF0::build(&data, n, NetMode::Full, 1 << 16, |m| Kmv::new(32, m))
+            .expect("build");
+        let mut streamed =
+            AlphaNetF0::new_streaming_qary(n, NetMode::Full, 1 << 16, 4, |m| Kmv::new(32, m))
+                .expect("new");
+        for i in 0..data.num_rows() {
+            streamed.push_dense(&data.row_dense(i));
+        }
+        for mask in [0b1u64, 0b11, 0b1111110] {
+            let cols = ColumnSet::from_mask(7, mask).expect("valid");
+            assert_eq!(
+                built.f0(&cols).expect("ok").estimate,
+                streamed.f0(&cols).expect("ok").estimate,
+                "qary streamed summary diverged at mask {mask:#b}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "net mismatch")]
+    fn merge_rejects_net_mismatch() {
+        let a = AlphaNetF0::<Kmv>::new_streaming(net(8, 0.2), NetMode::Full, 1 << 16, |m| {
+            Kmv::new(16, m)
+        })
+        .expect("new");
+        let b = AlphaNetF0::<Kmv>::new_streaming(net(8, 0.3), NetMode::Full, 1 << 16, |m| {
+            Kmv::new(16, m)
+        })
+        .expect("new");
+        let mut a = a;
+        a.merge(&b);
+    }
+
+    #[test]
     #[should_panic(expected = "bits above d")]
     fn push_packed_rejects_out_of_range() {
         let n = net(4, 0.25);
-        let mut s = AlphaNetF0::new_streaming(n, NetMode::Full, 1 << 10, |m| Kmv::new(8, m))
-            .expect("new");
+        let mut s =
+            AlphaNetF0::new_streaming(n, NetMode::Full, 1 << 10, |m| Kmv::new(8, m)).expect("new");
         s.push_packed(1 << 5);
     }
 

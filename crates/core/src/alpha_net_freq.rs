@@ -42,7 +42,10 @@ const MAX_EXTENSIONS: u128 = 1 << 20;
 fn round_up(net: &AlphaNet, cols: &ColumnSet) -> Result<RoundedQuery, QueryError> {
     check_dims(net.dimension(), cols)?;
     if net.contains(cols) {
-        return Ok(RoundedQuery { target: *cols, sym_diff: 0 });
+        return Ok(RoundedQuery {
+            target: *cols,
+            sym_diff: 0,
+        });
     }
     let d = net.dimension();
     let target_w = net.large_size();
@@ -73,6 +76,7 @@ pub struct FreqNetAnswer {
 }
 
 /// α-net point-frequency summary: one CountMin per net subset.
+#[derive(Clone)]
 pub struct AlphaNetFrequency {
     net: AlphaNet,
     sketches: SeededHashMap<u64, CountMin>,
@@ -139,6 +143,129 @@ impl AlphaNetFrequency {
         })
     }
 
+    /// Create an empty streaming summary over alphabet `q`; feed rows with
+    /// [`push_dense`](Self::push_dense) or (for `q = 2`)
+    /// [`push_packed`](Self::push_packed). Same sketch contents as
+    /// [`build`](Self::build) over the same rows.
+    ///
+    /// # Errors
+    /// Parameter/codec errors; net size above `max_subsets`.
+    pub fn new_streaming(
+        net: AlphaNet,
+        q: u32,
+        depth: usize,
+        width: usize,
+        max_subsets: u128,
+        seed: u64,
+    ) -> Result<Self, QueryError> {
+        if q < 2 {
+            return Err(QueryError::BadParameter(format!(
+                "alphabet q={q} must be >= 2"
+            )));
+        }
+        let count = net.size();
+        if count > max_subsets {
+            return Err(QueryError::BadParameter(format!(
+                "net would materialize {count} subsets, above the safety cap {max_subsets}"
+            )));
+        }
+        if q > 2 {
+            // Only the widths the Full net materializes (mirrors `build`).
+            for w in (0..=net.small_size()).chain(net.large_size()..=net.dimension()) {
+                PatternCodec::new(q, w)?;
+            }
+        }
+        let fingerprint_seed = 0xfe_0fe0 ^ seed;
+        let mut sketches: SeededHashMap<u64, CountMin> = seeded_map(0xcafe);
+        sketches.reserve(count as usize);
+        for mask in net.members(crate::alpha_net::NetMode::Full) {
+            sketches.insert(mask, CountMin::new(depth, width, seed ^ mask));
+        }
+        Ok(Self {
+            net,
+            sketches,
+            q,
+            n_rows: 0,
+            fingerprint_seed,
+        })
+    }
+
+    /// Observe one packed binary row (`q = 2` fast path).
+    ///
+    /// # Panics
+    /// Panics if the summary is not binary or the row has bits at or above
+    /// `d`.
+    pub fn push_packed(&mut self, row: u64) {
+        assert_eq!(self.q, 2, "push_packed requires a binary summary");
+        assert!(
+            row & !((1u64 << self.net.dimension()) - 1) == 0,
+            "row has bits above d={}",
+            self.net.dimension()
+        );
+        for (&mask, cm) in self.sketches.iter_mut() {
+            let key = pfe_row::pext_u64(row, mask);
+            cm.update(
+                PatternKey::from(key).fingerprint64(self.fingerprint_seed),
+                1,
+            );
+        }
+        self.n_rows += 1;
+    }
+
+    /// Observe one dense row (streaming ingestion; any alphabet).
+    ///
+    /// # Panics
+    /// Panics on wrong row length or out-of-alphabet symbols.
+    pub fn push_dense(&mut self, row: &[u16]) {
+        assert_eq!(row.len(), self.net.dimension() as usize, "row length != d");
+        for &s in row {
+            assert!((s as u32) < self.q, "symbol {s} outside alphabet");
+        }
+        if self.q == 2 {
+            let mut packed = 0u64;
+            for (i, &s) in row.iter().enumerate() {
+                packed |= (s as u64) << i;
+            }
+            self.push_packed(packed);
+            return;
+        }
+        let d = self.net.dimension();
+        let mut codecs: [Option<PatternCodec>; 64] = [None; 64];
+        for (&mask, cm) in self.sketches.iter_mut() {
+            let cols = ColumnSet::from_mask(d, mask).expect("valid member");
+            let w = cols.len() as usize;
+            let codec = *codecs[w].get_or_insert_with(|| {
+                PatternCodec::new(self.q, w as u32).expect("validated at construction")
+            });
+            let key = codec.encode_row(row, &cols);
+            cm.update(key.fingerprint64(self.fingerprint_seed), 1);
+        }
+        self.n_rows += 1;
+    }
+
+    /// Merge a summary built over a disjoint segment of the same stream:
+    /// per-subset CountMin addition. Both sides must share the net,
+    /// alphabet, seed, and sketch geometry (use identical build parameters).
+    ///
+    /// # Panics
+    /// Panics on net/alphabet/seed mismatch (and propagates CountMin's
+    /// parameter-mismatch panics).
+    pub fn merge(&mut self, other: &Self) {
+        assert_eq!(self.net, other.net, "frequency-net merge: net mismatch");
+        assert_eq!(self.q, other.q, "frequency-net merge: alphabet mismatch");
+        assert_eq!(
+            self.fingerprint_seed, other.fingerprint_seed,
+            "frequency-net merge: seed mismatch"
+        );
+        for (mask, theirs) in other.sketches.iter() {
+            self.sketches
+                .get_mut(mask)
+                .expect("identical net membership")
+                .merge(theirs);
+        }
+        self.n_rows += other.n_rows;
+    }
+
     /// The net definition.
     pub fn net(&self) -> &AlphaNet {
         &self.net
@@ -164,7 +291,11 @@ impl AlphaNetFrequency {
     /// # Errors
     /// Dimension/codec errors; `BadParameter` if `Q^{|C′\C|}` exceeds the
     /// enumeration cap.
-    pub fn frequency(&self, cols: &ColumnSet, key: PatternKey) -> Result<FreqNetAnswer, QueryError> {
+    pub fn frequency(
+        &self,
+        cols: &ColumnSet,
+        key: PatternKey,
+    ) -> Result<FreqNetAnswer, QueryError> {
         let r = round_up(&self.net, cols)?;
         let sketch = self
             .sketches
@@ -190,11 +321,19 @@ impl AlphaNetFrequency {
         let target_cols = r.target.to_indices();
         let orig_pos: Vec<usize> = cols
             .iter()
-            .map(|c| target_cols.binary_search(&c).expect("cols subset of target"))
+            .map(|c| {
+                target_cols
+                    .binary_search(&c)
+                    .expect("cols subset of target")
+            })
             .collect();
         let ext_pos: Vec<usize> = extra
             .iter()
-            .map(|c| target_cols.binary_search(&c).expect("extra subset of target"))
+            .map(|c| {
+                target_cols
+                    .binary_search(&c)
+                    .expect("extra subset of target")
+            })
             .collect();
         let mut pattern = vec![0u16; target_cols.len()];
         for (digit, &pos) in base_pattern.iter().zip(&orig_pos) {
@@ -354,17 +493,22 @@ impl AlphaNetHeavyHitters {
             .iter()
             .map(|c| target_cols.binary_search(&c).expect("subset"))
             .collect();
-        let mut agg: std::collections::BTreeMap<PatternKey, u64> = std::collections::BTreeMap::new();
+        let mut agg: std::collections::BTreeMap<PatternKey, u64> =
+            std::collections::BTreeMap::new();
         for (key64, count) in sketch.candidates(0) {
             let full_pattern = target_codec.decode(PatternKey::new(key64 as u128));
             let projected: Vec<u16> = keep.iter().map(|&i| full_pattern[i]).collect();
-            *agg.entry(query_codec.encode_pattern(&projected)).or_insert(0) += count;
+            *agg.entry(query_codec.encode_pattern(&projected))
+                .or_insert(0) += count;
         }
         let threshold = (phi / c) * self.n_rows as f64;
         let mut out: Vec<HeavyHitter> = agg
             .into_iter()
             .filter(|&(_, count)| count as f64 >= threshold)
-            .map(|(key, count)| HeavyHitter { key, estimate: count as f64 })
+            .map(|(key, count)| HeavyHitter {
+                key,
+                estimate: count as f64,
+            })
             .collect();
         out.sort_by(|a, b| {
             b.estimate
@@ -406,7 +550,11 @@ mod tests {
         // In-net query (size 2 <= small): single point query, no extension.
         let cols = ColumnSet::from_indices(d, &[0, 1]).expect("valid");
         let exact = FrequencyVector::compute(&data, &cols).expect("fits");
-        let (key, count) = exact.sorted_counts().into_iter().max_by_key(|&(_, c)| c).expect("ne");
+        let (key, count) = exact
+            .sorted_counts()
+            .into_iter()
+            .max_by_key(|&(_, c)| c)
+            .expect("ne");
         let ans = summary.frequency(&cols, key).expect("ok");
         assert_eq!(ans.grown_by, 0);
         assert_eq!(ans.extensions, 1);
@@ -426,7 +574,11 @@ mod tests {
         let cols = ColumnSet::from_indices(d, &[0, 2, 4, 6]).expect("valid");
         assert!(!net.contains(&cols));
         let exact = FrequencyVector::compute(&data, &cols).expect("fits");
-        let (key, count) = exact.sorted_counts().into_iter().max_by_key(|&(_, c)| c).expect("ne");
+        let (key, count) = exact
+            .sorted_counts()
+            .into_iter()
+            .max_by_key(|&(_, c)| c)
+            .expect("ne");
         let ans = summary.frequency(&cols, key).expect("ok");
         assert!(ans.grown_by >= 1);
         assert_eq!(ans.extensions, 2u128.pow(ans.grown_by));

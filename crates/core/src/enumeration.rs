@@ -154,10 +154,7 @@ impl<M: pfe_sketch::traits::MomentSketch> SubsetEnumerationFp<M> {
                 Dataset::Binary(m) => {
                     for &row in m.rows() {
                         let key = pfe_row::pext_u64(row, mask);
-                        sketch.update(
-                            PatternKey::from(key).fingerprint64(FINGERPRINT_SEED),
-                            1,
-                        );
+                        sketch.update(PatternKey::from(key).fingerprint64(FINGERPRINT_SEED), 1);
                     }
                 }
                 Dataset::Qary(m) => {
@@ -201,7 +198,10 @@ impl<M: pfe_sketch::traits::MomentSketch> SubsetEnumerationFp<M> {
     pub fn fp(&self, cols: &ColumnSet, p: f64) -> Result<f64, QueryError> {
         check_dims(self.d, cols)?;
         if (p - self.p).abs() > 1e-12 {
-            return Err(QueryError::UnsupportedMoment { requested: p, supported: self.p });
+            return Err(QueryError::UnsupportedMoment {
+                requested: p,
+                supported: self.p,
+            });
         }
         if cols.len() != self.t {
             return Err(QueryError::BadParameter(format!(
@@ -241,9 +241,11 @@ mod tests {
         let d = 10;
         let t = 3;
         let data = uniform_binary(d, 1000, 1);
-        let s = SubsetEnumerationF0::build(&data, t, 1 << 20, |m| Kmv::new(128, m))
-            .expect("build");
-        assert_eq!(s.num_sketches() as u128, binomial(d as u64, t as u64).expect("fits"));
+        let s = SubsetEnumerationF0::build(&data, t, 1 << 20, |m| Kmv::new(128, m)).expect("build");
+        assert_eq!(
+            s.num_sketches() as u128,
+            binomial(d as u64, t as u64).expect("fits")
+        );
         for mask in FixedWeightIter::new(d, t).take(20) {
             let cols = ColumnSet::from_mask(d, mask).expect("v");
             let est = s.f0(&cols).expect("ok");
@@ -256,8 +258,7 @@ mod tests {
     #[test]
     fn rejects_other_sizes() {
         let data = uniform_binary(8, 100, 2);
-        let s = SubsetEnumerationF0::build(&data, 3, 1 << 20, |m| Kmv::new(16, m))
-            .expect("build");
+        let s = SubsetEnumerationF0::build(&data, 3, 1 << 20, |m| Kmv::new(16, m)).expect("build");
         let wrong = ColumnSet::from_indices(8, &[0, 1]).expect("v");
         assert!(matches!(s.f0(&wrong), Err(QueryError::BadParameter(_))));
     }
@@ -277,13 +278,15 @@ mod tests {
         let d = 10;
         let t = 3;
         let data = uniform_binary(d, 2000, 9);
-        let s = SubsetEnumerationFp::build(&data, t, 1 << 20, |m| AmsF2::new(5, 64, m))
-            .expect("build");
+        let s =
+            SubsetEnumerationFp::build(&data, t, 1 << 20, |m| AmsF2::new(5, 64, m)).expect("build");
         assert_eq!(s.p(), 2.0);
         for mask in FixedWeightIter::new(d, t).take(10) {
             let cols = ColumnSet::from_mask(d, mask).expect("v");
             let est = s.fp(&cols, 2.0).expect("ok");
-            let truth = FrequencyVector::compute(&data, &cols).expect("fits").fp(2.0);
+            let truth = FrequencyVector::compute(&data, &cols)
+                .expect("fits")
+                .fp(2.0);
             let rel = (est - truth).abs() / truth;
             assert!(rel < 0.35, "mask {mask:#b}: F2 relative error {rel}");
         }
@@ -294,7 +297,10 @@ mod tests {
             Err(QueryError::UnsupportedMoment { .. })
         ));
         let wrong = ColumnSet::from_indices(d, &[0, 1]).expect("v");
-        assert!(matches!(s.fp(&wrong, 2.0), Err(QueryError::BadParameter(_))));
+        assert!(matches!(
+            s.fp(&wrong, 2.0),
+            Err(QueryError::BadParameter(_))
+        ));
     }
 
     #[test]
@@ -308,7 +314,9 @@ mod tests {
         assert_eq!(s.p(), 0.5);
         let cols = ColumnSet::from_indices(d, &[1, 4]).expect("v");
         let est = s.fp(&cols, 0.5).expect("ok");
-        let truth = FrequencyVector::compute(&data, &cols).expect("fits").fp(0.5);
+        let truth = FrequencyVector::compute(&data, &cols)
+            .expect("fits")
+            .fp(0.5);
         let rel = (est - truth).abs() / truth;
         assert!(rel < 0.5, "F0.5 relative error {rel}");
     }
@@ -316,10 +324,8 @@ mod tests {
     #[test]
     fn space_grows_with_t_toward_half() {
         let data = uniform_binary(14, 100, 4);
-        let s2 = SubsetEnumerationF0::build(&data, 2, 1 << 24, |m| Kmv::new(16, m))
-            .expect("build");
-        let s5 = SubsetEnumerationF0::build(&data, 5, 1 << 24, |m| Kmv::new(16, m))
-            .expect("build");
+        let s2 = SubsetEnumerationF0::build(&data, 2, 1 << 24, |m| Kmv::new(16, m)).expect("build");
+        let s5 = SubsetEnumerationF0::build(&data, 5, 1 << 24, |m| Kmv::new(16, m)).expect("build");
         assert!(s5.space_bytes() > s2.space_bytes());
         assert!(s5.num_sketches() > 20 * s2.num_sketches());
     }

@@ -99,6 +99,13 @@ impl SummarySuite {
     }
 }
 
+impl SpaceUsage for SummarySuite {
+    fn space_bytes(&self) -> usize {
+        let (exact, sample, net) = self.space_breakdown();
+        exact + sample + net
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -110,15 +117,11 @@ mod tests {
         let suite = SummarySuite::build(&data, &SuiteConfig::default()).expect("build");
         let cols = ColumnSet::from_indices(12, &[0, 1, 2, 3, 4, 5]).expect("v");
         let net_ans = suite.f0(&cols).expect("ok");
-        let exact = suite
-            .exact()
-            .expect("kept")
-            .f0(&cols)
-            .expect("ok")
-            .value;
+        let exact = suite.exact().expect("kept").f0(&cols).expect("ok").value;
         let ratio = net_ans.estimate / exact;
         assert!(
-            ratio <= net_ans.distortion_bound * 1.5 && ratio >= 1.0 / (net_ans.distortion_bound * 1.5),
+            ratio <= net_ans.distortion_bound * 1.5
+                && ratio >= 1.0 / (net_ans.distortion_bound * 1.5),
             "suite answer ratio {ratio} outside bound {}",
             net_ans.distortion_bound
         );

@@ -54,7 +54,9 @@ impl ExactSummary {
     /// Dimension, codec, or parameter errors.
     pub fn fp(&self, cols: &ColumnSet, p: f64) -> Result<ScalarEstimate, QueryError> {
         if !p.is_finite() || p < 0.0 {
-            return Err(QueryError::BadParameter(format!("p={p} must be finite and >= 0")));
+            return Err(QueryError::BadParameter(format!(
+                "p={p} must be finite and >= 0"
+            )));
         }
         let f = self.freq_vector(cols)?;
         Ok(ScalarEstimate {
@@ -86,12 +88,17 @@ impl ExactSummary {
             return Err(QueryError::BadParameter(format!("phi={phi} outside (0,1]")));
         }
         if !p.is_finite() || p <= 0.0 {
-            return Err(QueryError::BadParameter(format!("p={p} must be finite and > 0")));
+            return Err(QueryError::BadParameter(format!(
+                "p={p} must be finite and > 0"
+            )));
         }
         let f = self.freq_vector(cols)?;
         Ok(f.heavy_hitters(phi, p)
             .into_iter()
-            .map(|(key, c)| HeavyHitter { key, estimate: c as f64 })
+            .map(|(key, c)| HeavyHitter {
+                key,
+                estimate: c as f64,
+            })
             .collect())
     }
 
@@ -189,6 +196,9 @@ mod tests {
         let small = Dataset::Binary(BinaryMatrix::from_rows(20, vec![0u64; 10]));
         let sb = ExactSummary::build(&big).space_bytes();
         let ss = ExactSummary::build(&small).space_bytes();
-        assert!(sb > 100 * ss / 2, "space not proportional to n: {sb} vs {ss}");
+        assert!(
+            sb > 100 * ss / 2,
+            "space not proportional to n: {sb} vs {ss}"
+        );
     }
 }

@@ -160,7 +160,9 @@ impl SpaceUsage for MarginalsSummary {
             + self
                 .counts
                 .iter()
-                .map(|v| v.capacity() * std::mem::size_of::<u64>() + std::mem::size_of::<Vec<u64>>())
+                .map(|v| {
+                    v.capacity() * std::mem::size_of::<u64>() + std::mem::size_of::<Vec<u64>>()
+                })
                 .sum::<usize>()
     }
 }
@@ -215,7 +217,10 @@ mod tests {
             err_marg > 0.5,
             "marginals unexpectedly accurate on correlated data: {err_marg}"
         );
-        assert!(err_samp < 0.1, "sampling error {err_samp} on correlated data");
+        assert!(
+            err_samp < 0.1,
+            "sampling error {err_samp} on correlated data"
+        );
     }
 
     #[test]

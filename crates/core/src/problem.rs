@@ -33,10 +33,16 @@ impl std::fmt::Display for QueryError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Self::DimensionMismatch { data, query } => {
-                write!(f, "query dimension {query} does not match data dimension {data}")
+                write!(
+                    f,
+                    "query dimension {query} does not match data dimension {data}"
+                )
             }
             Self::Codec(e) => write!(f, "pattern codec: {e}"),
-            Self::UnsupportedMoment { requested, supported } => {
+            Self::UnsupportedMoment {
+                requested,
+                supported,
+            } => {
                 write!(f, "summary supports p={supported}, asked for p={requested}")
             }
             Self::BadParameter(msg) => write!(f, "bad parameter: {msg}"),
@@ -114,7 +120,10 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = QueryError::UnsupportedMoment { requested: 0.5, supported: 2.0 };
+        let e = QueryError::UnsupportedMoment {
+            requested: 0.5,
+            supported: 2.0,
+        };
         assert!(e.to_string().contains("p=2"));
         assert!(QueryError::EmptyData.to_string().contains("no data"));
     }

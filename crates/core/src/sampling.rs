@@ -32,13 +32,11 @@ impl ExactLpSampler {
     ///
     /// # Errors
     /// Fails on `p <= 0`, non-finite `p`, or an empty vector.
-    pub fn from_freq_vector(
-        f: &FrequencyVector,
-        p: f64,
-        seed: u64,
-    ) -> Result<Self, QueryError> {
+    pub fn from_freq_vector(f: &FrequencyVector, p: f64, seed: u64) -> Result<Self, QueryError> {
         if !p.is_finite() || p <= 0.0 {
-            return Err(QueryError::BadParameter(format!("p={p} must be finite and > 0")));
+            return Err(QueryError::BadParameter(format!(
+                "p={p} must be finite and > 0"
+            )));
         }
         if f.support_size() == 0 {
             return Err(QueryError::EmptyData);
@@ -82,7 +80,10 @@ impl ExactLpSampler {
     /// the probability is exact).
     pub fn sample(&mut self) -> SampledPattern {
         let u = self.rng.f64();
-        let idx = self.cdf.partition_point(|&c| c < u).min(self.keys.len() - 1);
+        let idx = self
+            .cdf
+            .partition_point(|&c| c < u)
+            .min(self.keys.len() - 1);
         SampledPattern {
             key: self.keys[idx],
             probability: self.probs[idx],
@@ -153,7 +154,10 @@ mod tests {
             }
         }
         let frac = count3 as f64 / n as f64;
-        assert!((frac - 9.0 / 11.0).abs() < 0.01, "l2 sampling fraction {frac}");
+        assert!(
+            (frac - 9.0 / 11.0).abs() < 0.01,
+            "l2 sampling fraction {frac}"
+        );
     }
 
     #[test]
@@ -180,7 +184,10 @@ mod tests {
         }
         let frac = count3 as f64 / n as f64;
         let expect = 3f64.sqrt() / (2.0 + 3f64.sqrt());
-        assert!((frac - expect).abs() < 0.01, "p=0.5 fraction {frac} vs {expect}");
+        assert!(
+            (frac - expect).abs() < 0.01,
+            "p=0.5 fraction {frac} vs {expect}"
+        );
     }
 
     #[test]

@@ -124,6 +124,59 @@ impl UniformSampleSummary {
         }
     }
 
+    /// Merge a summary built over a disjoint segment of the same stream
+    /// (same `d`, `Q`, and reservoir capacity): a seeded weighted reservoir
+    /// union, so the merged sample is uniform over the concatenated stream
+    /// (see [`Reservoir::merge`]). This is the shard-compaction path of the
+    /// serving engine.
+    ///
+    /// # Panics
+    /// Panics on shape, alphabet, or capacity mismatch.
+    pub fn merge(&mut self, other: &Self) {
+        assert_eq!(self.d, other.d, "uniform-sample merge: dimension mismatch");
+        assert_eq!(self.q, other.q, "uniform-sample merge: alphabet mismatch");
+        match (&mut self.rows, &other.rows) {
+            (RowStore::Binary(a), RowStore::Binary(b)) => a.merge(b),
+            (RowStore::Qary(a), RowStore::Qary(b)) => a.merge(b),
+            _ => unreachable!("row store variant is determined by q"),
+        }
+    }
+
+    /// Reservoir capacity `t`.
+    pub fn capacity(&self) -> usize {
+        match &self.rows {
+            RowStore::Binary(r) => r.capacity(),
+            RowStore::Qary(r) => r.capacity(),
+        }
+    }
+
+    /// Dimension `d`.
+    pub fn dimension(&self) -> u32 {
+        self.d
+    }
+
+    /// Alphabet size `Q`.
+    pub fn alphabet(&self) -> u32 {
+        self.q
+    }
+
+    /// Observe one packed binary row (fast path; `Q = 2` only).
+    ///
+    /// # Panics
+    /// Panics if the summary is not binary or the row has bits at or above
+    /// `d`.
+    pub fn push_packed(&mut self, row: u64) {
+        assert!(
+            row & !((1u64 << self.d) - 1) == 0,
+            "row has bits above d={}",
+            self.d
+        );
+        match &mut self.rows {
+            RowStore::Binary(r) => r.insert(row),
+            RowStore::Qary(_) => panic!("push_packed requires a binary summary"),
+        }
+    }
+
     /// Stream length observed so far (`n = ‖f‖_1`).
     pub fn n(&self) -> u64 {
         match &self.rows {
@@ -211,7 +264,10 @@ impl UniformSampleSummary {
         c: f64,
     ) -> Result<Vec<HeavyHitter>, QueryError> {
         if !(p > 0.0 && p <= 1.0) {
-            return Err(QueryError::UnsupportedMoment { requested: p, supported: 1.0 });
+            return Err(QueryError::UnsupportedMoment {
+                requested: p,
+                supported: 1.0,
+            });
         }
         if !(phi > 0.0 && phi <= 1.0) {
             return Err(QueryError::BadParameter(format!("phi={phi} outside (0,1]")));
@@ -225,17 +281,26 @@ impl UniformSampleSummary {
             return Ok(Vec::new());
         }
         // Count sample multiplicities per pattern.
-        let mut counts: std::collections::BTreeMap<PatternKey, u64> = std::collections::BTreeMap::new();
+        let mut counts: std::collections::BTreeMap<PatternKey, u64> =
+            std::collections::BTreeMap::new();
         for k in sample {
             *counts.entry(k).or_insert(0) += 1;
         }
         let threshold = (phi / c) * self.n() as f64;
         let mut out: Vec<HeavyHitter> = counts
             .into_iter()
-            .map(|(key, g)| HeavyHitter { key, estimate: g as f64 / rate })
+            .map(|(key, g)| HeavyHitter {
+                key,
+                estimate: g as f64 / rate,
+            })
             .filter(|h| h.estimate >= threshold)
             .collect();
-        out.sort_by(|a, b| b.estimate.partial_cmp(&a.estimate).expect("finite").then(a.key.cmp(&b.key)));
+        out.sort_by(|a, b| {
+            b.estimate
+                .partial_cmp(&a.estimate)
+                .expect("finite")
+                .then(a.key.cmp(&b.key))
+        });
         Ok(out)
     }
 
@@ -256,7 +321,8 @@ impl UniformSampleSummary {
         if sample.is_empty() {
             return Err(QueryError::EmptyData);
         }
-        let mut counts: std::collections::BTreeMap<PatternKey, u64> = std::collections::BTreeMap::new();
+        let mut counts: std::collections::BTreeMap<PatternKey, u64> =
+            std::collections::BTreeMap::new();
         for &k in &sample {
             *counts.entry(k).or_insert(0) += 1;
         }
@@ -439,6 +505,89 @@ mod tests {
         assert_eq!(
             built.projected_sample(&cols).expect("ok"),
             pushed.projected_sample(&cols).expect("ok")
+        );
+    }
+
+    #[test]
+    fn merge_preserves_estimates_within_tolerance() {
+        // Split one stream across two shards; the merged summary's
+        // frequency estimates must stay within sampling tolerance of a
+        // single-shard build over the full stream.
+        let d = 16;
+        let data = zipf_patterns(d, 60_000, 50, 1.3, 21);
+        let (n, t) = (data.num_rows(), 4096);
+        let mut a = UniformSampleSummary::new(d, 2, t, 100);
+        let mut b = UniformSampleSummary::new(d, 2, t, 101);
+        for i in 0..n {
+            if i % 2 == 0 {
+                a.push_dense(&data.row_dense(i));
+            } else {
+                b.push_dense(&data.row_dense(i));
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.n(), n as u64);
+        assert_eq!(a.sample_len(), t);
+        let cols = ColumnSet::from_indices(d, &[0, 3, 6, 9]).expect("valid");
+        let exact = pfe_row::FrequencyVector::compute(&data, &cols).expect("fits");
+        let total = exact.total() as f64;
+        for (key, count) in exact.sorted_counts().into_iter().take(5) {
+            let est = a.frequency(&cols, key).expect("ok");
+            let rel = (est - count as f64).abs() / total;
+            assert!(rel < 0.05, "merged additive error {rel}");
+        }
+    }
+
+    #[test]
+    fn merge_underfull_shards_is_lossless() {
+        let data = uniform_qary(3, 6, 200, 31);
+        let mut a = UniformSampleSummary::new(6, 3, 1000, 1);
+        let mut b = UniformSampleSummary::new(6, 3, 1000, 2);
+        for i in 0..100 {
+            a.push_dense(&data.row_dense(i));
+        }
+        for i in 100..200 {
+            b.push_dense(&data.row_dense(i));
+        }
+        a.merge(&b);
+        let full = UniformSampleSummary::build(&data, 1000, 3);
+        let cols = ColumnSet::from_indices(6, &[1, 4]).expect("valid");
+        // Underfull on both sides: the merged sample is the whole stream,
+        // so projected pattern multisets agree exactly.
+        let mut ka = a.projected_sample(&cols).expect("ok");
+        let mut kf = full.projected_sample(&cols).expect("ok");
+        ka.sort_unstable();
+        kf.sort_unstable();
+        assert_eq!(ka, kf);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn merge_rejects_dimension_mismatch() {
+        let mut a = UniformSampleSummary::new(8, 2, 16, 0);
+        let b = UniformSampleSummary::new(9, 2, 16, 0);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn push_packed_matches_push_dense() {
+        let data = zipf_patterns(10, 500, 20, 1.0, 41);
+        let mut packed = UniformSampleSummary::new(10, 2, 64, 5);
+        let mut dense = UniformSampleSummary::new(10, 2, 64, 5);
+        if let Dataset::Binary(m) = &data {
+            for &row in m.rows() {
+                packed.push_packed(row);
+            }
+        } else {
+            unreachable!("generator yields binary data");
+        }
+        for i in 0..data.num_rows() {
+            dense.push_dense(&data.row_dense(i));
+        }
+        let cols = ColumnSet::full(10).expect("valid");
+        assert_eq!(
+            packed.projected_sample(&cols).expect("ok"),
+            dense.projected_sample(&cols).expect("ok")
         );
     }
 

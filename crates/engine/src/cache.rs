@@ -1,0 +1,261 @@
+//! Thread-safe LRU cache for query answers.
+//!
+//! Keys are `(snapshot epoch, rounded subset mask, statistic, aux)` — the
+//! *rounded* mask, because every query that rounds to the same net member
+//! reads the same sketch; caching at that granularity makes the
+//! `subspace_explorer` access pattern (many nearby subsets probing the
+//! same region of the net) hit after the first probe. Entries from older
+//! epochs age out through normal LRU pressure since no new queries touch
+//! them.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Mutex;
+
+use pfe_core::{HeavyHitter, NetAnswer};
+
+use crate::snapshot::FrequencyAnswer;
+
+/// Which statistic an entry caches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StatKind {
+    /// Projected distinct count.
+    F0,
+    /// Point frequency (aux = pattern key).
+    Frequency,
+    /// Heavy hitters (aux = `phi` bits).
+    HeavyHitters,
+}
+
+/// Cache key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Snapshot epoch the answer was computed against.
+    pub epoch: u64,
+    /// Rounded subset mask (`F_0`) or query mask (sample statistics).
+    pub mask: u64,
+    /// Statistic discriminant.
+    pub stat: StatKind,
+    /// Statistic-specific payload (pattern key, `phi` bits, ...).
+    pub aux: u128,
+}
+
+/// A cached answer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CachedAnswer {
+    /// `F_0` net answer (for the *rounded* query; distortion is
+    /// recomputed per original query by the caller).
+    F0(NetAnswer),
+    /// Point-frequency answer.
+    Frequency(FrequencyAnswer),
+    /// Heavy-hitter list.
+    HeavyHitters(Vec<HeavyHitter>),
+}
+
+struct LruState {
+    map: HashMap<CacheKey, (CachedAnswer, u64)>,
+    /// Recency index: tick -> key; first entry is least recent.
+    order: BTreeMap<u64, CacheKey>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+/// Cache hit/miss counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from cache.
+    pub hits: u64,
+    /// Lookups that fell through to the snapshot.
+    pub misses: u64,
+    /// Entries currently held.
+    pub len: usize,
+}
+
+/// Bounded LRU cache; `capacity == 0` disables it entirely.
+pub struct QueryCache {
+    capacity: usize,
+    state: Mutex<LruState>,
+}
+
+impl QueryCache {
+    /// Create with room for `capacity` answers.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            state: Mutex::new(LruState {
+                map: HashMap::new(),
+                order: BTreeMap::new(),
+                tick: 0,
+                hits: 0,
+                misses: 0,
+            }),
+        }
+    }
+
+    /// Look up a key, refreshing its recency on hit.
+    pub fn get(&self, key: &CacheKey) -> Option<CachedAnswer> {
+        if self.capacity == 0 {
+            return None;
+        }
+        let mut s = self.state.lock().expect("cache lock");
+        s.tick += 1;
+        let tick = s.tick;
+        match s.map.get_mut(key) {
+            Some((value, last)) => {
+                let old = *last;
+                *last = tick;
+                let value = value.clone();
+                s.order.remove(&old);
+                s.order.insert(tick, *key);
+                s.hits += 1;
+                Some(value)
+            }
+            None => {
+                s.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert (or refresh) an answer, evicting the least recently used
+    /// entry on overflow.
+    pub fn put(&self, key: CacheKey, value: CachedAnswer) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut s = self.state.lock().expect("cache lock");
+        s.tick += 1;
+        let tick = s.tick;
+        if let Some((_, old)) = s.map.remove(&key) {
+            s.order.remove(&old);
+        }
+        s.map.insert(key, (value, tick));
+        s.order.insert(tick, key);
+        while s.map.len() > self.capacity {
+            let (&oldest, &victim) = s.order.iter().next().expect("nonempty over capacity");
+            s.order.remove(&oldest);
+            s.map.remove(&victim);
+        }
+    }
+
+    /// Hit/miss/occupancy counters.
+    pub fn stats(&self) -> CacheStats {
+        let s = self.state.lock().expect("cache lock");
+        CacheStats {
+            hits: s.hits,
+            misses: s.misses,
+            len: s.map.len(),
+        }
+    }
+
+    /// Drop every entry (counters are kept).
+    pub fn clear(&self) {
+        let mut s = self.state.lock().expect("cache lock");
+        s.map.clear();
+        s.order.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(mask: u64) -> CacheKey {
+        CacheKey {
+            epoch: 1,
+            mask,
+            stat: StatKind::F0,
+            aux: 0,
+        }
+    }
+
+    fn answer(v: f64) -> CachedAnswer {
+        CachedAnswer::Frequency(FrequencyAnswer {
+            estimate: v,
+            upper_bound: None,
+            additive_error: 0.0,
+        })
+    }
+
+    #[test]
+    fn hit_after_put() {
+        let c = QueryCache::new(4);
+        assert!(c.get(&key(1)).is_none());
+        c.put(key(1), answer(10.0));
+        assert_eq!(c.get(&key(1)), Some(answer(10.0)));
+        let stats = c.stats();
+        assert_eq!((stats.hits, stats.misses, stats.len), (1, 1, 1));
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let c = QueryCache::new(2);
+        c.put(key(1), answer(1.0));
+        c.put(key(2), answer(2.0));
+        assert!(c.get(&key(1)).is_some()); // 1 now most recent
+        c.put(key(3), answer(3.0)); // evicts 2
+        assert!(c.get(&key(2)).is_none());
+        assert!(c.get(&key(1)).is_some());
+        assert!(c.get(&key(3)).is_some());
+    }
+
+    #[test]
+    fn distinct_stats_and_epochs_do_not_collide() {
+        let c = QueryCache::new(8);
+        let f0 = CacheKey {
+            epoch: 1,
+            mask: 5,
+            stat: StatKind::F0,
+            aux: 0,
+        };
+        let hh = CacheKey {
+            epoch: 1,
+            mask: 5,
+            stat: StatKind::HeavyHitters,
+            aux: 0,
+        };
+        let f0e2 = CacheKey { epoch: 2, ..f0 };
+        c.put(f0, answer(1.0));
+        c.put(hh, answer(2.0));
+        c.put(f0e2, answer(3.0));
+        assert_eq!(c.get(&f0), Some(answer(1.0)));
+        assert_eq!(c.get(&hh), Some(answer(2.0)));
+        assert_eq!(c.get(&f0e2), Some(answer(3.0)));
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let c = QueryCache::new(0);
+        c.put(key(1), answer(1.0));
+        assert!(c.get(&key(1)).is_none());
+        assert_eq!(c.stats().len, 0);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let c = QueryCache::new(4);
+        c.put(key(1), answer(1.0));
+        c.clear();
+        assert!(c.get(&key(1)).is_none());
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        let c = std::sync::Arc::new(QueryCache::new(64));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let c = std::sync::Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for i in 0..500u64 {
+                        c.put(key(t * 1000 + i % 100), answer(i as f64));
+                        c.get(&key(t * 1000 + (i + 1) % 100));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("no panic");
+        }
+        assert!(c.stats().len <= 64);
+    }
+}

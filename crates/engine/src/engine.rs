@@ -1,0 +1,471 @@
+//! The serving engine: concurrent queries over immutable snapshots, with
+//! an LRU answer cache, in front of the sharded ingest pipeline.
+//!
+//! ```
+//! use pfe_engine::{Engine, EngineConfig, QueryRequest, QueryResponse};
+//! use pfe_stream::gen::uniform_binary;
+//!
+//! let cfg = EngineConfig { shards: 2, sample_t: 512, kmv_k: 64, ..Default::default() };
+//! let engine = Engine::start(12, 2, cfg).unwrap();
+//! engine.ingest(&uniform_binary(12, 5_000, 1)).unwrap();
+//! engine.refresh().unwrap(); // publish a snapshot
+//! let answers = engine.query_batch(&[
+//!     QueryRequest::F0 { cols: vec![0, 3, 5] },
+//!     QueryRequest::HeavyHitters { cols: vec![0, 1], phi: 0.1 },
+//! ]);
+//! assert!(matches!(answers[0], Ok(QueryResponse::F0 { .. })));
+//! ```
+
+use std::sync::{Arc, Mutex, RwLock};
+
+use pfe_core::{HeavyHitter, NetAnswer, QueryError};
+use pfe_row::{ColumnSet, Dataset};
+use pfe_sketch::traits::SpaceUsage;
+
+use crate::cache::{CacheKey, CacheStats, CachedAnswer, QueryCache, StatKind};
+use crate::config::EngineConfig;
+use crate::error::EngineError;
+use crate::ingest::IngestPipeline;
+use crate::snapshot::{FrequencyAnswer, Snapshot};
+
+/// One projection query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryRequest {
+    /// Projected distinct count over the given columns.
+    F0 {
+        /// Column indices of `C`.
+        cols: Vec<u32>,
+    },
+    /// Point frequency of `pattern` on the projection.
+    Frequency {
+        /// Column indices of `C`.
+        cols: Vec<u32>,
+        /// Dense pattern, one symbol per column of `C` (ascending order).
+        pattern: Vec<u16>,
+    },
+    /// `φ`-heavy hitters (`ℓ_1`) on the projection.
+    HeavyHitters {
+        /// Column indices of `C`.
+        cols: Vec<u32>,
+        /// Threshold `φ ∈ (0, 1]`.
+        phi: f64,
+    },
+}
+
+/// Answer to one [`QueryRequest`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryResponse {
+    /// `F_0` answer with net provenance.
+    F0 {
+        /// The α-net answer (estimate, rounded target, distortion).
+        answer: NetAnswer,
+        /// Whether the answer came from the cache.
+        cached: bool,
+    },
+    /// Point-frequency answer.
+    Frequency {
+        /// Sample estimate with optional CountMin bound.
+        answer: FrequencyAnswer,
+        /// Whether the answer came from the cache.
+        cached: bool,
+    },
+    /// Heavy-hitter list.
+    HeavyHitters {
+        /// Reported patterns, heaviest first.
+        hitters: Vec<HeavyHitter>,
+        /// Whether the answer came from the cache.
+        cached: bool,
+    },
+}
+
+/// Engine-level observability counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineStats {
+    /// Rows routed to shards so far.
+    pub rows_ingested: u64,
+    /// Epoch of the published snapshot (0 = none yet).
+    pub snapshot_epoch: u64,
+    /// Rows covered by the published snapshot.
+    pub snapshot_rows: u64,
+    /// Bytes held by the published snapshot.
+    pub snapshot_bytes: usize,
+    /// Cache counters.
+    pub cache: CacheStats,
+    /// Worker shard count.
+    pub shards: usize,
+}
+
+/// Sharded-ingest, snapshot-serving engine.
+///
+/// Ingestion is serialized through the router (`&self` methods take an
+/// internal lock); queries are wait-free with respect to ingest — they
+/// read the last published [`Snapshot`] behind an `Arc` and only contend
+/// on the answer cache's mutex.
+pub struct Engine {
+    pipeline: Mutex<Option<IngestPipeline>>,
+    published: RwLock<Option<Arc<Snapshot>>>,
+    cache: QueryCache,
+    q: u32,
+    /// `(rows_routed, shards)` captured at shutdown, so stats stay
+    /// truthful after the pipeline is gone.
+    retired: Mutex<Option<(u64, usize)>>,
+}
+
+impl Engine {
+    /// Spawn the shard workers for a `d`-column stream over alphabet `q`.
+    ///
+    /// # Errors
+    /// Config validation or summary construction errors.
+    pub fn start(d: u32, q: u32, cfg: EngineConfig) -> Result<Self, EngineError> {
+        let cache = QueryCache::new(cfg.cache_capacity);
+        let pipeline = IngestPipeline::new(d, q, &cfg)?;
+        Ok(Self {
+            pipeline: Mutex::new(Some(pipeline)),
+            published: RwLock::new(None),
+            cache,
+            q,
+            retired: Mutex::new(None),
+        })
+    }
+
+    fn with_pipeline<T>(
+        &self,
+        f: impl FnOnce(&mut IngestPipeline) -> Result<T, EngineError>,
+    ) -> Result<T, EngineError> {
+        let mut guard = self.pipeline.lock().expect("pipeline lock");
+        match guard.as_mut() {
+            Some(p) => f(p),
+            None => Err(EngineError::Closed),
+        }
+    }
+
+    /// Route one packed binary row.
+    ///
+    /// # Errors
+    /// `Closed` after [`shutdown`](Self::shutdown) or on worker loss.
+    pub fn push_packed(&self, row: u64) -> Result<(), EngineError> {
+        self.with_pipeline(|p| p.push_packed(row))
+    }
+
+    /// Route one dense row.
+    ///
+    /// # Errors
+    /// `Closed` after [`shutdown`](Self::shutdown) or on worker loss.
+    pub fn push_dense(&self, row: &[u16]) -> Result<(), EngineError> {
+        self.with_pipeline(|p| p.push_dense(row))
+    }
+
+    /// Route a whole dataset.
+    ///
+    /// # Errors
+    /// Shape mismatch or `Closed`.
+    pub fn ingest(&self, data: &Dataset) -> Result<(), EngineError> {
+        self.with_pipeline(|p| p.ingest(data))
+    }
+
+    /// Merge the live shards into a new snapshot and publish it. Ingest
+    /// continues; queries switch to the new snapshot atomically.
+    ///
+    /// # Errors
+    /// `Closed` if the pipeline is gone.
+    pub fn refresh(&self) -> Result<Arc<Snapshot>, EngineError> {
+        let snap = Arc::new(self.with_pipeline(|p| p.snapshot())?);
+        *self.published.write().expect("snapshot lock") = Some(Arc::clone(&snap));
+        Ok(snap)
+    }
+
+    /// Stop ingest: flush, join the workers, publish their final merged
+    /// state. The engine keeps serving queries afterwards.
+    ///
+    /// # Errors
+    /// `Closed` if already shut down; `ShardFailed` on worker panic.
+    pub fn shutdown(&self) -> Result<Arc<Snapshot>, EngineError> {
+        let pipeline = self
+            .pipeline
+            .lock()
+            .expect("pipeline lock")
+            .take()
+            .ok_or(EngineError::Closed)?;
+        *self.retired.lock().expect("retired lock") =
+            Some((pipeline.rows_routed(), pipeline.shards()));
+        let snap = Arc::new(pipeline.finish()?);
+        *self.published.write().expect("snapshot lock") = Some(Arc::clone(&snap));
+        Ok(snap)
+    }
+
+    /// The currently published snapshot, if any.
+    pub fn snapshot(&self) -> Option<Arc<Snapshot>> {
+        self.published.read().expect("snapshot lock").clone()
+    }
+
+    fn current(&self) -> Result<Arc<Snapshot>, EngineError> {
+        self.snapshot().ok_or(EngineError::NoSnapshot)
+    }
+
+    fn column_set(&self, snap: &Snapshot, cols: &[u32]) -> Result<ColumnSet, EngineError> {
+        let d = snap.sample().dimension();
+        ColumnSet::from_indices(d, cols)
+            .map_err(|e| EngineError::Query(QueryError::BadParameter(format!("columns: {e:?}"))))
+    }
+
+    /// Answer one query against the published snapshot.
+    ///
+    /// # Errors
+    /// `NoSnapshot` before the first [`refresh`](Self::refresh); query
+    /// errors from the summaries.
+    pub fn query(&self, req: &QueryRequest) -> Result<QueryResponse, EngineError> {
+        let snap = self.current()?;
+        match req {
+            QueryRequest::F0 { cols } => {
+                let cols = self.column_set(&snap, cols)?;
+                // Key by the *rounded* mask: every query rounding to the
+                // same net member reads the same sketch.
+                let rounding = snap.f0_rounding(&cols)?;
+                let key = CacheKey {
+                    epoch: snap.epoch(),
+                    mask: rounding.target.mask(),
+                    stat: StatKind::F0,
+                    aux: 0,
+                };
+                if let Some(CachedAnswer::F0(hit)) = self.cache.get(&key) {
+                    // The cached estimate belongs to the rounded target;
+                    // provenance is per-query.
+                    return Ok(QueryResponse::F0 {
+                        answer: NetAnswer {
+                            estimate: hit.estimate,
+                            answered_on: rounding.target,
+                            sym_diff: rounding.sym_diff,
+                            distortion_bound: (self.q as f64).powi(rounding.sym_diff as i32),
+                        },
+                        cached: true,
+                    });
+                }
+                let answer = snap.f0(&cols)?;
+                self.cache.put(key, CachedAnswer::F0(answer.clone()));
+                Ok(QueryResponse::F0 {
+                    answer,
+                    cached: false,
+                })
+            }
+            QueryRequest::Frequency { cols, pattern } => {
+                let cols = self.column_set(&snap, cols)?;
+                let pattern_key = snap.encode_pattern(&cols, pattern)?;
+                let key = CacheKey {
+                    epoch: snap.epoch(),
+                    mask: cols.mask(),
+                    stat: StatKind::Frequency,
+                    aux: pattern_key.raw(),
+                };
+                if let Some(CachedAnswer::Frequency(hit)) = self.cache.get(&key) {
+                    return Ok(QueryResponse::Frequency {
+                        answer: hit,
+                        cached: true,
+                    });
+                }
+                let answer = snap.frequency(&cols, pattern_key)?;
+                self.cache.put(key, CachedAnswer::Frequency(answer.clone()));
+                Ok(QueryResponse::Frequency {
+                    answer,
+                    cached: false,
+                })
+            }
+            QueryRequest::HeavyHitters { cols, phi } => {
+                let cols = self.column_set(&snap, cols)?;
+                let key = CacheKey {
+                    epoch: snap.epoch(),
+                    mask: cols.mask(),
+                    stat: StatKind::HeavyHitters,
+                    aux: phi.to_bits() as u128,
+                };
+                if let Some(CachedAnswer::HeavyHitters(hit)) = self.cache.get(&key) {
+                    return Ok(QueryResponse::HeavyHitters {
+                        hitters: hit,
+                        cached: true,
+                    });
+                }
+                let hitters = snap.heavy_hitters(&cols, *phi, 1.0, 2.0)?;
+                self.cache
+                    .put(key, CachedAnswer::HeavyHitters(hitters.clone()));
+                Ok(QueryResponse::HeavyHitters {
+                    hitters,
+                    cached: false,
+                })
+            }
+        }
+    }
+
+    /// Answer a batch of queries (the serving unit of the `serve`
+    /// example). Per-query errors are reported per slot, not batch-fatal.
+    pub fn query_batch(&self, reqs: &[QueryRequest]) -> Vec<Result<QueryResponse, EngineError>> {
+        reqs.iter().map(|r| self.query(r)).collect()
+    }
+
+    /// Observability counters.
+    pub fn stats(&self) -> EngineStats {
+        let (rows_ingested, shards) = {
+            let guard = self.pipeline.lock().expect("pipeline lock");
+            match guard.as_ref() {
+                Some(p) => (p.rows_routed(), p.shards()),
+                // After shutdown, report the counters captured when the
+                // pipeline retired.
+                None => self.retired.lock().expect("retired lock").unwrap_or((0, 0)),
+            }
+        };
+        let snap = self.snapshot();
+        EngineStats {
+            rows_ingested,
+            snapshot_epoch: snap.as_ref().map(|s| s.epoch()).unwrap_or(0),
+            snapshot_rows: snap.as_ref().map(|s| s.n()).unwrap_or(0),
+            snapshot_bytes: snap.as_ref().map(|s| s.space_bytes()).unwrap_or(0),
+            cache: self.cache.stats(),
+            shards,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfe_stream::gen::uniform_binary;
+
+    fn small_cfg(shards: usize) -> EngineConfig {
+        EngineConfig {
+            shards,
+            sample_t: 512,
+            kmv_k: 64,
+            batch_rows: 64,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn query_before_snapshot_is_typed_error() {
+        let engine = Engine::start(8, 2, small_cfg(1)).expect("start");
+        assert_eq!(
+            engine.query(&QueryRequest::F0 { cols: vec![0] }),
+            Err(EngineError::NoSnapshot)
+        );
+    }
+
+    #[test]
+    fn f0_cache_hits_on_shared_rounded_target() {
+        let d = 12;
+        let engine = Engine::start(d, 2, small_cfg(2)).expect("start");
+        engine.ingest(&uniform_binary(d, 3000, 11)).expect("ingest");
+        engine.refresh().expect("refresh");
+        // Two different mid-size queries that round to the same target.
+        let q1 = QueryRequest::F0 {
+            cols: (0..6).collect(),
+        };
+        let q2 = QueryRequest::F0 {
+            cols: (0..7).collect(),
+        };
+        let a1 = engine.query(&q1).expect("ok");
+        let QueryResponse::F0 {
+            answer: ans1,
+            cached,
+        } = a1
+        else {
+            panic!("wrong variant")
+        };
+        assert!(!cached);
+        let a2 = engine.query(&q2).expect("ok");
+        let QueryResponse::F0 {
+            answer: ans2,
+            cached,
+        } = a2
+        else {
+            panic!("wrong variant")
+        };
+        // Both rounded (shrunk) to the same small-side member => same
+        // estimate, second answer from cache with its own provenance.
+        if ans1.answered_on == ans2.answered_on {
+            assert!(cached, "same rounded target must hit the cache");
+            assert_eq!(ans1.estimate, ans2.estimate);
+            assert_ne!(ans1.sym_diff, ans2.sym_diff);
+        }
+        // Exact repeat definitely hits.
+        let QueryResponse::F0 { cached, .. } = engine.query(&q1).expect("ok") else {
+            panic!("wrong variant")
+        };
+        assert!(cached);
+    }
+
+    #[test]
+    fn refresh_bumps_epoch_and_bypasses_stale_cache() {
+        let d = 10;
+        let engine = Engine::start(d, 2, small_cfg(2)).expect("start");
+        engine.ingest(&uniform_binary(d, 1000, 12)).expect("ingest");
+        engine.refresh().expect("refresh");
+        let req = QueryRequest::F0 { cols: vec![0, 1] };
+        engine.query(&req).expect("ok");
+        engine.ingest(&uniform_binary(d, 1000, 13)).expect("ingest");
+        engine.refresh().expect("refresh");
+        let QueryResponse::F0 { cached, .. } = engine.query(&req).expect("ok") else {
+            panic!("wrong variant")
+        };
+        assert!(!cached, "new epoch must not serve the old answer");
+    }
+
+    #[test]
+    fn shutdown_then_queries_still_served() {
+        let d = 8;
+        let engine = Engine::start(d, 2, small_cfg(3)).expect("start");
+        engine.ingest(&uniform_binary(d, 500, 14)).expect("ingest");
+        let snap = engine.shutdown().expect("shutdown");
+        assert_eq!(snap.n(), 500);
+        assert!(engine.push_packed(0).is_err());
+        assert!(engine.query(&QueryRequest::F0 { cols: vec![0] }).is_ok());
+        assert!(engine.shutdown().is_err());
+        // Counters must survive the pipeline retiring.
+        let stats = engine.stats();
+        assert_eq!(stats.rows_ingested, 500);
+        assert_eq!(stats.shards, 3);
+    }
+
+    #[test]
+    fn concurrent_queries_while_ingesting() {
+        let d = 10;
+        let engine = Arc::new(Engine::start(d, 2, small_cfg(2)).expect("start"));
+        engine.ingest(&uniform_binary(d, 2000, 15)).expect("ingest");
+        engine.refresh().expect("refresh");
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let engine = Arc::clone(&engine);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..200u32 {
+                    let cols: Vec<u32> = (0..(1 + (t + i) % 5)).collect();
+                    let r = engine.query(&QueryRequest::F0 { cols });
+                    assert!(r.is_ok(), "query failed: {r:?}");
+                }
+            }));
+        }
+        // Ingest and refresh concurrently with the query threads.
+        for chunk in 0..4 {
+            engine
+                .ingest(&uniform_binary(d, 500, 16 + chunk))
+                .expect("ingest");
+            engine.refresh().expect("refresh");
+        }
+        for h in handles {
+            h.join().expect("no panic");
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.rows_ingested, 4000);
+        assert!(stats.cache.hits > 0, "repeat queries should hit the cache");
+    }
+
+    #[test]
+    fn stats_reflect_state() {
+        let d = 8;
+        let engine = Engine::start(d, 2, small_cfg(2)).expect("start");
+        let s0 = engine.stats();
+        assert_eq!((s0.rows_ingested, s0.snapshot_epoch), (0, 0));
+        engine.ingest(&uniform_binary(d, 300, 17)).expect("ingest");
+        engine.refresh().expect("refresh");
+        let s1 = engine.stats();
+        assert_eq!(s1.snapshot_rows, 300);
+        assert!(s1.snapshot_bytes > 0);
+        assert_eq!(s1.shards, 2);
+    }
+}

@@ -1,0 +1,50 @@
+//! Engine-level errors.
+
+use pfe_core::QueryError;
+
+/// Errors surfaced by the serving engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// A summary-level query error (dimension, codec, parameter, ...).
+    Query(QueryError),
+    /// The engine configuration is invalid.
+    BadConfig(String),
+    /// The ingest pipeline has been shut down.
+    Closed,
+    /// A shard worker thread panicked; the engine is unusable.
+    ShardFailed(String),
+    /// No snapshot has been published yet (call `refresh` after ingesting).
+    NoSnapshot,
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Query(e) => write!(f, "query error: {e}"),
+            Self::BadConfig(msg) => write!(f, "bad engine config: {msg}"),
+            Self::Closed => write!(f, "ingest pipeline is closed"),
+            Self::ShardFailed(msg) => write!(f, "shard worker failed: {msg}"),
+            Self::NoSnapshot => write!(f, "no snapshot published yet"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<QueryError> for EngineError {
+    fn from(e: QueryError) -> Self {
+        Self::Query(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_from() {
+        let e: EngineError = QueryError::EmptyData.into();
+        assert!(e.to_string().contains("no data"));
+        assert!(EngineError::NoSnapshot.to_string().contains("snapshot"));
+    }
+}

@@ -1,0 +1,415 @@
+//! Sharded parallel ingest pipeline.
+//!
+//! Rows are hash-partitioned by content across `N` worker shards; each
+//! worker owns a [`ShardSummary`] and drains a *bounded* channel of row
+//! batches, so a slow shard exerts backpressure on the producer instead of
+//! letting the queue grow without bound. Content partitioning sends every
+//! copy of a row to the same shard — harmless for all summaries (distinct
+//! counting is duplicate-insensitive, sampling and counting are
+//! partition-oblivious) and the standard scheme for distributed distinct
+//! counting.
+//!
+//! The pipeline accepts both batch [`Dataset`]s and incremental row pushes,
+//! and supports two exits: [`snapshot`](IngestPipeline::snapshot) clones
+//! the live shard summaries into a point-in-time merged view while ingest
+//! continues, and [`finish`](IngestPipeline::finish) shuts the workers down
+//! and merges their final state.
+
+use std::sync::mpsc::{self, Receiver, SyncSender};
+use std::thread::JoinHandle;
+
+use pfe_core::QueryError;
+use pfe_hash::hash_u64;
+use pfe_row::Dataset;
+
+use crate::config::EngineConfig;
+use crate::error::EngineError;
+use crate::shard::ShardSummary;
+use crate::snapshot::Snapshot;
+
+/// A batch of rows travelling to one shard.
+#[derive(Debug, Clone)]
+pub enum RowBatch {
+    /// Packed binary rows (`q = 2` fast path).
+    Packed(Vec<u64>),
+    /// Dense rows over a general alphabet.
+    Dense(Vec<Vec<u16>>),
+}
+
+enum Msg {
+    Batch(RowBatch),
+    /// Reply with a clone of the shard's current summary.
+    Collect(SyncSender<ShardSummary>),
+}
+
+/// The sharded ingest pipeline.
+pub struct IngestPipeline {
+    senders: Vec<SyncSender<Msg>>,
+    handles: Vec<JoinHandle<ShardSummary>>,
+    /// Router-side per-shard row buffers (amortize channel traffic).
+    packed_buf: Vec<Vec<u64>>,
+    dense_buf: Vec<Vec<Vec<u16>>>,
+    d: u32,
+    q: u32,
+    batch_rows: usize,
+    partition_seed: u64,
+    rows_routed: u64,
+    epoch: u64,
+}
+
+fn worker(rx: Receiver<Msg>, mut shard: ShardSummary) -> ShardSummary {
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            Msg::Batch(RowBatch::Packed(rows)) => {
+                for row in rows {
+                    shard.push_packed(row);
+                }
+            }
+            Msg::Batch(RowBatch::Dense(rows)) => {
+                for row in rows {
+                    shard.push_dense(&row);
+                }
+            }
+            Msg::Collect(reply) => {
+                // The collector may have given up (engine dropped); ignore.
+                let _ = reply.send(shard.clone());
+            }
+        }
+    }
+    shard
+}
+
+impl IngestPipeline {
+    /// Spawn the shard workers for a `d`-column stream over alphabet `q`.
+    ///
+    /// Summary construction happens inside each worker thread, so the
+    /// (potentially large) α-net materialization is itself parallel.
+    ///
+    /// # Errors
+    /// Config validation and summary construction errors.
+    pub fn new(d: u32, q: u32, cfg: &EngineConfig) -> Result<Self, EngineError> {
+        // Validate everything shard construction can fail on up front (no
+        // sketch allocation), so construction errors surface here — not as
+        // worker panics — and the net materialization stays parallel.
+        ShardSummary::validate(d, q, cfg)?;
+        let mut senders = Vec::with_capacity(cfg.shards);
+        let mut handles = Vec::with_capacity(cfg.shards);
+        for shard_id in 0..cfg.shards {
+            let (tx, rx) = mpsc::sync_channel::<Msg>(cfg.channel_capacity);
+            let cfg = cfg.clone();
+            handles.push(std::thread::spawn(move || {
+                let shard = ShardSummary::new(d, q, shard_id, &cfg)
+                    .expect("parameters validated by the router");
+                worker(rx, shard)
+            }));
+            senders.push(tx);
+        }
+        Ok(Self {
+            packed_buf: vec![Vec::new(); cfg.shards],
+            dense_buf: vec![Vec::new(); cfg.shards],
+            senders,
+            handles,
+            d,
+            q,
+            batch_rows: cfg.batch_rows,
+            partition_seed: cfg.seed ^ 0x9a97_7171_0000_5afe,
+            rows_routed: 0,
+            epoch: 0,
+        })
+    }
+
+    /// Dimension `d`.
+    pub fn dimension(&self) -> u32 {
+        self.d
+    }
+
+    /// Alphabet `Q`.
+    pub fn alphabet(&self) -> u32 {
+        self.q
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Rows routed so far (some may still be in flight to workers).
+    pub fn rows_routed(&self) -> u64 {
+        self.rows_routed
+    }
+
+    fn shard_of_packed(&self, row: u64) -> usize {
+        (hash_u64(row, self.partition_seed) % self.senders.len() as u64) as usize
+    }
+
+    fn shard_of_dense(&self, row: &[u16]) -> usize {
+        let mut h = self.partition_seed;
+        for &s in row {
+            h = hash_u64(h ^ s as u64, self.partition_seed);
+        }
+        (h % self.senders.len() as u64) as usize
+    }
+
+    fn send(&self, shard: usize, batch: RowBatch) -> Result<(), EngineError> {
+        self.senders[shard]
+            .send(Msg::Batch(batch))
+            .map_err(|_| EngineError::Closed)
+    }
+
+    /// Route one packed binary row.
+    ///
+    /// The pipeline is the serving boundary, so malformed rows are typed
+    /// errors here (not panics): a bad client request must never take the
+    /// engine down. The shard-side summaries keep their assert contracts
+    /// as defense in depth — rows are validated before crossing a thread.
+    ///
+    /// # Errors
+    /// `Query(BadParameter)` on shape violations; `Closed` if a worker
+    /// has gone away.
+    pub fn push_packed(&mut self, row: u64) -> Result<(), EngineError> {
+        if self.q != 2 {
+            return Err(EngineError::Query(QueryError::BadParameter(
+                "push_packed requires a binary pipeline".into(),
+            )));
+        }
+        if row & !((1u64 << self.d) - 1) != 0 {
+            return Err(EngineError::Query(QueryError::BadParameter(format!(
+                "row has bits above d={}",
+                self.d
+            ))));
+        }
+        let shard = self.shard_of_packed(row);
+        self.packed_buf[shard].push(row);
+        self.rows_routed += 1;
+        if self.packed_buf[shard].len() >= self.batch_rows {
+            let batch = std::mem::take(&mut self.packed_buf[shard]);
+            self.send(shard, RowBatch::Packed(batch))?;
+        }
+        Ok(())
+    }
+
+    /// Route one dense row.
+    ///
+    /// # Errors
+    /// `Query(BadParameter)` on wrong row length or out-of-alphabet
+    /// symbols (see [`push_packed`](Self::push_packed) on why these are
+    /// errors, not panics); `Closed` if a worker has gone away.
+    pub fn push_dense(&mut self, row: &[u16]) -> Result<(), EngineError> {
+        if row.len() != self.d as usize {
+            return Err(EngineError::Query(QueryError::BadParameter(format!(
+                "row length {} != d = {}",
+                row.len(),
+                self.d
+            ))));
+        }
+        if let Some(&s) = row.iter().find(|&&s| s as u32 >= self.q) {
+            return Err(EngineError::Query(QueryError::BadParameter(format!(
+                "symbol {s} outside alphabet Q={}",
+                self.q
+            ))));
+        }
+        let shard = self.shard_of_dense(row);
+        self.dense_buf[shard].push(row.to_vec());
+        self.rows_routed += 1;
+        if self.dense_buf[shard].len() >= self.batch_rows {
+            let batch = std::mem::take(&mut self.dense_buf[shard]);
+            self.send(shard, RowBatch::Dense(batch))?;
+        }
+        Ok(())
+    }
+
+    /// Route a whole dataset (batch ingest).
+    ///
+    /// # Errors
+    /// Shape mismatch (`BadConfig`) or `Closed`.
+    pub fn ingest(&mut self, data: &Dataset) -> Result<(), EngineError> {
+        if data.dimension() != self.d || data.alphabet() != self.q {
+            return Err(EngineError::BadConfig(format!(
+                "dataset shape ({}, Q={}) does not match pipeline ({}, Q={})",
+                data.dimension(),
+                data.alphabet(),
+                self.d,
+                self.q
+            )));
+        }
+        match data {
+            Dataset::Binary(m) => {
+                for &row in m.rows() {
+                    self.push_packed(row)?;
+                }
+            }
+            Dataset::Qary(m) => {
+                for i in 0..m.num_rows() {
+                    self.push_dense(m.row(i))?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Flush router-side buffers to the workers.
+    ///
+    /// # Errors
+    /// `Closed` if a worker has gone away.
+    pub fn flush(&mut self) -> Result<(), EngineError> {
+        for shard in 0..self.senders.len() {
+            if !self.packed_buf[shard].is_empty() {
+                let batch = std::mem::take(&mut self.packed_buf[shard]);
+                self.send(shard, RowBatch::Packed(batch))?;
+            }
+            if !self.dense_buf[shard].is_empty() {
+                let batch = std::mem::take(&mut self.dense_buf[shard]);
+                self.send(shard, RowBatch::Dense(batch))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Take a point-in-time snapshot: flush, ask every worker for a clone
+    /// of its summary, and merge the clones. Workers keep ingesting;
+    /// subsequent pushes land in later snapshots.
+    ///
+    /// # Errors
+    /// `Closed` if a worker has gone away.
+    pub fn snapshot(&mut self) -> Result<Snapshot, EngineError> {
+        self.flush()?;
+        // One reply channel per worker; collection waits for every shard,
+        // which (FIFO channels) also barriers all previously sent batches.
+        let mut replies = Vec::with_capacity(self.senders.len());
+        for tx in &self.senders {
+            let (reply_tx, reply_rx) = mpsc::sync_channel::<ShardSummary>(1);
+            tx.send(Msg::Collect(reply_tx))
+                .map_err(|_| EngineError::Closed)?;
+            replies.push(reply_rx);
+        }
+        let shards: Result<Vec<ShardSummary>, _> = replies
+            .into_iter()
+            .map(|rx| rx.recv().map_err(|_| EngineError::Closed))
+            .collect();
+        self.epoch += 1;
+        Ok(Snapshot::from_shards(shards?, self.epoch))
+    }
+
+    /// Shut down: flush, close the channels, join the workers, and merge
+    /// their final summaries.
+    ///
+    /// # Errors
+    /// `ShardFailed` if a worker panicked.
+    pub fn finish(mut self) -> Result<Snapshot, EngineError> {
+        self.flush()?;
+        self.senders.clear(); // drop senders => workers drain and exit
+        let mut shards = Vec::with_capacity(self.handles.len());
+        for handle in self.handles.drain(..) {
+            shards.push(
+                handle
+                    .join()
+                    .map_err(|e| EngineError::ShardFailed(format!("{e:?}")))?,
+            );
+        }
+        Ok(Snapshot::from_shards(shards, self.epoch + 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfe_row::ColumnSet;
+    use pfe_stream::gen::{uniform_binary, uniform_qary};
+
+    fn cfg(shards: usize) -> EngineConfig {
+        EngineConfig {
+            shards,
+            sample_t: 512,
+            kmv_k: 64,
+            batch_rows: 64,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn batch_ingest_then_finish() {
+        let d = 10;
+        let data = uniform_binary(d, 3000, 5);
+        let mut p = IngestPipeline::new(d, 2, &cfg(3)).expect("spawn");
+        p.ingest(&data).expect("ingest");
+        assert_eq!(p.rows_routed(), 3000);
+        let snap = p.finish().expect("finish");
+        assert_eq!(snap.n(), 3000);
+        let cols = ColumnSet::from_mask(d, 0b11111).expect("valid");
+        assert!(snap.f0(&cols).expect("ok").estimate > 0.0);
+    }
+
+    #[test]
+    fn incremental_push_and_live_snapshots() {
+        let d = 8;
+        let data = uniform_binary(d, 1000, 6);
+        let mut p = IngestPipeline::new(d, 2, &cfg(2)).expect("spawn");
+        let rows: Vec<u64> = match &data {
+            Dataset::Binary(m) => m.rows().to_vec(),
+            Dataset::Qary(_) => unreachable!("generator yields binary data"),
+        };
+        for &row in &rows[..500] {
+            p.push_packed(row).expect("push");
+        }
+        let snap1 = p.snapshot().expect("snapshot");
+        assert_eq!(snap1.n(), 500);
+        for &row in &rows[500..] {
+            p.push_packed(row).expect("push");
+        }
+        let snap2 = p.snapshot().expect("snapshot");
+        assert_eq!(snap2.n(), 1000);
+        assert!(snap2.epoch() > snap1.epoch());
+        // Pipeline still alive after snapshots.
+        let final_snap = p.finish().expect("finish");
+        assert_eq!(final_snap.n(), 1000);
+    }
+
+    #[test]
+    fn qary_ingest_roundtrip() {
+        let data = uniform_qary(3, 6, 800, 7);
+        let mut p = IngestPipeline::new(6, 3, &cfg(2)).expect("spawn");
+        p.ingest(&data).expect("ingest");
+        let snap = p.finish().expect("finish");
+        assert_eq!(snap.n(), 800);
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let data = uniform_binary(9, 10, 8);
+        let mut p = IngestPipeline::new(8, 2, &cfg(1)).expect("spawn");
+        assert!(matches!(p.ingest(&data), Err(EngineError::BadConfig(_))));
+    }
+
+    #[test]
+    fn malformed_rows_are_typed_errors_not_panics() {
+        // The pipeline is the serving boundary: a bad client row must not
+        // take the engine down (regression: wrong-length rows panicked).
+        let mut p = IngestPipeline::new(8, 2, &cfg(2)).expect("spawn");
+        assert!(matches!(p.push_dense(&[0, 1]), Err(EngineError::Query(_))));
+        assert!(matches!(p.push_dense(&[7; 8]), Err(EngineError::Query(_))));
+        assert!(matches!(p.push_packed(1 << 20), Err(EngineError::Query(_))));
+        // Still healthy afterwards.
+        p.push_packed(0b1010_1010).expect("good row");
+        p.push_dense(&[0, 1, 0, 1, 0, 1, 0, 1]).expect("good row");
+        let snap = p.finish().expect("finish");
+        assert_eq!(snap.n(), 2);
+        // Q-ary pipeline rejects push_packed.
+        let mut q = IngestPipeline::new(4, 3, &cfg(1)).expect("spawn");
+        assert!(matches!(q.push_packed(0), Err(EngineError::Query(_))));
+        q.finish().expect("finish");
+    }
+
+    #[test]
+    fn partitioning_is_content_stable() {
+        let p = IngestPipeline::new(8, 2, &cfg(4)).expect("spawn");
+        for row in 0..200u64 {
+            assert_eq!(p.shard_of_packed(row), p.shard_of_packed(row));
+        }
+        // All shards get traffic.
+        let mut seen = [false; 4];
+        for row in 0..200u64 {
+            seen[p.shard_of_packed(row)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "unused shard under hash partition");
+    }
+}

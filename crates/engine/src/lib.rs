@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+//! `pfe-engine` — sharded parallel ingest and concurrent projection-query
+//! serving over the paper's mergeable summaries.
+//!
+//! The paper's Algorithm 1 summaries (α-net of β-approximate sketches) and
+//! Theorem 5.1 uniform samples are mergeable and stream-friendly; this
+//! crate turns that property into a production-shaped engine:
+//!
+//! 1. **Sharded ingest** ([`IngestPipeline`]): rows are hash-partitioned
+//!    by content across `N` worker shards, each owning its own
+//!    [`UniformSampleSummary`](pfe_core::UniformSampleSummary) +
+//!    [`AlphaNetF0`](pfe_core::alpha_net::AlphaNetF0)`<Kmv>` (plus an
+//!    optional CountMin frequency net), fed through *bounded* channels so
+//!    slow shards apply backpressure. Accepts batch
+//!    [`Dataset`](pfe_row::Dataset)s and incremental row pushes.
+//! 2. **Merge / compaction** ([`Snapshot`]): shard summaries fold into an
+//!    immutable snapshot via the `DistinctSketch::merge` /
+//!    reservoir-union contracts — exact for KMV/CountMin (per-mask seeds
+//!    are shared), hypergeometric-uniform for the row sample.
+//! 3. **Query serving** ([`Engine`]): batched `F_0`, point-frequency, and
+//!    heavy-hitter queries against `Arc`-shared snapshots, with an LRU
+//!    cache keyed by `(epoch, rounded subset mask, statistic)` so repeated
+//!    exploration queries skip the net lookup.
+//!
+//! The `serve` example (workspace root) speaks line-delimited JSON over
+//! stdin using the vendored [`json`] module; `benches/engine.rs` in
+//! `pfe-bench` measures ingest throughput vs. shard count and query
+//! latency with and without the cache.
+
+pub mod cache;
+pub mod config;
+pub mod engine;
+pub mod error;
+pub mod ingest;
+pub mod json;
+pub mod shard;
+pub mod snapshot;
+
+pub use cache::{CacheKey, CacheStats, CachedAnswer, QueryCache, StatKind};
+pub use config::{EngineConfig, FreqNetConfig};
+pub use engine::{Engine, EngineStats, QueryRequest, QueryResponse};
+pub use error::EngineError;
+pub use ingest::{IngestPipeline, RowBatch};
+pub use json::Json;
+pub use shard::ShardSummary;
+pub use snapshot::{FrequencyAnswer, Snapshot};

@@ -1,0 +1,262 @@
+//! Per-shard summary state.
+//!
+//! Each ingest worker owns one [`ShardSummary`]: a uniform row sample
+//! (Theorem 5.1), an α-net `F_0` summary (Algorithm 1 with KMV plug-ins),
+//! and optionally an α-net CountMin frequency summary. All three are
+//! mergeable — KMV/CountMin exactly (per-mask seeds are derived from the
+//! shared base seed, so equal masks carry equal seeds on every shard), the
+//! reservoir by the seeded hypergeometric union — which is what makes the
+//! shard → merge → snapshot pipeline equivalent to a single-threaded build.
+
+use pfe_core::alpha_net::{AlphaNet, AlphaNetF0, NetMode};
+use pfe_core::{AlphaNetFrequency, UniformSampleSummary};
+use pfe_hash::rng::SplitMix64;
+use pfe_sketch::kmv::Kmv;
+use pfe_sketch::traits::SpaceUsage;
+
+use crate::config::EngineConfig;
+use crate::error::EngineError;
+
+/// Summaries owned by one ingest shard.
+#[derive(Clone)]
+pub struct ShardSummary {
+    sample: UniformSampleSummary,
+    net_f0: AlphaNetF0<Kmv>,
+    freq: Option<AlphaNetFrequency>,
+    rows: u64,
+}
+
+/// Reservoir seed for shard `shard_id`: statistically independent streams
+/// per shard, derived deterministically from the base seed.
+fn shard_sample_seed(base: u64, shard_id: usize) -> u64 {
+    let mut sm = SplitMix64::new(base ^ 0x5a5a);
+    let mut s = 0;
+    for _ in 0..=shard_id {
+        s = sm.next_u64();
+    }
+    s
+}
+
+impl ShardSummary {
+    /// Check every failure path of [`new`](Self::new) without materializing
+    /// any sketch — the router calls this once so worker-thread
+    /// construction cannot fail, keeping the (potentially large) net
+    /// materialization off the caller thread.
+    ///
+    /// # Errors
+    /// The same errors `new` would surface.
+    pub fn validate(d: u32, q: u32, cfg: &EngineConfig) -> Result<(), EngineError> {
+        cfg.validate()?;
+        let net = AlphaNet::new(d, cfg.alpha)?;
+        if q < 2 {
+            return Err(EngineError::Query(pfe_core::QueryError::BadParameter(
+                format!("alphabet q={q} must be >= 2"),
+            )));
+        }
+        let count = net.member_count(NetMode::Full);
+        if count > cfg.max_subsets {
+            return Err(EngineError::Query(pfe_core::QueryError::BadParameter(
+                format!(
+                    "net would materialize {count} subsets, above the safety cap {}",
+                    cfg.max_subsets
+                ),
+            )));
+        }
+        if q > 2 {
+            // The widths the Full net materializes (same set the summary
+            // constructors validate).
+            for w in (0..=net.small_size()).chain(net.large_size()..=d) {
+                pfe_row::PatternCodec::new(q, w).map_err(pfe_core::QueryError::from)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Create the empty summaries for one shard of a `d`-column stream over
+    /// alphabet `q`.
+    ///
+    /// # Errors
+    /// Parameter/codec errors; net size above the configured cap.
+    pub fn new(d: u32, q: u32, shard_id: usize, cfg: &EngineConfig) -> Result<Self, EngineError> {
+        cfg.validate()?;
+        let net = AlphaNet::new(d, cfg.alpha)?;
+        let kmv_k = cfg.kmv_k;
+        let seed = cfg.seed;
+        // KMV seeds depend only on (mask, base seed) — NOT the shard id —
+        // so shard merges are exact unions.
+        let net_f0 =
+            AlphaNetF0::new_streaming_qary(net, NetMode::Full, cfg.max_subsets, q, |mask| {
+                Kmv::new(kmv_k, mask ^ seed)
+            })?;
+        let freq = cfg
+            .freq_net
+            .map(|fc| {
+                AlphaNetFrequency::new_streaming(net, q, fc.depth, fc.width, cfg.max_subsets, seed)
+            })
+            .transpose()?;
+        Ok(Self {
+            sample: UniformSampleSummary::new(
+                d,
+                q,
+                cfg.sample_t,
+                shard_sample_seed(seed, shard_id),
+            ),
+            net_f0,
+            freq,
+            rows: 0,
+        })
+    }
+
+    /// Observe one packed binary row.
+    ///
+    /// # Panics
+    /// Panics if the shard is not binary or the row has bits at or above
+    /// `d`.
+    pub fn push_packed(&mut self, row: u64) {
+        self.sample.push_packed(row);
+        self.net_f0.push_packed(row);
+        if let Some(freq) = &mut self.freq {
+            freq.push_packed(row);
+        }
+        self.rows += 1;
+    }
+
+    /// Observe one dense row (any alphabet).
+    ///
+    /// # Panics
+    /// Panics on wrong row length or out-of-alphabet symbols.
+    pub fn push_dense(&mut self, row: &[u16]) {
+        self.sample.push_dense(row);
+        self.net_f0.push_dense(row);
+        if let Some(freq) = &mut self.freq {
+            freq.push_dense(row);
+        }
+        self.rows += 1;
+    }
+
+    /// Fold another shard's summaries into this one.
+    ///
+    /// # Panics
+    /// Panics on shape/parameter mismatch (shards of one engine always
+    /// match).
+    pub fn merge(&mut self, other: &Self) {
+        self.sample.merge(&other.sample);
+        self.net_f0.merge(&other.net_f0);
+        match (&mut self.freq, &other.freq) {
+            (Some(a), Some(b)) => a.merge(b),
+            (None, None) => {}
+            _ => panic!("shard merge: frequency-net presence mismatch"),
+        }
+        self.rows += other.rows;
+    }
+
+    /// Rows observed by this shard.
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+
+    /// The uniform row sample.
+    pub fn sample(&self) -> &UniformSampleSummary {
+        &self.sample
+    }
+
+    /// The α-net `F_0` summary.
+    pub fn net_f0(&self) -> &AlphaNetF0<Kmv> {
+        &self.net_f0
+    }
+
+    /// The optional frequency net.
+    pub fn freq(&self) -> Option<&AlphaNetFrequency> {
+        self.freq.as_ref()
+    }
+
+    /// Decompose into parts (snapshot assembly).
+    pub(crate) fn into_parts(
+        self,
+    ) -> (
+        UniformSampleSummary,
+        AlphaNetF0<Kmv>,
+        Option<AlphaNetFrequency>,
+        u64,
+    ) {
+        (self.sample, self.net_f0, self.freq, self.rows)
+    }
+}
+
+impl SpaceUsage for ShardSummary {
+    fn space_bytes(&self) -> usize {
+        self.sample.space_bytes()
+            + self.net_f0.space_bytes()
+            + self.freq.as_ref().map(|f| f.space_bytes()).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FreqNetConfig;
+    use pfe_row::ColumnSet;
+    use pfe_stream::gen::uniform_binary;
+
+    fn cfg() -> EngineConfig {
+        EngineConfig {
+            shards: 2,
+            sample_t: 256,
+            kmv_k: 64,
+            freq_net: Some(FreqNetConfig {
+                depth: 4,
+                width: 256,
+            }),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn two_shards_merge_to_single_build_f0() {
+        let d = 10;
+        let data = uniform_binary(d, 1200, 3);
+        let cfg = cfg();
+        let mut single = ShardSummary::new(d, 2, 0, &cfg).expect("new");
+        let mut a = ShardSummary::new(d, 2, 0, &cfg).expect("new");
+        let mut b = ShardSummary::new(d, 2, 1, &cfg).expect("new");
+        if let pfe_row::Dataset::Binary(m) = &data {
+            for (i, &row) in m.rows().iter().enumerate() {
+                single.push_packed(row);
+                if i % 2 == 0 {
+                    a.push_packed(row);
+                } else {
+                    b.push_packed(row);
+                }
+            }
+        } else {
+            unreachable!("generator yields binary data");
+        }
+        a.merge(&b);
+        assert_eq!(a.rows(), single.rows());
+        // KMV union over disjoint segments == single KMV over the stream.
+        for mask in [0b11u64, 0b1111100000, (1 << d) - 1] {
+            let cols = ColumnSet::from_mask(d, mask).expect("valid");
+            assert_eq!(
+                a.net_f0().f0(&cols).expect("ok").estimate,
+                single.net_f0().f0(&cols).expect("ok").estimate,
+                "merged shards diverged from single build at mask {mask:#b}"
+            );
+        }
+        // Frequency nets merge by CountMin addition: totals match exactly.
+        assert_eq!(a.freq().expect("on").n(), single.freq().expect("on").n());
+    }
+
+    #[test]
+    fn shard_reservoir_seeds_differ() {
+        assert_ne!(shard_sample_seed(0, 0), shard_sample_seed(0, 1));
+        assert_ne!(shard_sample_seed(0, 1), shard_sample_seed(1, 1));
+        // Deterministic.
+        assert_eq!(shard_sample_seed(7, 3), shard_sample_seed(7, 3));
+    }
+
+    #[test]
+    fn space_accounted() {
+        let s = ShardSummary::new(8, 2, 0, &cfg()).expect("new");
+        assert!(s.space_bytes() > 0);
+    }
+}

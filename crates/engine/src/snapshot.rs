@@ -1,0 +1,249 @@
+//! Immutable, queryable snapshots.
+//!
+//! A [`Snapshot`] is the merge of every shard's summaries at one point in
+//! time. It is immutable by construction and shared behind `Arc` by the
+//! serving layer, so any number of query threads can read it while ingest
+//! continues on the live shards.
+
+use pfe_core::alpha_net::{AlphaNetF0, RoundedQuery};
+use pfe_core::{
+    AlphaNetFrequency, HeavyHitter, NetAnswer, QueryError, SampledPattern, UniformSampleSummary,
+};
+use pfe_row::{ColumnSet, PatternCodec, PatternKey};
+use pfe_sketch::kmv::Kmv;
+use pfe_sketch::traits::SpaceUsage;
+
+use crate::shard::ShardSummary;
+
+/// A point-frequency answer combining the unbiased sample estimate with
+/// the CountMin one-sided bound (when the frequency net is enabled).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrequencyAnswer {
+    /// Unbiased estimate from the uniform row sample (`ĝ/α`).
+    pub estimate: f64,
+    /// One-sided overestimate from the α-net CountMin summary, if enabled.
+    pub upper_bound: Option<f64>,
+    /// Additive error `ε‖f‖₁` of `estimate` at `δ = 0.05`.
+    pub additive_error: f64,
+}
+
+/// The merged, immutable view the engine serves queries from.
+pub struct Snapshot {
+    sample: UniformSampleSummary,
+    net_f0: AlphaNetF0<Kmv>,
+    freq: Option<AlphaNetFrequency>,
+    rows: u64,
+    epoch: u64,
+}
+
+impl Snapshot {
+    /// Merge shard summaries into one snapshot.
+    ///
+    /// # Panics
+    /// Panics if `shards` is empty or shard parameters mismatch.
+    pub fn from_shards(shards: Vec<ShardSummary>, epoch: u64) -> Self {
+        assert!(!shards.is_empty(), "snapshot needs at least one shard");
+        let mut iter = shards.into_iter();
+        let mut acc = iter.next().expect("nonempty");
+        for shard in iter {
+            acc.merge(&shard);
+        }
+        let (sample, net_f0, freq, rows) = acc.into_parts();
+        Self {
+            sample,
+            net_f0,
+            freq,
+            rows,
+            epoch,
+        }
+    }
+
+    /// Monotone snapshot sequence number (per engine).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Rows summarized.
+    pub fn n(&self) -> u64 {
+        self.rows
+    }
+
+    /// The merged uniform row sample.
+    pub fn sample(&self) -> &UniformSampleSummary {
+        &self.sample
+    }
+
+    /// The merged α-net `F_0` summary.
+    pub fn net_f0(&self) -> &AlphaNetF0<Kmv> {
+        &self.net_f0
+    }
+
+    /// Whether the frequency net is materialized.
+    pub fn has_freq_net(&self) -> bool {
+        self.freq.is_some()
+    }
+
+    /// The rounding `f0` will apply to this query — exposed so the serving
+    /// layer can key its cache by the *rounded* subset mask.
+    ///
+    /// # Errors
+    /// Dimension errors.
+    pub fn f0_rounding(&self, cols: &ColumnSet) -> Result<RoundedQuery, QueryError> {
+        self.net_f0.effective_rounding(cols)
+    }
+
+    /// Projected `F_0` (Algorithm 1).
+    ///
+    /// # Errors
+    /// Dimension errors.
+    pub fn f0(&self, cols: &ColumnSet) -> Result<NetAnswer, QueryError> {
+        self.net_f0.f0(cols)
+    }
+
+    /// Encode a dense pattern for `cols`.
+    ///
+    /// # Errors
+    /// Codec or arity errors.
+    pub fn encode_pattern(
+        &self,
+        cols: &ColumnSet,
+        pattern: &[u16],
+    ) -> Result<PatternKey, QueryError> {
+        if pattern.len() != cols.len() as usize {
+            return Err(QueryError::BadParameter(format!(
+                "pattern arity {} != |C| = {}",
+                pattern.len(),
+                cols.len()
+            )));
+        }
+        for &s in pattern {
+            if s as u32 >= self.sample.alphabet() {
+                return Err(QueryError::BadParameter(format!(
+                    "symbol {s} outside alphabet"
+                )));
+            }
+        }
+        let codec = PatternCodec::new(self.sample.alphabet(), cols.len())?;
+        Ok(codec.encode_pattern(pattern))
+    }
+
+    /// Point frequency of `key` on projection `cols`: unbiased sample
+    /// estimate plus (if enabled) the CountMin upper bound.
+    ///
+    /// # Errors
+    /// Dimension or codec errors.
+    pub fn frequency(
+        &self,
+        cols: &ColumnSet,
+        key: PatternKey,
+    ) -> Result<FrequencyAnswer, QueryError> {
+        let estimate = self.sample.frequency(cols, key)?;
+        let upper_bound = match &self.freq {
+            Some(net) => Some(net.frequency(cols, key)?.estimate),
+            None => None,
+        };
+        Ok(FrequencyAnswer {
+            estimate,
+            upper_bound,
+            additive_error: self.sample.additive_error(0.05),
+        })
+    }
+
+    /// `φ`-`ℓ_p` heavy hitters (`0 < p ≤ 1`) with slack `c`.
+    ///
+    /// # Errors
+    /// Dimension, codec, or parameter errors.
+    pub fn heavy_hitters(
+        &self,
+        cols: &ColumnSet,
+        phi: f64,
+        p: f64,
+        c: f64,
+    ) -> Result<Vec<HeavyHitter>, QueryError> {
+        self.sample.heavy_hitters(cols, phi, p, c)
+    }
+
+    /// `ℓ_1` pattern sampling on projection `cols`.
+    ///
+    /// # Errors
+    /// Dimension, codec, or empty-data errors.
+    pub fn l1_sample(
+        &self,
+        cols: &ColumnSet,
+        count: usize,
+        seed: u64,
+    ) -> Result<Vec<SampledPattern>, QueryError> {
+        self.sample.l1_sample(cols, count, seed)
+    }
+}
+
+impl SpaceUsage for Snapshot {
+    fn space_bytes(&self) -> usize {
+        self.sample.space_bytes()
+            + self.net_f0.space_bytes()
+            + self.freq.as_ref().map(|f| f.space_bytes()).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{EngineConfig, FreqNetConfig};
+    use pfe_stream::gen::uniform_binary;
+
+    #[test]
+    fn snapshot_serves_all_statistics() {
+        let d = 10;
+        let data = uniform_binary(d, 2000, 9);
+        let cfg = EngineConfig {
+            sample_t: 1024,
+            kmv_k: 128,
+            freq_net: Some(FreqNetConfig {
+                depth: 4,
+                width: 512,
+            }),
+            ..Default::default()
+        };
+        let mut shard = ShardSummary::new(d, 2, 0, &cfg).expect("new");
+        if let pfe_row::Dataset::Binary(m) = &data {
+            for &row in m.rows() {
+                shard.push_packed(row);
+            }
+        } else {
+            unreachable!("generator yields binary data");
+        }
+        let snap = Snapshot::from_shards(vec![shard], 1);
+        assert_eq!(snap.n(), 2000);
+        assert_eq!(snap.epoch(), 1);
+        assert!(snap.has_freq_net());
+        let cols = ColumnSet::from_mask(d, 0b111).expect("valid");
+        assert!(snap.f0(&cols).expect("ok").estimate > 0.0);
+        let key = snap.encode_pattern(&cols, &[0, 0, 0]).expect("ok");
+        let freq = snap.frequency(&cols, key).expect("ok");
+        assert!(freq.estimate >= 0.0);
+        let ub = freq.upper_bound.expect("freq net on");
+        // CountMin never underestimates; the sample is unbiased.
+        assert!(
+            ub + 1e-9 >= freq.estimate * 0.5,
+            "bound {ub} vs {}",
+            freq.estimate
+        );
+        assert!(!snap
+            .heavy_hitters(&cols, 0.05, 1.0, 2.0)
+            .expect("ok")
+            .is_empty());
+        assert_eq!(snap.l1_sample(&cols, 10, 3).expect("ok").len(), 10);
+        assert!(snap.space_bytes() > 0);
+    }
+
+    #[test]
+    fn encode_pattern_validates() {
+        let cfg = EngineConfig::default();
+        let shard = ShardSummary::new(6, 2, 0, &cfg).expect("new");
+        let snap = Snapshot::from_shards(vec![shard], 1);
+        let cols = ColumnSet::from_mask(6, 0b11).expect("valid");
+        assert!(snap.encode_pattern(&cols, &[0]).is_err());
+        assert!(snap.encode_pattern(&cols, &[0, 7]).is_err());
+        assert!(snap.encode_pattern(&cols, &[1, 0]).is_ok());
+    }
+}

@@ -1,0 +1,222 @@
+//! Engine correctness contracts:
+//!
+//! 1. Sharded build ≡ single-shard build: the merged α-net is an *exact*
+//!    union (per-mask KMV seeds are shared), the merged sample answers
+//!    within sampling tolerance.
+//! 2. Engine ≡ `SummarySuite` on the same data and seed: `F_0` answers are
+//!    bit-identical, frequency answers agree within sketch tolerance.
+//! 3. Order-insensitivity under `pfe_stream::stream::{shuffled, reorder}`.
+
+use pfe_core::{SuiteConfig, SummarySuite};
+use pfe_engine::{Engine, EngineConfig, QueryRequest, QueryResponse};
+use pfe_row::{ColumnSet, Dataset, FrequencyVector};
+use pfe_stream::gen::{uniform_binary, zipf_patterns};
+use pfe_stream::stream::{reorder, shuffled};
+use proptest::prelude::*;
+
+const D: u32 = 12;
+
+fn engine_cfg(shards: usize, seed: u64) -> EngineConfig {
+    EngineConfig {
+        shards,
+        alpha: 0.25,
+        kmv_k: 256,
+        sample_t: 4096,
+        seed,
+        batch_rows: 128,
+        ..Default::default()
+    }
+}
+
+fn suite_cfg(seed: u64) -> SuiteConfig {
+    SuiteConfig {
+        alpha: 0.25,
+        kmv_k: 256,
+        sample_t: 4096,
+        seed,
+        keep_exact: true,
+        ..Default::default()
+    }
+}
+
+fn engine_over(data: &Dataset, shards: usize, seed: u64) -> Engine {
+    let engine =
+        Engine::start(data.dimension(), data.alphabet(), engine_cfg(shards, seed)).expect("start");
+    engine.ingest(data).expect("ingest");
+    engine.refresh().expect("refresh");
+    engine
+}
+
+fn f0_of(engine: &Engine, cols: Vec<u32>) -> f64 {
+    match engine.query(&QueryRequest::F0 { cols }).expect("query") {
+        QueryResponse::F0 { answer, .. } => answer.estimate,
+        other => panic!("wrong variant {other:?}"),
+    }
+}
+
+fn freq_of(engine: &Engine, cols: Vec<u32>, pattern: Vec<u16>) -> f64 {
+    match engine
+        .query(&QueryRequest::Frequency { cols, pattern })
+        .expect("query")
+    {
+        QueryResponse::Frequency { answer, .. } => answer.estimate,
+        other => panic!("wrong variant {other:?}"),
+    }
+}
+
+/// Column subsets exercising in-net (small/large) and rounded (mid) sizes.
+fn probe_sets() -> Vec<Vec<u32>> {
+    vec![
+        vec![0],
+        vec![0, 3, 7],
+        (0..6).collect(),
+        (3..10).collect(),
+        (0..10).collect(),
+        (0..D).collect(),
+    ]
+}
+
+#[test]
+fn sharded_f0_equals_suite_exactly() {
+    let seed = 5;
+    let data = uniform_binary(D, 20_000, 2);
+    let suite = SummarySuite::build(&data, &suite_cfg(seed)).expect("suite");
+    for shards in [2usize, 4, 7] {
+        let engine = engine_over(&data, shards, seed);
+        for cols in probe_sets() {
+            let cs = ColumnSet::from_indices(D, &cols).expect("valid");
+            let expected = suite.f0(&cs).expect("suite answer").estimate;
+            let got = f0_of(&engine, cols.clone());
+            assert_eq!(
+                got, expected,
+                "{shards}-shard engine diverged from suite at {cols:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_frequency_within_sampling_tolerance() {
+    let seed = 9;
+    let data = zipf_patterns(D, 50_000, 40, 1.3, 4);
+    let engine = engine_over(&data, 4, seed);
+    let cols: Vec<u32> = vec![0, 2, 4, 6];
+    let cs = ColumnSet::from_indices(D, &cols).expect("valid");
+    let exact = FrequencyVector::compute(&data, &cs).expect("fits");
+    let n = exact.total() as f64;
+    // additive tolerance: eps = sqrt(ln(2/delta)/t), delta = 0.01, t = 4096
+    // => ~0.036; allow 2x for the max over several patterns.
+    let tol = 2.0 * ((2.0f64 / 0.01).ln() / 4096.0).sqrt();
+    for (key, count) in exact.sorted_counts().into_iter().take(8) {
+        let codec = data.codec_for(&cs).expect("fits");
+        let pattern = codec.decode(key);
+        let est = freq_of(&engine, cols.clone(), pattern);
+        let rel = (est - count as f64).abs() / n;
+        assert!(rel <= tol, "pattern {key:?}: additive error {rel} > {tol}");
+    }
+}
+
+#[test]
+fn one_shard_equals_many_shards_for_f0() {
+    let seed = 11;
+    let data = uniform_binary(D, 8_000, 6);
+    let single = engine_over(&data, 1, seed);
+    let many = engine_over(&data, 6, seed);
+    for cols in probe_sets() {
+        assert_eq!(
+            f0_of(&single, cols.clone()),
+            f0_of(&many, cols.clone()),
+            "shard count changed the F_0 answer at {cols:?}"
+        );
+    }
+}
+
+#[test]
+fn f0_is_order_insensitive_under_shuffle_and_reorder() {
+    let seed = 13;
+    let data = uniform_binary(D, 10_000, 8);
+    let baseline = engine_over(&data, 3, seed);
+    // A seeded permutation and a deterministic interleave-style reorder.
+    let shuffled_data = shuffled(&data, 99);
+    let order: Vec<usize> = (0..data.num_rows())
+        .map(|i| {
+            if i % 2 == 0 {
+                i / 2
+            } else {
+                data.num_rows() - 1 - i / 2
+            }
+        })
+        .collect();
+    let reordered_data = reorder(&data, &order);
+    for variant in [shuffled_data, reordered_data] {
+        let engine = engine_over(&variant, 3, seed);
+        for cols in probe_sets() {
+            assert_eq!(
+                f0_of(&baseline, cols.clone()),
+                f0_of(&engine, cols.clone()),
+                "row order changed the F_0 answer at {cols:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn heavy_hitters_match_suite_sample_semantics() {
+    let seed = 17;
+    let data = zipf_patterns(D, 30_000, 25, 1.5, 10);
+    let engine = engine_over(&data, 4, seed);
+    let cols: Vec<u32> = (0..8).collect();
+    let cs = ColumnSet::from_indices(D, &cols).expect("valid");
+    let exact = FrequencyVector::compute(&data, &cs).expect("fits");
+    let truth: Vec<_> = exact
+        .heavy_hitters(0.1, 1.0)
+        .into_iter()
+        .map(|(k, _)| k)
+        .collect();
+    let hitters = match engine
+        .query(&QueryRequest::HeavyHitters { cols, phi: 0.1 })
+        .expect("query")
+    {
+        QueryResponse::HeavyHitters { hitters, .. } => hitters,
+        other => panic!("wrong variant {other:?}"),
+    };
+    let reported: Vec<_> = hitters.iter().map(|h| h.key).collect();
+    for k in &truth {
+        assert!(reported.contains(k), "engine missed a true heavy hitter");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random binary data, random split: sharded engine == suite for F_0,
+    /// on every probe subset.
+    #[test]
+    fn prop_sharded_engine_matches_suite(
+        rows in proptest::collection::vec(0u64..(1 << 10), 50..400),
+        shards in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        let d = 10;
+        let data = Dataset::Binary(pfe_row::BinaryMatrix::from_rows(d, rows));
+        let suite = SummarySuite::build(
+            &data,
+            &SuiteConfig { kmv_k: 64, sample_t: 256, seed, ..Default::default() },
+        )
+        .expect("suite");
+        let engine = Engine::start(
+            d,
+            2,
+            EngineConfig { shards, kmv_k: 64, sample_t: 256, seed, ..Default::default() },
+        )
+        .expect("start");
+        engine.ingest(&data).expect("ingest");
+        engine.refresh().expect("refresh");
+        for mask in [0b1u64, 0b11111, 0b1110000111] {
+            let cols = ColumnSet::from_mask(d, mask).expect("valid");
+            let expected = suite.f0(&cols).expect("ok").estimate;
+            let got = f0_of(&engine, cols.to_indices());
+            prop_assert_eq!(got, expected, "mask {:#b}", mask);
+        }
+    }
+}

@@ -178,6 +178,9 @@ mod tests {
     #[test]
     fn byte_slices_length_distinguished() {
         let s = SeededState::new(1);
-        assert_ne!(hash_one(&s, &[1u8, 2, 3].as_slice()), hash_one(&s, &[1u8, 2, 3, 0].as_slice()));
+        assert_ne!(
+            hash_one(&s, &[1u8, 2, 3].as_slice()),
+            hash_one(&s, &[1u8, 2, 3, 0].as_slice())
+        );
     }
 }

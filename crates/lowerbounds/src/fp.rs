@@ -174,8 +174,8 @@ impl<O: FpOracle> FpLargeProtocol<O> {
     pub fn threshold(&self) -> f64 {
         let k = self.code.params().weight();
         let block = (1u64 << k) as f64; // 2^{εd} all-ones rows
-        // Both cases contain the all-ones block: F_p >= block^p. The yes
-        // case adds another ~block^p from 0_S. Separate at 1.5x block^p.
+                                        // Both cases contain the all-ones block: F_p >= block^p. The yes
+                                        // case adds another ~block^p from 0_S. Separate at 1.5x block^p.
         1.5 * block.powf(self.p)
     }
 }

@@ -113,7 +113,9 @@ impl<O: HhOracle> MembershipProtocol for HhProtocol<O> {
     fn bob(&self, summary: &(O, usize), index: usize) -> bool {
         let cols = self.query_for(index);
         // 0_S is the all-zero pattern: key 0.
-        summary.0.is_heavy(&cols, PatternKey::new(0), self.phi, self.p)
+        summary
+            .0
+            .is_heavy(&cols, PatternKey::new(0), self.phi, self.p)
     }
 
     fn summary_bytes(&self, summary: &(O, usize)) -> usize {
@@ -134,12 +136,7 @@ pub struct CaseMeasurement {
 }
 
 /// Measure the proof's case quantities for a given held set and test word.
-pub fn measure_case(
-    code: &RandomCode,
-    held: &[usize],
-    y_index: usize,
-    p: f64,
-) -> CaseMeasurement {
+pub fn measure_case(code: &RandomCode, held: &[usize], y_index: usize, p: f64) -> CaseMeasurement {
     let inst = HeavyHitterInstance::build(code.clone(), held);
     let d = code.params().d;
     let y = code.words()[y_index];
@@ -226,7 +223,11 @@ mod tests {
         let k = code.params().weight();
         let m = measure_case(&code, &[1, 2], 0, 2.0);
         let floor = (1u64 << k) as f64;
-        assert!(m.fp_value >= floor.powi(2), "F_p {} below padding floor", m.fp_value);
+        assert!(
+            m.fp_value >= floor.powi(2),
+            "F_p {} below padding floor",
+            m.fp_value
+        );
     }
 
     #[test]

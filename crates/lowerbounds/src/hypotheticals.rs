@@ -79,8 +79,7 @@ impl HypotheticalsSummary {
 
 impl SpaceUsage for HypotheticalsSummary {
     fn space_bytes(&self) -> usize {
-        std::mem::size_of::<Self>()
-            + self.per_column.iter().map(Kmv::space_bytes).sum::<usize>()
+        std::mem::size_of::<Self>() + self.per_column.iter().map(Kmv::space_bytes).sum::<usize>()
     }
 }
 
@@ -122,8 +121,7 @@ impl MembershipProtocol for HypotheticalsProtocol {
 
     fn bob(&self, summary: &(HypotheticalsSummary, f64), index: usize) -> bool {
         let y = self.inner.universe_words[index];
-        let cols =
-            ColumnSet::from_mask(self.inner.code.dimension(), y).expect("support in range");
+        let cols = ColumnSet::from_mask(self.inner.code.dimension(), y).expect("support in range");
         summary.0.union_distinct(&cols) >= summary.1
     }
 

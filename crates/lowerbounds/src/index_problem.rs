@@ -87,11 +87,7 @@ impl TrialReport {
 ///
 /// # Panics
 /// Panics if the universe is empty or `trials == 0`.
-pub fn run_trials<P: MembershipProtocol>(
-    protocol: &P,
-    trials: usize,
-    seed: u64,
-) -> TrialReport {
+pub fn run_trials<P: MembershipProtocol>(protocol: &P, trials: usize, seed: u64) -> TrialReport {
     let n = protocol.universe();
     assert!(n >= 2, "universe must have at least 2 elements");
     assert!(trials > 0, "need at least one trial");

@@ -122,7 +122,12 @@ impl SamplerSmallProtocol {
             (cap as f64) < half_support,
             "cap {cap} not below εd/2 = {half_support}; M′ would not be exclusive to y"
         );
-        Self { code, p, draws, seed }
+        Self {
+            code,
+            p,
+            draws,
+            seed,
+        }
     }
 
     /// Is a projected pattern (on `S = supp(y)`, little-endian packed) a

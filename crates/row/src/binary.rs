@@ -56,7 +56,10 @@ impl BinaryMatrix {
     /// Panics if `d > 63`.
     pub fn new(d: u32) -> Self {
         assert!(d <= 63, "BinaryMatrix supports d <= 63, got {d}");
-        Self { d, rows: Vec::new() }
+        Self {
+            d,
+            rows: Vec::new(),
+        }
     }
 
     /// Matrix from packed rows.

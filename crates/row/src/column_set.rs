@@ -129,7 +129,11 @@ impl ColumnSet {
     /// Panics if `column >= d` — an index bug in the caller.
     #[must_use]
     pub fn with(&self, column: u32) -> Self {
-        assert!(column < self.d, "column {column} out of range for d={}", self.d);
+        assert!(
+            column < self.d,
+            "column {column} out of range for d={}",
+            self.d
+        );
         Self {
             mask: self.mask | (1 << column),
             d: self.d,

@@ -50,7 +50,11 @@ impl FrequencyVector {
             *counts.entry(key).or_insert(0) += 1;
             total += 1;
         }
-        Ok(Self { counts, total, codec })
+        Ok(Self {
+            counts,
+            total,
+            codec,
+        })
     }
 
     /// Build directly from (key, count) pairs (used by tests and by the
@@ -66,7 +70,11 @@ impl FrequencyVector {
             assert!(counts.insert(k, c).is_none(), "duplicate key {k:?}");
             total += c;
         }
-        Self { counts, total, codec }
+        Self {
+            counts,
+            total,
+            codec,
+        }
     }
 
     /// The codec for this projection.
@@ -287,10 +295,7 @@ mod tests {
     #[should_panic(expected = "duplicate key")]
     fn from_counts_rejects_duplicates() {
         let codec = PatternCodec::new(2, 2).expect("fits");
-        FrequencyVector::from_counts(
-            codec,
-            &[(PatternKey::new(1), 1), (PatternKey::new(1), 2)],
-        );
+        FrequencyVector::from_counts(codec, &[(PatternKey::new(1), 1), (PatternKey::new(1), 2)]);
     }
 
     #[test]

@@ -63,7 +63,10 @@ impl std::fmt::Display for PatternCodecError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Self::DomainTooLarge { q, m } => {
-                write!(f, "pattern domain {q}^{m} exceeds 2^127; cannot pack bijectively")
+                write!(
+                    f,
+                    "pattern domain {q}^{m} exceeds 2^127; cannot pack bijectively"
+                )
             }
             Self::EmptyAlphabet => write!(f, "alphabet size must be >= 1"),
         }
@@ -156,7 +159,11 @@ impl PatternCodec {
         let mut acc: u128 = 0;
         let mut scale: u128 = 1;
         for &s in pattern {
-            assert!((s as u32) < self.q, "symbol {s} outside alphabet [{}]", self.q);
+            assert!(
+                (s as u32) < self.q,
+                "symbol {s} outside alphabet [{}]",
+                self.q
+            );
             acc += s as u128 * scale;
             scale *= self.q as u128;
         }
@@ -255,7 +262,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "out of domain")]
     fn decode_out_of_domain_panics() {
-        PatternCodec::new(2, 2).expect("fits").decode(PatternKey::new(4));
+        PatternCodec::new(2, 2)
+            .expect("fits")
+            .decode(PatternKey::new(4));
     }
 
     proptest! {

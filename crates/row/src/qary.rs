@@ -22,9 +22,16 @@ impl QaryMatrix {
     /// Panics if `q == 0`, `q > u16::MAX as u32 + 1`, or `d > 63`.
     pub fn new(q: u32, d: u32) -> Self {
         assert!(q >= 1, "alphabet size must be >= 1");
-        assert!(q <= u16::MAX as u32 + 1, "alphabet size {q} exceeds u16 symbols");
+        assert!(
+            q <= u16::MAX as u32 + 1,
+            "alphabet size {q} exceeds u16 symbols"
+        );
         assert!(d <= 63, "QaryMatrix supports d <= 63, got {d}");
-        Self { q, d, data: Vec::new() }
+        Self {
+            q,
+            d,
+            data: Vec::new(),
+        }
     }
 
     /// Build from a flat row-major buffer.
@@ -34,10 +41,7 @@ impl QaryMatrix {
     /// is `>= Q`.
     pub fn from_flat(q: u32, d: u32, data: Vec<u16>) -> Self {
         let mut m = Self::new(q, d);
-        assert!(
-            d > 0 || data.is_empty(),
-            "d=0 matrix cannot carry symbols"
-        );
+        assert!(d > 0 || data.is_empty(), "d=0 matrix cannot carry symbols");
         if d > 0 {
             assert_eq!(data.len() % d as usize, 0, "buffer not a multiple of d");
         }
@@ -94,7 +98,11 @@ impl QaryMatrix {
     pub fn push_row(&mut self, row: &[u16]) {
         assert_eq!(row.len(), self.d as usize, "row length != d");
         for &s in row {
-            assert!((s as u32) < self.q, "symbol {s} outside alphabet [{}]", self.q);
+            assert!(
+                (s as u32) < self.q,
+                "symbol {s} outside alphabet [{}]",
+                self.q
+            );
         }
         self.data.extend_from_slice(row);
     }

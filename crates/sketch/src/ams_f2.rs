@@ -26,7 +26,11 @@ impl AmsF2 {
     /// Panics if either parameter is zero.
     pub fn new(groups: usize, per_group: usize, seed: u64) -> Self {
         assert!(groups > 0 && per_group > 0, "AMS needs positive shape");
-        let groups = if groups.is_multiple_of(2) { groups + 1 } else { groups };
+        let groups = if groups.is_multiple_of(2) {
+            groups + 1
+        } else {
+            groups
+        };
         let t = groups * per_group;
         Self {
             sums: vec![0i64; t],
@@ -64,7 +68,11 @@ impl AmsF2 {
     /// # Panics
     /// Panics on shape mismatch.
     pub fn merge(&mut self, other: &Self) {
-        assert_eq!(self.sums.len(), other.sums.len(), "AMS merge: shape mismatch");
+        assert_eq!(
+            self.sums.len(),
+            other.sums.len(),
+            "AMS merge: shape mismatch"
+        );
         assert_eq!(self.per_group, other.per_group, "AMS merge: shape mismatch");
         for (a, &b) in self.sums.iter_mut().zip(&other.sums) {
             *a += b;
@@ -142,7 +150,7 @@ mod tests {
         s.update(1, 10);
         s.update(2, 5);
         s.update(1, -10); // remove item 1 entirely
-        // Remaining F2 = 25.
+                          // Remaining F2 = 25.
         let est = s.estimate();
         assert!((est - 25.0).abs() < 15.0, "estimate {est}");
     }

@@ -149,7 +149,11 @@ mod tests {
             s.insert(i);
         }
         // Kept set stays <= budget; hash-set capacity may double it.
-        assert!(s.space_bytes() < 128 * 48 + 512, "space {}", s.space_bytes());
+        assert!(
+            s.space_bytes() < 128 * 48 + 512,
+            "space {}",
+            s.space_bytes()
+        );
     }
 
     #[test]

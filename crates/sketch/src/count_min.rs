@@ -26,7 +26,10 @@ impl CountMin {
     /// # Panics
     /// Panics if `depth == 0` or `width == 0`.
     pub fn new(depth: usize, width: usize, seed: u64) -> Self {
-        assert!(depth > 0 && width > 0, "CountMin needs positive depth/width");
+        assert!(
+            depth > 0 && width > 0,
+            "CountMin needs positive depth/width"
+        );
         Self {
             counters: vec![0u64; depth * width],
             hashes: (0..depth)
@@ -71,7 +74,11 @@ impl CountMin {
     /// Panics on shape mismatch.
     pub fn merge(&mut self, other: &Self) {
         assert_eq!(self.width, other.width, "CountMin merge: width mismatch");
-        assert_eq!(self.depth(), other.depth(), "CountMin merge: depth mismatch");
+        assert_eq!(
+            self.depth(),
+            other.depth(),
+            "CountMin merge: depth mismatch"
+        );
         for (a, &b) in self.counters.iter_mut().zip(&other.counters) {
             *a += b;
         }
@@ -149,7 +156,10 @@ mod tests {
                 violations += 1;
             }
         }
-        assert!(violations <= 2, "too many error-bound violations: {violations}");
+        assert!(
+            violations <= 2,
+            "too many error-bound violations: {violations}"
+        );
     }
 
     #[test]

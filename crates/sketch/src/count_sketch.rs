@@ -27,12 +27,24 @@ impl CountSketch {
     /// # Panics
     /// Panics if `depth == 0` or `width == 0`.
     pub fn new(depth: usize, width: usize, seed: u64) -> Self {
-        assert!(depth > 0 && width > 0, "CountSketch needs positive depth/width");
-        let depth = if depth.is_multiple_of(2) { depth + 1 } else { depth };
+        assert!(
+            depth > 0 && width > 0,
+            "CountSketch needs positive depth/width"
+        );
+        let depth = if depth.is_multiple_of(2) {
+            depth + 1
+        } else {
+            depth
+        };
         Self {
             counters: vec![0i64; depth * width],
             buckets: (0..depth)
-                .map(|j| TwoWise::new(seed.wrapping_add(2 * j as u64 + 1).wrapping_mul(0xabcd_ef01)))
+                .map(|j| {
+                    TwoWise::new(
+                        seed.wrapping_add(2 * j as u64 + 1)
+                            .wrapping_mul(0xabcd_ef01),
+                    )
+                })
                 .collect(),
             signs: (0..depth)
                 .map(|j| SignHash::new(seed.wrapping_add(2 * j as u64).wrapping_mul(0x1357_9bdf)))
@@ -58,7 +70,11 @@ impl CountSketch {
     /// Panics on shape mismatch.
     pub fn merge(&mut self, other: &Self) {
         assert_eq!(self.width, other.width, "CountSketch merge: width mismatch");
-        assert_eq!(self.depth(), other.depth(), "CountSketch merge: depth mismatch");
+        assert_eq!(
+            self.depth(),
+            other.depth(),
+            "CountSketch merge: depth mismatch"
+        );
         for (a, &b) in self.counters.iter_mut().zip(&other.counters) {
             *a += b;
         }

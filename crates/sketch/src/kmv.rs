@@ -98,8 +98,7 @@ impl DistinctSketch for Kmv {
             // (up to hash collisions, negligible at 64 bits).
             return self.minima.len() as f64;
         }
-        let vk = (*self.minima.last().expect("k >= 2") as f64 + 1.0)
-            / (u64::MAX as f64 + 1.0);
+        let vk = (*self.minima.last().expect("k >= 2") as f64 + 1.0) / (u64::MAX as f64 + 1.0);
         (self.k as f64 - 1.0) / vk
     }
 

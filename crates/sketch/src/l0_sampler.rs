@@ -161,7 +161,10 @@ impl SpaceUsage for L0Sampler {
             + self
                 .reps
                 .iter()
-                .map(|r| r.levels.capacity() * std::mem::size_of::<Cell>() + std::mem::size_of::<Repetition>())
+                .map(|r| {
+                    r.levels.capacity() * std::mem::size_of::<Cell>()
+                        + std::mem::size_of::<Repetition>()
+                })
                 .sum::<usize>()
     }
 }
@@ -217,7 +220,10 @@ mod tests {
                 None => failures += 1,
             }
         }
-        assert!(failures < runs / 20, "too many recovery failures: {failures}");
+        assert!(
+            failures < runs / 20,
+            "too many recovery failures: {failures}"
+        );
         let expect = (runs - failures) as f64 / items.len() as f64;
         for &it in &items {
             let c = counts.get(&it).copied().unwrap_or(0) as f64;

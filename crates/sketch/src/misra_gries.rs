@@ -7,7 +7,7 @@
 //! of Theorem 5.1 and is used by examples as the classical-streaming
 //! baseline.
 
-use crate::traits::{SpaceUsage};
+use crate::traits::SpaceUsage;
 use pfe_hash::builder::{seeded_map, SeededHashMap};
 
 /// Misra–Gries summary with at most `k` counters.

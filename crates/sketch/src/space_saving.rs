@@ -113,7 +113,8 @@ impl SpaceUsage for SpaceSaving {
     fn space_bytes(&self) -> usize {
         std::mem::size_of::<Self>()
             + self.slots.capacity()
-                * (std::mem::size_of::<u64>() + std::mem::size_of::<Slot>()
+                * (std::mem::size_of::<u64>()
+                    + std::mem::size_of::<Slot>()
                     + std::mem::size_of::<usize>())
     }
 }

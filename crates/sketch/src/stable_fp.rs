@@ -92,8 +92,16 @@ impl StableFp {
     /// # Panics
     /// Panics on mismatch.
     pub fn merge(&mut self, other: &Self) {
-        assert_eq!(self.sums.len(), other.sums.len(), "StableFp merge: t mismatch");
-        assert_eq!(self.p.to_bits(), other.p.to_bits(), "StableFp merge: p mismatch");
+        assert_eq!(
+            self.sums.len(),
+            other.sums.len(),
+            "StableFp merge: t mismatch"
+        );
+        assert_eq!(
+            self.p.to_bits(),
+            other.p.to_bits(),
+            "StableFp merge: p mismatch"
+        );
         assert_eq!(self.seed, other.seed, "StableFp merge: seed mismatch");
         for (a, &b) in self.sums.iter_mut().zip(&other.sums) {
             *a += b;
@@ -103,8 +111,7 @@ impl StableFp {
     /// The p-stable variate for `(item, estimator j)` — deterministic.
     #[inline]
     fn variate(&self, item: u64, j: usize) -> f64 {
-        let mut rng =
-            Xoshiro256pp::seed_from_u64(hash_u64(item, self.seed.wrapping_add(j as u64)));
+        let mut rng = Xoshiro256pp::seed_from_u64(hash_u64(item, self.seed.wrapping_add(j as u64)));
         rng.stable(self.p)
     }
 }
@@ -189,7 +196,11 @@ mod tests {
         let mut s = StableFp::new(51, 1.2, 4);
         s.update(10, 6);
         s.update(10, -6);
-        assert!(s.estimate() < 1e-9, "estimate {} after cancel", s.estimate());
+        assert!(
+            s.estimate() < 1e-9,
+            "estimate {} after cancel",
+            s.estimate()
+        );
     }
 
     #[test]

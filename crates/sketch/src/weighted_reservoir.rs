@@ -101,13 +101,21 @@ impl<T> WeightedReservoir<T> {
         let u = self.rng.f64_open_zero();
         let key = u.ln() / weight; // monotone transform of u^(1/w); larger is better
         if self.heap.len() < self.k {
-            self.heap.push(Entry { key, tie: self.seen, item });
+            self.heap.push(Entry {
+                key,
+                tie: self.seen,
+                item,
+            });
             return;
         }
         let weakest = self.heap.peek().expect("nonempty at capacity");
         if key > weakest.key {
             self.heap.pop();
-            self.heap.push(Entry { key, tie: self.seen, item });
+            self.heap.push(Entry {
+                key,
+                tie: self.seen,
+                item,
+            });
         }
     }
 

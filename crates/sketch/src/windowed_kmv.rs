@@ -180,14 +180,17 @@ mod tests {
             s.insert(x);
         }
         for &w in &[100u64, 1000, 20_000] {
-            let truth: std::collections::HashSet<u64> = stream
-                [(stream.len() - w as usize)..]
+            let truth: std::collections::HashSet<u64> = stream[(stream.len() - w as usize)..]
                 .iter()
                 .copied()
                 .collect();
             let est = s.estimate_window(w);
             let rel = (est - truth.len() as f64).abs() / truth.len() as f64;
-            assert!(rel < 0.3, "window {w}: est {est} vs {} (rel {rel})", truth.len());
+            assert!(
+                rel < 0.3,
+                "window {w}: est {est} vs {} (rel {rel})",
+                truth.len()
+            );
         }
     }
 

@@ -2,9 +2,9 @@
 //! the "mergeable summaries" contracts the α-net relies on when summaries
 //! are built distributed and combined.
 
-use proptest::prelude::*;
 use pfe_sketch::traits::{DistinctSketch, FrequencySketch, MomentSketch, SpaceUsage};
 use pfe_sketch::{AmsF2, Bjkst, CountMin, HyperLogLog, Kmv, LinearCounting};
+use proptest::prelude::*;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]

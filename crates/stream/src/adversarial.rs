@@ -72,8 +72,7 @@ impl F0Instance {
     /// `B(d, k)` — the Table 1 "Instance" column: `(d/k)^k × d` over `[Q]`
     /// (lower bound form), exact form `C(d,k)·Q^k` rows before dedup.
     pub fn table1_rows_bound(&self) -> f64 {
-        (self.code.dimension() as f64 / self.code.weight() as f64)
-            .powi(self.code.weight() as i32)
+        (self.code.dimension() as f64 / self.code.weight() as f64).powi(self.code.weight() as i32)
     }
 }
 
@@ -395,7 +394,11 @@ mod tests {
             let expanded = expand_columns(&cols, 4, 2);
             let f_orig = FrequencyVector::compute(&inst.data, &cols).expect("fits");
             let f_red = FrequencyVector::compute(&reduced, &expanded).expect("fits");
-            assert_eq!(f_orig.f0(), f_red.f0(), "F0 changed under alphabet reduction");
+            assert_eq!(
+                f_orig.f0(),
+                f_red.f0(),
+                "F0 changed under alphabet reduction"
+            );
             // Full frequency multiset preserved, not just F0.
             let mut a: Vec<u64> = f_orig.iter().map(|(_, c)| c).collect();
             let mut b: Vec<u64> = f_red.iter().map(|(_, c)| c).collect();

@@ -123,7 +123,7 @@ pub fn clustered_subspace(cfg: &ClusteredConfig) -> ClusteredData {
         let c = rng.range_u64(cfg.clusters as u64) as usize;
         assignment.push(c);
         let mut row = rng.next_u64() & mask_all; // background: uniform
-        // On relevant columns, copy the center then apply noise flips.
+                                                 // On relevant columns, copy the center then apply noise flips.
         row = (row & !relevant[c]) | (centers[c] & relevant[c]);
         if cfg.noise > 0.0 {
             let mut m = relevant[c];
@@ -150,7 +150,10 @@ pub fn clustered_subspace(cfg: &ClusteredConfig) -> ClusteredData {
 /// negated). Projections inside a correlated group have `F_0 ≤ 2`.
 pub fn correlated_columns(d: u32, n: usize, independent: u32, seed: u64) -> Dataset {
     assert!(d <= 63);
-    assert!(independent >= 1 && independent <= d, "need 1..=d independent columns");
+    assert!(
+        independent >= 1 && independent <= d,
+        "need 1..=d independent columns"
+    );
     let mut rng = Xoshiro256pp::seed_from_u64(seed);
     // Wiring: column j >= independent copies source[j] xor flip[j].
     let wiring: Vec<(u32, bool)> = (independent..d)
@@ -335,7 +338,10 @@ mod tests {
             "planted combination frequency {freq}"
         );
         let hh = f.heavy_hitters(0.1, 1.0);
-        assert!(hh.iter().any(|&(k, _)| k == key), "planted combo not a heavy hitter");
+        assert!(
+            hh.iter().any(|&(k, _)| k == key),
+            "planted combo not a heavy hitter"
+        );
     }
 
     #[test]

@@ -19,12 +19,10 @@ pub mod gen;
 pub mod stream;
 
 pub use adversarial::{
-    alphabet_reduce, digits_per_symbol, expand_columns, F0Instance, FpInstance,
-    HeavyHitterInstance,
+    alphabet_reduce, digits_per_symbol, expand_columns, F0Instance, FpInstance, HeavyHitterInstance,
 };
 pub use gen::{
-    bias_audit, bias_audit_planted, clustered_subspace, correlated_columns,
-    homogeneous_columns, uniform_binary, uniform_qary, zipf_patterns, ClusteredConfig,
-    ClusteredData,
+    bias_audit, bias_audit_planted, clustered_subspace, correlated_columns, homogeneous_columns,
+    uniform_binary, uniform_qary, zipf_patterns, ClusteredConfig, ClusteredData,
 };
 pub use stream::{interleave, reorder, shuffled};

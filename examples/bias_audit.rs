@@ -13,7 +13,14 @@ use subspace_exploration::core::{ExactSummary, UniformSampleSummary};
 use subspace_exploration::row::ColumnSet;
 use subspace_exploration::stream::gen::{bias_audit, bias_audit_planted};
 
-const ATTRS: [&str; 6] = ["gender", "age_band", "region", "education", "income", "occupation"];
+const ATTRS: [&str; 6] = [
+    "gender",
+    "age_band",
+    "region",
+    "education",
+    "income",
+    "occupation",
+];
 
 fn main() {
     let n = 50_000;
@@ -52,7 +59,10 @@ fn main() {
                 .join("+");
             let truth = exact.frequency(&cols, h.key).expect("ok");
             flagged.push((
-                format!("{name} = {:?}", exact.freq_vector(&cols).expect("ok").codec().decode(h.key)),
+                format!(
+                    "{name} = {:?}",
+                    exact.freq_vector(&cols).expect("ok").codec().decode(h.key)
+                ),
                 h.estimate / n as f64,
                 truth / n as f64,
             ));
@@ -61,7 +71,11 @@ fn main() {
     flagged.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
     println!("\nover-represented combinations (share >= 8%):");
     for (name, est, truth) in flagged.iter().take(10) {
-        println!("  {name:<55} est {:.1}%  true {:.1}%", est * 100.0, truth * 100.0);
+        println!(
+            "  {name:<55} est {:.1}%  true {:.1}%",
+            est * 100.0,
+            truth * 100.0
+        );
     }
 
     // The planted combination must be among the flags.

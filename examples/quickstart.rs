@@ -30,7 +30,11 @@ fn main() {
     println!("summaries built (space):");
     println!("  exact          : {:>12} bytes", exact.space_bytes());
     println!("  uniform sample : {:>12} bytes", sample.space_bytes());
-    println!("  alpha-net F0   : {:>12} bytes ({} sketches)", net_f0.space_bytes(), net_f0.num_sketches());
+    println!(
+        "  alpha-net F0   : {:>12} bytes ({} sketches)",
+        net_f0.space_bytes(),
+        net_f0.num_sketches()
+    );
 
     // --- Query phase: the column subset arrives only now.
     let cols = ColumnSet::from_indices(d, &[1, 4, 9, 13, 17]).expect("valid");

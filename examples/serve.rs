@@ -1,0 +1,290 @@
+//! `serve` — line-delimited JSON query serving over stdin/stdout.
+//!
+//! Each input line is one JSON request; each output line is one JSON
+//! response. The engine is created by the first `start` request and serves
+//! every later request against its most recent snapshot.
+//!
+//! ```text
+//! {"op":"start","d":12,"q":2,"shards":4}
+//! {"op":"ingest","rows":[[0,1,0,...],[1,1,0,...]]}
+//! {"op":"snapshot"}
+//! {"op":"f0","cols":[0,5,9]}
+//! {"op":"freq","cols":[0,5],"pattern":[1,0]}
+//! {"op":"hh","cols":[0,1,2],"phi":0.1}
+//! {"op":"stats"}
+//! {"op":"quit"}
+//! ```
+//!
+//! Run `cargo run --release --example serve -- --demo` for a scripted
+//! session over generated data (no stdin needed).
+
+use std::io::{BufRead, Write};
+
+use subspace_exploration::engine::{Engine, EngineConfig, Json, QueryRequest, QueryResponse};
+use subspace_exploration::row::PatternCodec;
+
+fn err(msg: impl Into<String>) -> Json {
+    Json::obj([("ok", Json::Bool(false)), ("error", Json::Str(msg.into()))])
+}
+
+fn u32s(v: Option<&Json>) -> Result<Vec<u32>, Json> {
+    v.and_then(Json::as_arr)
+        .ok_or_else(|| err("expected an array of numbers"))?
+        .iter()
+        .map(|x| {
+            x.as_f64()
+                .filter(|&f| f >= 0.0 && f.fract() == 0.0 && f < u32::MAX as f64)
+                .map(|f| f as u32)
+                .ok_or_else(|| err("expected a nonnegative integer"))
+        })
+        .collect()
+}
+
+fn u16s(v: Option<&Json>) -> Result<Vec<u16>, Json> {
+    u32s(v)?
+        .into_iter()
+        .map(|x| u16::try_from(x).map_err(|_| err(format!("symbol {x} exceeds u16 range"))))
+        .collect()
+}
+
+struct Server {
+    engine: Option<Engine>,
+    q: u32,
+}
+
+impl Server {
+    fn handle(&mut self, line: &str) -> Json {
+        let req = match Json::parse(line) {
+            Ok(v) => v,
+            Err(e) => return err(e.to_string()),
+        };
+        let op = match req.get("op").and_then(Json::as_str) {
+            Some(op) => op.to_string(),
+            None => return err("missing 'op'"),
+        };
+        match self.dispatch(&op, &req) {
+            Ok(v) => v,
+            Err(v) => v,
+        }
+    }
+
+    fn engine(&self) -> Result<&Engine, Json> {
+        self.engine
+            .as_ref()
+            .ok_or_else(|| err("no engine: send 'start' first"))
+    }
+
+    fn dispatch(&mut self, op: &str, req: &Json) -> Result<Json, Json> {
+        match op {
+            "start" => {
+                let d = req.get("d").and_then(Json::as_f64).unwrap_or(0.0) as u32;
+                let q = req.get("q").and_then(Json::as_f64).unwrap_or(2.0) as u32;
+                let mut cfg = EngineConfig::default();
+                if let Some(s) = req.get("shards").and_then(Json::as_f64) {
+                    cfg.shards = s as usize;
+                }
+                if let Some(a) = req.get("alpha").and_then(Json::as_f64) {
+                    cfg.alpha = a;
+                }
+                if let Some(t) = req.get("sample_t").and_then(Json::as_f64) {
+                    cfg.sample_t = t as usize;
+                }
+                if let Some(k) = req.get("kmv_k").and_then(Json::as_f64) {
+                    cfg.kmv_k = k as usize;
+                }
+                let engine = Engine::start(d, q, cfg).map_err(|e| err(e.to_string()))?;
+                self.engine = Some(engine);
+                self.q = q;
+                Ok(Json::obj([("ok", Json::Bool(true))]))
+            }
+            "ingest" => {
+                let rows = req
+                    .get("rows")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| err("missing 'rows'"))?;
+                let engine = self.engine()?;
+                for row in rows {
+                    let dense = u16s(Some(row))?;
+                    engine.push_dense(&dense).map_err(|e| err(e.to_string()))?;
+                }
+                Ok(Json::obj([
+                    ("ok", Json::Bool(true)),
+                    ("rows", Json::Num(rows.len() as f64)),
+                ]))
+            }
+            "snapshot" => {
+                let snap = self.engine()?.refresh().map_err(|e| err(e.to_string()))?;
+                Ok(Json::obj([
+                    ("ok", Json::Bool(true)),
+                    ("epoch", Json::Num(snap.epoch() as f64)),
+                    ("rows", Json::Num(snap.n() as f64)),
+                ]))
+            }
+            "f0" => {
+                let cols = u32s(req.get("cols"))?;
+                let resp = self
+                    .engine()?
+                    .query(&QueryRequest::F0 { cols })
+                    .map_err(|e| err(e.to_string()))?;
+                let QueryResponse::F0 { answer, cached } = resp else {
+                    return Err(err("internal: wrong response variant"));
+                };
+                Ok(Json::obj([
+                    ("ok", Json::Bool(true)),
+                    ("estimate", Json::Num(answer.estimate)),
+                    (
+                        "rounded_to",
+                        Json::Arr(
+                            answer
+                                .answered_on
+                                .to_indices()
+                                .into_iter()
+                                .map(|i| Json::Num(i as f64))
+                                .collect(),
+                        ),
+                    ),
+                    ("sym_diff", Json::Num(answer.sym_diff as f64)),
+                    ("distortion_bound", Json::Num(answer.distortion_bound)),
+                    ("cached", Json::Bool(cached)),
+                ]))
+            }
+            "freq" => {
+                let cols = u32s(req.get("cols"))?;
+                let pattern = u16s(req.get("pattern"))?;
+                let resp = self
+                    .engine()?
+                    .query(&QueryRequest::Frequency { cols, pattern })
+                    .map_err(|e| err(e.to_string()))?;
+                let QueryResponse::Frequency { answer, cached } = resp else {
+                    return Err(err("internal: wrong response variant"));
+                };
+                Ok(Json::obj([
+                    ("ok", Json::Bool(true)),
+                    ("estimate", Json::Num(answer.estimate)),
+                    (
+                        "upper_bound",
+                        answer.upper_bound.map(Json::Num).unwrap_or(Json::Null),
+                    ),
+                    ("additive_error", Json::Num(answer.additive_error)),
+                    ("cached", Json::Bool(cached)),
+                ]))
+            }
+            "hh" => {
+                let cols = u32s(req.get("cols"))?;
+                let phi = req
+                    .get("phi")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| err("missing 'phi'"))?;
+                let width = cols.len() as u32;
+                let resp = self
+                    .engine()?
+                    .query(&QueryRequest::HeavyHitters { cols, phi })
+                    .map_err(|e| err(e.to_string()))?;
+                let QueryResponse::HeavyHitters { hitters, cached } = resp else {
+                    return Err(err("internal: wrong response variant"));
+                };
+                let codec = PatternCodec::new(self.q, width).map_err(|e| err(format!("{e:?}")))?;
+                Ok(Json::obj([
+                    ("ok", Json::Bool(true)),
+                    (
+                        "hitters",
+                        Json::Arr(
+                            hitters
+                                .iter()
+                                .map(|h| {
+                                    Json::obj([
+                                        (
+                                            "pattern",
+                                            Json::Arr(
+                                                codec
+                                                    .decode(h.key)
+                                                    .into_iter()
+                                                    .map(|s| Json::Num(s as f64))
+                                                    .collect(),
+                                            ),
+                                        ),
+                                        ("estimate", Json::Num(h.estimate)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                    ("cached", Json::Bool(cached)),
+                ]))
+            }
+            "stats" => {
+                let stats = self.engine()?.stats();
+                Ok(Json::obj([
+                    ("ok", Json::Bool(true)),
+                    ("rows_ingested", Json::Num(stats.rows_ingested as f64)),
+                    ("snapshot_epoch", Json::Num(stats.snapshot_epoch as f64)),
+                    ("snapshot_rows", Json::Num(stats.snapshot_rows as f64)),
+                    ("snapshot_bytes", Json::Num(stats.snapshot_bytes as f64)),
+                    ("cache_hits", Json::Num(stats.cache.hits as f64)),
+                    ("cache_misses", Json::Num(stats.cache.misses as f64)),
+                    ("shards", Json::Num(stats.shards as f64)),
+                ]))
+            }
+            "quit" => Ok(Json::obj([
+                ("ok", Json::Bool(true)),
+                ("bye", Json::Bool(true)),
+            ])),
+            other => Err(err(format!("unknown op '{other}'"))),
+        }
+    }
+}
+
+fn demo_script() -> Vec<String> {
+    use subspace_exploration::hash::rng::Xoshiro256pp;
+    let mut rng = Xoshiro256pp::seed_from_u64(1);
+    let d = 12;
+    let mut lines = vec![format!(r#"{{"op":"start","d":{d},"q":2,"shards":4}}"#)];
+    for _ in 0..20 {
+        let rows: Vec<String> = (0..500)
+            .map(|_| {
+                let row = rng.next_u64() & ((1 << d) - 1);
+                let bits: Vec<String> = (0..d).map(|i| ((row >> i) & 1).to_string()).collect();
+                format!("[{}]", bits.join(","))
+            })
+            .collect();
+        lines.push(format!(r#"{{"op":"ingest","rows":[{}]}}"#, rows.join(",")));
+    }
+    lines.extend([
+        r#"{"op":"snapshot"}"#.to_string(),
+        r#"{"op":"f0","cols":[0,1,2,3,4,5]}"#.to_string(),
+        r#"{"op":"f0","cols":[0,1,2,3,4,5]}"#.to_string(),
+        r#"{"op":"freq","cols":[0,1],"pattern":[1,1]}"#.to_string(),
+        r#"{"op":"hh","cols":[0,1,2],"phi":0.05}"#.to_string(),
+        r#"{"op":"stats"}"#.to_string(),
+        r#"{"op":"quit"}"#.to_string(),
+    ]);
+    lines
+}
+
+fn main() {
+    let mut server = Server { engine: None, q: 2 };
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    if std::env::args().any(|a| a == "--demo") {
+        for line in demo_script() {
+            let resp = server.handle(&line);
+            writeln!(out, "{resp}").expect("stdout");
+            if line.contains("\"quit\"") {
+                break;
+            }
+        }
+        return;
+    }
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let line = line.expect("stdin");
+        if line.trim().is_empty() {
+            continue;
+        }
+        let resp = server.handle(&line);
+        writeln!(out, "{resp}").expect("stdout");
+        if line.contains("\"quit\"") && resp.get("bye").is_some() {
+            break;
+        }
+    }
+}

@@ -29,11 +29,10 @@ fn main() {
     );
 
     // Streaming phase: one pass, two summaries fed row by row.
-    let mut net_f0 =
-        AlphaNetF0::new_streaming(net, NetMode::Full, budget_sketches, |mask| {
-            Kmv::new(128, mask ^ 0x57ee)
-        })
-        .expect("streaming summary");
+    let mut net_f0 = AlphaNetF0::new_streaming(net, NetMode::Full, budget_sketches, |mask| {
+        Kmv::new(128, mask ^ 0x57ee)
+    })
+    .expect("streaming summary");
     let mut sample = UniformSampleSummary::new(d, 2, 2048, 99);
 
     // Simulated source (any Iterator<Item = u64> of packed rows works).

@@ -20,12 +20,15 @@
 //! - [`core`] — the paper's summaries: exact baseline, Theorem 5.1
 //!   uniform sampling, the Section 6 α-net family, related-work baselines;
 //! - [`lowerbounds`] — executable Index reductions for Theorems 4.1,
-//!   5.3, 5.4, 5.5 and the related-work contrast models.
+//!   5.3, 5.4, 5.5 and the related-work contrast models;
+//! - [`engine`] — sharded parallel ingest and concurrent query serving
+//!   over the mergeable summaries (shard → merge → snapshot → cache).
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
 //! `EXPERIMENTS.md` for paper-vs-measured results.
 pub use pfe_codes as codes;
 pub use pfe_core as core;
+pub use pfe_engine as engine;
 pub use pfe_hash as hash;
 pub use pfe_lowerbounds as lowerbounds;
 pub use pfe_row as row;

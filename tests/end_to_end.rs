@@ -36,8 +36,8 @@ fn paper_example_through_all_summaries() {
     // large=ceil(1.95)=2, so every size is in the net and |C| = 2 is
     // answered exactly up to KMV error (here exact, underfull).
     let net = AlphaNet::new(3, 0.15).expect("valid");
-    let nf0 = AlphaNetF0::build(&data, net, NetMode::Full, 1 << 10, |m| Kmv::new(16, m))
-        .expect("build");
+    let nf0 =
+        AlphaNetF0::build(&data, net, NetMode::Full, 1 << 10, |m| Kmv::new(16, m)).expect("build");
     let ans = nf0.f0(&cols).expect("ok");
     assert_eq!(ans.sym_diff, 0, "query of size 2 should be in the net");
     assert_eq!(ans.estimate, 3.0);
@@ -60,10 +60,10 @@ fn order_insensitivity_of_deterministic_summaries() {
     let data = uniform_binary(10, 2000, 3);
     let shuf = shuffled(&data, 99);
     let net = AlphaNet::new(10, 0.25).expect("valid");
-    let a = AlphaNetF0::build(&data, net, NetMode::Full, 1 << 20, |m| Kmv::new(64, m))
-        .expect("build");
-    let b = AlphaNetF0::build(&shuf, net, NetMode::Full, 1 << 20, |m| Kmv::new(64, m))
-        .expect("build");
+    let a =
+        AlphaNetF0::build(&data, net, NetMode::Full, 1 << 20, |m| Kmv::new(64, m)).expect("build");
+    let b =
+        AlphaNetF0::build(&shuf, net, NetMode::Full, 1 << 20, |m| Kmv::new(64, m)).expect("build");
     for mask in [0b11u64, 0b1111100000, 0b1010101010] {
         let cols = ColumnSet::from_mask(10, mask).expect("valid");
         assert_eq!(

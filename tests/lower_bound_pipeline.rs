@@ -86,8 +86,7 @@ fn reductions_accuracy_across_p_values() {
         );
     }
     for p_large in [1.5, 3.0] {
-        let proto: HhProtocol<ExactHhOracle> =
-            HhProtocol::new(lemma32_params(22), p_large, 0.25);
+        let proto: HhProtocol<ExactHhOracle> = HhProtocol::new(lemma32_params(22), p_large, 0.25);
         assert_eq!(
             run_trials(&proto, 10, 23).accuracy(),
             1.0,
