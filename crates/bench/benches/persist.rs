@@ -1,0 +1,74 @@
+//! Snapshot persistence benchmarks: wire-format encode/decode throughput
+//! and the end-to-end checkpoint / resume latency a serving deployment
+//! pays at each durability point.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pfe_engine::{Engine, EngineConfig, Snapshot};
+use pfe_persist::frame;
+use pfe_stream::gen::uniform_binary;
+
+fn cfg(sample_t: usize, kmv_k: usize) -> EngineConfig {
+    EngineConfig {
+        shards: 2,
+        sample_t,
+        kmv_k,
+        seed: 5,
+        ..Default::default()
+    }
+}
+
+fn built_snapshot(d: u32, rows: usize, sample_t: usize, kmv_k: usize) -> std::sync::Arc<Snapshot> {
+    let engine = Engine::start(d, 2, cfg(sample_t, kmv_k)).expect("start");
+    engine.ingest(&uniform_binary(d, rows, 11)).expect("ingest");
+    engine.shutdown().expect("shutdown")
+}
+
+fn bench_encode_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("persist/codec");
+    for (d, rows, sample_t, kmv_k) in [(10u32, 20_000usize, 1024, 64), (14, 50_000, 4096, 256)] {
+        let snap = built_snapshot(d, rows, sample_t, kmv_k);
+        let bytes = frame::to_bytes(pfe_persist::kind::SNAPSHOT, &*snap);
+        group.throughput(Throughput::Bytes(bytes.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("encode", format!("d{d}_{}KiB", bytes.len() / 1024)),
+            &snap,
+            |b, snap| b.iter(|| frame::to_bytes(pfe_persist::kind::SNAPSHOT, snap.as_ref())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("decode", format!("d{d}_{}KiB", bytes.len() / 1024)),
+            &bytes,
+            |b, bytes| {
+                b.iter(|| {
+                    frame::from_bytes::<Snapshot>(pfe_persist::kind::SNAPSHOT, bytes)
+                        .expect("decodes")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_checkpoint_resume(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join("pfe-persist-bench");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("bench.pfes");
+    let mut group = c.benchmark_group("persist/lifecycle");
+    group.sample_size(10);
+    let d = 12;
+    let engine = Engine::start(d, 2, cfg(4096, 128)).expect("start");
+    engine
+        .ingest(&uniform_binary(d, 100_000, 13))
+        .expect("ingest");
+    group.bench_function("checkpoint_100k_rows", |b| {
+        b.iter(|| engine.checkpoint(&path).expect("checkpoint"))
+    });
+    engine.checkpoint(&path).expect("checkpoint");
+    group.bench_function("resume_100k_rows", |b| {
+        b.iter(|| Engine::resume(&path, cfg(4096, 128)).expect("resume"))
+    });
+    group.finish();
+    std::fs::remove_file(&path).ok();
+}
+
+criterion_group!(benches, bench_encode_decode, bench_checkpoint_resume);
+criterion_main!(benches);

@@ -21,6 +21,7 @@ use pfe_codes::binomial::binomial_sum;
 use pfe_codes::entropy::{binary_entropy, net_size_bound_log2};
 use pfe_codes::subsets::FixedWeightIter;
 use pfe_hash::builder::{seeded_map, SeededHashMap};
+use pfe_persist::{Decoder, Encoder, Persist, PersistError};
 use pfe_row::{ColumnSet, Dataset, PatternCodec, PatternKey};
 use pfe_sketch::traits::{DistinctSketch, MomentSketch, SpaceUsage};
 
@@ -274,6 +275,97 @@ impl AlphaNet {
             ))
         })
     }
+}
+
+impl Persist for AlphaNet {
+    fn encode(&self, enc: &mut Encoder) {
+        // `small`/`large` are derived from (d, alpha) deterministically, so
+        // the pair is the complete state.
+        enc.put_u32(self.d);
+        enc.put_f64(self.alpha);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, PersistError> {
+        let d = dec.take_u32()?;
+        let alpha = dec.take_f64()?;
+        Self::new(d, alpha)
+            .map_err(|e| PersistError::Malformed(format!("alpha-net parameters: {e}")))
+    }
+}
+
+impl Persist for NetMode {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u8(match self {
+            Self::Full => 0,
+            Self::BoundaryOnly => 1,
+        });
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, PersistError> {
+        match dec.take_u8()? {
+            0 => Ok(Self::Full),
+            1 => Ok(Self::BoundaryOnly),
+            other => Err(PersistError::Malformed(format!(
+                "net mode tag must be 0 (Full) or 1 (BoundaryOnly), got {other}"
+            ))),
+        }
+    }
+}
+
+/// Encode a per-mask sketch map in ascending mask order, so equal maps
+/// always serialize to equal bytes (HashMap iteration order is not part of
+/// the wire format).
+pub(crate) fn encode_sketch_map<S: Persist>(map: &SeededHashMap<u64, S>, enc: &mut Encoder) {
+    let mut masks: Vec<u64> = map.keys().copied().collect();
+    masks.sort_unstable();
+    enc.put_len(masks.len());
+    for mask in masks {
+        enc.put_u64(mask);
+        map[&mask].encode(enc);
+    }
+}
+
+/// Decode a per-mask sketch map and verify it holds *exactly* the net's
+/// materialized membership under `mode` — a missing member would later
+/// panic at query time, so it is rejected here as malformed input.
+pub(crate) fn decode_sketch_map<S: Persist>(
+    dec: &mut Decoder<'_>,
+    net: &AlphaNet,
+    mode: NetMode,
+    map_seed: u64,
+) -> Result<SeededHashMap<u64, S>, PersistError> {
+    // Each entry is at least a mask (8 bytes) plus one sketch byte.
+    let n = dec.take_len(9)?;
+    let expected = net.member_count(mode);
+    if n as u128 != expected {
+        return Err(PersistError::Malformed(format!(
+            "sketch map holds {n} subset(s), net materializes {expected}"
+        )));
+    }
+    let limit = if net.d == 0 { 0 } else { (1u64 << net.d) - 1 };
+    let mut map: SeededHashMap<u64, S> = seeded_map(map_seed);
+    map.reserve(n);
+    for _ in 0..n {
+        let mask = dec.take_u64()?;
+        if mask & !limit != 0 {
+            return Err(PersistError::Malformed(format!(
+                "subset mask {mask:#b} has bits above d={}",
+                net.d
+            )));
+        }
+        let sketch = S::decode(dec)?;
+        if map.insert(mask, sketch).is_some() {
+            return Err(PersistError::Malformed(format!(
+                "duplicate subset mask {mask:#b}"
+            )));
+        }
+    }
+    if let Some(missing) = net.members(mode).find(|m| !map.contains_key(m)) {
+        return Err(PersistError::Malformed(format!(
+            "net member {missing:#b} missing from sketch map"
+        )));
+    }
+    Ok(map)
 }
 
 /// Per-query answer from an α-net summary.
@@ -628,9 +720,26 @@ impl<S: DistinctSketch> AlphaNetF0<S> {
         &self.net
     }
 
+    /// The materialization mode.
+    pub fn mode(&self) -> NetMode {
+        self.mode
+    }
+
+    /// The alphabet size `Q`.
+    pub fn alphabet(&self) -> u32 {
+        self.q
+    }
+
     /// Number of sketches kept.
     pub fn num_sketches(&self) -> usize {
         self.sketches.len()
+    }
+
+    /// The sketch materialized for `mask`, if it is a net member —
+    /// exposed so callers (e.g. the engine's resume path) can verify
+    /// sketch parameters without reaching into the map.
+    pub fn sketch(&self, mask: u64) -> Option<&S> {
+        self.sketches.get(&mask)
     }
 
     /// Round a query exactly as [`f0`](Self::f0) will (BoundaryOnly mode
@@ -681,6 +790,31 @@ impl<S: DistinctSketch> AlphaNetF0<S> {
             answered_on: r.target,
             sym_diff: r.sym_diff,
             distortion_bound: (self.q as f64).powi(r.sym_diff as i32),
+        })
+    }
+}
+
+impl<S: DistinctSketch + Persist> Persist for AlphaNetF0<S> {
+    fn encode(&self, enc: &mut Encoder) {
+        self.net.encode(enc);
+        self.mode.encode(enc);
+        enc.put_u32(self.q);
+        encode_sketch_map(&self.sketches, enc);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, PersistError> {
+        let net = AlphaNet::decode(dec)?;
+        let mode = NetMode::decode(dec)?;
+        let q = dec.take_u32()?;
+        if q < 2 {
+            return Err(PersistError::Malformed(format!("alphabet q={q} below 2")));
+        }
+        let sketches = decode_sketch_map(dec, &net, mode, 0xa1fa)?;
+        Ok(Self {
+            net,
+            mode,
+            sketches,
+            q,
         })
     }
 }
@@ -814,6 +948,40 @@ impl<M: MomentSketch> AlphaNetFp<M> {
             answered_on: r.target,
             sym_diff: r.sym_diff,
             distortion_bound: (self.q as f64).powf(r.sym_diff as f64 * (self.p - 1.0).abs()),
+        })
+    }
+}
+
+impl<M: MomentSketch + Persist> Persist for AlphaNetFp<M> {
+    fn encode(&self, enc: &mut Encoder) {
+        self.net.encode(enc);
+        self.mode.encode(enc);
+        enc.put_u32(self.q);
+        enc.put_f64(self.p);
+        encode_sketch_map(&self.sketches, enc);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, PersistError> {
+        let net = AlphaNet::decode(dec)?;
+        let mode = NetMode::decode(dec)?;
+        let q = dec.take_u32()?;
+        if q < 2 {
+            return Err(PersistError::Malformed(format!("alphabet q={q} below 2")));
+        }
+        let p = dec.take_f64()?;
+        let sketches: SeededHashMap<u64, M> = decode_sketch_map(dec, &net, mode, 0xa1fa)?;
+        if let Some(bad) = sketches.values().find(|s| (s.p() - p).abs() > 1e-12) {
+            return Err(PersistError::Malformed(format!(
+                "summary claims moment order p={p} but holds a p={} sketch",
+                bad.p()
+            )));
+        }
+        Ok(Self {
+            net,
+            mode,
+            sketches,
+            q,
+            p,
         })
     }
 }

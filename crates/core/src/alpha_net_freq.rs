@@ -24,6 +24,7 @@
 //!   their estimates, and threshold.
 
 use pfe_hash::builder::{seeded_map, SeededHashMap};
+use pfe_persist::{Decoder, Encoder, Persist, PersistError};
 use pfe_row::{ColumnSet, Dataset, PatternCodec, PatternKey};
 use pfe_sketch::count_min::CountMin;
 use pfe_sketch::space_saving::SpaceSaving;
@@ -111,7 +112,7 @@ impl AlphaNetFrequency {
             )));
         }
         let q = data.alphabet();
-        let fingerprint_seed = 0xfe_0fe0 ^ seed;
+        let fingerprint_seed = Self::fingerprint_seed_for(seed);
         let mut sketches: SeededHashMap<u64, CountMin> = seeded_map(0xcafe);
         sketches.reserve(count as usize);
         for mask in net.members(crate::alpha_net::NetMode::Full) {
@@ -175,7 +176,7 @@ impl AlphaNetFrequency {
                 PatternCodec::new(q, w)?;
             }
         }
-        let fingerprint_seed = 0xfe_0fe0 ^ seed;
+        let fingerprint_seed = Self::fingerprint_seed_for(seed);
         let mut sketches: SeededHashMap<u64, CountMin> = seeded_map(0xcafe);
         sketches.reserve(count as usize);
         for mask in net.members(crate::alpha_net::NetMode::Full) {
@@ -281,6 +282,28 @@ impl AlphaNetFrequency {
         self.n_rows
     }
 
+    /// The alphabet size `Q`.
+    pub fn alphabet(&self) -> u32 {
+        self.q
+    }
+
+    /// The pattern-fingerprint seed actually in use (derived from the
+    /// build seed via [`fingerprint_seed_for`](Self::fingerprint_seed_for)).
+    pub fn fingerprint_seed(&self) -> u64 {
+        self.fingerprint_seed
+    }
+
+    /// The fingerprint seed a build with base seed `seed` uses — exposed
+    /// so a resume path can verify a decoded summary matches its config.
+    pub fn fingerprint_seed_for(seed: u64) -> u64 {
+        0xfe_0fe0 ^ seed
+    }
+
+    /// The CountMin materialized for `mask`, if it is a net member.
+    pub fn sketch(&self, mask: u64) -> Option<&CountMin> {
+        self.sketches.get(&mask)
+    }
+
     /// Estimate `f_{e(b)}` for a pattern `b` given over the *query* columns
     /// `cols` (as a [`PatternKey`] in the `cols` codec).
     ///
@@ -354,6 +377,53 @@ impl AlphaNetFrequency {
             answered_on: r.target,
             grown_by: r.sym_diff,
             extensions: num_ext,
+        })
+    }
+}
+
+impl Persist for AlphaNetFrequency {
+    fn encode(&self, enc: &mut Encoder) {
+        self.net.encode(enc);
+        enc.put_u32(self.q);
+        enc.put_u64(self.n_rows);
+        enc.put_u64(self.fingerprint_seed);
+        crate::alpha_net::encode_sketch_map(&self.sketches, enc);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, PersistError> {
+        let net = AlphaNet::decode(dec)?;
+        let q = dec.take_u32()?;
+        if q < 2 {
+            return Err(PersistError::Malformed(format!("alphabet q={q} below 2")));
+        }
+        let n_rows = dec.take_u64()?;
+        let fingerprint_seed = dec.take_u64()?;
+        let sketches: SeededHashMap<u64, CountMin> = crate::alpha_net::decode_sketch_map(
+            dec,
+            &net,
+            crate::alpha_net::NetMode::Full,
+            0xcafe,
+        )?;
+        // Every CountMin must share one geometry, or merges would panic.
+        let mut geom: Option<(usize, usize)> = None;
+        for cm in sketches.values() {
+            let this = (cm.depth(), cm.width());
+            match geom {
+                None => geom = Some(this),
+                Some(g) if g != this => {
+                    return Err(PersistError::Malformed(format!(
+                        "CountMin geometry mismatch across subsets: {g:?} vs {this:?}"
+                    )));
+                }
+                Some(_) => {}
+            }
+        }
+        Ok(Self {
+            net,
+            sketches,
+            q,
+            n_rows,
+            fingerprint_seed,
         })
     }
 }

@@ -1,6 +1,7 @@
 //! A convenience facade bundling the summaries for side-by-side use — the
 //! configuration the examples and experiment binaries drive.
 
+use pfe_persist::{Decoder, Encoder, Persist, PersistError};
 use pfe_row::{ColumnSet, Dataset};
 use pfe_sketch::kmv::Kmv;
 use pfe_sketch::traits::SpaceUsage;
@@ -96,6 +97,43 @@ impl SummarySuite {
             self.sample.space_bytes(),
             self.net_f0.space_bytes(),
         )
+    }
+}
+
+impl Persist for SummarySuite {
+    fn encode(&self, enc: &mut Encoder) {
+        self.exact.encode(enc);
+        self.sample.encode(enc);
+        self.net_f0.encode(enc);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, PersistError> {
+        let exact = Option::<ExactSummary>::decode(dec)?;
+        let sample = UniformSampleSummary::decode(dec)?;
+        let net_f0 = AlphaNetF0::<Kmv>::decode(dec)?;
+        // Cross-component consistency: all parts summarize one (d, Q).
+        let (d, q) = (sample.dimension(), sample.alphabet());
+        if net_f0.net().dimension() != d || net_f0.alphabet() != q {
+            return Err(PersistError::Malformed(format!(
+                "net summarizes ({}, Q={}) but the sample holds ({d}, Q={q})",
+                net_f0.net().dimension(),
+                net_f0.alphabet()
+            )));
+        }
+        if let Some(e) = &exact {
+            if e.data().dimension() != d || e.data().alphabet() != q {
+                return Err(PersistError::Malformed(format!(
+                    "exact baseline holds ({}, Q={}) but the sample holds ({d}, Q={q})",
+                    e.data().dimension(),
+                    e.data().alphabet()
+                )));
+            }
+        }
+        Ok(Self {
+            exact,
+            sample,
+            net_f0,
+        })
     }
 }
 

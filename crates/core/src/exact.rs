@@ -15,6 +15,18 @@ pub struct ExactSummary {
     data: Dataset,
 }
 
+impl pfe_persist::Persist for ExactSummary {
+    fn encode(&self, enc: &mut pfe_persist::Encoder) {
+        pfe_persist::Persist::encode(&self.data, enc);
+    }
+
+    fn decode(dec: &mut pfe_persist::Decoder<'_>) -> Result<Self, pfe_persist::PersistError> {
+        Ok(Self {
+            data: pfe_persist::Persist::decode(dec)?,
+        })
+    }
+}
+
 impl ExactSummary {
     /// Ingest the dataset (stores a copy — `Θ(nd)` space by design).
     pub fn build(data: &Dataset) -> Self {

@@ -19,6 +19,7 @@
 //! harness demonstrates this summary failing on the adversarial instances.
 
 use pfe_hash::rng::Xoshiro256pp;
+use pfe_persist::{Decoder, Encoder, Persist, PersistError};
 use pfe_row::{ColumnSet, Dataset, PatternKey};
 use pfe_sketch::reservoir::Reservoir;
 use pfe_sketch::traits::SpaceUsage;
@@ -337,6 +338,57 @@ impl UniformSampleSummary {
                 }
             })
             .collect())
+    }
+}
+
+impl Persist for UniformSampleSummary {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u32(self.d);
+        enc.put_u32(self.q);
+        // The store variant is implied by q (binary iff q == 2), so only
+        // the reservoir itself travels.
+        match &self.rows {
+            RowStore::Binary(r) => r.encode(enc),
+            RowStore::Qary(r) => r.encode(enc),
+        }
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, PersistError> {
+        let d = dec.take_u32()?;
+        if d > 63 {
+            return Err(PersistError::Malformed(format!("dimension d={d} above 63")));
+        }
+        let q = dec.take_u32()?;
+        if q < 2 {
+            return Err(PersistError::Malformed(format!("alphabet q={q} below 2")));
+        }
+        let rows = if q == 2 {
+            let r: Reservoir<u64> = Reservoir::decode(dec)?;
+            let limit = if d == 0 { 0 } else { (1u64 << d) - 1 };
+            if let Some(&bad) = r.sample().iter().find(|&&row| row & !limit != 0) {
+                return Err(PersistError::Malformed(format!(
+                    "sampled row {bad:#b} has bits above d={d}"
+                )));
+            }
+            RowStore::Binary(r)
+        } else {
+            let r: Reservoir<Box<[u16]>> = Reservoir::decode(dec)?;
+            for row in r.sample() {
+                if row.len() != d as usize {
+                    return Err(PersistError::Malformed(format!(
+                        "sampled row has {} symbol(s), dimension is {d}",
+                        row.len()
+                    )));
+                }
+                if let Some(&s) = row.iter().find(|&&s| s as u32 >= q) {
+                    return Err(PersistError::Malformed(format!(
+                        "sampled symbol {s} outside alphabet [{q}]"
+                    )));
+                }
+            }
+            RowStore::Qary(r)
+        };
+        Ok(Self { rows, d, q })
     }
 }
 

@@ -174,6 +174,67 @@ impl Engine {
         Ok(snap)
     }
 
+    /// Checkpoint: merge the live shards into a snapshot, publish it, and
+    /// write it to `path` as a framed, checksummed file. After
+    /// [`shutdown`](Self::shutdown), the final published snapshot is saved
+    /// instead. The file restores via [`resume`](Self::resume) into an
+    /// engine that answers `F_0`, frequency, and heavy-hitter queries
+    /// bit-identically to this one.
+    ///
+    /// # Errors
+    /// `NoSnapshot` if the engine is shut down without a published
+    /// snapshot; `Persist` on I/O failure.
+    pub fn checkpoint<P: AsRef<std::path::Path>>(
+        &self,
+        path: P,
+    ) -> Result<Arc<Snapshot>, EngineError> {
+        let snap = match self.refresh() {
+            Ok(snap) => snap,
+            Err(EngineError::Closed) => self.snapshot().ok_or(EngineError::NoSnapshot)?,
+            Err(e) => return Err(e),
+        };
+        snap.save_to(path)?;
+        Ok(snap)
+    }
+
+    /// Restore an engine from a snapshot file written by
+    /// [`checkpoint`](Self::checkpoint) (or [`Snapshot::save_to`]).
+    ///
+    /// The loaded snapshot is published immediately — queries are served
+    /// without re-ingesting anything — and fresh shard workers are spawned
+    /// on top of it, so ingest can continue where the checkpointed process
+    /// left off: every later snapshot folds the checkpointed state under
+    /// the newly ingested rows (exact union for the sketches, seeded
+    /// hypergeometric union for the row sample). Epochs continue from the
+    /// snapshot's epoch.
+    ///
+    /// `cfg` must carry the same parameters (`alpha`, `kmv_k`, `sample_t`,
+    /// `seed`, `freq_net`) the snapshot was built with — per-mask sketch
+    /// seeds are re-derived from `cfg.seed`, and a mismatch would corrupt
+    /// later merges, so every parameter is verified against the decoded
+    /// summaries first.
+    ///
+    /// # Errors
+    /// `Persist` for unreadable/corrupt files, `Incompatible` when `cfg`
+    /// disagrees with the snapshot, plus config validation errors.
+    pub fn resume<P: AsRef<std::path::Path>>(
+        path: P,
+        cfg: EngineConfig,
+    ) -> Result<Self, EngineError> {
+        let snap = Snapshot::load_from(path)?;
+        let (d, q) = crate::persist::validate_resume(&snap, &cfg)?;
+        let cache = QueryCache::new(cfg.cache_capacity);
+        let pipeline =
+            IngestPipeline::with_base(d, q, &cfg, Some(snap.to_base_shard()), snap.epoch())?;
+        Ok(Self {
+            pipeline: Mutex::new(Some(pipeline)),
+            published: RwLock::new(Some(Arc::new(snap))),
+            cache,
+            q,
+            retired: Mutex::new(None),
+        })
+    }
+
     /// Stop ingest: flush, join the workers, publish their final merged
     /// state. The engine keeps serving queries afterwards.
     ///

@@ -1,6 +1,7 @@
 //! Engine-level errors.
 
 use pfe_core::QueryError;
+use pfe_persist::PersistError;
 
 /// Errors surfaced by the serving engine.
 #[derive(Debug, Clone, PartialEq)]
@@ -15,6 +16,12 @@ pub enum EngineError {
     ShardFailed(String),
     /// No snapshot has been published yet (call `refresh` after ingesting).
     NoSnapshot,
+    /// A snapshot file failed to read, write, verify, or decode.
+    Persist(PersistError),
+    /// Two snapshots cannot be merged (or a snapshot cannot be resumed
+    /// under a config) because their parameters disagree; the message names
+    /// the first mismatch.
+    Incompatible(String),
 }
 
 impl std::fmt::Display for EngineError {
@@ -25,6 +32,8 @@ impl std::fmt::Display for EngineError {
             Self::Closed => write!(f, "ingest pipeline is closed"),
             Self::ShardFailed(msg) => write!(f, "shard worker failed: {msg}"),
             Self::NoSnapshot => write!(f, "no snapshot published yet"),
+            Self::Persist(e) => write!(f, "snapshot persistence error: {e}"),
+            Self::Incompatible(msg) => write!(f, "incompatible snapshots: {msg}"),
         }
     }
 }
@@ -34,6 +43,12 @@ impl std::error::Error for EngineError {}
 impl From<QueryError> for EngineError {
     fn from(e: QueryError) -> Self {
         Self::Query(e)
+    }
+}
+
+impl From<PersistError> for EngineError {
+    fn from(e: PersistError) -> Self {
+        Self::Persist(e)
     }
 }
 

@@ -55,6 +55,9 @@ pub struct IngestPipeline {
     partition_seed: u64,
     rows_routed: u64,
     epoch: u64,
+    /// Checkpointed state a resumed pipeline folds under every snapshot
+    /// (cloned per snapshot so the fold is deterministic).
+    base: Option<ShardSummary>,
 }
 
 fn worker(rx: Receiver<Msg>, mut shard: ShardSummary) -> ShardSummary {
@@ -88,6 +91,22 @@ impl IngestPipeline {
     /// # Errors
     /// Config validation and summary construction errors.
     pub fn new(d: u32, q: u32, cfg: &EngineConfig) -> Result<Self, EngineError> {
+        Self::with_base(d, q, cfg, None, 0)
+    }
+
+    /// Spawn the workers on top of checkpointed state: every snapshot (and
+    /// the final merge) folds `base` under the live shards, and epochs
+    /// continue from `start_epoch`. This is the engine's resume path.
+    ///
+    /// # Errors
+    /// Config validation and summary construction errors.
+    pub(crate) fn with_base(
+        d: u32,
+        q: u32,
+        cfg: &EngineConfig,
+        base: Option<ShardSummary>,
+        start_epoch: u64,
+    ) -> Result<Self, EngineError> {
         // Validate everything shard construction can fail on up front (no
         // sketch allocation), so construction errors surface here — not as
         // worker panics — and the net materialization stays parallel.
@@ -113,8 +132,12 @@ impl IngestPipeline {
             q,
             batch_rows: cfg.batch_rows,
             partition_seed: cfg.seed ^ 0x9a97_7171_0000_5afe,
-            rows_routed: 0,
-            epoch: 0,
+            // Like the epoch, the row counter continues from the
+            // checkpointed state, so stats stay consistent with the
+            // snapshot across a restart.
+            rows_routed: base.as_ref().map(|b| b.rows()).unwrap_or(0),
+            epoch: start_epoch,
+            base,
         })
     }
 
@@ -287,7 +310,24 @@ impl IngestPipeline {
             .map(|rx| rx.recv().map_err(|_| EngineError::Closed))
             .collect();
         self.epoch += 1;
-        Ok(Snapshot::from_shards(shards?, self.epoch))
+        Ok(Snapshot::from_shards(
+            self.with_base_first(shards?),
+            self.epoch,
+        ))
+    }
+
+    /// Prepend a clone of the base (resume) state, if any, so the merge
+    /// fold starts from the checkpointed summaries.
+    fn with_base_first(&self, shards: Vec<ShardSummary>) -> Vec<ShardSummary> {
+        match &self.base {
+            None => shards,
+            Some(base) => {
+                let mut all = Vec::with_capacity(shards.len() + 1);
+                all.push(base.clone());
+                all.extend(shards);
+                all
+            }
+        }
     }
 
     /// Shut down: flush, close the channels, join the workers, and merge
@@ -306,7 +346,10 @@ impl IngestPipeline {
                     .map_err(|e| EngineError::ShardFailed(format!("{e:?}")))?,
             );
         }
-        Ok(Snapshot::from_shards(shards, self.epoch + 1))
+        Ok(Snapshot::from_shards(
+            self.with_base_first(shards),
+            self.epoch + 1,
+        ))
     }
 }
 

@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 //! `pfe-engine` — sharded parallel ingest and concurrent projection-query
 //! serving over the paper's mergeable summaries.
 //!
@@ -22,10 +22,40 @@
 //!    cache keyed by `(epoch, rounded subset mask, statistic)` so repeated
 //!    exploration queries skip the net lookup.
 //!
+//! Snapshots are also **durable** ([`persist`]): [`Engine::checkpoint`]
+//! writes the merged state as a framed, CRC-checked file (`pfe-persist`
+//! format), [`Engine::resume`] restores it into a fresh engine that
+//! answers queries bit-identically and keeps ingesting, and
+//! [`merge_snapshot_files`] unions snapshot files built by independent
+//! processes over disjoint slices of one stream. See
+//! `examples/checkpoint_resume.rs` for the full cycle:
+//!
+//! ```
+//! use pfe_engine::{Engine, EngineConfig, QueryRequest};
+//! use pfe_stream::gen::uniform_binary;
+//!
+//! let dir = std::env::temp_dir().join("pfe-engine-doc");
+//! std::fs::create_dir_all(&dir).unwrap();
+//! let path = dir.join("doc.pfes");
+//! let cfg = EngineConfig { shards: 2, sample_t: 256, kmv_k: 32, ..Default::default() };
+//! let engine = Engine::start(10, 2, cfg.clone()).unwrap();
+//! engine.ingest(&uniform_binary(10, 2_000, 5)).unwrap();
+//! engine.checkpoint(&path).unwrap();              // durable snapshot
+//! let restored = Engine::resume(&path, cfg).unwrap();
+//! let q = QueryRequest::F0 { cols: vec![0, 1, 2] };
+//! // The restored engine serves immediately, identically.
+//! assert_eq!(
+//!     format!("{:?}", engine.query(&q).unwrap()),
+//!     format!("{:?}", restored.query(&q).unwrap()),
+//! );
+//! # std::fs::remove_file(&path).ok();
+//! ```
+//!
 //! The `serve` example (workspace root) speaks line-delimited JSON over
-//! stdin using the vendored [`json`] module; `benches/engine.rs` in
-//! `pfe-bench` measures ingest throughput vs. shard count and query
-//! latency with and without the cache.
+//! stdin using the vendored [`json`] module; `benches/engine.rs` and
+//! `benches/persist.rs` in `pfe-bench` measure ingest throughput vs.
+//! shard count, query latency with and without the cache, and snapshot
+//! encode/decode/checkpoint cost.
 
 pub mod cache;
 pub mod config;
@@ -33,6 +63,7 @@ pub mod engine;
 pub mod error;
 pub mod ingest;
 pub mod json;
+pub mod persist;
 pub mod shard;
 pub mod snapshot;
 
@@ -42,5 +73,6 @@ pub use engine::{Engine, EngineStats, QueryRequest, QueryResponse};
 pub use error::EngineError;
 pub use ingest::{IngestPipeline, RowBatch};
 pub use json::Json;
+pub use persist::merge_snapshot_files;
 pub use shard::ShardSummary;
 pub use snapshot::{FrequencyAnswer, Snapshot};

@@ -170,6 +170,22 @@ impl ShardSummary {
         self.freq.as_ref()
     }
 
+    /// Reassemble a shard from parts (the resume path: a decoded snapshot
+    /// becomes the base state that every later snapshot merges on top of).
+    pub(crate) fn from_parts(
+        sample: UniformSampleSummary,
+        net_f0: AlphaNetF0<Kmv>,
+        freq: Option<AlphaNetFrequency>,
+        rows: u64,
+    ) -> Self {
+        Self {
+            sample,
+            net_f0,
+            freq,
+            rows,
+        }
+    }
+
     /// Decompose into parts (snapshot assembly).
     pub(crate) fn into_parts(
         self,

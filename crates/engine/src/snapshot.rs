@@ -5,14 +5,18 @@
 //! serving layer, so any number of query threads can read it while ingest
 //! continues on the live shards.
 
+use std::path::Path;
+
 use pfe_core::alpha_net::{AlphaNetF0, RoundedQuery};
 use pfe_core::{
     AlphaNetFrequency, HeavyHitter, NetAnswer, QueryError, SampledPattern, UniformSampleSummary,
 };
+use pfe_persist::{Decoder, Encoder, Persist, PersistError};
 use pfe_row::{ColumnSet, PatternCodec, PatternKey};
 use pfe_sketch::kmv::Kmv;
 use pfe_sketch::traits::SpaceUsage;
 
+use crate::error::EngineError;
 use crate::shard::ShardSummary;
 
 /// A point-frequency answer combining the unbiased sample estimate with
@@ -61,6 +65,125 @@ impl Snapshot {
     /// Monotone snapshot sequence number (per engine).
     pub fn epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// Write this snapshot to `path` as a framed, checksummed file (see
+    /// `pfe-persist` for the format). The file can be reloaded with
+    /// [`load_from`](Self::load_from), resumed into a fresh engine with
+    /// [`Engine::resume`](crate::Engine::resume), or unioned with other
+    /// snapshot files via [`merge_snapshot_files`](crate::merge_snapshot_files).
+    ///
+    /// # Errors
+    /// I/O errors, as [`EngineError::Persist`].
+    pub fn save_to<P: AsRef<Path>>(&self, path: P) -> Result<(), EngineError> {
+        pfe_persist::save(path, pfe_persist::kind::SNAPSHOT, self)?;
+        Ok(())
+    }
+
+    /// Read a snapshot file written by [`save_to`](Self::save_to).
+    ///
+    /// Decoding is fully defensive: truncated, bit-flipped, version-skewed,
+    /// or wrong-kind files surface as typed [`EngineError::Persist`]
+    /// errors, never panics. A decoded snapshot answers every query
+    /// bit-identically to the one that was saved.
+    ///
+    /// # Errors
+    /// I/O and decode errors, as [`EngineError::Persist`].
+    pub fn load_from<P: AsRef<Path>>(path: P) -> Result<Self, EngineError> {
+        Ok(pfe_persist::load(path, pfe_persist::kind::SNAPSHOT)?)
+    }
+
+    /// Check that `other` summarizes a disjoint segment of the *same*
+    /// logical stream configuration as `self`: equal dimension, alphabet,
+    /// reservoir capacity, α-net, and per-subset sketch parameters/seeds.
+    ///
+    /// # Errors
+    /// [`EngineError::Incompatible`] naming the first mismatch.
+    pub fn check_mergeable(&self, other: &Self) -> Result<(), EngineError> {
+        let mismatch = |what: &str| Err(EngineError::Incompatible(what.to_string()));
+        if self.sample.dimension() != other.sample.dimension() {
+            return mismatch("dimension d differs");
+        }
+        if self.sample.alphabet() != other.sample.alphabet() {
+            return mismatch("alphabet Q differs");
+        }
+        if self.sample.capacity() != other.sample.capacity() {
+            return mismatch("reservoir capacity sample_t differs");
+        }
+        if self.net_f0.net() != other.net_f0.net() {
+            return mismatch("alpha-net (d, alpha) differs");
+        }
+        if self.net_f0.mode() != other.net_f0.mode() {
+            return mismatch("net materialization mode differs");
+        }
+        for mask in self.net_f0.net().members(self.net_f0.mode()) {
+            let (a, b) = (
+                self.net_f0.sketch(mask).expect("member materialized"),
+                other.net_f0.sketch(mask).expect("member materialized"),
+            );
+            if a.k() != b.k() {
+                return mismatch("KMV capacity k differs");
+            }
+            if a.seed() != b.seed() {
+                return mismatch("KMV seeds differ (snapshots from different base seeds)");
+            }
+        }
+        match (&self.freq, &other.freq) {
+            (None, None) => {}
+            (Some(a), Some(b)) => {
+                if a.net() != b.net() {
+                    return mismatch("frequency-net alpha-nets differ");
+                }
+                if a.fingerprint_seed() != b.fingerprint_seed() {
+                    return mismatch("frequency-net fingerprint seeds differ");
+                }
+                for mask in a.net().members(pfe_core::NetMode::Full) {
+                    let (x, y) = (
+                        a.sketch(mask).expect("member materialized"),
+                        b.sketch(mask).expect("member materialized"),
+                    );
+                    if x.depth() != y.depth() || x.width() != y.width() {
+                        return mismatch("CountMin geometry differs");
+                    }
+                }
+            }
+            _ => return mismatch("frequency net present on one side only"),
+        }
+        Ok(())
+    }
+
+    /// Union another snapshot into this one — the cross-process merge
+    /// behind [`merge_snapshot_files`](crate::merge_snapshot_files).
+    /// Sketch unions are exact (shared per-mask seeds); the row samples
+    /// merge by the seeded hypergeometric union. The resulting epoch is
+    /// the maximum of the two.
+    ///
+    /// # Errors
+    /// [`EngineError::Incompatible`] when [`check_mergeable`](Self::check_mergeable)
+    /// fails; nothing is modified in that case.
+    pub fn merge(&mut self, other: &Self) -> Result<(), EngineError> {
+        self.check_mergeable(other)?;
+        self.sample.merge(&other.sample);
+        self.net_f0.merge(&other.net_f0);
+        match (&mut self.freq, &other.freq) {
+            (Some(a), Some(b)) => a.merge(b),
+            (None, None) => {}
+            _ => unreachable!("checked by check_mergeable"),
+        }
+        self.rows += other.rows;
+        self.epoch = self.epoch.max(other.epoch);
+        Ok(())
+    }
+
+    /// Clone this snapshot's summaries into a [`ShardSummary`] — the base
+    /// state a resumed pipeline folds every later snapshot on top of.
+    pub(crate) fn to_base_shard(&self) -> ShardSummary {
+        ShardSummary::from_parts(
+            self.sample.clone(),
+            self.net_f0.clone(),
+            self.freq.clone(),
+            self.rows,
+        )
     }
 
     /// Rows summarized.
@@ -174,6 +297,57 @@ impl Snapshot {
         seed: u64,
     ) -> Result<Vec<SampledPattern>, QueryError> {
         self.sample.l1_sample(cols, count, seed)
+    }
+}
+
+impl Persist for Snapshot {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(self.epoch);
+        enc.put_u64(self.rows);
+        self.sample.encode(enc);
+        self.net_f0.encode(enc);
+        self.freq.encode(enc);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, PersistError> {
+        let epoch = dec.take_u64()?;
+        let rows = dec.take_u64()?;
+        let sample = UniformSampleSummary::decode(dec)?;
+        let net_f0 = AlphaNetF0::<Kmv>::decode(dec)?;
+        let freq = Option::<AlphaNetFrequency>::decode(dec)?;
+        // Cross-component consistency: every part summarizes one (d, Q).
+        let (d, q) = (sample.dimension(), sample.alphabet());
+        if net_f0.net().dimension() != d || net_f0.alphabet() != q {
+            return Err(PersistError::Malformed(format!(
+                "F0 net summarizes ({}, Q={}) but the sample holds ({d}, Q={q})",
+                net_f0.net().dimension(),
+                net_f0.alphabet()
+            )));
+        }
+        if let Some(f) = &freq {
+            // The freq net must share the F0 net's exact (d, alpha) and
+            // alphabet: a CRC-valid file whose components are each
+            // internally consistent but disagree with one another would
+            // otherwise panic later, when resume/merge walks one net's
+            // members and indexes the other's sketch map.
+            if f.net() != net_f0.net() || f.alphabet() != q {
+                return Err(PersistError::Malformed(format!(
+                    "frequency net (d={}, alpha={}, Q={}) disagrees with the F0 net \
+                     (d={d}, alpha={}, Q={q})",
+                    f.net().dimension(),
+                    f.net().alpha(),
+                    f.alphabet(),
+                    net_f0.net().alpha()
+                )));
+            }
+        }
+        Ok(Self {
+            sample,
+            net_f0,
+            freq,
+            rows,
+            epoch,
+        })
     }
 }
 

@@ -76,6 +76,24 @@ impl PolyHash {
         self.coeffs.len()
     }
 
+    /// The polynomial's coefficients (Horner order), exposed for
+    /// serialization: storing them reproduces the exact same function.
+    pub fn coefficients(&self) -> &[u64] {
+        &self.coeffs
+    }
+
+    /// Rebuild a function from coefficients previously returned by
+    /// [`coefficients`](Self::coefficients).
+    ///
+    /// Returns `None` if the list is empty or any coefficient lies outside
+    /// `F_p` — the validation a deserializer needs to stay panic-free.
+    pub fn from_coefficients(coeffs: Vec<u64>) -> Option<Self> {
+        if coeffs.is_empty() || coeffs.iter().any(|&c| c >= MERSENNE61) {
+            return None;
+        }
+        Some(Self { coeffs })
+    }
+
     /// Evaluate at `x` (reduced into `F_p` first). Output is in `[0, p)`.
     #[inline]
     pub fn eval(&self, x: u64) -> u64 {
@@ -170,6 +188,49 @@ impl SignHash {
         }
     }
 }
+
+impl pfe_persist::Persist for PolyHash {
+    fn encode(&self, enc: &mut pfe_persist::Encoder) {
+        self.coeffs.encode(enc);
+    }
+
+    fn decode(dec: &mut pfe_persist::Decoder<'_>) -> Result<Self, pfe_persist::PersistError> {
+        let coeffs = Vec::<u64>::decode(dec)?;
+        Self::from_coefficients(coeffs).ok_or_else(|| {
+            pfe_persist::PersistError::Malformed(
+                "polynomial hash needs >= 1 coefficient, all in F_{2^61-1}".into(),
+            )
+        })
+    }
+}
+
+/// Serialize the fixed-independence wrappers by their polynomial,
+/// re-checking the advertised independence on decode.
+macro_rules! persist_fixed_kwise {
+    ($($t:ident => $k:literal),+ $(,)?) => {$(
+        impl pfe_persist::Persist for $t {
+            fn encode(&self, enc: &mut pfe_persist::Encoder) {
+                self.0.encode(enc);
+            }
+
+            fn decode(
+                dec: &mut pfe_persist::Decoder<'_>,
+            ) -> Result<Self, pfe_persist::PersistError> {
+                let poly = PolyHash::decode(dec)?;
+                if poly.independence() != $k {
+                    return Err(pfe_persist::PersistError::Malformed(format!(
+                        concat!(stringify!($t), " requires independence {}, got {}"),
+                        $k,
+                        poly.independence()
+                    )));
+                }
+                Ok(Self(poly))
+            }
+        }
+    )+};
+}
+
+persist_fixed_kwise!(TwoWise => 2, FourWise => 4, SignHash => 4);
 
 #[cfg(test)]
 mod tests {
@@ -276,6 +337,29 @@ mod tests {
     #[should_panic(expected = "independence k must be >= 1")]
     fn polyhash_rejects_zero_k() {
         PolyHash::new(0, 1);
+    }
+
+    #[test]
+    fn persist_roundtrip_preserves_function() {
+        use pfe_persist::{Decoder, Encoder, Persist};
+        let h = TwoWise::new(123);
+        let mut enc = Encoder::new();
+        h.encode(&mut enc);
+        let bytes = enc.into_bytes();
+        let back = TwoWise::decode(&mut Decoder::new(&bytes)).expect("decodes");
+        for x in 0..500u64 {
+            assert_eq!(h.eval(x), back.eval(x));
+            assert_eq!(h.bucket(x, 37), back.bucket(x, 37));
+        }
+        // A SignHash payload (4 coefficients) is not a TwoWise.
+        let s = SignHash::new(9);
+        let mut enc = Encoder::new();
+        s.encode(&mut enc);
+        let bytes = enc.into_bytes();
+        assert!(TwoWise::decode(&mut Decoder::new(&bytes)).is_err());
+        // Out-of-field coefficients are malformed, not a panic.
+        assert!(PolyHash::from_coefficients(vec![MERSENNE61]).is_none());
+        assert!(PolyHash::from_coefficients(vec![]).is_none());
     }
 
     #[test]

@@ -62,6 +62,25 @@ impl Xoshiro256pp {
         Self { s }
     }
 
+    /// The raw 256-bit generator state — captured for serialization so a
+    /// restored generator continues the exact same stream.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuild a generator at an exact state previously returned by
+    /// [`state`](Self::state). The all-zero state is the generator's fixed
+    /// point and is rejected.
+    ///
+    /// # Errors
+    /// Returns `None` for the (invalid) all-zero state.
+    pub fn from_state(s: [u64; 4]) -> Option<Self> {
+        if s == [0, 0, 0, 0] {
+            return None;
+        }
+        Some(Self { s })
+    }
+
     /// Next 64 uniformly distributed bits.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
@@ -210,6 +229,26 @@ impl Xoshiro256pp {
     }
 }
 
+impl pfe_persist::Persist for Xoshiro256pp {
+    fn encode(&self, enc: &mut pfe_persist::Encoder) {
+        for word in self.s {
+            enc.put_u64(word);
+        }
+    }
+
+    fn decode(dec: &mut pfe_persist::Decoder<'_>) -> Result<Self, pfe_persist::PersistError> {
+        let s = [
+            dec.take_u64()?,
+            dec.take_u64()?,
+            dec.take_u64()?,
+            dec.take_u64()?,
+        ];
+        Self::from_state(s).ok_or_else(|| {
+            pfe_persist::PersistError::Malformed("all-zero xoshiro256++ state".into())
+        })
+    }
+}
+
 /// Precomputed Zipf CDF over ranks `0..n` with exponent `s`.
 ///
 /// Rank `r` (0-based) has probability proportional to `1/(r+1)^s`.
@@ -281,6 +320,35 @@ mod tests {
         let zs: Vec<u64> = (0..16).map(|_| c.next_u64()).collect();
         assert_eq!(xs, ys);
         assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn state_capture_resumes_the_exact_stream() {
+        let mut a = Xoshiro256pp::seed_from_u64(7);
+        for _ in 0..37 {
+            a.next_u64();
+        }
+        let mut b = Xoshiro256pp::from_state(a.state()).expect("valid state");
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        assert!(Xoshiro256pp::from_state([0; 4]).is_none());
+    }
+
+    #[test]
+    fn persist_roundtrip_mid_stream() {
+        use pfe_persist::{Decoder, Encoder, Persist};
+        let mut a = Xoshiro256pp::seed_from_u64(11);
+        a.range_u64(1000);
+        let mut enc = Encoder::new();
+        a.encode(&mut enc);
+        let bytes = enc.into_bytes();
+        let mut b = Xoshiro256pp::decode(&mut Decoder::new(&bytes)).expect("decodes");
+        for _ in 0..50 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        // All-zero state is rejected as malformed, not accepted silently.
+        assert!(Xoshiro256pp::decode(&mut Decoder::new(&[0u8; 32])).is_err());
     }
 
     #[test]

@@ -1,0 +1,123 @@
+//! Typed decode/IO errors.
+//!
+//! Decoding untrusted bytes must never panic: every failure mode of the
+//! codec and the frame layer is a variant here, so callers can distinguish
+//! "file from a newer version" from "file got corrupted in transit" from
+//! "this is not one of our files at all".
+
+/// Errors surfaced by encoding, decoding, and the file frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PersistError {
+    /// An I/O error, stringified (std::io::Error is neither `Clone` nor
+    /// `PartialEq`, which the error consumers here rely on).
+    Io(String),
+    /// The first four bytes are not the expected magic.
+    BadMagic {
+        /// The bytes actually found.
+        found: [u8; 4],
+    },
+    /// The frame was written by an unsupported format version.
+    UnsupportedVersion {
+        /// Version found in the frame header.
+        found: u16,
+        /// The version this build reads and writes.
+        supported: u16,
+    },
+    /// The frame holds a different record kind than the caller expected
+    /// (e.g. a sketch file passed to the snapshot loader).
+    WrongKind {
+        /// Kind tag found in the frame header.
+        found: u16,
+        /// Kind tag the caller asked for.
+        expected: u16,
+    },
+    /// The input ended before the declared content did.
+    Truncated {
+        /// Bytes the decoder needed for the next field.
+        needed: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// The CRC-32 over the frame does not match the stored checksum.
+    ChecksumMismatch {
+        /// Checksum stored in the frame trailer.
+        stored: u32,
+        /// Checksum computed over the received bytes.
+        computed: u32,
+    },
+    /// The bytes decoded, but the resulting values violate an invariant of
+    /// the target type (lengths disagree, parameters out of range, ...).
+    Malformed(String),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(msg) => write!(f, "io error: {msg}"),
+            Self::BadMagic { found } => {
+                write!(f, "bad magic {found:02x?}: not a pfe-persist file")
+            }
+            Self::UnsupportedVersion { found, supported } => write!(
+                f,
+                "unsupported format version {found} (this build supports {supported})"
+            ),
+            Self::WrongKind { found, expected } => {
+                write!(f, "wrong record kind {found} (expected {expected})")
+            }
+            Self::Truncated { needed, available } => write!(
+                f,
+                "truncated input: needed {needed} more byte(s), {available} available"
+            ),
+            Self::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+            ),
+            Self::Malformed(msg) => write!(f, "malformed payload: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failure() {
+        assert!(PersistError::BadMagic { found: *b"ABCD" }
+            .to_string()
+            .contains("magic"));
+        assert!(PersistError::UnsupportedVersion {
+            found: 9,
+            supported: 1
+        }
+        .to_string()
+        .contains("version 9"));
+        assert!(PersistError::Truncated {
+            needed: 8,
+            available: 3
+        }
+        .to_string()
+        .contains("truncated"));
+        assert!(PersistError::ChecksumMismatch {
+            stored: 1,
+            computed: 2
+        }
+        .to_string()
+        .contains("checksum"));
+    }
+
+    #[test]
+    fn io_errors_convert() {
+        let e: PersistError = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        assert!(matches!(e, PersistError::Io(_)));
+        assert!(e.to_string().contains("gone"));
+    }
+}

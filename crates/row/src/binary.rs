@@ -49,6 +49,29 @@ pub struct BinaryMatrix {
     rows: Vec<u64>,
 }
 
+impl pfe_persist::Persist for BinaryMatrix {
+    fn encode(&self, enc: &mut pfe_persist::Encoder) {
+        enc.put_u32(self.d);
+        pfe_persist::Persist::encode(&self.rows, enc);
+    }
+
+    fn decode(dec: &mut pfe_persist::Decoder<'_>) -> Result<Self, pfe_persist::PersistError> {
+        use pfe_persist::PersistError;
+        let d = dec.take_u32()?;
+        if d > 63 {
+            return Err(PersistError::Malformed(format!("dimension d={d} above 63")));
+        }
+        let rows = <Vec<u64> as pfe_persist::Persist>::decode(dec)?;
+        let limit = if d == 0 { 0 } else { (1u64 << d) - 1 };
+        if let Some((i, &r)) = rows.iter().enumerate().find(|(_, &r)| r & !limit != 0) {
+            return Err(PersistError::Malformed(format!(
+                "row {i} ({r:#b}) has bits above d={d}"
+            )));
+        }
+        Ok(Self { d, rows })
+    }
+}
+
 impl BinaryMatrix {
     /// Empty matrix with `d` columns.
     ///

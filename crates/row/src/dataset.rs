@@ -100,6 +100,31 @@ impl Dataset {
     }
 }
 
+impl pfe_persist::Persist for Dataset {
+    fn encode(&self, enc: &mut pfe_persist::Encoder) {
+        match self {
+            Self::Binary(m) => {
+                enc.put_u8(0);
+                m.encode(enc);
+            }
+            Self::Qary(m) => {
+                enc.put_u8(1);
+                m.encode(enc);
+            }
+        }
+    }
+
+    fn decode(dec: &mut pfe_persist::Decoder<'_>) -> Result<Self, pfe_persist::PersistError> {
+        match dec.take_u8()? {
+            0 => Ok(Self::Binary(BinaryMatrix::decode(dec)?)),
+            1 => Ok(Self::Qary(QaryMatrix::decode(dec)?)),
+            other => Err(pfe_persist::PersistError::Malformed(format!(
+                "dataset tag must be 0 (binary) or 1 (qary), got {other}"
+            ))),
+        }
+    }
+}
+
 impl From<BinaryMatrix> for Dataset {
     fn from(m: BinaryMatrix) -> Self {
         Self::Binary(m)

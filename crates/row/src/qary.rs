@@ -15,6 +15,44 @@ pub struct QaryMatrix {
     data: Vec<u16>,
 }
 
+impl pfe_persist::Persist for QaryMatrix {
+    fn encode(&self, enc: &mut pfe_persist::Encoder) {
+        enc.put_u32(self.q);
+        enc.put_u32(self.d);
+        pfe_persist::Persist::encode(&self.data, enc);
+    }
+
+    fn decode(dec: &mut pfe_persist::Decoder<'_>) -> Result<Self, pfe_persist::PersistError> {
+        use pfe_persist::PersistError;
+        let q = dec.take_u32()?;
+        let d = dec.take_u32()?;
+        if q < 1 || q > u16::MAX as u32 + 1 {
+            return Err(PersistError::Malformed(format!("alphabet Q={q} invalid")));
+        }
+        if d > 63 {
+            return Err(PersistError::Malformed(format!("dimension d={d} above 63")));
+        }
+        let data = <Vec<u16> as pfe_persist::Persist>::decode(dec)?;
+        if d == 0 && !data.is_empty() {
+            return Err(PersistError::Malformed(
+                "d=0 matrix cannot carry symbols".into(),
+            ));
+        }
+        if d > 0 && data.len() % d as usize != 0 {
+            return Err(PersistError::Malformed(format!(
+                "buffer of {} symbol(s) is not a multiple of d={d}",
+                data.len()
+            )));
+        }
+        if let Some((i, &s)) = data.iter().enumerate().find(|&(_, &s)| s as u32 >= q) {
+            return Err(PersistError::Malformed(format!(
+                "symbol {s} at {i} outside alphabet [{q}]"
+            )));
+        }
+        Ok(Self { q, d, data })
+    }
+}
+
 impl QaryMatrix {
     /// Empty matrix over `[Q]^d`.
     ///

@@ -9,6 +9,7 @@
 
 use crate::traits::{vec_bytes, MomentSketch, SpaceUsage};
 use pfe_hash::kwise::SignHash;
+use pfe_persist::Persist;
 
 /// AMS `F_2` sketch: `groups × per_group` elementary estimators.
 #[derive(Debug, Clone)]
@@ -109,6 +110,47 @@ impl MomentSketch for AmsF2 {
             .collect();
         medians.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
         medians[medians.len() / 2]
+    }
+}
+
+impl Persist for AmsF2 {
+    fn encode(&self, enc: &mut pfe_persist::Encoder) {
+        enc.put_u64(self.per_group as u64);
+        self.sums.encode(enc);
+        self.signs.encode(enc);
+    }
+
+    fn decode(dec: &mut pfe_persist::Decoder<'_>) -> Result<Self, pfe_persist::PersistError> {
+        use pfe_persist::PersistError;
+        let per_group = dec.take_u64()? as usize;
+        if per_group == 0 {
+            return Err(PersistError::Malformed("AMS per_group must be >= 1".into()));
+        }
+        let sums = Vec::<i64>::decode(dec)?;
+        let signs = Vec::<SignHash>::decode(dec)?;
+        if sums.len() != signs.len() {
+            return Err(PersistError::Malformed(format!(
+                "AMS has {} sums but {} sign hashes",
+                sums.len(),
+                signs.len()
+            )));
+        }
+        if sums.is_empty() || sums.len() % per_group != 0 {
+            return Err(PersistError::Malformed(format!(
+                "AMS estimator count {} is not a positive multiple of per_group {per_group}",
+                sums.len()
+            )));
+        }
+        if (sums.len() / per_group).is_multiple_of(2) {
+            return Err(PersistError::Malformed(
+                "AMS group count must be odd (median of groups)".into(),
+            ));
+        }
+        Ok(Self {
+            sums,
+            signs,
+            per_group,
+        })
     }
 }
 

@@ -10,6 +10,7 @@
 
 use crate::traits::{vec_bytes, FrequencySketch, SpaceUsage};
 use pfe_hash::kwise::TwoWise;
+use pfe_persist::Persist;
 
 /// CountMin sketch. Updates must be nonnegative.
 #[derive(Debug, Clone)]
@@ -117,6 +118,52 @@ impl FrequencySketch for CountMin {
 
     fn total(&self) -> i64 {
         self.total
+    }
+}
+
+impl Persist for CountMin {
+    fn encode(&self, enc: &mut pfe_persist::Encoder) {
+        enc.put_u64(self.width as u64);
+        enc.put_i64(self.total);
+        self.hashes.encode(enc);
+        self.counters.encode(enc);
+    }
+
+    fn decode(dec: &mut pfe_persist::Decoder<'_>) -> Result<Self, pfe_persist::PersistError> {
+        use pfe_persist::PersistError;
+        let width = dec.take_u64()? as usize;
+        if width == 0 {
+            return Err(PersistError::Malformed(
+                "CountMin width must be >= 1".into(),
+            ));
+        }
+        let total = dec.take_i64()?;
+        let hashes = Vec::<TwoWise>::decode(dec)?;
+        if hashes.is_empty() {
+            return Err(PersistError::Malformed(
+                "CountMin depth must be >= 1".into(),
+            ));
+        }
+        let counters = Vec::<u64>::decode(dec)?;
+        let expected = hashes.len().checked_mul(width).ok_or_else(|| {
+            PersistError::Malformed(format!(
+                "CountMin {} x {width} counter matrix overflows usize",
+                hashes.len()
+            ))
+        })?;
+        if counters.len() != expected {
+            return Err(PersistError::Malformed(format!(
+                "CountMin counter matrix has {} cells, expected {} x {width}",
+                counters.len(),
+                hashes.len()
+            )));
+        }
+        Ok(Self {
+            counters,
+            hashes,
+            width,
+            total,
+        })
     }
 }
 

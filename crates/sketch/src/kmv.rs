@@ -9,6 +9,7 @@
 
 use crate::traits::{vec_bytes, DistinctSketch, SpaceUsage};
 use pfe_hash::hash_u64;
+use pfe_persist::Persist;
 
 /// KMV sketch with capacity `k`.
 ///
@@ -108,6 +109,36 @@ impl DistinctSketch for Kmv {
         for &h in &other.minima {
             self.insert_hash(h);
         }
+    }
+}
+
+impl Persist for Kmv {
+    fn encode(&self, enc: &mut pfe_persist::Encoder) {
+        enc.put_u64(self.k as u64);
+        enc.put_u64(self.seed);
+        self.minima.encode(enc);
+    }
+
+    fn decode(dec: &mut pfe_persist::Decoder<'_>) -> Result<Self, pfe_persist::PersistError> {
+        use pfe_persist::PersistError;
+        let k = dec.take_u64()? as usize;
+        if k < 2 {
+            return Err(PersistError::Malformed(format!("KMV k={k} below 2")));
+        }
+        let seed = dec.take_u64()?;
+        let minima = Vec::<u64>::decode(dec)?;
+        if minima.len() > k {
+            return Err(PersistError::Malformed(format!(
+                "KMV holds {} minima above capacity {k}",
+                minima.len()
+            )));
+        }
+        if !minima.windows(2).all(|w| w[0] < w[1]) {
+            return Err(PersistError::Malformed(
+                "KMV minima must be strictly ascending".into(),
+            ));
+        }
+        Ok(Self { minima, k, seed })
     }
 }
 

@@ -8,6 +8,7 @@
 
 use crate::traits::SpaceUsage;
 use pfe_hash::rng::Xoshiro256pp;
+use pfe_persist::Persist;
 
 /// Uniform reservoir sampler of capacity `t`.
 #[derive(Debug, Clone)]
@@ -150,6 +151,42 @@ impl<T> Reservoir<T> {
         }
         let g = self.items.iter().filter(|x| pred(x)).count() as f64;
         g / self.rate()
+    }
+}
+
+impl<T: Persist> Persist for Reservoir<T> {
+    fn encode(&self, enc: &mut pfe_persist::Encoder) {
+        enc.put_u64(self.t as u64);
+        enc.put_u64(self.seen);
+        self.rng.encode(enc);
+        self.items.encode(enc);
+    }
+
+    fn decode(dec: &mut pfe_persist::Decoder<'_>) -> Result<Self, pfe_persist::PersistError> {
+        use pfe_persist::PersistError;
+        let t = dec.take_u64()? as usize;
+        if t == 0 {
+            return Err(PersistError::Malformed(
+                "reservoir capacity must be positive".into(),
+            ));
+        }
+        let seen = dec.take_u64()?;
+        let rng = Xoshiro256pp::decode(dec)?;
+        let items = Vec::<T>::decode(dec)?;
+        // The Algorithm R invariant: the sample holds min(t, seen) items.
+        let expected = (t as u64).min(seen);
+        if items.len() as u64 != expected {
+            return Err(PersistError::Malformed(format!(
+                "reservoir holds {} item(s), expected min(t={t}, seen={seen}) = {expected}",
+                items.len()
+            )));
+        }
+        Ok(Self {
+            items,
+            t,
+            seen,
+            rng,
+        })
     }
 }
 

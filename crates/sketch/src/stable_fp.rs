@@ -13,6 +13,7 @@
 use crate::traits::{vec_bytes, MomentSketch, SpaceUsage};
 use pfe_hash::hash_u64;
 use pfe_hash::rng::Xoshiro256pp;
+use pfe_persist::Persist;
 
 /// Number of Monte-Carlo samples for the scale-constant calibration.
 const CALIBRATION_SAMPLES: usize = 200_001;
@@ -135,6 +136,40 @@ impl MomentSketch for StableFp {
 
     fn estimate(&self) -> f64 {
         self.lp_norm_estimate().powf(self.p)
+    }
+}
+
+impl Persist for StableFp {
+    fn encode(&self, enc: &mut pfe_persist::Encoder) {
+        // `scale` is derived deterministically from `p` and recomputed on
+        // decode (the calibration is memoized, so this is cheap in the
+        // α-net's many-sketches case too).
+        enc.put_f64(self.p);
+        enc.put_u64(self.seed);
+        self.sums.encode(enc);
+    }
+
+    fn decode(dec: &mut pfe_persist::Decoder<'_>) -> Result<Self, pfe_persist::PersistError> {
+        use pfe_persist::PersistError;
+        let p = dec.take_f64()?;
+        if !(p.is_finite() && p > 0.0 && p < 2.0) {
+            return Err(PersistError::Malformed(format!(
+                "StableFp moment order p={p} outside (0,2)"
+            )));
+        }
+        let seed = dec.take_u64()?;
+        let sums = Vec::<f64>::decode(dec)?;
+        if sums.is_empty() {
+            return Err(PersistError::Malformed(
+                "StableFp needs at least one estimator".into(),
+            ));
+        }
+        Ok(Self {
+            sums,
+            p,
+            seed,
+            scale: stable_median_abs(p),
+        })
     }
 }
 

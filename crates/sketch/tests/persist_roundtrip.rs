@@ -1,0 +1,198 @@
+//! Property tests for the sketch wire formats: decode(encode(s)) must be
+//! behaviourally identical to `s` — same estimates, same future updates,
+//! same merges — and corrupted payloads must fail typed, never panic.
+
+use pfe_persist::{Decoder, Encoder, Persist, PersistError};
+use pfe_sketch::ams_f2::AmsF2;
+use pfe_sketch::count_min::CountMin;
+use pfe_sketch::kmv::Kmv;
+use pfe_sketch::reservoir::Reservoir;
+use pfe_sketch::stable_fp::StableFp;
+use pfe_sketch::traits::{DistinctSketch, FrequencySketch, MomentSketch};
+use proptest::prelude::*;
+
+fn encode_to_vec<T: Persist>(value: &T) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    value.encode(&mut enc);
+    enc.into_bytes()
+}
+
+fn decode_all<T: Persist>(bytes: &[u8]) -> Result<T, PersistError> {
+    let mut dec = Decoder::new(bytes);
+    let v = T::decode(&mut dec)?;
+    dec.expect_end()?;
+    Ok(v)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn kmv_roundtrip_preserves_behaviour(
+        seed in 0u64..1_000,
+        k in 2usize..96,
+        n in 0u64..600,
+    ) {
+        let mut original = Kmv::new(k, seed);
+        for i in 0..n {
+            original.insert(i.wrapping_mul(0x9e37) ^ seed);
+        }
+        let bytes = encode_to_vec(&original);
+        let mut restored: Kmv = decode_all(&bytes).expect("roundtrip");
+        prop_assert_eq!(restored.estimate(), original.estimate());
+        // Canonical encoding: re-encoding reproduces the exact bytes.
+        prop_assert_eq!(encode_to_vec(&restored), bytes);
+        // The restored sketch keeps evolving identically.
+        for i in 0..50u64 {
+            original.insert(i ^ 0xabcd);
+            restored.insert(i ^ 0xabcd);
+        }
+        prop_assert_eq!(restored.estimate(), original.estimate());
+    }
+
+    #[test]
+    fn count_min_roundtrip_preserves_behaviour(
+        seed in 0u64..1_000,
+        depth in 1usize..6,
+        width in 1usize..128,
+        n in 0u64..400,
+    ) {
+        let mut original = CountMin::new(depth, width, seed);
+        for i in 0..n {
+            original.update(i % 37, (i % 5) as i64);
+        }
+        let bytes = encode_to_vec(&original);
+        let mut restored: CountMin = decode_all(&bytes).expect("roundtrip");
+        prop_assert_eq!(restored.total(), original.total());
+        for item in 0..40u64 {
+            prop_assert_eq!(restored.estimate(item), original.estimate(item));
+        }
+        prop_assert_eq!(encode_to_vec(&restored), bytes);
+        // Updates and merges continue identically (the hash functions
+        // travelled with the sketch).
+        let mut other = CountMin::new(depth, width, seed);
+        other.update(7, 3);
+        original.merge(&other);
+        restored.merge(&other);
+        for item in 0..40u64 {
+            prop_assert_eq!(restored.estimate(item), original.estimate(item));
+        }
+    }
+
+    #[test]
+    fn ams_roundtrip_preserves_behaviour(
+        seed in 0u64..1_000,
+        groups in 1usize..6,
+        per_group in 1usize..24,
+        n in 0u64..300,
+    ) {
+        let mut original = AmsF2::new(groups, per_group, seed);
+        for i in 0..n {
+            original.update(i % 23, 1);
+        }
+        let bytes = encode_to_vec(&original);
+        let mut restored: AmsF2 = decode_all(&bytes).expect("roundtrip");
+        prop_assert_eq!(restored.estimate(), original.estimate());
+        prop_assert_eq!(encode_to_vec(&restored), bytes);
+        original.update(5, 2);
+        restored.update(5, 2);
+        prop_assert_eq!(restored.estimate(), original.estimate());
+    }
+
+    #[test]
+    fn stable_fp_roundtrip_preserves_behaviour(
+        seed in 0u64..1_000,
+        t in 1usize..16,
+        n in 0u64..120,
+    ) {
+        let mut original = StableFp::new(t, 1.0, seed);
+        for i in 0..n {
+            original.update(i % 17, 1);
+        }
+        let bytes = encode_to_vec(&original);
+        let mut restored: StableFp = decode_all(&bytes).expect("roundtrip");
+        prop_assert_eq!(restored.estimate(), original.estimate());
+        prop_assert_eq!(encode_to_vec(&restored), bytes);
+        original.update(3, 1);
+        restored.update(3, 1);
+        prop_assert_eq!(restored.estimate(), original.estimate());
+    }
+
+    #[test]
+    fn reservoir_roundtrip_resumes_exact_stream(
+        seed in 0u64..1_000,
+        t in 1usize..64,
+        n in 0u64..2_000,
+    ) {
+        let mut original: Reservoir<u64> = Reservoir::new(t, seed);
+        for i in 0..n {
+            original.insert(i);
+        }
+        let bytes = encode_to_vec(&original);
+        let mut restored: Reservoir<u64> = decode_all(&bytes).expect("roundtrip");
+        prop_assert_eq!(restored.sample(), original.sample());
+        prop_assert_eq!(restored.seen(), original.seen());
+        prop_assert_eq!(encode_to_vec(&restored), bytes);
+        // The RNG state travelled too: future replacement decisions are
+        // bit-identical, which is what makes resumed merges exact.
+        for i in n..n + 500 {
+            original.insert(i);
+            restored.insert(i);
+        }
+        prop_assert_eq!(restored.sample(), original.sample());
+    }
+
+    #[test]
+    fn qary_reservoir_roundtrip(
+        seed in 0u64..1_000,
+        n in 0u64..200,
+    ) {
+        let mut original: Reservoir<Box<[u16]>> = Reservoir::new(16, seed);
+        for i in 0..n {
+            original.insert(vec![(i % 5) as u16, (i % 3) as u16].into());
+        }
+        let bytes = encode_to_vec(&original);
+        let restored: Reservoir<Box<[u16]>> = decode_all(&bytes).expect("roundtrip");
+        prop_assert_eq!(restored.sample(), original.sample());
+        prop_assert_eq!(encode_to_vec(&restored), bytes);
+    }
+
+    #[test]
+    fn kmv_random_bytes_never_panic(bytes in proptest::collection::vec(0u8..=255, 0..200)) {
+        // Arbitrary input must decode or fail typed — panics fail the test.
+        let _ = decode_all::<Kmv>(&bytes);
+        let _ = decode_all::<CountMin>(&bytes);
+        let _ = decode_all::<AmsF2>(&bytes);
+        let _ = decode_all::<Reservoir<u64>>(&bytes);
+    }
+}
+
+#[test]
+fn malformed_sketches_rejected_with_typed_errors() {
+    // KMV with minima out of order.
+    let mut enc = Encoder::new();
+    enc.put_u64(4); // k
+    enc.put_u64(9); // seed
+    vec![3u64, 1].encode(&mut enc); // not ascending
+    assert!(matches!(
+        decode_all::<Kmv>(&enc.into_bytes()),
+        Err(PersistError::Malformed(_))
+    ));
+    // CountMin whose counter matrix disagrees with depth x width.
+    let cm = CountMin::new(2, 8, 1);
+    let mut bytes = encode_to_vec(&cm);
+    // Shrink the trailing counter vector length field is hard to hit
+    // blindly; instead decode a truncated prefix.
+    bytes.truncate(bytes.len() - 3);
+    assert!(decode_all::<CountMin>(&bytes).is_err());
+    // Reservoir claiming more items than seen.
+    let mut enc = Encoder::new();
+    enc.put_u64(8); // t
+    enc.put_u64(1); // seen
+    pfe_hash::rng::Xoshiro256pp::seed_from_u64(0).encode(&mut enc);
+    vec![1u64, 2, 3].encode(&mut enc); // 3 items but seen = 1
+    assert!(matches!(
+        decode_all::<Reservoir<u64>>(&enc.into_bytes()),
+        Err(PersistError::Malformed(_))
+    ));
+}

@@ -276,15 +276,29 @@ fn main() {
         return;
     }
     let stdin = std::io::stdin();
+    let mut handled = 0usize;
     for line in stdin.lock().lines() {
         let line = line.expect("stdin");
         if line.trim().is_empty() {
             continue;
         }
         let resp = server.handle(&line);
+        handled += 1;
         writeln!(out, "{resp}").expect("stdout");
         if line.contains("\"quit\"") && resp.get("bye").is_some() {
             break;
         }
+    }
+    if handled == 0 {
+        // Nothing arrived on stdin: a bare `cargo run --example serve` from
+        // a terminal that immediately closed, or a misdirected pipe. Say
+        // how to talk to the server instead of exiting silently. Usage goes
+        // to stderr so stdout stays a pure response stream.
+        eprintln!("serve: no requests received on stdin");
+        eprintln!(
+            "usage: serve [--demo] — speak line-delimited JSON on stdin, one request per line:"
+        );
+        eprintln!("  {{\"op\":\"start\",\"d\":12,\"q\":2,\"shards\":4}}   then ingest/snapshot/f0/freq/hh/stats/quit");
+        eprintln!("  (see the \"serve\" protocol section in README.md, or run with --demo for a scripted session)");
     }
 }

@@ -22,15 +22,19 @@
 //! - [`lowerbounds`] — executable Index reductions for Theorems 4.1,
 //!   5.3, 5.4, 5.5 and the related-work contrast models;
 //! - [`engine`] — sharded parallel ingest and concurrent query serving
-//!   over the mergeable summaries (shard → merge → snapshot → cache).
+//!   over the mergeable summaries (shard → merge → snapshot → cache),
+//!   with durable checkpoint/resume and cross-process snapshot union;
+//! - [`persist`] — the zero-dependency versioned binary codec (magic +
+//!   version + CRC-32 framing) behind the durable snapshots.
 //!
-//! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
-//! `EXPERIMENTS.md` for paper-vs-measured results.
+//! See `README.md` for a tour and `ARCHITECTURE.md` for the data-flow
+//! diagram, crate graph, and the theorem → module map.
 pub use pfe_codes as codes;
 pub use pfe_core as core;
 pub use pfe_engine as engine;
 pub use pfe_hash as hash;
 pub use pfe_lowerbounds as lowerbounds;
+pub use pfe_persist as persist;
 pub use pfe_row as row;
 pub use pfe_sketch as sketch;
 pub use pfe_stream as stream;
