@@ -4,7 +4,7 @@
 use std::hint::black_box;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use pfe_engine::{Engine, EngineConfig, QueryRequest, QueryResponse};
+use pfe_engine::{Engine, EngineConfig, Query};
 use pfe_stream::gen::uniform_binary;
 
 const D: u32 = 12;
@@ -52,10 +52,8 @@ fn bench_query_latency(c: &mut Criterion) {
         engine
     };
     // Mid-size queries (always rounded — the worst case for the net path).
-    let reqs: Vec<QueryRequest> = (0..16u32)
-        .map(|i| QueryRequest::F0 {
-            cols: (0..6).map(|j| (i + j) % D).collect(),
-        })
+    let reqs: Vec<Query> = (0..16u32)
+        .map(|i| Query::over((0..6).map(|j| (i + j) % D)).f0())
         .collect();
     let mut g = c.benchmark_group("engine_query_f0");
     g.throughput(Throughput::Elements(reqs.len() as u64));
@@ -84,11 +82,8 @@ fn bench_query_latency(c: &mut Criterion) {
     // Heavy hitters scan the whole merged sample per query — the case the
     // answer cache exists for (F0 above is a near-free hash lookup either
     // way; the comparison shows the cache's fixed cost honestly).
-    let hh_reqs: Vec<QueryRequest> = (0..8u32)
-        .map(|i| QueryRequest::HeavyHitters {
-            cols: (0..4).map(|j| (i + j) % D).collect(),
-            phi: 0.05,
-        })
+    let hh_reqs: Vec<Query> = (0..8u32)
+        .map(|i| Query::over((0..4).map(|j| (i + j) % D)).heavy_hitters(0.05))
         .collect();
     let mut g = c.benchmark_group("engine_query_hh");
     g.throughput(Throughput::Elements(hh_reqs.len() as u64));
@@ -140,14 +135,9 @@ fn bench_mixed_serving(c: &mut Criterion) {
     engine.refresh().expect("refresh");
     let mut reqs = Vec::new();
     for i in 0..32u32 {
-        reqs.push(QueryRequest::F0 {
-            cols: (0..5).map(|j| (i % 8 + j) % D).collect(),
-        });
+        reqs.push(Query::over((0..5).map(|j| (i % 8 + j) % D)).f0());
         if i % 4 == 0 {
-            reqs.push(QueryRequest::Frequency {
-                cols: vec![0, 1, 2],
-                pattern: vec![(i % 2) as u16, 0, 1],
-            });
+            reqs.push(Query::over([0, 1, 2]).frequency(vec![(i % 2) as u16, 0, 1]));
         }
     }
     let mut g = c.benchmark_group("engine_mixed_batch");
@@ -155,15 +145,7 @@ fn bench_mixed_serving(c: &mut Criterion) {
     g.bench_function("batch40", |b| {
         b.iter(|| {
             let answers = engine.query_batch(&reqs);
-            let ok = answers
-                .iter()
-                .filter(|a| {
-                    matches!(
-                        a,
-                        Ok(QueryResponse::F0 { .. } | QueryResponse::Frequency { .. })
-                    )
-                })
-                .count();
+            let ok = answers.iter().filter(|a| a.is_ok()).count();
             black_box(ok)
         })
     });

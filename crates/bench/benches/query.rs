@@ -1,0 +1,110 @@
+//! Query-layer benchmarks: the mask-sharing batch planner against a naive
+//! per-query loop.
+//!
+//! The planner's claim: a batch of queries whose canonical keys collide —
+//! mid-size `F_0` subsets rounding to one net member, or repeated
+//! heavy-hitter probes of one mask — costs one snapshot compute per
+//! *group*, not per query. The cache is disabled in both arms so the
+//! comparison isolates the planner (with the cache on, the naive loop
+//! would also amortize after its first miss).
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pfe_engine::{Engine, EngineConfig, Query};
+use pfe_stream::gen::uniform_binary;
+
+const D: u32 = 12;
+const ROWS: usize = 20_000;
+
+fn engine() -> Engine {
+    let cfg = EngineConfig {
+        shards: 4,
+        kmv_k: 64,
+        sample_t: 2048,
+        batch_rows: 256,
+        cache_capacity: 0, // isolate the planner from the cache
+        ..Default::default()
+    };
+    let engine = Engine::start(D, 2, cfg).expect("start");
+    engine.ingest(&uniform_binary(D, ROWS, 1)).expect("ingest");
+    engine.refresh().expect("refresh");
+    engine
+}
+
+/// A batch of mid-size `F_0` queries that all round to few net members:
+/// rotations of a 6-column window (every one shrinks to a small-side
+/// member, many to the same one).
+fn colliding_f0_batch() -> Vec<Query> {
+    (0..64u32)
+        .map(|i| Query::over((0..6).map(|j| (i % 4 + j) % D)).f0())
+        .collect()
+}
+
+/// Heavy-hitter probes of just two distinct (cols, phi) pairs — the worst
+/// case for a naive loop, since every probe scans the whole merged sample.
+fn colliding_hh_batch() -> Vec<Query> {
+    (0..32u32)
+        .map(|i| Query::over((0..4).map(|j| (i % 2 + j) % D)).heavy_hitters(0.05))
+        .collect()
+}
+
+fn bench_planner_vs_naive(c: &mut Criterion) {
+    let engine = engine();
+    for (name, batch) in [
+        ("f0_colliding64", colliding_f0_batch()),
+        ("hh_colliding32", colliding_hh_batch()),
+    ] {
+        let mut g = c.benchmark_group(format!("query_planner_{name}"));
+        g.throughput(Throughput::Elements(batch.len() as u64));
+        // Naive: one planner invocation per query — no sharing possible.
+        g.bench_function("naive_loop", |b| {
+            b.iter(|| {
+                let mut ok = 0usize;
+                for q in &batch {
+                    ok += engine.query(q).is_ok() as usize;
+                }
+                black_box(ok)
+            })
+        });
+        // Planned: one invocation for the whole batch — colliding keys
+        // share one compute.
+        g.bench_function("query_batch", |b| {
+            b.iter(|| {
+                let answers = engine.query_batch(&batch);
+                black_box(answers.iter().filter(|a| a.is_ok()).count())
+            })
+        });
+        g.finish();
+    }
+}
+
+fn bench_planning_overhead(c: &mut Criterion) {
+    // All-distinct masks: the planner can share nothing, so this measures
+    // its bookkeeping overhead against the per-query path.
+    let engine = engine();
+    let batch: Vec<Query> = (0..32u32)
+        .map(|i| Query::over([i % D, (i / 2 + 3) % D, (i / 3 + 7) % D]).f0())
+        .collect();
+    let mut g = c.benchmark_group("query_planner_distinct32");
+    g.throughput(Throughput::Elements(batch.len() as u64));
+    g.bench_function("naive_loop", |b| {
+        b.iter(|| {
+            let mut ok = 0usize;
+            for q in &batch {
+                ok += engine.query(q).is_ok() as usize;
+            }
+            black_box(ok)
+        })
+    });
+    g.bench_function("query_batch", |b| {
+        b.iter(|| {
+            let answers = engine.query_batch(&batch);
+            black_box(answers.iter().filter(|a| a.is_ok()).count())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_planner_vs_naive, bench_planning_overhead);
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! Theorem-derived accuracy constants, exposed so serving layers can
+//! attach an `(α, ε)` guarantee to every answer.
+//!
+//! The numbers here are the paper's bounds specialized to the summaries
+//! this repo ships: the Theorem 5.1 additive error of the uniform row
+//! sample, the β of the KMV plug-in sketch, and the Lemma 6.4 rounding
+//! distortion of the α-net. They are *reporting* constants — the
+//! summaries themselves never read them.
+
+/// Default failure probability `δ` used when a guarantee is reported
+/// without a caller-chosen confidence.
+pub const DEFAULT_DELTA: f64 = 0.05;
+
+/// Theorem 5.1: the additive-error coefficient `ε = √(ln(2/δ)/t)` of a
+/// `t`-row uniform sample at confidence `1 − δ`. Multiply by `‖f‖₁ = n`
+/// for the error in absolute counts; it bounds probability-mass error
+/// directly.
+///
+/// ```
+/// use pfe_core::bounds::sample_epsilon;
+///
+/// // More rows => tighter epsilon.
+/// assert!(sample_epsilon(4096, 0.05) < sample_epsilon(256, 0.05));
+/// ```
+///
+/// # Panics
+/// Panics if `t == 0` or `delta` is outside `(0, 1)`.
+pub fn sample_epsilon(t: usize, delta: f64) -> f64 {
+    assert!(t > 0, "sample size t must be >= 1");
+    assert!(delta > 0.0 && delta < 1.0, "delta {delta} outside (0,1)");
+    ((2.0 / delta).ln() / t as f64).sqrt()
+}
+
+/// The `β` of a `k`-minimum-values sketch at two standard errors: the
+/// KMV estimate has relative standard error `1/√(k−2)`, so a
+/// `β = 1 + 2/√(k−2)` multiplicative factor holds with ≈95% confidence —
+/// the plug-in `β` of Theorem 6.5.
+///
+/// ```
+/// use pfe_core::bounds::kmv_beta;
+///
+/// assert!(kmv_beta(1024) < kmv_beta(64));
+/// assert!(kmv_beta(64) > 1.0);
+/// ```
+pub fn kmv_beta(k: usize) -> f64 {
+    1.0 + 2.0 / ((k.max(3) - 2) as f64).sqrt()
+}
+
+/// Lemma 6.4(1): the `F_0` rounding distortion `Q^{|CΔC′|}` for a query
+/// rounded by `sym_diff` columns over alphabet `q`.
+pub fn f0_rounding_distortion(q: u32, sym_diff: u32) -> f64 {
+    (q as f64).powi(sym_diff as i32)
+}
+
+/// Lemma 6.4(2)–(3): the `F_p` rounding distortion `Q^{|CΔC′|·|p−1|}`.
+pub fn fp_rounding_distortion(q: u32, sym_diff: u32, p: f64) -> f64 {
+    (q as f64).powf(sym_diff as f64 * (p - 1.0).abs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_epsilon_matches_summary_formula() {
+        // UniformSampleSummary::sample_size_for inverts this: t rows give
+        // back (approximately) the eps the size was chosen for.
+        let (eps, delta) = (0.05, 0.01);
+        let t = crate::UniformSampleSummary::sample_size_for(eps, delta);
+        let back = sample_epsilon(t, delta);
+        assert!((back - eps).abs() < 1e-3, "eps {eps} round-trips to {back}");
+    }
+
+    #[test]
+    fn kmv_beta_decreasing_and_above_one() {
+        let mut prev = f64::INFINITY;
+        for k in [8usize, 64, 256, 4096] {
+            let b = kmv_beta(k);
+            assert!(b > 1.0 && b < prev);
+            prev = b;
+        }
+        // Degenerate capacities do not divide by zero.
+        assert!(kmv_beta(2).is_finite());
+    }
+
+    #[test]
+    fn distortions_match_lemma_6_4() {
+        assert_eq!(f0_rounding_distortion(2, 3), 8.0);
+        assert_eq!(f0_rounding_distortion(4, 0), 1.0);
+        // p = 1 is free; p = 0 and p = 2 pay the same factor.
+        assert_eq!(fp_rounding_distortion(2, 3, 1.0), 1.0);
+        assert_eq!(
+            fp_rounding_distortion(2, 3, 0.0),
+            fp_rounding_distortion(2, 3, 2.0)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "outside (0,1)")]
+    fn sample_epsilon_rejects_bad_delta() {
+        sample_epsilon(16, 1.5);
+    }
+}

@@ -22,10 +22,14 @@
 //!   known-`|C|` enumeration strawman (Section 3.1);
 //! - [`sampling::ExactLpSampler`] — offline `ℓ_p` sampling
 //!   from the materialized frequency vector (the object Theorem 5.5 proves
-//!   incompressible for `p ≠ 1`).
+//!   incompressible for `p ≠ 1`);
+//! - [`bounds`] — the theorem-derived accuracy constants (Theorem 5.1
+//!   `ε`, KMV `β`, Lemma 6.4 distortion) serving layers attach to
+//!   answers as `(α, ε)` guarantees.
 
 pub mod alpha_net;
 pub mod alpha_net_freq;
+pub mod bounds;
 pub mod enumeration;
 pub mod estimator;
 pub mod exact;

@@ -1,60 +1,43 @@
-//! Thread-safe LRU cache for query answers.
+//! Thread-safe LRU cache for query answers, keyed by the canonical
+//! [`QueryKey`].
 //!
-//! Keys are `(snapshot epoch, rounded subset mask, statistic, aux)` — the
-//! *rounded* mask, because every query that rounds to the same net member
+//! The key is the *effective* identity of a query against one snapshot:
+//! `(epoch, rounded subset mask, statistic, payload, exactness)` — the
+//! rounded mask, because every query that rounds to the same net member
 //! reads the same sketch; caching at that granularity makes the
 //! `subspace_explorer` access pattern (many nearby subsets probing the
-//! same region of the net) hit after the first probe. Entries from older
-//! epochs age out through normal LRU pressure since no new queries touch
-//! them.
+//! same region of the net) hit after the first probe. The batch planner
+//! groups by the same key, so "shares a cache entry" and "shares a
+//! planner group" coincide by construction. Entries from older epochs age
+//! out through normal LRU pressure since no new queries touch them.
 
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Mutex;
 
-use pfe_core::{HeavyHitter, NetAnswer};
+use pfe_core::{HeavyHitter, SampledPattern};
+use pfe_query::QueryKey;
 
 use crate::snapshot::FrequencyAnswer;
 
-/// Which statistic an entry caches.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum StatKind {
-    /// Projected distinct count.
-    F0,
-    /// Point frequency (aux = pattern key).
-    Frequency,
-    /// Heavy hitters (aux = `phi` bits).
-    HeavyHitters,
-}
-
-/// Cache key.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct CacheKey {
-    /// Snapshot epoch the answer was computed against.
-    pub epoch: u64,
-    /// Rounded subset mask (`F_0`) or query mask (sample statistics).
-    pub mask: u64,
-    /// Statistic discriminant.
-    pub stat: StatKind,
-    /// Statistic-specific payload (pattern key, `phi` bits, ...).
-    pub aux: u128,
-}
-
-/// A cached answer.
+/// A cached answer — the snapshot-derived payload only; per-query
+/// provenance, guarantees, and cost metadata are rebuilt by the planner
+/// for each query the entry serves.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CachedAnswer {
-    /// `F_0` net answer (for the *rounded* query; distortion is
-    /// recomputed per original query by the caller).
-    F0(NetAnswer),
+    /// `F_0` estimate for the key's (rounded) mask.
+    F0(f64),
     /// Point-frequency answer.
     Frequency(FrequencyAnswer),
     /// Heavy-hitter list.
     HeavyHitters(Vec<HeavyHitter>),
+    /// `ℓ_1` pattern draws (deterministic per the key's `(k, seed)`).
+    L1Sample(Vec<SampledPattern>),
 }
 
 struct LruState {
-    map: HashMap<CacheKey, (CachedAnswer, u64)>,
+    map: HashMap<QueryKey, (CachedAnswer, u64)>,
     /// Recency index: tick -> key; first entry is least recent.
-    order: BTreeMap<u64, CacheKey>,
+    order: BTreeMap<u64, QueryKey>,
     tick: u64,
     hits: u64,
     misses: u64,
@@ -69,6 +52,18 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries currently held.
     pub len: usize,
+}
+
+impl CacheStats {
+    /// Fraction of lookups answered from cache (`0.0` before any lookup).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
 }
 
 /// Bounded LRU cache; `capacity == 0` disables it entirely.
@@ -93,7 +88,7 @@ impl QueryCache {
     }
 
     /// Look up a key, refreshing its recency on hit.
-    pub fn get(&self, key: &CacheKey) -> Option<CachedAnswer> {
+    pub fn get(&self, key: &QueryKey) -> Option<CachedAnswer> {
         if self.capacity == 0 {
             return None;
         }
@@ -119,7 +114,7 @@ impl QueryCache {
 
     /// Insert (or refresh) an answer, evicting the least recently used
     /// entry on overflow.
-    pub fn put(&self, key: CacheKey, value: CachedAnswer) {
+    pub fn put(&self, key: QueryKey, value: CachedAnswer) {
         if self.capacity == 0 {
             return;
         }
@@ -159,22 +154,14 @@ impl QueryCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pfe_query::Statistic;
 
-    fn key(mask: u64) -> CacheKey {
-        CacheKey {
-            epoch: 1,
-            mask,
-            stat: StatKind::F0,
-            aux: 0,
-        }
+    fn key(mask: u64) -> QueryKey {
+        QueryKey::new(1, mask, &Statistic::F0, None, false)
     }
 
     fn answer(v: f64) -> CachedAnswer {
-        CachedAnswer::Frequency(FrequencyAnswer {
-            estimate: v,
-            upper_bound: None,
-            additive_error: 0.0,
-        })
+        CachedAnswer::F0(v)
     }
 
     #[test]
@@ -185,6 +172,7 @@ mod tests {
         assert_eq!(c.get(&key(1)), Some(answer(10.0)));
         let stats = c.stats();
         assert_eq!((stats.hits, stats.misses, stats.len), (1, 1, 1));
+        assert_eq!(stats.hit_ratio(), 0.5);
     }
 
     #[test]
@@ -200,27 +188,20 @@ mod tests {
     }
 
     #[test]
-    fn distinct_stats_and_epochs_do_not_collide() {
+    fn distinct_stats_epochs_and_exactness_do_not_collide() {
         let c = QueryCache::new(8);
-        let f0 = CacheKey {
-            epoch: 1,
-            mask: 5,
-            stat: StatKind::F0,
-            aux: 0,
-        };
-        let hh = CacheKey {
-            epoch: 1,
-            mask: 5,
-            stat: StatKind::HeavyHitters,
-            aux: 0,
-        };
-        let f0e2 = CacheKey { epoch: 2, ..f0 };
+        let f0 = QueryKey::new(1, 5, &Statistic::F0, None, false);
+        let hh = QueryKey::new(1, 5, &Statistic::HeavyHitters { phi: 0.0 }, None, false);
+        let f0e2 = QueryKey::new(2, 5, &Statistic::F0, None, false);
+        let f0exact = QueryKey::new(1, 5, &Statistic::F0, None, true);
         c.put(f0, answer(1.0));
         c.put(hh, answer(2.0));
         c.put(f0e2, answer(3.0));
+        c.put(f0exact, answer(4.0));
         assert_eq!(c.get(&f0), Some(answer(1.0)));
         assert_eq!(c.get(&hh), Some(answer(2.0)));
         assert_eq!(c.get(&f0e2), Some(answer(3.0)));
+        assert_eq!(c.get(&f0exact), Some(answer(4.0)));
     }
 
     #[test]
@@ -229,6 +210,7 @@ mod tests {
         c.put(key(1), answer(1.0));
         assert!(c.get(&key(1)).is_none());
         assert_eq!(c.stats().len, 0);
+        assert_eq!(c.stats().hit_ratio(), 0.0);
     }
 
     #[test]

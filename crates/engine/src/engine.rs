@@ -1,8 +1,9 @@
-//! The serving engine: concurrent queries over immutable snapshots, with
-//! an LRU answer cache, in front of the sharded ingest pipeline.
+//! The serving engine: concurrent typed queries over immutable snapshots,
+//! with a mask-sharing batch planner and an LRU answer cache, in front of
+//! the sharded ingest pipeline.
 //!
 //! ```
-//! use pfe_engine::{Engine, EngineConfig, QueryRequest, QueryResponse};
+//! use pfe_engine::{Engine, EngineConfig, Query};
 //! use pfe_stream::gen::uniform_binary;
 //!
 //! let cfg = EngineConfig { shards: 2, sample_t: 512, kmv_k: 64, ..Default::default() };
@@ -10,72 +11,91 @@
 //! engine.ingest(&uniform_binary(12, 5_000, 1)).unwrap();
 //! engine.refresh().unwrap(); // publish a snapshot
 //! let answers = engine.query_batch(&[
-//!     QueryRequest::F0 { cols: vec![0, 3, 5] },
-//!     QueryRequest::HeavyHitters { cols: vec![0, 1], phi: 0.1 },
+//!     Query::over([0, 3, 5]).f0(),
+//!     Query::over([0, 1]).heavy_hitters(0.1),
 //! ]);
-//! assert!(matches!(answers[0], Ok(QueryResponse::F0 { .. })));
+//! let f0 = answers[0].as_ref().unwrap();
+//! assert!(f0.estimate().unwrap() > 0.0);
+//! // Every answer carries its theorem-derived guarantee and provenance.
+//! assert!(f0.guarantee.alpha >= 1.0);
+//! assert_eq!(f0.provenance.requested.to_indices(), vec![0, 3, 5]);
 //! ```
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
-use pfe_core::{HeavyHitter, NetAnswer, QueryError};
-use pfe_row::{ColumnSet, Dataset};
+use pfe_core::bounds;
+use pfe_query::{
+    Answer, AnswerValue, CostInfo, Guarantee, GuaranteeSource, Provenance, Query, StatKind,
+    Statistic,
+};
+use pfe_row::Dataset;
 use pfe_sketch::traits::SpaceUsage;
 
-use crate::cache::{CacheKey, CacheStats, CachedAnswer, QueryCache, StatKind};
+use crate::cache::{CacheStats, CachedAnswer, QueryCache};
 use crate::config::EngineConfig;
 use crate::error::EngineError;
 use crate::ingest::IngestPipeline;
-use crate::snapshot::{FrequencyAnswer, Snapshot};
+use crate::planner::{plan, PlanGroup, Planned};
+use crate::snapshot::Snapshot;
 
-/// One projection query.
-#[derive(Debug, Clone, PartialEq)]
-pub enum QueryRequest {
-    /// Projected distinct count over the given columns.
-    F0 {
-        /// Column indices of `C`.
-        cols: Vec<u32>,
-    },
-    /// Point frequency of `pattern` on the projection.
-    Frequency {
-        /// Column indices of `C`.
-        cols: Vec<u32>,
-        /// Dense pattern, one symbol per column of `C` (ascending order).
-        pattern: Vec<u16>,
-    },
-    /// `φ`-heavy hitters (`ℓ_1`) on the projection.
-    HeavyHitters {
-        /// Column indices of `C`.
-        cols: Vec<u32>,
-        /// Threshold `φ ∈ (0, 1]`.
-        phi: f64,
-    },
+/// Per-statistic counters of queries answered since the engine started.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QueryCounters {
+    /// `F_0` queries answered.
+    pub f0: u64,
+    /// Point-frequency queries answered.
+    pub frequency: u64,
+    /// Heavy-hitter queries answered.
+    pub heavy_hitters: u64,
+    /// `ℓ_1`-sample queries answered.
+    pub l1_sample: u64,
 }
 
-/// Answer to one [`QueryRequest`].
-#[derive(Debug, Clone, PartialEq)]
-pub enum QueryResponse {
-    /// `F_0` answer with net provenance.
-    F0 {
-        /// The α-net answer (estimate, rounded target, distortion).
-        answer: NetAnswer,
-        /// Whether the answer came from the cache.
-        cached: bool,
-    },
-    /// Point-frequency answer.
-    Frequency {
-        /// Sample estimate with optional CountMin bound.
-        answer: FrequencyAnswer,
-        /// Whether the answer came from the cache.
-        cached: bool,
-    },
-    /// Heavy-hitter list.
-    HeavyHitters {
-        /// Reported patterns, heaviest first.
-        hitters: Vec<HeavyHitter>,
-        /// Whether the answer came from the cache.
-        cached: bool,
-    },
+impl QueryCounters {
+    /// Total queries answered across all statistics.
+    pub fn total(&self) -> u64 {
+        self.f0 + self.frequency + self.heavy_hitters + self.l1_sample
+    }
+
+    /// The counter for one statistic kind.
+    pub fn get(&self, kind: StatKind) -> u64 {
+        match kind {
+            StatKind::F0 => self.f0,
+            StatKind::Frequency => self.frequency,
+            StatKind::HeavyHitters => self.heavy_hitters,
+            StatKind::L1Sample => self.l1_sample,
+        }
+    }
+}
+
+#[derive(Default)]
+struct StatCounterCells {
+    f0: AtomicU64,
+    frequency: AtomicU64,
+    heavy_hitters: AtomicU64,
+    l1_sample: AtomicU64,
+}
+
+impl StatCounterCells {
+    fn bump(&self, kind: StatKind, by: u64) {
+        let cell = match kind {
+            StatKind::F0 => &self.f0,
+            StatKind::Frequency => &self.frequency,
+            StatKind::HeavyHitters => &self.heavy_hitters,
+            StatKind::L1Sample => &self.l1_sample,
+        };
+        cell.fetch_add(by, Ordering::Relaxed);
+    }
+
+    fn read(&self) -> QueryCounters {
+        QueryCounters {
+            f0: self.f0.load(Ordering::Relaxed),
+            frequency: self.frequency.load(Ordering::Relaxed),
+            heavy_hitters: self.heavy_hitters.load(Ordering::Relaxed),
+            l1_sample: self.l1_sample.load(Ordering::Relaxed),
+        }
+    }
 }
 
 /// Engine-level observability counters.
@@ -89,10 +109,14 @@ pub struct EngineStats {
     pub snapshot_rows: u64,
     /// Bytes held by the published snapshot.
     pub snapshot_bytes: usize,
-    /// Cache counters.
+    /// Cache counters (see [`CacheStats::hit_ratio`]).
     pub cache: CacheStats,
     /// Worker shard count.
     pub shards: usize,
+    /// Queries answered since start, across all statistics.
+    pub queries_served: u64,
+    /// Per-statistic breakdown of `queries_served`.
+    pub queries: QueryCounters,
 }
 
 /// Sharded-ingest, snapshot-serving engine.
@@ -100,11 +124,13 @@ pub struct EngineStats {
 /// Ingestion is serialized through the router (`&self` methods take an
 /// internal lock); queries are wait-free with respect to ingest — they
 /// read the last published [`Snapshot`] behind an `Arc` and only contend
-/// on the answer cache's mutex.
+/// on the answer cache's mutex. Requests and responses are the canonical
+/// `pfe-query` types: [`Query`] in, guarantee-carrying [`Answer`] out.
 pub struct Engine {
     pipeline: Mutex<Option<IngestPipeline>>,
     published: RwLock<Option<Arc<Snapshot>>>,
     cache: QueryCache,
+    counters: StatCounterCells,
     q: u32,
     /// `(rows_routed, shards)` captured at shutdown, so stats stay
     /// truthful after the pipeline is gone.
@@ -123,6 +149,7 @@ impl Engine {
             pipeline: Mutex::new(Some(pipeline)),
             published: RwLock::new(None),
             cache,
+            counters: StatCounterCells::default(),
             q,
             retired: Mutex::new(None),
         })
@@ -178,8 +205,7 @@ impl Engine {
     /// write it to `path` as a framed, checksummed file. After
     /// [`shutdown`](Self::shutdown), the final published snapshot is saved
     /// instead. The file restores via [`resume`](Self::resume) into an
-    /// engine that answers `F_0`, frequency, and heavy-hitter queries
-    /// bit-identically to this one.
+    /// engine that answers every statistic bit-identically to this one.
     ///
     /// # Errors
     /// `NoSnapshot` if the engine is shut down without a published
@@ -230,6 +256,7 @@ impl Engine {
             pipeline: Mutex::new(Some(pipeline)),
             published: RwLock::new(Some(Arc::new(snap))),
             cache,
+            counters: StatCounterCells::default(),
             q,
             retired: Mutex::new(None),
         })
@@ -263,102 +290,200 @@ impl Engine {
         self.snapshot().ok_or(EngineError::NoSnapshot)
     }
 
-    fn column_set(&self, snap: &Snapshot, cols: &[u32]) -> Result<ColumnSet, EngineError> {
-        let d = snap.sample().dimension();
-        ColumnSet::from_indices(d, cols)
-            .map_err(|e| EngineError::Query(QueryError::BadParameter(format!("columns: {e:?}"))))
-    }
-
     /// Answer one query against the published snapshot.
     ///
+    /// Single queries run through the same planner as
+    /// [`query_batch`](Self::query_batch), so normalization (column
+    /// validation, `F_0` rounding, pattern encoding) happens exactly once
+    /// per query — before the cache probe — on both paths.
+    ///
     /// # Errors
-    /// `NoSnapshot` before the first [`refresh`](Self::refresh); query
-    /// errors from the summaries.
-    pub fn query(&self, req: &QueryRequest) -> Result<QueryResponse, EngineError> {
-        let snap = self.current()?;
-        match req {
-            QueryRequest::F0 { cols } => {
-                let cols = self.column_set(&snap, cols)?;
-                // Key by the *rounded* mask: every query rounding to the
-                // same net member reads the same sketch.
-                let rounding = snap.f0_rounding(&cols)?;
-                let key = CacheKey {
-                    epoch: snap.epoch(),
-                    mask: rounding.target.mask(),
-                    stat: StatKind::F0,
-                    aux: 0,
-                };
-                if let Some(CachedAnswer::F0(hit)) = self.cache.get(&key) {
-                    // The cached estimate belongs to the rounded target;
-                    // provenance is per-query.
-                    return Ok(QueryResponse::F0 {
-                        answer: NetAnswer {
-                            estimate: hit.estimate,
-                            answered_on: rounding.target,
-                            sym_diff: rounding.sym_diff,
-                            distortion_bound: (self.q as f64).powi(rounding.sym_diff as i32),
-                        },
-                        cached: true,
-                    });
-                }
-                let answer = snap.f0(&cols)?;
-                self.cache.put(key, CachedAnswer::F0(answer.clone()));
-                Ok(QueryResponse::F0 {
-                    answer,
-                    cached: false,
-                })
-            }
-            QueryRequest::Frequency { cols, pattern } => {
-                let cols = self.column_set(&snap, cols)?;
-                let pattern_key = snap.encode_pattern(&cols, pattern)?;
-                let key = CacheKey {
-                    epoch: snap.epoch(),
-                    mask: cols.mask(),
-                    stat: StatKind::Frequency,
-                    aux: pattern_key.raw(),
-                };
-                if let Some(CachedAnswer::Frequency(hit)) = self.cache.get(&key) {
-                    return Ok(QueryResponse::Frequency {
-                        answer: hit,
-                        cached: true,
-                    });
-                }
-                let answer = snap.frequency(&cols, pattern_key)?;
-                self.cache.put(key, CachedAnswer::Frequency(answer.clone()));
-                Ok(QueryResponse::Frequency {
-                    answer,
-                    cached: false,
-                })
-            }
-            QueryRequest::HeavyHitters { cols, phi } => {
-                let cols = self.column_set(&snap, cols)?;
-                let key = CacheKey {
-                    epoch: snap.epoch(),
-                    mask: cols.mask(),
-                    stat: StatKind::HeavyHitters,
-                    aux: phi.to_bits() as u128,
-                };
-                if let Some(CachedAnswer::HeavyHitters(hit)) = self.cache.get(&key) {
-                    return Ok(QueryResponse::HeavyHitters {
-                        hitters: hit,
-                        cached: true,
-                    });
-                }
-                let hitters = snap.heavy_hitters(&cols, *phi, 1.0, 2.0)?;
-                self.cache
-                    .put(key, CachedAnswer::HeavyHitters(hitters.clone()));
-                Ok(QueryResponse::HeavyHitters {
-                    hitters,
-                    cached: false,
-                })
-            }
-        }
+    /// `NoSnapshot` before the first [`refresh`](Self::refresh);
+    /// `EpochMismatch` for stale pins; query errors from the summaries.
+    pub fn query(&self, query: &Query) -> Result<Answer, EngineError> {
+        self.query_batch(std::slice::from_ref(query))
+            .pop()
+            .expect("one answer per query")
     }
 
     /// Answer a batch of queries (the serving unit of the `serve`
-    /// example). Per-query errors are reported per slot, not batch-fatal.
-    pub fn query_batch(&self, reqs: &[QueryRequest]) -> Vec<Result<QueryResponse, EngineError>> {
-        reqs.iter().map(|r| self.query(r)).collect()
+    /// example). Answers return in request order; per-query errors are
+    /// reported per slot, not batch-fatal.
+    ///
+    /// The whole batch is answered against one snapshot. The planner
+    /// groups co-plannable queries by canonical [`pfe_query::QueryKey`] —
+    /// same effective (rounded) mask, statistic, and payload — so each
+    /// group costs one cache probe and at most one snapshot compute no
+    /// matter how many queries share it; each answer still carries its
+    /// own rounding provenance and guarantee.
+    pub fn query_batch(&self, queries: &[Query]) -> Vec<Result<Answer, EngineError>> {
+        let snap = match self.current() {
+            Ok(snap) => snap,
+            Err(e) => return queries.iter().map(|_| Err(e.clone())).collect(),
+        };
+        let mut out: Vec<Option<Result<Answer, EngineError>>> = vec![None; queries.len()];
+        let plan = plan(&snap, queries);
+        for (slot, e) in plan.errors {
+            out[slot] = Some(Err(e));
+        }
+        for group in &plan.groups {
+            match self.execute_group(&snap, queries, group) {
+                Err(e) => {
+                    for m in &group.members {
+                        out[m.slot] = Some(Err(e.clone()));
+                    }
+                }
+                Ok((value, cached)) => {
+                    self.counters
+                        .bump(group.key.kind, group.members.len() as u64);
+                    let group_size = group.members.len() as u32;
+                    for m in &group.members {
+                        out[m.slot] =
+                            Some(Ok(self.materialize(&snap, m, &value, cached, group_size)));
+                    }
+                }
+            }
+        }
+        out.into_iter()
+            .map(|slot| slot.expect("planner fills every slot"))
+            .collect()
+    }
+
+    /// Probe the cache for a group's key, or compute its answer once from
+    /// the snapshot and (re)fill the cache entry.
+    fn execute_group(
+        &self,
+        snap: &Snapshot,
+        queries: &[Query],
+        group: &PlanGroup,
+    ) -> Result<(CachedAnswer, bool), EngineError> {
+        if group.probe_cache {
+            if let Some(hit) = self.cache.get(&group.key) {
+                return Ok((hit, true));
+            }
+        }
+        let rep = &group.members[0];
+        let value = match &queries[rep.slot].statistic {
+            Statistic::F0 => {
+                if rep.exact {
+                    CachedAnswer::F0(snap.f0_exact(&rep.cols)?)
+                } else {
+                    // The estimate belongs to the rounded target (the
+                    // group key's mask); per-query provenance is attached
+                    // at materialization.
+                    CachedAnswer::F0(snap.f0(&rep.target)?.estimate)
+                }
+            }
+            Statistic::Frequency { .. } => {
+                // The pattern was encoded once at plan time; the probe
+                // above and this compute both reuse it.
+                let key = rep
+                    .pattern_key
+                    .expect("planned frequency queries carry a key");
+                CachedAnswer::Frequency(snap.frequency(&rep.cols, key)?)
+            }
+            Statistic::HeavyHitters { phi } => {
+                let mut hitters = snap.heavy_hitters(&rep.cols, *phi, 1.0, 2.0)?;
+                if rep.exact {
+                    // Full retention: estimates are exact counts, so the
+                    // recall slack is unnecessary — keep exactly `≥ φn`.
+                    let threshold = phi * snap.n() as f64;
+                    hitters.retain(|h| h.estimate >= threshold);
+                }
+                CachedAnswer::HeavyHitters(hitters)
+            }
+            Statistic::L1Sample { k, seed } => {
+                CachedAnswer::L1Sample(snap.l1_sample(&rep.cols, *k, *seed)?)
+            }
+        };
+        self.cache.put(group.key, value.clone());
+        Ok((value, false))
+    }
+
+    /// Attach one member's provenance, guarantee, and cost metadata to the
+    /// group's shared value.
+    fn materialize(
+        &self,
+        snap: &Snapshot,
+        m: &Planned,
+        value: &CachedAnswer,
+        cached: bool,
+        group_size: u32,
+    ) -> Answer {
+        let provenance = Provenance {
+            requested: m.cols,
+            answered_on: m.target,
+            sym_diff: m.sym_diff,
+        };
+        let sample_guarantee = |epsilon: f64| {
+            if m.exact {
+                Guarantee::exact()
+            } else {
+                Guarantee {
+                    alpha: 1.0,
+                    epsilon,
+                    source: GuaranteeSource::Sample,
+                }
+            }
+        };
+        let (value, guarantee) = match value {
+            CachedAnswer::F0(estimate) => {
+                let guarantee = if m.exact {
+                    Guarantee::exact()
+                } else {
+                    // Theorem 6.5: the sketch's β times the per-query
+                    // Lemma 6.4 rounding distortion.
+                    let k = snap
+                        .net_f0()
+                        .sketch(m.target.mask())
+                        .map(|s| s.k())
+                        .unwrap_or(2);
+                    Guarantee {
+                        alpha: bounds::kmv_beta(k)
+                            * bounds::f0_rounding_distortion(self.q, m.sym_diff),
+                        epsilon: 0.0,
+                        source: GuaranteeSource::AlphaNet,
+                    }
+                };
+                (
+                    AnswerValue::F0 {
+                        estimate: *estimate,
+                    },
+                    guarantee,
+                )
+            }
+            CachedAnswer::Frequency(fa) => (
+                AnswerValue::Frequency {
+                    estimate: fa.estimate,
+                    upper_bound: fa.upper_bound,
+                },
+                // Theorem 5.1: unbiased with additive error ε‖f‖₁.
+                sample_guarantee(fa.additive_error),
+            ),
+            CachedAnswer::HeavyHitters(hitters) => (
+                AnswerValue::HeavyHitters {
+                    hitters: hitters.clone(),
+                },
+                sample_guarantee(snap.sample().additive_error(bounds::DEFAULT_DELTA)),
+            ),
+            CachedAnswer::L1Sample(patterns) => (
+                AnswerValue::L1Sample {
+                    patterns: patterns.clone(),
+                },
+                // Probability-mass error of sample proportions.
+                sample_guarantee(bounds::sample_epsilon(
+                    snap.sample().sample_len().max(1),
+                    bounds::DEFAULT_DELTA,
+                )),
+            ),
+        };
+        Answer {
+            value,
+            guarantee,
+            provenance,
+            epoch: snap.epoch(),
+            cost: CostInfo { cached, group_size },
+        }
     }
 
     /// Observability counters.
@@ -373,6 +498,7 @@ impl Engine {
             }
         };
         let snap = self.snapshot();
+        let queries = self.counters.read();
         EngineStats {
             rows_ingested,
             snapshot_epoch: snap.as_ref().map(|s| s.epoch()).unwrap_or(0),
@@ -380,6 +506,8 @@ impl Engine {
             snapshot_bytes: snap.as_ref().map(|s| s.space_bytes()).unwrap_or(0),
             cache: self.cache.stats(),
             shards,
+            queries_served: queries.total(),
+            queries,
         }
     }
 }
@@ -403,9 +531,13 @@ mod tests {
     fn query_before_snapshot_is_typed_error() {
         let engine = Engine::start(8, 2, small_cfg(1)).expect("start");
         assert_eq!(
-            engine.query(&QueryRequest::F0 { cols: vec![0] }),
+            engine.query(&Query::over([0]).f0()),
             Err(EngineError::NoSnapshot)
         );
+        // Batches report the error per slot.
+        let answers = engine.query_batch(&[Query::over([0]).f0(), Query::over([1]).f0()]);
+        assert_eq!(answers.len(), 2);
+        assert!(answers.iter().all(|a| a == &Err(EngineError::NoSnapshot)));
     }
 
     #[test]
@@ -415,41 +547,47 @@ mod tests {
         engine.ingest(&uniform_binary(d, 3000, 11)).expect("ingest");
         engine.refresh().expect("refresh");
         // Two different mid-size queries that round to the same target.
-        let q1 = QueryRequest::F0 {
-            cols: (0..6).collect(),
-        };
-        let q2 = QueryRequest::F0 {
-            cols: (0..7).collect(),
-        };
+        let q1 = Query::over(0..6).f0();
+        let q2 = Query::over(0..7).f0();
         let a1 = engine.query(&q1).expect("ok");
-        let QueryResponse::F0 {
-            answer: ans1,
-            cached,
-        } = a1
-        else {
-            panic!("wrong variant")
-        };
-        assert!(!cached);
+        assert!(!a1.cost.cached);
         let a2 = engine.query(&q2).expect("ok");
-        let QueryResponse::F0 {
-            answer: ans2,
-            cached,
-        } = a2
-        else {
-            panic!("wrong variant")
-        };
         // Both rounded (shrunk) to the same small-side member => same
         // estimate, second answer from cache with its own provenance.
-        if ans1.answered_on == ans2.answered_on {
-            assert!(cached, "same rounded target must hit the cache");
-            assert_eq!(ans1.estimate, ans2.estimate);
-            assert_ne!(ans1.sym_diff, ans2.sym_diff);
+        if a1.provenance.answered_on == a2.provenance.answered_on {
+            assert!(a2.cost.cached, "same rounded target must hit the cache");
+            assert_eq!(a1.estimate(), a2.estimate());
+            assert_ne!(a1.provenance.sym_diff, a2.provenance.sym_diff);
+            assert_ne!(a1.guarantee.alpha, a2.guarantee.alpha);
         }
         // Exact repeat definitely hits.
-        let QueryResponse::F0 { cached, .. } = engine.query(&q1).expect("ok") else {
-            panic!("wrong variant")
-        };
-        assert!(cached);
+        assert!(engine.query(&q1).expect("ok").cost.cached);
+    }
+
+    #[test]
+    fn batch_planner_shares_one_compute_across_colliding_masks() {
+        let d = 12;
+        let engine = Engine::start(d, 2, small_cfg(2)).expect("start");
+        engine.ingest(&uniform_binary(d, 3000, 21)).expect("ingest");
+        engine.refresh().expect("refresh");
+        let batch = vec![
+            Query::over(0..6).f0(),
+            Query::over(0..7).f0(),
+            Query::over(0..6).f0(),
+        ];
+        let answers = engine.query_batch(&batch);
+        let a: Vec<&Answer> = answers.iter().map(|a| a.as_ref().expect("ok")).collect();
+        if a[0].provenance.answered_on == a[1].provenance.answered_on {
+            // All three shared one group: one cache miss total, none of
+            // them served from cache, every answer stamped with the group.
+            assert!(a.iter().all(|x| x.cost.group_size == 3));
+            assert!(a.iter().all(|x| !x.cost.cached));
+            assert_eq!(engine.stats().cache.misses, 1);
+            assert_eq!(a[0].estimate(), a[1].estimate());
+        }
+        // Same batch again: one probe, served from cache for all members.
+        let again = engine.query_batch(&batch);
+        assert!(again.iter().all(|x| x.as_ref().expect("ok").cost.cached));
     }
 
     #[test]
@@ -458,14 +596,103 @@ mod tests {
         let engine = Engine::start(d, 2, small_cfg(2)).expect("start");
         engine.ingest(&uniform_binary(d, 1000, 12)).expect("ingest");
         engine.refresh().expect("refresh");
-        let req = QueryRequest::F0 { cols: vec![0, 1] };
-        engine.query(&req).expect("ok");
+        let req = Query::over([0, 1]).f0();
+        let first = engine.query(&req).expect("ok");
+        assert_eq!(first.epoch, 1);
         engine.ingest(&uniform_binary(d, 1000, 13)).expect("ingest");
         engine.refresh().expect("refresh");
-        let QueryResponse::F0 { cached, .. } = engine.query(&req).expect("ok") else {
-            panic!("wrong variant")
-        };
-        assert!(!cached, "new epoch must not serve the old answer");
+        let second = engine.query(&req).expect("ok");
+        assert!(!second.cost.cached, "new epoch must not serve old answers");
+        assert_eq!(second.epoch, 2);
+    }
+
+    #[test]
+    fn epoch_pinning_is_enforced() {
+        let d = 10;
+        let engine = Engine::start(d, 2, small_cfg(1)).expect("start");
+        engine.ingest(&uniform_binary(d, 500, 31)).expect("ingest");
+        engine.refresh().expect("refresh");
+        assert!(engine.query(&Query::over([0]).f0().pinned_to(1)).is_ok());
+        assert_eq!(
+            engine.query(&Query::over([0]).f0().pinned_to(9)),
+            Err(EngineError::EpochMismatch {
+                pinned: 9,
+                published: 1
+            })
+        );
+        engine.refresh().expect("refresh");
+        // The old pin is now stale.
+        assert_eq!(
+            engine.query(&Query::over([0]).f0().pinned_to(1)),
+            Err(EngineError::EpochMismatch {
+                pinned: 1,
+                published: 2
+            })
+        );
+    }
+
+    #[test]
+    fn bypass_cache_recomputes_but_refreshes_entry() {
+        let d = 10;
+        let engine = Engine::start(d, 2, small_cfg(1)).expect("start");
+        engine.ingest(&uniform_binary(d, 800, 33)).expect("ingest");
+        engine.refresh().expect("refresh");
+        let q = Query::over([0, 1, 2]).heavy_hitters(0.05);
+        engine.query(&q).expect("ok");
+        // A bypassing repeat recomputes (not served from cache)…
+        let fresh = engine.query(&q.clone().bypass_cache()).expect("ok");
+        assert!(!fresh.cost.cached);
+        // …but the entry is still warm for cache-eligible queries.
+        assert!(engine.query(&q).expect("ok").cost.cached);
+    }
+
+    #[test]
+    fn exact_if_available_on_full_retention() {
+        let d = 10;
+        // sample_t (512) > rows (300): the reservoir retains everything.
+        let engine = Engine::start(d, 2, small_cfg(2)).expect("start");
+        engine.ingest(&uniform_binary(d, 300, 35)).expect("ingest");
+        engine.refresh().expect("refresh");
+        let approx = engine.query(&Query::over(0..6).f0()).expect("ok");
+        let exact = engine
+            .query(&Query::over(0..6).f0().exact_if_available())
+            .expect("ok");
+        assert_eq!(exact.guarantee, Guarantee::exact());
+        // Exact answers are never rounded.
+        assert_eq!(exact.provenance.sym_diff, 0);
+        assert_eq!(
+            exact.provenance.answered_on.to_indices(),
+            (0..6).collect::<Vec<u32>>()
+        );
+        assert_eq!(exact.guarantee.source, GuaranteeSource::Exact);
+        assert_eq!(approx.guarantee.source, GuaranteeSource::AlphaNet);
+        // The exact estimate equals the true projected distinct count.
+        let snap = engine.snapshot().expect("published");
+        let cols = pfe_row::ColumnSet::from_indices(d, &[0, 1, 2, 3, 4, 5]).expect("valid");
+        assert_eq!(exact.estimate(), Some(snap.f0_exact(&cols).expect("ok")));
+    }
+
+    #[test]
+    fn l1_sample_served_end_to_end_and_deterministic() {
+        let d = 10;
+        let engine = Engine::start(d, 2, small_cfg(2)).expect("start");
+        engine.ingest(&uniform_binary(d, 2000, 37)).expect("ingest");
+        engine.refresh().expect("refresh");
+        let q = Query::over([0, 1, 2]).l1_sample(16).with_seed(7);
+        let a = engine.query(&q).expect("ok");
+        let patterns = a.patterns().expect("l1 payload");
+        assert_eq!(patterns.len(), 16);
+        assert!(patterns.iter().all(|p| p.probability > 0.0));
+        assert_eq!(a.guarantee.source, GuaranteeSource::Sample);
+        // Same (k, seed) is deterministic (and cached); another seed is a
+        // different canonical key.
+        let b = engine.query(&q).expect("ok");
+        assert!(b.cost.cached);
+        assert_eq!(a.value, b.value);
+        let c = engine
+            .query(&Query::over([0, 1, 2]).l1_sample(16).with_seed(8))
+            .expect("ok");
+        assert!(!c.cost.cached);
     }
 
     #[test]
@@ -476,7 +703,7 @@ mod tests {
         let snap = engine.shutdown().expect("shutdown");
         assert_eq!(snap.n(), 500);
         assert!(engine.push_packed(0).is_err());
-        assert!(engine.query(&QueryRequest::F0 { cols: vec![0] }).is_ok());
+        assert!(engine.query(&Query::over([0]).f0()).is_ok());
         assert!(engine.shutdown().is_err());
         // Counters must survive the pipeline retiring.
         let stats = engine.stats();
@@ -496,7 +723,7 @@ mod tests {
             handles.push(std::thread::spawn(move || {
                 for i in 0..200u32 {
                     let cols: Vec<u32> = (0..(1 + (t + i) % 5)).collect();
-                    let r = engine.query(&QueryRequest::F0 { cols });
+                    let r = engine.query(&Query::over(cols).f0());
                     assert!(r.is_ok(), "query failed: {r:?}");
                 }
             }));
@@ -514,19 +741,43 @@ mod tests {
         let stats = engine.stats();
         assert_eq!(stats.rows_ingested, 4000);
         assert!(stats.cache.hits > 0, "repeat queries should hit the cache");
+        assert_eq!(stats.queries_served, 800);
+        assert_eq!(stats.queries.f0, 800);
     }
 
     #[test]
-    fn stats_reflect_state() {
+    fn stats_reflect_state_and_count_per_statistic() {
         let d = 8;
         let engine = Engine::start(d, 2, small_cfg(2)).expect("start");
         let s0 = engine.stats();
         assert_eq!((s0.rows_ingested, s0.snapshot_epoch), (0, 0));
+        assert_eq!(s0.queries_served, 0);
         engine.ingest(&uniform_binary(d, 300, 17)).expect("ingest");
         engine.refresh().expect("refresh");
+        engine.query(&Query::over([0, 1]).f0()).expect("ok");
+        engine
+            .query(&Query::over([0, 1]).frequency([0u16, 0]))
+            .expect("ok");
+        engine
+            .query(&Query::over([0, 1]).heavy_hitters(0.1))
+            .expect("ok");
+        engine.query(&Query::over([0, 1]).l1_sample(4)).expect("ok");
+        engine.query(&Query::over([0, 1]).f0()).expect("ok");
         let s1 = engine.stats();
         assert_eq!(s1.snapshot_rows, 300);
         assert!(s1.snapshot_bytes > 0);
         assert_eq!(s1.shards, 2);
+        assert_eq!(s1.queries_served, 5);
+        assert_eq!(
+            (
+                s1.queries.f0,
+                s1.queries.frequency,
+                s1.queries.heavy_hitters,
+                s1.queries.l1_sample
+            ),
+            (2, 1, 1, 1)
+        );
+        assert_eq!(s1.queries.get(StatKind::F0), 2);
+        assert!(s1.cache.hit_ratio() > 0.0);
     }
 }

@@ -16,6 +16,14 @@ pub enum EngineError {
     ShardFailed(String),
     /// No snapshot has been published yet (call `refresh` after ingesting).
     NoSnapshot,
+    /// A query pinned to one snapshot epoch cannot be served because a
+    /// different epoch is published.
+    EpochMismatch {
+        /// The epoch the query demanded.
+        pinned: u64,
+        /// The epoch actually published.
+        published: u64,
+    },
     /// A snapshot file failed to read, write, verify, or decode.
     Persist(PersistError),
     /// Two snapshots cannot be merged (or a snapshot cannot be resumed
@@ -32,6 +40,10 @@ impl std::fmt::Display for EngineError {
             Self::Closed => write!(f, "ingest pipeline is closed"),
             Self::ShardFailed(msg) => write!(f, "shard worker failed: {msg}"),
             Self::NoSnapshot => write!(f, "no snapshot published yet"),
+            Self::EpochMismatch { pinned, published } => write!(
+                f,
+                "query pinned to epoch {pinned}, but epoch {published} is published"
+            ),
             Self::Persist(e) => write!(f, "snapshot persistence error: {e}"),
             Self::Incompatible(msg) => write!(f, "incompatible snapshots: {msg}"),
         }

@@ -17,10 +17,14 @@
 //!    immutable snapshot via the `DistinctSketch::merge` /
 //!    reservoir-union contracts — exact for KMV/CountMin (per-mask seeds
 //!    are shared), hypergeometric-uniform for the row sample.
-//! 3. **Query serving** ([`Engine`]): batched `F_0`, point-frequency, and
-//!    heavy-hitter queries against `Arc`-shared snapshots, with an LRU
-//!    cache keyed by `(epoch, rounded subset mask, statistic)` so repeated
-//!    exploration queries skip the net lookup.
+//! 3. **Query serving** ([`Engine`]): typed [`Query`] batches — all four
+//!    paper statistics (`F_0`, point frequency, heavy hitters, `ℓ_1`
+//!    sampling) — against `Arc`-shared snapshots. A batch **planner**
+//!    normalizes every query to its canonical [`pfe_query::QueryKey`]
+//!    (rounded mask, encoded pattern) once, groups co-plannable queries
+//!    so one net lookup and one cache probe serve the whole group, and
+//!    returns guarantee-carrying [`Answer`]s in request order. The LRU
+//!    cache is keyed by the same canonical key.
 //!
 //! Snapshots are also **durable** ([`persist`]): [`Engine::checkpoint`]
 //! writes the merged state as a framed, CRC-checked file (`pfe-persist`
@@ -31,7 +35,7 @@
 //! `examples/checkpoint_resume.rs` for the full cycle:
 //!
 //! ```
-//! use pfe_engine::{Engine, EngineConfig, QueryRequest};
+//! use pfe_engine::{Engine, EngineConfig, Query};
 //! use pfe_stream::gen::uniform_binary;
 //!
 //! let dir = std::env::temp_dir().join("pfe-engine-doc");
@@ -42,20 +46,22 @@
 //! engine.ingest(&uniform_binary(10, 2_000, 5)).unwrap();
 //! engine.checkpoint(&path).unwrap();              // durable snapshot
 //! let restored = Engine::resume(&path, cfg).unwrap();
-//! let q = QueryRequest::F0 { cols: vec![0, 1, 2] };
+//! let q = Query::over([0, 1, 2]).f0();
 //! // The restored engine serves immediately, identically.
 //! assert_eq!(
-//!     format!("{:?}", engine.query(&q).unwrap()),
-//!     format!("{:?}", restored.query(&q).unwrap()),
+//!     engine.query(&q).unwrap().value,
+//!     restored.query(&q).unwrap().value,
 //! );
 //! # std::fs::remove_file(&path).ok();
 //! ```
 //!
 //! The `serve` example (workspace root) speaks line-delimited JSON over
-//! stdin using the vendored [`json`] module; `benches/engine.rs` and
-//! `benches/persist.rs` in `pfe-bench` measure ingest throughput vs.
-//! shard count, query latency with and without the cache, and snapshot
-//! encode/decode/checkpoint cost.
+//! stdin; the [`wire`] module serializes the canonical `pfe-query` types
+//! directly onto the vendored [`json`] parser, so the Rust API and the
+//! wire protocol are one definition. `benches/engine.rs`,
+//! `benches/query.rs`, and `benches/persist.rs` in `pfe-bench` measure
+//! ingest throughput vs. shard count, planner/cache query latency, and
+//! snapshot encode/decode/checkpoint cost.
 
 pub mod cache;
 pub mod config;
@@ -64,15 +70,23 @@ pub mod error;
 pub mod ingest;
 pub mod json;
 pub mod persist;
+mod planner;
 pub mod shard;
 pub mod snapshot;
+pub mod wire;
 
-pub use cache::{CacheKey, CacheStats, CachedAnswer, QueryCache, StatKind};
+pub use cache::{CacheStats, CachedAnswer, QueryCache};
 pub use config::{EngineConfig, FreqNetConfig};
-pub use engine::{Engine, EngineStats, QueryRequest, QueryResponse};
+pub use engine::{Engine, EngineStats, QueryCounters};
 pub use error::EngineError;
 pub use ingest::{IngestPipeline, RowBatch};
 pub use json::Json;
 pub use persist::merge_snapshot_files;
 pub use shard::ShardSummary;
 pub use snapshot::{FrequencyAnswer, Snapshot};
+// The canonical query surface — re-exported so engine users need only one
+// import path.
+pub use pfe_query::{
+    Answer, AnswerValue, CostInfo, Guarantee, GuaranteeSource, Provenance, Query, QueryKey,
+    QueryOptions, StatKind, Statistic,
+};

@@ -206,6 +206,28 @@ impl Snapshot {
         self.freq.is_some()
     }
 
+    /// Whether the uniform sample retains the *entire* stream (the
+    /// reservoir never overflowed). When true, every sample statistic —
+    /// and [`f0_exact`](Self::f0_exact) — is computed from complete data,
+    /// so the serving layer can honor `exact_if_available` queries.
+    pub fn is_exhaustive(&self) -> bool {
+        self.sample.sample_len() as u64 == self.sample.n()
+    }
+
+    /// Exact projected `F_0` from the fully retained rows: the number of
+    /// distinct projected patterns in the sample. Only meaningful when
+    /// [`is_exhaustive`](Self::is_exhaustive) holds — otherwise it counts
+    /// distinct patterns of a subsample.
+    ///
+    /// # Errors
+    /// Dimension or codec errors.
+    pub fn f0_exact(&self, cols: &ColumnSet) -> Result<f64, QueryError> {
+        let mut keys = self.sample.projected_sample(cols)?;
+        keys.sort_unstable();
+        keys.dedup();
+        Ok(keys.len() as f64)
+    }
+
     /// The rounding `f0` will apply to this query — exposed so the serving
     /// layer can key its cache by the *rounded* subset mask.
     ///
@@ -268,7 +290,7 @@ impl Snapshot {
         Ok(FrequencyAnswer {
             estimate,
             upper_bound,
-            additive_error: self.sample.additive_error(0.05),
+            additive_error: self.sample.additive_error(pfe_core::bounds::DEFAULT_DELTA),
         })
     }
 
@@ -408,6 +430,30 @@ mod tests {
             .is_empty());
         assert_eq!(snap.l1_sample(&cols, 10, 3).expect("ok").len(), 10);
         assert!(snap.space_bytes() > 0);
+    }
+
+    #[test]
+    fn exact_paths_on_exhaustive_sample() {
+        let d = 8;
+        let data = uniform_binary(d, 300, 19);
+        let cfg = EngineConfig {
+            sample_t: 1024, // > rows: the reservoir retains everything
+            kmv_k: 64,
+            ..Default::default()
+        };
+        let mut shard = ShardSummary::new(d, 2, 0, &cfg).expect("new");
+        if let pfe_row::Dataset::Binary(m) = &data {
+            for &row in m.rows() {
+                shard.push_packed(row);
+            }
+        } else {
+            unreachable!("generator yields binary data");
+        }
+        let snap = Snapshot::from_shards(vec![shard], 1);
+        assert!(snap.is_exhaustive());
+        let cols = ColumnSet::from_mask(d, 0b1111).expect("valid");
+        let exact = pfe_row::FrequencyVector::compute(&data, &cols).expect("fits");
+        assert_eq!(snap.f0_exact(&cols).expect("ok"), exact.f0() as f64);
     }
 
     #[test]

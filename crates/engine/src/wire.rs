@@ -1,0 +1,342 @@
+//! The wire protocol: canonical `pfe-query` types ⇄ line-delimited JSON.
+//!
+//! One definition drives everything — the `serve` example parses requests
+//! with [`query_from_json`] and serializes responses with
+//! [`answer_to_json`] / [`stats_to_json`], so the Rust API, the cache
+//! keys, and the wire protocol can never drift apart. The statistic op
+//! names are [`StatKind::name`] (`f0`, `frequency`, `heavy_hitters`,
+//! `l1_sample`); per-query options travel as optional fields (`epoch`,
+//! `bypass_cache`, `exact`, `seed`).
+//!
+//! ```
+//! use pfe_engine::{wire, Json};
+//! use pfe_query::Statistic;
+//!
+//! let req = Json::parse(r#"{"op":"heavy_hitters","cols":[0,2],"phi":0.1}"#).unwrap();
+//! let query = wire::query_from_json(&req).unwrap();
+//! assert_eq!(query.cols, vec![0, 2]);
+//! assert_eq!(query.statistic, Statistic::HeavyHitters { phi: 0.1 });
+//! ```
+
+use pfe_query::{Answer, AnswerValue, Query, StatKind};
+use pfe_row::PatternCodec;
+
+use crate::engine::EngineStats;
+use crate::json::Json;
+
+/// Parse an array of nonnegative integers fitting `u32` (e.g. a `cols`
+/// field).
+///
+/// # Errors
+/// A message naming the malformed element.
+pub fn u32s(v: Option<&Json>) -> Result<Vec<u32>, String> {
+    v.and_then(Json::as_arr)
+        .ok_or_else(|| "expected an array of numbers".to_string())?
+        .iter()
+        .map(|x| {
+            x.as_f64()
+                .filter(|&f| f >= 0.0 && f.fract() == 0.0 && f < u32::MAX as f64)
+                .map(|f| f as u32)
+                .ok_or_else(|| "expected a nonnegative integer".to_string())
+        })
+        .collect()
+}
+
+/// Parse an array of symbols fitting `u16` (e.g. a `pattern` field or an
+/// ingest row).
+///
+/// # Errors
+/// A message naming the malformed element.
+pub fn u16s(v: Option<&Json>) -> Result<Vec<u16>, String> {
+    u32s(v)?
+        .into_iter()
+        .map(|x| u16::try_from(x).map_err(|_| format!("symbol {x} exceeds u16 range")))
+        .collect()
+}
+
+fn uint(req: &Json, field: &str) -> Result<Option<u64>, String> {
+    match req.get(field) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v
+            .as_f64()
+            .filter(|&f| f >= 0.0 && f.fract() == 0.0 && f <= u64::MAX as f64)
+            .map(|f| Some(f as u64))
+            .ok_or_else(|| format!("'{field}' must be a nonnegative integer")),
+    }
+}
+
+fn flag(req: &Json, field: &str) -> Result<bool, String> {
+    match req.get(field) {
+        None | Some(Json::Null) | Some(Json::Bool(false)) => Ok(false),
+        Some(Json::Bool(true)) => Ok(true),
+        Some(_) => Err(format!("'{field}' must be a boolean")),
+    }
+}
+
+/// Parse one statistic request object into a [`Query`].
+///
+/// The object's `op` must be a [`StatKind::name`]; `cols` is required;
+/// statistic payloads (`pattern`, `phi`, `k`) and options (`epoch`,
+/// `bypass_cache`, `exact`, `seed`) are read from sibling fields.
+///
+/// # Errors
+/// A human-readable message naming the malformed field.
+pub fn query_from_json(req: &Json) -> Result<Query, String> {
+    let op = req
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or_else(|| "missing 'op'".to_string())?;
+    let builder = Query::over(u32s(req.get("cols"))?);
+    let mut query = match op {
+        "f0" => builder.f0(),
+        "frequency" | "freq" => builder.frequency(u16s(req.get("pattern"))?),
+        "heavy_hitters" | "hh" => {
+            let phi = req
+                .get("phi")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| "missing 'phi'".to_string())?;
+            builder.heavy_hitters(phi)
+        }
+        "l1_sample" => {
+            let k = uint(req, "k")?.ok_or_else(|| "missing 'k'".to_string())?;
+            builder.l1_sample(k as usize)
+        }
+        other => return Err(format!("unknown statistic op '{other}'")),
+    };
+    if let Some(seed) = uint(req, "seed")? {
+        query = query.with_seed(seed);
+    }
+    if let Some(epoch) = uint(req, "epoch")? {
+        query = query.pinned_to(epoch);
+    }
+    if flag(req, "bypass_cache")? {
+        query = query.bypass_cache();
+    }
+    if flag(req, "exact")? {
+        query = query.exact_if_available();
+    }
+    Ok(query)
+}
+
+fn indices_json(cols: &pfe_row::ColumnSet) -> Json {
+    Json::Arr(
+        cols.to_indices()
+            .into_iter()
+            .map(|i| Json::Num(i as f64))
+            .collect(),
+    )
+}
+
+fn pattern_json(codec: &PatternCodec, key: pfe_row::PatternKey) -> Json {
+    Json::Arr(
+        codec
+            .decode(key)
+            .into_iter()
+            .map(|s| Json::Num(s as f64))
+            .collect(),
+    )
+}
+
+/// Serialize one [`Answer`] (computed over alphabet `q`) as a response
+/// object: the statistic payload plus the guarantee, rounded-mask
+/// provenance, snapshot epoch, and cache/cost metadata.
+pub fn answer_to_json(answer: &Answer, q: u32) -> Json {
+    let mut fields: Vec<(&'static str, Json)> = vec![("ok", Json::Bool(true))];
+    match &answer.value {
+        AnswerValue::F0 { estimate } => {
+            fields.push(("estimate", Json::Num(*estimate)));
+        }
+        AnswerValue::Frequency {
+            estimate,
+            upper_bound,
+        } => {
+            fields.push(("estimate", Json::Num(*estimate)));
+            fields.push((
+                "upper_bound",
+                upper_bound.map(Json::Num).unwrap_or(Json::Null),
+            ));
+        }
+        AnswerValue::HeavyHitters { hitters } => {
+            let codec = PatternCodec::new(q, answer.provenance.requested.len())
+                .expect("codec validated when the answer was computed");
+            fields.push((
+                "hitters",
+                Json::Arr(
+                    hitters
+                        .iter()
+                        .map(|h| {
+                            Json::obj([
+                                ("pattern", pattern_json(&codec, h.key)),
+                                ("estimate", Json::Num(h.estimate)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ));
+        }
+        AnswerValue::L1Sample { patterns } => {
+            let codec = PatternCodec::new(q, answer.provenance.requested.len())
+                .expect("codec validated when the answer was computed");
+            fields.push((
+                "patterns",
+                Json::Arr(
+                    patterns
+                        .iter()
+                        .map(|p| {
+                            Json::obj([
+                                ("pattern", pattern_json(&codec, p.key)),
+                                ("probability", Json::Num(p.probability)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ));
+        }
+    }
+    fields.push((
+        "guarantee",
+        Json::obj([
+            ("alpha", Json::Num(answer.guarantee.alpha)),
+            ("epsilon", Json::Num(answer.guarantee.epsilon)),
+            ("source", Json::Str(answer.guarantee.source.name().into())),
+        ]),
+    ));
+    fields.push(("answered_on", indices_json(&answer.provenance.answered_on)));
+    fields.push(("sym_diff", Json::Num(answer.provenance.sym_diff as f64)));
+    fields.push(("epoch", Json::Num(answer.epoch as f64)));
+    fields.push(("cached", Json::Bool(answer.cost.cached)));
+    fields.push(("group_size", Json::Num(answer.cost.group_size as f64)));
+    Json::obj(fields)
+}
+
+/// Serialize [`EngineStats`] as the `{"op":"stats"}` response object.
+pub fn stats_to_json(stats: &EngineStats) -> Json {
+    Json::obj([
+        ("ok", Json::Bool(true)),
+        ("rows_ingested", Json::Num(stats.rows_ingested as f64)),
+        ("snapshot_epoch", Json::Num(stats.snapshot_epoch as f64)),
+        ("snapshot_rows", Json::Num(stats.snapshot_rows as f64)),
+        ("snapshot_bytes", Json::Num(stats.snapshot_bytes as f64)),
+        ("cache_hits", Json::Num(stats.cache.hits as f64)),
+        ("cache_misses", Json::Num(stats.cache.misses as f64)),
+        ("cache_hit_ratio", Json::Num(stats.cache.hit_ratio())),
+        ("queries_served", Json::Num(stats.queries_served as f64)),
+        (
+            "queries",
+            Json::obj(
+                StatKind::ALL
+                    .iter()
+                    .map(|&k| (k.name(), Json::Num(stats.queries.get(k) as f64)))
+                    .collect::<Vec<_>>(),
+            ),
+        ),
+        ("shards", Json::Num(stats.shards as f64)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfe_query::{CostInfo, Guarantee, Provenance, Statistic};
+    use pfe_row::ColumnSet;
+
+    #[test]
+    fn parses_every_statistic_with_options() {
+        let q = query_from_json(&Json::parse(r#"{"op":"f0","cols":[0,3]}"#).unwrap()).unwrap();
+        assert_eq!(q.statistic, Statistic::F0);
+        assert_eq!(q.cols, vec![0, 3]);
+        assert_eq!(q.options, Default::default());
+
+        let q = query_from_json(
+            &Json::parse(r#"{"op":"frequency","cols":[0,1],"pattern":[1,0]}"#).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(
+            q.statistic,
+            Statistic::Frequency {
+                pattern: vec![1, 0]
+            }
+        );
+        // Legacy short op still accepted.
+        let q2 =
+            query_from_json(&Json::parse(r#"{"op":"freq","cols":[0,1],"pattern":[1,0]}"#).unwrap())
+                .unwrap();
+        assert_eq!(q.statistic, q2.statistic);
+
+        let q = query_from_json(
+            &Json::parse(
+                r#"{"op":"heavy_hitters","cols":[2],"phi":0.25,"epoch":4,"bypass_cache":true}"#,
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        assert_eq!(q.statistic, Statistic::HeavyHitters { phi: 0.25 });
+        assert_eq!(q.options.pin_epoch, Some(4));
+        assert!(q.options.bypass_cache);
+
+        let q = query_from_json(
+            &Json::parse(r#"{"op":"l1_sample","cols":[0],"k":16,"seed":7,"exact":true}"#).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(q.statistic, Statistic::L1Sample { k: 16, seed: 7 });
+        assert!(q.options.exact_if_available);
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        for text in [
+            r#"{"cols":[0]}"#,
+            r#"{"op":"nope","cols":[0]}"#,
+            r#"{"op":"f0"}"#,
+            r#"{"op":"f0","cols":[-1]}"#,
+            r#"{"op":"heavy_hitters","cols":[0]}"#,
+            r#"{"op":"l1_sample","cols":[0]}"#,
+            r#"{"op":"f0","cols":[0],"epoch":1.5}"#,
+            r#"{"op":"f0","cols":[0],"bypass_cache":1}"#,
+        ] {
+            let req = Json::parse(text).expect("valid json");
+            assert!(query_from_json(&req).is_err(), "accepted {text}");
+        }
+    }
+
+    #[test]
+    fn answer_serialization_carries_guarantee_and_provenance() {
+        let requested = ColumnSet::from_indices(8, &[0, 1, 4]).expect("valid");
+        let answered_on = ColumnSet::from_indices(8, &[0, 1]).expect("valid");
+        let answer = Answer {
+            value: AnswerValue::F0 { estimate: 12.0 },
+            guarantee: Guarantee {
+                alpha: 2.5,
+                epsilon: 0.0,
+                source: pfe_query::GuaranteeSource::AlphaNet,
+            },
+            provenance: Provenance {
+                requested,
+                answered_on,
+                sym_diff: 1,
+            },
+            epoch: 3,
+            cost: CostInfo {
+                cached: true,
+                group_size: 2,
+            },
+        };
+        let json = answer_to_json(&answer, 2);
+        assert_eq!(json.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(json.get("estimate").and_then(Json::as_f64), Some(12.0));
+        let g = json.get("guarantee").expect("guarantee travels");
+        assert_eq!(g.get("alpha").and_then(Json::as_f64), Some(2.5));
+        assert_eq!(g.get("source").and_then(Json::as_str), Some("alpha_net"));
+        assert_eq!(
+            json.get("answered_on")
+                .and_then(Json::as_arr)
+                .map(<[Json]>::len),
+            Some(2)
+        );
+        assert_eq!(json.get("sym_diff").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(json.get("cached"), Some(&Json::Bool(true)));
+        assert_eq!(json.get("group_size").and_then(Json::as_f64), Some(2.0));
+        // The output is valid, re-parseable JSON.
+        assert_eq!(Json::parse(&json.to_string()).expect("reparse"), json);
+    }
+}

@@ -8,7 +8,7 @@
 //! 3. Order-insensitivity under `pfe_stream::stream::{shuffled, reorder}`.
 
 use pfe_core::{SuiteConfig, SummarySuite};
-use pfe_engine::{Engine, EngineConfig, QueryRequest, QueryResponse};
+use pfe_engine::{Engine, EngineConfig, Query};
 use pfe_row::{ColumnSet, Dataset, FrequencyVector};
 use pfe_stream::gen::{uniform_binary, zipf_patterns};
 use pfe_stream::stream::{reorder, shuffled};
@@ -48,20 +48,19 @@ fn engine_over(data: &Dataset, shards: usize, seed: u64) -> Engine {
 }
 
 fn f0_of(engine: &Engine, cols: Vec<u32>) -> f64 {
-    match engine.query(&QueryRequest::F0 { cols }).expect("query") {
-        QueryResponse::F0 { answer, .. } => answer.estimate,
-        other => panic!("wrong variant {other:?}"),
-    }
+    engine
+        .query(&Query::over(cols).f0())
+        .expect("query")
+        .estimate()
+        .expect("F0 answers carry a scalar estimate")
 }
 
 fn freq_of(engine: &Engine, cols: Vec<u32>, pattern: Vec<u16>) -> f64 {
-    match engine
-        .query(&QueryRequest::Frequency { cols, pattern })
+    engine
+        .query(&Query::over(cols).frequency(pattern))
         .expect("query")
-    {
-        QueryResponse::Frequency { answer, .. } => answer.estimate,
-        other => panic!("wrong variant {other:?}"),
-    }
+        .estimate()
+        .expect("frequency answers carry a scalar estimate")
 }
 
 /// Column subsets exercising in-net (small/large) and rounded (mid) sizes.
@@ -173,14 +172,15 @@ fn heavy_hitters_match_suite_sample_semantics() {
         .into_iter()
         .map(|(k, _)| k)
         .collect();
-    let hitters = match engine
-        .query(&QueryRequest::HeavyHitters { cols, phi: 0.1 })
-        .expect("query")
-    {
-        QueryResponse::HeavyHitters { hitters, .. } => hitters,
-        other => panic!("wrong variant {other:?}"),
-    };
-    let reported: Vec<_> = hitters.iter().map(|h| h.key).collect();
+    let answer = engine
+        .query(&Query::over(cols).heavy_hitters(0.1))
+        .expect("query");
+    let reported: Vec<_> = answer
+        .hitters()
+        .expect("heavy-hitter payload")
+        .iter()
+        .map(|h| h.key)
+        .collect();
     for k in &truth {
         assert!(reported.contains(k), "engine missed a true heavy hitter");
     }

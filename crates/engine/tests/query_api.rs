@@ -1,0 +1,154 @@
+//! API-parity contracts for the unified query layer:
+//!
+//! 1. Every answer produced through the typed `Query` surface is
+//!    **bit-identical** to the corresponding direct
+//!    `Snapshot::{f0, frequency, heavy_hitters, l1_sample}` call — the
+//!    planner, the cache, and the guarantee wrapper never change values.
+//! 2. A shuffled `query_batch` returns answers **in request order** with
+//!    values identical to the unshuffled batch — planner grouping is
+//!    invisible to clients.
+
+use pfe_engine::{Answer, AnswerValue, Engine, EngineConfig, Query};
+use pfe_row::{BinaryMatrix, ColumnSet, Dataset};
+use proptest::prelude::*;
+
+const D: u32 = 10;
+
+fn engine_over(rows: Vec<u64>, seed: u64, shards: usize) -> Engine {
+    let data = Dataset::Binary(BinaryMatrix::from_rows(D, rows));
+    let engine = Engine::start(
+        D,
+        2,
+        EngineConfig {
+            shards,
+            kmv_k: 64,
+            sample_t: 256,
+            seed,
+            ..Default::default()
+        },
+    )
+    .expect("start");
+    engine.ingest(&data).expect("ingest");
+    engine.refresh().expect("refresh");
+    engine
+}
+
+/// A mixed battery over one mask: every statistic the API serves.
+fn battery(cols: &[u32], pattern_bit: u16) -> Vec<Query> {
+    let pattern: Vec<u16> = cols.iter().map(|_| pattern_bit).collect();
+    vec![
+        Query::over(cols.iter().copied()).f0(),
+        Query::over(cols.iter().copied()).frequency(pattern),
+        Query::over(cols.iter().copied()).heavy_hitters(0.1),
+        Query::over(cols.iter().copied()).l1_sample(8).with_seed(3),
+    ]
+}
+
+/// Seeded Fisher–Yates, so shuffles are reproducible per proptest case.
+fn shuffle<T>(items: &mut [T], mut seed: u64) {
+    for i in (1..items.len()).rev() {
+        // SplitMix64 step.
+        seed = seed.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = seed;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^= z >> 31;
+        items.swap(i, (z % (i as u64 + 1)) as usize);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// New-API answers == direct snapshot calls, bit for bit, for every
+    /// statistic, on random data and random masks.
+    #[test]
+    fn prop_answers_bit_identical_to_snapshot_calls(
+        rows in proptest::collection::vec(0u64..(1 << D), 50..400),
+        mask in 1u64..(1 << D),
+        seed in 0u64..1000,
+        shards in 1usize..4,
+    ) {
+        let engine = engine_over(rows, seed, shards);
+        let snap = engine.snapshot().expect("published");
+        let cols = ColumnSet::from_mask(D, mask).expect("valid");
+        let indices = cols.to_indices();
+
+        // F_0: same estimate and same rounding provenance.
+        let api = engine.query(&Query::over(indices.iter().copied()).f0()).expect("ok");
+        let direct = snap.f0(&cols).expect("ok");
+        prop_assert_eq!(api.value, AnswerValue::F0 { estimate: direct.estimate });
+        prop_assert_eq!(api.provenance.answered_on, direct.answered_on);
+        prop_assert_eq!(api.provenance.sym_diff, direct.sym_diff);
+
+        // Frequency: estimate and CountMin bound both travel unchanged.
+        let pattern = vec![0u16; indices.len()];
+        let api = engine
+            .query(&Query::over(indices.iter().copied()).frequency(pattern.clone()))
+            .expect("ok");
+        let key = snap.encode_pattern(&cols, &pattern).expect("ok");
+        let direct = snap.frequency(&cols, key).expect("ok");
+        prop_assert_eq!(
+            api.value,
+            AnswerValue::Frequency { estimate: direct.estimate, upper_bound: direct.upper_bound }
+        );
+        prop_assert_eq!(api.guarantee.epsilon, direct.additive_error);
+
+        // Heavy hitters: identical list, identical order.
+        let api = engine
+            .query(&Query::over(indices.iter().copied()).heavy_hitters(0.1))
+            .expect("ok");
+        let direct = snap.heavy_hitters(&cols, 0.1, 1.0, 2.0).expect("ok");
+        prop_assert_eq!(api.value, AnswerValue::HeavyHitters { hitters: direct });
+
+        // ℓ_1 sample: identical draws for identical (k, seed).
+        let api = engine
+            .query(&Query::over(indices.iter().copied()).l1_sample(8).with_seed(3))
+            .expect("ok");
+        let direct = snap.l1_sample(&cols, 8, 3).expect("ok");
+        prop_assert_eq!(api.value, AnswerValue::L1Sample { patterns: direct });
+    }
+
+    /// Shuffling a batch changes nothing observable: answers come back in
+    /// request order, with values identical to the unshuffled batch.
+    #[test]
+    fn prop_shuffled_batch_keeps_request_order_and_values(
+        rows in proptest::collection::vec(0u64..(1 << D), 50..300),
+        seed in 0u64..1000,
+        shuffle_seed in 0u64..1000,
+    ) {
+        let engine = engine_over(rows, seed, 2);
+        // Several masks × all statistics, with deliberate duplicates so
+        // the planner has groups to share.
+        let mut queries = Vec::new();
+        for cols in [vec![0u32, 1], vec![0, 1, 2, 3, 4, 5], vec![2, 4, 6], vec![0, 1]] {
+            queries.extend(battery(&cols, 0));
+        }
+        let baseline: Vec<Answer> = engine
+            .query_batch(&queries)
+            .into_iter()
+            .map(|a| a.expect("ok"))
+            .collect();
+
+        let mut order: Vec<usize> = (0..queries.len()).collect();
+        shuffle(&mut order, shuffle_seed);
+        let shuffled: Vec<Query> = order.iter().map(|&i| queries[i].clone()).collect();
+        let answers: Vec<Answer> = engine
+            .query_batch(&shuffled)
+            .into_iter()
+            .map(|a| a.expect("ok"))
+            .collect();
+
+        prop_assert_eq!(answers.len(), shuffled.len());
+        for (slot, &orig) in order.iter().enumerate() {
+            // Slot `slot` of the shuffled batch answers query `orig`:
+            // its provenance names that query's columns…
+            let expected_cols = ColumnSet::from_indices(D, &queries[orig].cols).expect("valid");
+            prop_assert_eq!(answers[slot].provenance.requested, expected_cols);
+            // …and its value and guarantee are identical to the
+            // unshuffled run (the cache may serve them, values never move).
+            prop_assert_eq!(&answers[slot].value, &baseline[orig].value);
+            prop_assert_eq!(answers[slot].guarantee, baseline[orig].guarantee);
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! The canonical cache/planner key a [`Query`](crate::Query) normalizes
+//! to.
+//!
+//! Two queries that must share one snapshot compute — same epoch, same
+//! *effective* (rounded) mask, same statistic payload, same exactness —
+//! hash to the same [`QueryKey`]. The serving engine keys its LRU answer
+//! cache by this type and its batch planner groups co-plannable queries
+//! by it, so "shares a cache entry" and "shares a planner group" are one
+//! definition.
+
+use pfe_row::PatternKey;
+
+use crate::statistic::{StatKind, Statistic};
+
+/// Canonical identity of one query against one snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QueryKey {
+    /// Snapshot epoch the answer is computed against.
+    pub epoch: u64,
+    /// Effective subset mask: the *rounded* net-member mask for
+    /// (non-exact) `F_0`, the query's own mask for the sample statistics
+    /// — every query rounding to the same net member reads the same
+    /// sketch, so caching/grouping at this granularity is lossless.
+    pub mask: u64,
+    /// Statistic discriminant.
+    pub kind: StatKind,
+    /// Whether the exact (full-retention) path answers this query; exact
+    /// and approximate answers never share an entry.
+    pub exact: bool,
+    /// Statistic payload: the encoded pattern key (frequency), `φ` bits
+    /// (heavy hitters), `(k, seed)` (`ℓ_1` sample), `0` for `F_0`.
+    pub aux: u128,
+}
+
+impl QueryKey {
+    /// Build the canonical key.
+    ///
+    /// `mask` must already be the effective mask (rounded for non-exact
+    /// `F_0`); `pattern_key` must be the pattern encoded against the
+    /// query's own columns and is required exactly when the statistic is
+    /// [`Statistic::Frequency`].
+    ///
+    /// ```
+    /// use pfe_query::{QueryKey, Statistic, StatKind};
+    ///
+    /// let a = QueryKey::new(1, 0b011, &Statistic::HeavyHitters { phi: 0.1 }, None, false);
+    /// let b = QueryKey::new(1, 0b011, &Statistic::HeavyHitters { phi: 0.1 }, None, false);
+    /// let c = QueryKey::new(1, 0b011, &Statistic::HeavyHitters { phi: 0.2 }, None, false);
+    /// assert_eq!(a, b);
+    /// assert_ne!(a, c);
+    /// assert_eq!(a.kind, StatKind::HeavyHitters);
+    /// ```
+    ///
+    /// # Panics
+    /// Panics if a frequency statistic arrives without its encoded
+    /// pattern key.
+    pub fn new(
+        epoch: u64,
+        mask: u64,
+        statistic: &Statistic,
+        pattern_key: Option<PatternKey>,
+        exact: bool,
+    ) -> Self {
+        let aux = match statistic {
+            Statistic::F0 => 0,
+            Statistic::Frequency { .. } => pattern_key
+                .expect("frequency keys require the encoded pattern")
+                .raw(),
+            Statistic::HeavyHitters { phi } => phi.to_bits() as u128,
+            Statistic::L1Sample { k, seed } => ((*k as u128) << 64) | *seed as u128,
+        };
+        Self {
+            epoch,
+            mask,
+            kind: statistic.kind(),
+            exact,
+            aux,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_dimensions_do_not_collide() {
+        let base = QueryKey::new(1, 0b11, &Statistic::F0, None, false);
+        assert_ne!(base, QueryKey::new(2, 0b11, &Statistic::F0, None, false));
+        assert_ne!(base, QueryKey::new(1, 0b10, &Statistic::F0, None, false));
+        assert_ne!(base, QueryKey::new(1, 0b11, &Statistic::F0, None, true));
+        assert_ne!(
+            base,
+            QueryKey::new(1, 0b11, &Statistic::HeavyHitters { phi: 0.0 }, None, false)
+        );
+    }
+
+    #[test]
+    fn l1_aux_packs_k_and_seed() {
+        let a = QueryKey::new(1, 1, &Statistic::L1Sample { k: 2, seed: 3 }, None, false);
+        let b = QueryKey::new(1, 1, &Statistic::L1Sample { k: 3, seed: 2 }, None, false);
+        assert_ne!(a.aux, b.aux);
+        assert_eq!(a.aux, (2u128 << 64) | 3);
+    }
+
+    #[test]
+    fn frequency_uses_the_encoded_pattern() {
+        let stat = Statistic::Frequency {
+            pattern: vec![1, 0],
+        };
+        let k1 = QueryKey::new(1, 0b11, &stat, Some(PatternKey::new(1)), false);
+        let k2 = QueryKey::new(1, 0b11, &stat, Some(PatternKey::new(2)), false);
+        assert_ne!(k1, k2);
+    }
+
+    #[test]
+    #[should_panic(expected = "encoded pattern")]
+    fn frequency_without_pattern_key_panics() {
+        QueryKey::new(
+            1,
+            0b11,
+            &Statistic::Frequency { pattern: vec![0] },
+            None,
+            false,
+        );
+    }
+}

@@ -1,0 +1,175 @@
+//! The fluent [`Query`] builder and per-query options.
+
+use crate::statistic::Statistic;
+
+/// Per-query serving options — orthogonal to the statistic requested.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QueryOptions {
+    /// Answer only against the snapshot with exactly this epoch; if the
+    /// published epoch differs, the engine returns a typed
+    /// `EpochMismatch` error instead of silently serving newer (or,
+    /// after a resume, older) data.
+    pub pin_epoch: Option<u64>,
+    /// Skip the answer-cache probe and recompute from the snapshot. The
+    /// fresh answer still replaces any cached entry, and a bypassing
+    /// query never shares a planner group with cache-eligible queries.
+    pub bypass_cache: bool,
+    /// When the snapshot's uniform sample retains the *entire* stream
+    /// (the reservoir never overflowed), compute the answer exactly from
+    /// the retained rows and report a `Guarantee` with `source: Exact`
+    /// instead of the sketch/sample bound.
+    pub exact_if_available: bool,
+}
+
+/// One projection query: a column subset, a [`Statistic`], and
+/// [`QueryOptions`].
+///
+/// Build fluently — pick columns, pick the statistic, chain options:
+///
+/// ```
+/// use pfe_query::{Query, Statistic};
+///
+/// let q = Query::over([0, 3, 5]).f0();
+/// assert_eq!(q.cols, vec![0, 3, 5]);
+/// assert_eq!(q.statistic, Statistic::F0);
+///
+/// let q = Query::over([0, 1])
+///     .heavy_hitters(0.1)
+///     .pinned_to(7)
+///     .bypass_cache();
+/// assert_eq!(q.options.pin_epoch, Some(7));
+/// assert!(q.options.bypass_cache);
+///
+/// let q = Query::over([2, 4]).l1_sample(16).with_seed(42);
+/// assert_eq!(q.statistic, Statistic::L1Sample { k: 16, seed: 42 });
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// Column indices of `C` (validated against `d` by the engine).
+    pub cols: Vec<u32>,
+    /// The statistic requested.
+    pub statistic: Statistic,
+    /// Serving options.
+    pub options: QueryOptions,
+}
+
+/// Intermediate state of [`Query::over`]: columns chosen, statistic not
+/// yet.
+#[derive(Debug, Clone)]
+pub struct QueryBuilder {
+    cols: Vec<u32>,
+}
+
+impl Query {
+    /// Start building a query over the given column indices.
+    pub fn over(cols: impl IntoIterator<Item = u32>) -> QueryBuilder {
+        QueryBuilder {
+            cols: cols.into_iter().collect(),
+        }
+    }
+
+    /// Pin to a snapshot epoch (see [`QueryOptions::pin_epoch`]).
+    #[must_use]
+    pub fn pinned_to(mut self, epoch: u64) -> Self {
+        self.options.pin_epoch = Some(epoch);
+        self
+    }
+
+    /// Skip the answer cache (see [`QueryOptions::bypass_cache`]).
+    #[must_use]
+    pub fn bypass_cache(mut self) -> Self {
+        self.options.bypass_cache = true;
+        self
+    }
+
+    /// Prefer an exact answer when the snapshot retains the whole stream
+    /// (see [`QueryOptions::exact_if_available`]).
+    #[must_use]
+    pub fn exact_if_available(mut self) -> Self {
+        self.options.exact_if_available = true;
+        self
+    }
+
+    /// Set the draw seed of an [`Statistic::L1Sample`] query; a no-op for
+    /// the deterministic statistics.
+    #[must_use]
+    pub fn with_seed(mut self, new_seed: u64) -> Self {
+        if let Statistic::L1Sample { seed, .. } = &mut self.statistic {
+            *seed = new_seed;
+        }
+        self
+    }
+}
+
+impl QueryBuilder {
+    fn finish(self, statistic: Statistic) -> Query {
+        Query {
+            cols: self.cols,
+            statistic,
+            options: QueryOptions::default(),
+        }
+    }
+
+    /// Projected distinct count.
+    pub fn f0(self) -> Query {
+        self.finish(Statistic::F0)
+    }
+
+    /// Point frequency of `pattern` (one symbol per queried column,
+    /// ascending column order).
+    pub fn frequency(self, pattern: impl Into<Vec<u16>>) -> Query {
+        self.finish(Statistic::Frequency {
+            pattern: pattern.into(),
+        })
+    }
+
+    /// `φ`-heavy hitters.
+    pub fn heavy_hitters(self, phi: f64) -> Query {
+        self.finish(Statistic::HeavyHitters { phi })
+    }
+
+    /// `k` draws from the `ℓ_1` pattern distribution (seed 0; chain
+    /// [`Query::with_seed`] to change it).
+    pub fn l1_sample(self, k: usize) -> Query {
+        self.finish(Statistic::L1Sample { k, seed: 0 })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_produces_all_statistics() {
+        assert_eq!(Query::over([1, 2]).f0().statistic, Statistic::F0);
+        assert_eq!(
+            Query::over([1]).frequency(vec![1]).statistic,
+            Statistic::Frequency { pattern: vec![1] }
+        );
+        assert_eq!(
+            Query::over([0]).heavy_hitters(0.5).statistic,
+            Statistic::HeavyHitters { phi: 0.5 }
+        );
+        assert_eq!(
+            Query::over([0]).l1_sample(8).statistic,
+            Statistic::L1Sample { k: 8, seed: 0 }
+        );
+    }
+
+    #[test]
+    fn options_chain_and_default_off() {
+        let q = Query::over([0]).f0();
+        assert_eq!(q.options, QueryOptions::default());
+        let q = q.pinned_to(3).bypass_cache().exact_if_available();
+        assert_eq!(q.options.pin_epoch, Some(3));
+        assert!(q.options.bypass_cache && q.options.exact_if_available);
+    }
+
+    #[test]
+    fn with_seed_only_touches_l1() {
+        let q = Query::over([0]).f0().with_seed(9);
+        assert_eq!(q.statistic, Statistic::F0);
+        let q = Query::over([0]).l1_sample(4).with_seed(9);
+        assert_eq!(q.statistic, Statistic::L1Sample { k: 4, seed: 9 });
+    }
+}

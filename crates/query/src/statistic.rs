@@ -1,0 +1,105 @@
+//! The four statistics a projection query can request.
+
+/// Discriminant of a [`Statistic`] — the payload-free tag used in cache
+/// keys, per-statistic counters, and planner grouping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StatKind {
+    /// Projected distinct count.
+    F0,
+    /// Point frequency of one pattern.
+    Frequency,
+    /// `φ`-heavy hitters.
+    HeavyHitters,
+    /// `ℓ_1` pattern sampling.
+    L1Sample,
+}
+
+impl StatKind {
+    /// Every statistic kind, in canonical order.
+    pub const ALL: [StatKind; 4] = [
+        StatKind::F0,
+        StatKind::Frequency,
+        StatKind::HeavyHitters,
+        StatKind::L1Sample,
+    ];
+
+    /// Stable lowercase name (wire protocol, stats reporting).
+    pub fn name(self) -> &'static str {
+        match self {
+            StatKind::F0 => "f0",
+            StatKind::Frequency => "frequency",
+            StatKind::HeavyHitters => "heavy_hitters",
+            StatKind::L1Sample => "l1_sample",
+        }
+    }
+}
+
+/// A statistic of the projected frequency vector `f(A, C)` — the complete
+/// set the paper analyses upper bounds for (Sections 5–6).
+///
+/// ```
+/// use pfe_query::{Statistic, StatKind};
+///
+/// let s = Statistic::HeavyHitters { phi: 0.1 };
+/// assert_eq!(s.kind(), StatKind::HeavyHitters);
+/// assert_eq!(s.kind().name(), "heavy_hitters");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statistic {
+    /// Projected distinct count (Algorithm 1 / Theorem 6.5): answered by
+    /// the α-net of KMV sketches after rounding to a net member.
+    F0,
+    /// Point frequency of `pattern` on the projection (Theorem 5.1):
+    /// unbiased `g/α` estimate from the uniform row sample, with an
+    /// optional CountMin one-sided upper bound.
+    Frequency {
+        /// Dense pattern, one symbol per queried column (ascending column
+        /// order).
+        pattern: Vec<u16>,
+    },
+    /// `φ`-heavy hitters (`ℓ_1`) on the projection (Section 5.1 remark).
+    HeavyHitters {
+        /// Threshold `φ ∈ (0, 1]`.
+        phi: f64,
+    },
+    /// `ℓ_1` pattern sampling (the easy side of the Theorem 5.5
+    /// dichotomy): `k` draws from the sample-estimated distribution.
+    L1Sample {
+        /// Number of patterns to draw.
+        k: usize,
+        /// Seed for the draw (deterministic per seed).
+        seed: u64,
+    },
+}
+
+impl Statistic {
+    /// The payload-free discriminant.
+    pub fn kind(&self) -> StatKind {
+        match self {
+            Statistic::F0 => StatKind::F0,
+            Statistic::Frequency { .. } => StatKind::Frequency,
+            Statistic::HeavyHitters { .. } => StatKind::HeavyHitters,
+            Statistic::L1Sample { .. } => StatKind::L1Sample,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_and_names_are_stable() {
+        assert_eq!(Statistic::F0.kind(), StatKind::F0);
+        assert_eq!(
+            Statistic::Frequency { pattern: vec![0] }.kind(),
+            StatKind::Frequency
+        );
+        assert_eq!(
+            Statistic::L1Sample { k: 3, seed: 0 }.kind(),
+            StatKind::L1Sample
+        );
+        let names: Vec<&str> = StatKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(names, ["f0", "frequency", "heavy_hitters", "l1_sample"]);
+    }
+}

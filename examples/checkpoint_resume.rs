@@ -11,9 +11,7 @@
 //!
 //! Run with `cargo run --release --example checkpoint_resume`.
 
-use subspace_exploration::engine::{
-    merge_snapshot_files, Engine, EngineConfig, QueryRequest, QueryResponse, Snapshot,
-};
+use subspace_exploration::engine::{merge_snapshot_files, Engine, EngineConfig, Query, Snapshot};
 use subspace_exploration::row::{ColumnSet, Dataset};
 use subspace_exploration::stream::gen::uniform_binary;
 
@@ -28,15 +26,11 @@ fn cfg() -> EngineConfig {
 }
 
 fn f0_of(engine: &Engine, cols: &[u32]) -> f64 {
-    match engine
-        .query(&QueryRequest::F0 {
-            cols: cols.to_vec(),
-        })
+    engine
+        .query(&Query::over(cols.iter().copied()).f0())
         .expect("query")
-    {
-        QueryResponse::F0 { answer, .. } => answer.estimate,
-        _ => unreachable!("asked for F0"),
-    }
+        .estimate()
+        .expect("F0 answers carry a scalar estimate")
 }
 
 fn main() {

@@ -2,15 +2,20 @@
 //!
 //! Each input line is one JSON request; each output line is one JSON
 //! response. The engine is created by the first `start` request and serves
-//! every later request against its most recent snapshot.
+//! every later request against its most recent snapshot. Statistic
+//! requests and responses are the canonical `pfe-query` types serialized
+//! by `pfe_engine::wire` — the same definition that drives the Rust API
+//! and the cache keys.
 //!
 //! ```text
 //! {"op":"start","d":12,"q":2,"shards":4}
 //! {"op":"ingest","rows":[[0,1,0,...],[1,1,0,...]]}
 //! {"op":"snapshot"}
 //! {"op":"f0","cols":[0,5,9]}
-//! {"op":"freq","cols":[0,5],"pattern":[1,0]}
-//! {"op":"hh","cols":[0,1,2],"phi":0.1}
+//! {"op":"frequency","cols":[0,5],"pattern":[1,0]}
+//! {"op":"heavy_hitters","cols":[0,1,2],"phi":0.1}
+//! {"op":"l1_sample","cols":[0,1],"k":8,"seed":7}
+//! {"op":"batch","queries":[{"op":"f0","cols":[0,1]},{"op":"f0","cols":[0,1,2]}]}
 //! {"op":"stats"}
 //! {"op":"quit"}
 //! ```
@@ -20,31 +25,10 @@
 
 use std::io::{BufRead, Write};
 
-use subspace_exploration::engine::{Engine, EngineConfig, Json, QueryRequest, QueryResponse};
-use subspace_exploration::row::PatternCodec;
+use subspace_exploration::engine::{wire, Engine, EngineConfig, Json, Query};
 
 fn err(msg: impl Into<String>) -> Json {
     Json::obj([("ok", Json::Bool(false)), ("error", Json::Str(msg.into()))])
-}
-
-fn u32s(v: Option<&Json>) -> Result<Vec<u32>, Json> {
-    v.and_then(Json::as_arr)
-        .ok_or_else(|| err("expected an array of numbers"))?
-        .iter()
-        .map(|x| {
-            x.as_f64()
-                .filter(|&f| f >= 0.0 && f.fract() == 0.0 && f < u32::MAX as f64)
-                .map(|f| f as u32)
-                .ok_or_else(|| err("expected a nonnegative integer"))
-        })
-        .collect()
-}
-
-fn u16s(v: Option<&Json>) -> Result<Vec<u16>, Json> {
-    u32s(v)?
-        .into_iter()
-        .map(|x| u16::try_from(x).map_err(|_| err(format!("symbol {x} exceeds u16 range"))))
-        .collect()
 }
 
 struct Server {
@@ -72,6 +56,44 @@ impl Server {
         self.engine
             .as_ref()
             .ok_or_else(|| err("no engine: send 'start' first"))
+    }
+
+    /// Serve one statistic request through the canonical query types.
+    fn serve_query(&self, req: &Json) -> Result<Json, Json> {
+        let query = wire::query_from_json(req).map_err(err)?;
+        let answer = self
+            .engine()?
+            .query(&query)
+            .map_err(|e| err(e.to_string()))?;
+        Ok(wire::answer_to_json(&answer, self.q))
+    }
+
+    /// Serve a whole batch through the mask-sharing planner; per-query
+    /// failures — parse errors included — come back as error objects in
+    /// their slots, never batch-fatal.
+    fn serve_batch(&self, req: &Json) -> Result<Json, Json> {
+        let items = req
+            .get("queries")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| err("missing 'queries'"))?;
+        let engine = self.engine()?;
+        let parsed: Vec<Result<Query, String>> = items.iter().map(wire::query_from_json).collect();
+        let valid: Vec<Query> = parsed.iter().filter_map(|p| p.clone().ok()).collect();
+        let mut served = engine.query_batch(&valid).into_iter();
+        let answers = parsed
+            .into_iter()
+            .map(|p| match p {
+                Err(e) => err(e),
+                Ok(_) => match served.next().expect("one answer per valid query") {
+                    Ok(answer) => wire::answer_to_json(&answer, self.q),
+                    Err(e) => err(e.to_string()),
+                },
+            })
+            .collect();
+        Ok(Json::obj([
+            ("ok", Json::Bool(true)),
+            ("answers", Json::Arr(answers)),
+        ]))
     }
 
     fn dispatch(&mut self, op: &str, req: &Json) -> Result<Json, Json> {
@@ -104,7 +126,7 @@ impl Server {
                     .ok_or_else(|| err("missing 'rows'"))?;
                 let engine = self.engine()?;
                 for row in rows {
-                    let dense = u16s(Some(row))?;
+                    let dense = wire::u16s(Some(row)).map_err(err)?;
                     engine.push_dense(&dense).map_err(|e| err(e.to_string()))?;
                 }
                 Ok(Json::obj([
@@ -120,111 +142,11 @@ impl Server {
                     ("rows", Json::Num(snap.n() as f64)),
                 ]))
             }
-            "f0" => {
-                let cols = u32s(req.get("cols"))?;
-                let resp = self
-                    .engine()?
-                    .query(&QueryRequest::F0 { cols })
-                    .map_err(|e| err(e.to_string()))?;
-                let QueryResponse::F0 { answer, cached } = resp else {
-                    return Err(err("internal: wrong response variant"));
-                };
-                Ok(Json::obj([
-                    ("ok", Json::Bool(true)),
-                    ("estimate", Json::Num(answer.estimate)),
-                    (
-                        "rounded_to",
-                        Json::Arr(
-                            answer
-                                .answered_on
-                                .to_indices()
-                                .into_iter()
-                                .map(|i| Json::Num(i as f64))
-                                .collect(),
-                        ),
-                    ),
-                    ("sym_diff", Json::Num(answer.sym_diff as f64)),
-                    ("distortion_bound", Json::Num(answer.distortion_bound)),
-                    ("cached", Json::Bool(cached)),
-                ]))
+            "f0" | "frequency" | "freq" | "heavy_hitters" | "hh" | "l1_sample" => {
+                self.serve_query(req)
             }
-            "freq" => {
-                let cols = u32s(req.get("cols"))?;
-                let pattern = u16s(req.get("pattern"))?;
-                let resp = self
-                    .engine()?
-                    .query(&QueryRequest::Frequency { cols, pattern })
-                    .map_err(|e| err(e.to_string()))?;
-                let QueryResponse::Frequency { answer, cached } = resp else {
-                    return Err(err("internal: wrong response variant"));
-                };
-                Ok(Json::obj([
-                    ("ok", Json::Bool(true)),
-                    ("estimate", Json::Num(answer.estimate)),
-                    (
-                        "upper_bound",
-                        answer.upper_bound.map(Json::Num).unwrap_or(Json::Null),
-                    ),
-                    ("additive_error", Json::Num(answer.additive_error)),
-                    ("cached", Json::Bool(cached)),
-                ]))
-            }
-            "hh" => {
-                let cols = u32s(req.get("cols"))?;
-                let phi = req
-                    .get("phi")
-                    .and_then(Json::as_f64)
-                    .ok_or_else(|| err("missing 'phi'"))?;
-                let width = cols.len() as u32;
-                let resp = self
-                    .engine()?
-                    .query(&QueryRequest::HeavyHitters { cols, phi })
-                    .map_err(|e| err(e.to_string()))?;
-                let QueryResponse::HeavyHitters { hitters, cached } = resp else {
-                    return Err(err("internal: wrong response variant"));
-                };
-                let codec = PatternCodec::new(self.q, width).map_err(|e| err(format!("{e:?}")))?;
-                Ok(Json::obj([
-                    ("ok", Json::Bool(true)),
-                    (
-                        "hitters",
-                        Json::Arr(
-                            hitters
-                                .iter()
-                                .map(|h| {
-                                    Json::obj([
-                                        (
-                                            "pattern",
-                                            Json::Arr(
-                                                codec
-                                                    .decode(h.key)
-                                                    .into_iter()
-                                                    .map(|s| Json::Num(s as f64))
-                                                    .collect(),
-                                            ),
-                                        ),
-                                        ("estimate", Json::Num(h.estimate)),
-                                    ])
-                                })
-                                .collect(),
-                        ),
-                    ),
-                    ("cached", Json::Bool(cached)),
-                ]))
-            }
-            "stats" => {
-                let stats = self.engine()?.stats();
-                Ok(Json::obj([
-                    ("ok", Json::Bool(true)),
-                    ("rows_ingested", Json::Num(stats.rows_ingested as f64)),
-                    ("snapshot_epoch", Json::Num(stats.snapshot_epoch as f64)),
-                    ("snapshot_rows", Json::Num(stats.snapshot_rows as f64)),
-                    ("snapshot_bytes", Json::Num(stats.snapshot_bytes as f64)),
-                    ("cache_hits", Json::Num(stats.cache.hits as f64)),
-                    ("cache_misses", Json::Num(stats.cache.misses as f64)),
-                    ("shards", Json::Num(stats.shards as f64)),
-                ]))
-            }
+            "batch" => self.serve_batch(req),
+            "stats" => Ok(wire::stats_to_json(&self.engine()?.stats())),
             "quit" => Ok(Json::obj([
                 ("ok", Json::Bool(true)),
                 ("bye", Json::Bool(true)),
@@ -253,8 +175,11 @@ fn demo_script() -> Vec<String> {
         r#"{"op":"snapshot"}"#.to_string(),
         r#"{"op":"f0","cols":[0,1,2,3,4,5]}"#.to_string(),
         r#"{"op":"f0","cols":[0,1,2,3,4,5]}"#.to_string(),
-        r#"{"op":"freq","cols":[0,1],"pattern":[1,1]}"#.to_string(),
-        r#"{"op":"hh","cols":[0,1,2],"phi":0.05}"#.to_string(),
+        r#"{"op":"frequency","cols":[0,1],"pattern":[1,1]}"#.to_string(),
+        r#"{"op":"heavy_hitters","cols":[0,1,2],"phi":0.05}"#.to_string(),
+        r#"{"op":"l1_sample","cols":[0,1,2],"k":4,"seed":7}"#.to_string(),
+        r#"{"op":"batch","queries":[{"op":"f0","cols":[0,1,2,3,4,5]},{"op":"f0","cols":[0,1,2,3,4,5,6]}]}"#
+            .to_string(),
         r#"{"op":"stats"}"#.to_string(),
         r#"{"op":"quit"}"#.to_string(),
     ]);
@@ -298,7 +223,7 @@ fn main() {
         eprintln!(
             "usage: serve [--demo] — speak line-delimited JSON on stdin, one request per line:"
         );
-        eprintln!("  {{\"op\":\"start\",\"d\":12,\"q\":2,\"shards\":4}}   then ingest/snapshot/f0/freq/hh/stats/quit");
+        eprintln!("  {{\"op\":\"start\",\"d\":12,\"q\":2,\"shards\":4}}   then ingest/snapshot/f0/frequency/heavy_hitters/l1_sample/batch/stats/quit");
         eprintln!("  (see the \"serve\" protocol section in README.md, or run with --demo for a scripted session)");
     }
 }

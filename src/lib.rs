@@ -21,9 +21,13 @@
 //!   uniform sampling, the Section 6 α-net family, related-work baselines;
 //! - [`lowerbounds`] — executable Index reductions for Theorems 4.1,
 //!   5.3, 5.4, 5.5 and the related-work contrast models;
+//! - [`query`] — the canonical typed query surface: the fluent `Query`
+//!   builder over all four paper statistics, the guarantee-carrying
+//!   `Answer`, and the canonical cache/planner `QueryKey`;
 //! - [`engine`] — sharded parallel ingest and concurrent query serving
 //!   over the mergeable summaries (shard → merge → snapshot → cache),
-//!   with durable checkpoint/resume and cross-process snapshot union;
+//!   with a mask-sharing batch planner, durable checkpoint/resume, and
+//!   cross-process snapshot union;
 //! - [`persist`] — the zero-dependency versioned binary codec (magic +
 //!   version + CRC-32 framing) behind the durable snapshots.
 //!
@@ -35,6 +39,7 @@ pub use pfe_engine as engine;
 pub use pfe_hash as hash;
 pub use pfe_lowerbounds as lowerbounds;
 pub use pfe_persist as persist;
+pub use pfe_query as query;
 pub use pfe_row as row;
 pub use pfe_sketch as sketch;
 pub use pfe_stream as stream;
