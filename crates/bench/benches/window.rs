@@ -1,0 +1,165 @@
+//! Window subsystem benchmarks: repeated windowed queries through the
+//! covering-set merge + fingerprint/answer caches, against the naive
+//! alternative of rebuilding a summary suite over the suffix per query.
+//!
+//! The acceptance bar for the subsystem is ≥10× on repeated windowed
+//! heavy-hitter queries; in practice a warm repeat is a hash probe while
+//! a rebuild re-materializes the α-net over the whole suffix.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pfe_core::{SuiteConfig, SummarySuite};
+use pfe_engine::{EngineConfig, Query};
+use pfe_row::{BinaryMatrix, ColumnSet, Dataset};
+use pfe_stream::gen::uniform_binary;
+use pfe_window::{WindowConfig, WindowedEngine};
+
+const D: u32 = 12;
+const ROWS: usize = 50_000;
+const WINDOW: u64 = 10_000;
+
+fn ecfg() -> EngineConfig {
+    EngineConfig {
+        sample_t: 4096,
+        kmv_k: 64,
+        ..Default::default()
+    }
+}
+
+fn raw_rows() -> Vec<u64> {
+    match uniform_binary(D, ROWS, 1) {
+        Dataset::Binary(m) => m.rows().to_vec(),
+        Dataset::Qary(_) => unreachable!("generator yields binary data"),
+    }
+}
+
+fn windowed_engine(rows: &[u64]) -> WindowedEngine {
+    let engine = WindowedEngine::start(
+        D,
+        2,
+        ecfg(),
+        WindowConfig {
+            bucket_rows: 1024,
+            tier_cap: 4,
+            max_tiers: 8,
+            merged_cache: 4,
+        },
+    )
+    .expect("start");
+    engine.push_packed_batch(rows).expect("ingest");
+    engine
+}
+
+/// The acceptance comparison: repeated windowed heavy-hitter queries.
+fn bench_windowed_hh_repeated(c: &mut Criterion) {
+    let rows = raw_rows();
+    let engine = windowed_engine(&rows);
+    let query = Query::over([0, 1, 2]).heavy_hitters(0.05).window(WINDOW);
+    // Warm both caches once (merge + first compute).
+    let covered = engine
+        .query(&query)
+        .expect("ok")
+        .window
+        .expect("coverage")
+        .covered_rows as usize;
+
+    let mut g = c.benchmark_group("window_hh_repeated");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("covering_merge_plus_cache", |b| {
+        b.iter(|| black_box(engine.query(&query).expect("ok")))
+    });
+    // The naive alternative: rebuild a summary suite over the same
+    // suffix for every query.
+    let suffix = rows[rows.len() - covered..].to_vec();
+    g.bench_function("rebuild_from_suffix", |b| {
+        b.iter(|| {
+            let data = Dataset::Binary(BinaryMatrix::from_rows(D, suffix.clone()));
+            let suite = SummarySuite::build(
+                &data,
+                &SuiteConfig {
+                    alpha: 0.25,
+                    kmv_k: 64,
+                    sample_t: 4096,
+                    keep_exact: false,
+                    ..Default::default()
+                },
+            )
+            .expect("build");
+            let cols = ColumnSet::from_indices(D, &[0, 1, 2]).expect("valid");
+            black_box(
+                suite
+                    .sample()
+                    .heavy_hitters(&cols, 0.05, 1.0, 2.0)
+                    .expect("ok"),
+            )
+        })
+    });
+    g.finish();
+}
+
+/// Cache layering: answer-cache hit vs merged-snapshot hit (bypass) vs
+/// cold merge (fresh fingerprint every time).
+fn bench_windowed_cache_layers(c: &mut Criterion) {
+    let rows = raw_rows();
+    let engine = windowed_engine(&rows);
+    let query = Query::over([0, 1, 2, 3]).heavy_hitters(0.05).window(WINDOW);
+    engine.query(&query).expect("warm");
+
+    let mut g = c.benchmark_group("window_hh_layers");
+    g.sample_size(10);
+    g.bench_function("answer_cache_hit", |b| {
+        b.iter(|| black_box(engine.query(&query).expect("ok")))
+    });
+    let bypass = query.clone().bypass_cache();
+    g.bench_function("merged_snapshot_hit", |b| {
+        b.iter(|| black_box(engine.query(&bypass).expect("ok")))
+    });
+    // Fresh engine with memoization disabled: every query re-merges its
+    // covering set.
+    let cold = WindowedEngine::start(
+        D,
+        2,
+        EngineConfig {
+            cache_capacity: 0,
+            ..ecfg()
+        },
+        WindowConfig {
+            bucket_rows: 1024,
+            tier_cap: 4,
+            max_tiers: 8,
+            merged_cache: 0,
+        },
+    )
+    .expect("start");
+    cold.push_packed_batch(&rows).expect("ingest");
+    g.bench_function("cold_covering_merge", |b| {
+        b.iter(|| black_box(cold.query(&query).expect("ok")))
+    });
+    g.finish();
+}
+
+/// Windowed ingest cost: ring maintenance (sealing, cascades) on top of
+/// plain summary pushes.
+fn bench_windowed_ingest(c: &mut Criterion) {
+    let rows = raw_rows();
+    let mut g = c.benchmark_group("window_ingest_d12_n50000");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(ROWS as u64));
+    g.bench_function("ring", |b| {
+        b.iter(|| {
+            let engine = windowed_engine(&rows);
+            black_box(engine.retained_rows())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_windowed_hh_repeated,
+    bench_windowed_cache_layers,
+    bench_windowed_ingest
+);
+criterion_main!(benches);

@@ -157,7 +157,7 @@ mod tests {
     use pfe_query::Statistic;
 
     fn key(mask: u64) -> QueryKey {
-        QueryKey::new(1, mask, &Statistic::F0, None, false)
+        QueryKey::new(1, mask, &Statistic::F0, None, false, 0)
     }
 
     fn answer(v: f64) -> CachedAnswer {
@@ -190,10 +190,10 @@ mod tests {
     #[test]
     fn distinct_stats_epochs_and_exactness_do_not_collide() {
         let c = QueryCache::new(8);
-        let f0 = QueryKey::new(1, 5, &Statistic::F0, None, false);
-        let hh = QueryKey::new(1, 5, &Statistic::HeavyHitters { phi: 0.0 }, None, false);
-        let f0e2 = QueryKey::new(2, 5, &Statistic::F0, None, false);
-        let f0exact = QueryKey::new(1, 5, &Statistic::F0, None, true);
+        let f0 = QueryKey::new(1, 5, &Statistic::F0, None, false, 0);
+        let hh = QueryKey::new(1, 5, &Statistic::HeavyHitters { phi: 0.0 }, None, false, 0);
+        let f0e2 = QueryKey::new(2, 5, &Statistic::F0, None, false, 0);
+        let f0exact = QueryKey::new(1, 5, &Statistic::F0, None, true, 0);
         c.put(f0, answer(1.0));
         c.put(hh, answer(2.0));
         c.put(f0e2, answer(3.0));

@@ -21,82 +21,18 @@
 //! assert_eq!(f0.provenance.requested.to_indices(), vec![0, 3, 5]);
 //! ```
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
-use pfe_core::bounds;
-use pfe_query::{
-    Answer, AnswerValue, CostInfo, Guarantee, GuaranteeSource, Provenance, Query, StatKind,
-    Statistic,
-};
+use pfe_query::{Answer, Query};
 use pfe_row::Dataset;
 use pfe_sketch::traits::SpaceUsage;
 
-use crate::cache::{CacheStats, CachedAnswer, QueryCache};
+use crate::cache::CacheStats;
 use crate::config::EngineConfig;
 use crate::error::EngineError;
+use crate::exec::{QueryCounters, QueryExecutor};
 use crate::ingest::IngestPipeline;
-use crate::planner::{plan, PlanGroup, Planned};
 use crate::snapshot::Snapshot;
-
-/// Per-statistic counters of queries answered since the engine started.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct QueryCounters {
-    /// `F_0` queries answered.
-    pub f0: u64,
-    /// Point-frequency queries answered.
-    pub frequency: u64,
-    /// Heavy-hitter queries answered.
-    pub heavy_hitters: u64,
-    /// `ℓ_1`-sample queries answered.
-    pub l1_sample: u64,
-}
-
-impl QueryCounters {
-    /// Total queries answered across all statistics.
-    pub fn total(&self) -> u64 {
-        self.f0 + self.frequency + self.heavy_hitters + self.l1_sample
-    }
-
-    /// The counter for one statistic kind.
-    pub fn get(&self, kind: StatKind) -> u64 {
-        match kind {
-            StatKind::F0 => self.f0,
-            StatKind::Frequency => self.frequency,
-            StatKind::HeavyHitters => self.heavy_hitters,
-            StatKind::L1Sample => self.l1_sample,
-        }
-    }
-}
-
-#[derive(Default)]
-struct StatCounterCells {
-    f0: AtomicU64,
-    frequency: AtomicU64,
-    heavy_hitters: AtomicU64,
-    l1_sample: AtomicU64,
-}
-
-impl StatCounterCells {
-    fn bump(&self, kind: StatKind, by: u64) {
-        let cell = match kind {
-            StatKind::F0 => &self.f0,
-            StatKind::Frequency => &self.frequency,
-            StatKind::HeavyHitters => &self.heavy_hitters,
-            StatKind::L1Sample => &self.l1_sample,
-        };
-        cell.fetch_add(by, Ordering::Relaxed);
-    }
-
-    fn read(&self) -> QueryCounters {
-        QueryCounters {
-            f0: self.f0.load(Ordering::Relaxed),
-            frequency: self.frequency.load(Ordering::Relaxed),
-            heavy_hitters: self.heavy_hitters.load(Ordering::Relaxed),
-            l1_sample: self.l1_sample.load(Ordering::Relaxed),
-        }
-    }
-}
 
 /// Engine-level observability counters.
 #[derive(Debug, Clone, PartialEq)]
@@ -126,12 +62,14 @@ pub struct EngineStats {
 /// read the last published [`Snapshot`] behind an `Arc` and only contend
 /// on the answer cache's mutex. Requests and responses are the canonical
 /// `pfe-query` types: [`Query`] in, guarantee-carrying [`Answer`] out.
+/// The plan/probe/compute path is the shared
+/// [`QueryExecutor`], so this whole-stream
+/// engine and the `pfe-window` sliding-window engine serve identical
+/// semantics per snapshot.
 pub struct Engine {
     pipeline: Mutex<Option<IngestPipeline>>,
     published: RwLock<Option<Arc<Snapshot>>>,
-    cache: QueryCache,
-    counters: StatCounterCells,
-    q: u32,
+    exec: QueryExecutor,
     /// `(rows_routed, shards)` captured at shutdown, so stats stay
     /// truthful after the pipeline is gone.
     retired: Mutex<Option<(u64, usize)>>,
@@ -143,14 +81,12 @@ impl Engine {
     /// # Errors
     /// Config validation or summary construction errors.
     pub fn start(d: u32, q: u32, cfg: EngineConfig) -> Result<Self, EngineError> {
-        let cache = QueryCache::new(cfg.cache_capacity);
+        let exec = QueryExecutor::new(cfg.cache_capacity, false);
         let pipeline = IngestPipeline::new(d, q, &cfg)?;
         Ok(Self {
             pipeline: Mutex::new(Some(pipeline)),
             published: RwLock::new(None),
-            cache,
-            counters: StatCounterCells::default(),
-            q,
+            exec,
             retired: Mutex::new(None),
         })
     }
@@ -172,6 +108,19 @@ impl Engine {
     /// `Closed` after [`shutdown`](Self::shutdown) or on worker loss.
     pub fn push_packed(&self, row: u64) -> Result<(), EngineError> {
         self.with_pipeline(|p| p.push_packed(row))
+    }
+
+    /// Route a slice of packed binary rows in one call: the rows are
+    /// validated up front, partitioned, and forwarded one bounded-channel
+    /// message per accumulated chunk — amortizing the per-row router
+    /// bookkeeping of [`push_packed`](Self::push_packed) (see
+    /// `benches/engine.rs` for the ingest win).
+    ///
+    /// # Errors
+    /// `Query(BadParameter)` if any row is malformed (nothing is routed in
+    /// that case); `Closed` after [`shutdown`](Self::shutdown).
+    pub fn push_packed_batch(&self, rows: &[u64]) -> Result<(), EngineError> {
+        self.with_pipeline(|p| p.push_packed_batch(rows))
     }
 
     /// Route one dense row.
@@ -249,15 +198,13 @@ impl Engine {
     ) -> Result<Self, EngineError> {
         let snap = Snapshot::load_from(path)?;
         let (d, q) = crate::persist::validate_resume(&snap, &cfg)?;
-        let cache = QueryCache::new(cfg.cache_capacity);
+        let exec = QueryExecutor::new(cfg.cache_capacity, false);
         let pipeline =
             IngestPipeline::with_base(d, q, &cfg, Some(snap.to_base_shard()), snap.epoch())?;
         Ok(Self {
             pipeline: Mutex::new(Some(pipeline)),
             published: RwLock::new(Some(Arc::new(snap))),
-            cache,
-            counters: StatCounterCells::default(),
-            q,
+            exec,
             retired: Mutex::new(None),
         })
     }
@@ -321,169 +268,7 @@ impl Engine {
             Ok(snap) => snap,
             Err(e) => return queries.iter().map(|_| Err(e.clone())).collect(),
         };
-        let mut out: Vec<Option<Result<Answer, EngineError>>> = vec![None; queries.len()];
-        let plan = plan(&snap, queries);
-        for (slot, e) in plan.errors {
-            out[slot] = Some(Err(e));
-        }
-        for group in &plan.groups {
-            match self.execute_group(&snap, queries, group) {
-                Err(e) => {
-                    for m in &group.members {
-                        out[m.slot] = Some(Err(e.clone()));
-                    }
-                }
-                Ok((value, cached)) => {
-                    self.counters
-                        .bump(group.key.kind, group.members.len() as u64);
-                    let group_size = group.members.len() as u32;
-                    for m in &group.members {
-                        out[m.slot] =
-                            Some(Ok(self.materialize(&snap, m, &value, cached, group_size)));
-                    }
-                }
-            }
-        }
-        out.into_iter()
-            .map(|slot| slot.expect("planner fills every slot"))
-            .collect()
-    }
-
-    /// Probe the cache for a group's key, or compute its answer once from
-    /// the snapshot and (re)fill the cache entry.
-    fn execute_group(
-        &self,
-        snap: &Snapshot,
-        queries: &[Query],
-        group: &PlanGroup,
-    ) -> Result<(CachedAnswer, bool), EngineError> {
-        if group.probe_cache {
-            if let Some(hit) = self.cache.get(&group.key) {
-                return Ok((hit, true));
-            }
-        }
-        let rep = &group.members[0];
-        let value = match &queries[rep.slot].statistic {
-            Statistic::F0 => {
-                if rep.exact {
-                    CachedAnswer::F0(snap.f0_exact(&rep.cols)?)
-                } else {
-                    // The estimate belongs to the rounded target (the
-                    // group key's mask); per-query provenance is attached
-                    // at materialization.
-                    CachedAnswer::F0(snap.f0(&rep.target)?.estimate)
-                }
-            }
-            Statistic::Frequency { .. } => {
-                // The pattern was encoded once at plan time; the probe
-                // above and this compute both reuse it.
-                let key = rep
-                    .pattern_key
-                    .expect("planned frequency queries carry a key");
-                CachedAnswer::Frequency(snap.frequency(&rep.cols, key)?)
-            }
-            Statistic::HeavyHitters { phi } => {
-                let mut hitters = snap.heavy_hitters(&rep.cols, *phi, 1.0, 2.0)?;
-                if rep.exact {
-                    // Full retention: estimates are exact counts, so the
-                    // recall slack is unnecessary — keep exactly `≥ φn`.
-                    let threshold = phi * snap.n() as f64;
-                    hitters.retain(|h| h.estimate >= threshold);
-                }
-                CachedAnswer::HeavyHitters(hitters)
-            }
-            Statistic::L1Sample { k, seed } => {
-                CachedAnswer::L1Sample(snap.l1_sample(&rep.cols, *k, *seed)?)
-            }
-        };
-        self.cache.put(group.key, value.clone());
-        Ok((value, false))
-    }
-
-    /// Attach one member's provenance, guarantee, and cost metadata to the
-    /// group's shared value.
-    fn materialize(
-        &self,
-        snap: &Snapshot,
-        m: &Planned,
-        value: &CachedAnswer,
-        cached: bool,
-        group_size: u32,
-    ) -> Answer {
-        let provenance = Provenance {
-            requested: m.cols,
-            answered_on: m.target,
-            sym_diff: m.sym_diff,
-        };
-        let sample_guarantee = |epsilon: f64| {
-            if m.exact {
-                Guarantee::exact()
-            } else {
-                Guarantee {
-                    alpha: 1.0,
-                    epsilon,
-                    source: GuaranteeSource::Sample,
-                }
-            }
-        };
-        let (value, guarantee) = match value {
-            CachedAnswer::F0(estimate) => {
-                let guarantee = if m.exact {
-                    Guarantee::exact()
-                } else {
-                    // Theorem 6.5: the sketch's β times the per-query
-                    // Lemma 6.4 rounding distortion.
-                    let k = snap
-                        .net_f0()
-                        .sketch(m.target.mask())
-                        .map(|s| s.k())
-                        .unwrap_or(2);
-                    Guarantee {
-                        alpha: bounds::kmv_beta(k)
-                            * bounds::f0_rounding_distortion(self.q, m.sym_diff),
-                        epsilon: 0.0,
-                        source: GuaranteeSource::AlphaNet,
-                    }
-                };
-                (
-                    AnswerValue::F0 {
-                        estimate: *estimate,
-                    },
-                    guarantee,
-                )
-            }
-            CachedAnswer::Frequency(fa) => (
-                AnswerValue::Frequency {
-                    estimate: fa.estimate,
-                    upper_bound: fa.upper_bound,
-                },
-                // Theorem 5.1: unbiased with additive error ε‖f‖₁.
-                sample_guarantee(fa.additive_error),
-            ),
-            CachedAnswer::HeavyHitters(hitters) => (
-                AnswerValue::HeavyHitters {
-                    hitters: hitters.clone(),
-                },
-                sample_guarantee(snap.sample().additive_error(bounds::DEFAULT_DELTA)),
-            ),
-            CachedAnswer::L1Sample(patterns) => (
-                AnswerValue::L1Sample {
-                    patterns: patterns.clone(),
-                },
-                // Probability-mass error of sample proportions.
-                sample_guarantee(bounds::sample_epsilon(
-                    snap.sample().sample_len().max(1),
-                    bounds::DEFAULT_DELTA,
-                )),
-            ),
-        };
-        Answer {
-            value,
-            guarantee,
-            provenance,
-            epoch: snap.epoch(),
-            cost: CostInfo { cached, group_size },
-        }
+        self.exec.answer_batch(&snap, queries)
     }
 
     /// Observability counters.
@@ -498,13 +283,13 @@ impl Engine {
             }
         };
         let snap = self.snapshot();
-        let queries = self.counters.read();
+        let queries = self.exec.counters();
         EngineStats {
             rows_ingested,
             snapshot_epoch: snap.as_ref().map(|s| s.epoch()).unwrap_or(0),
             snapshot_rows: snap.as_ref().map(|s| s.n()).unwrap_or(0),
             snapshot_bytes: snap.as_ref().map(|s| s.space_bytes()).unwrap_or(0),
-            cache: self.cache.stats(),
+            cache: self.exec.cache_stats(),
             shards,
             queries_served: queries.total(),
             queries,
@@ -515,6 +300,7 @@ impl Engine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pfe_query::{GuaranteeSource, StatKind};
     use pfe_stream::gen::uniform_binary;
 
     fn small_cfg(shards: usize) -> EngineConfig {
@@ -538,6 +324,23 @@ mod tests {
         let answers = engine.query_batch(&[Query::over([0]).f0(), Query::over([1]).f0()]);
         assert_eq!(answers.len(), 2);
         assert!(answers.iter().all(|a| a == &Err(EngineError::NoSnapshot)));
+    }
+
+    #[test]
+    fn windowed_queries_rejected_by_whole_stream_engine() {
+        let engine = Engine::start(8, 2, small_cfg(1)).expect("start");
+        engine.ingest(&uniform_binary(8, 300, 9)).expect("ingest");
+        engine.refresh().expect("refresh");
+        let answers = engine.query_batch(&[
+            Query::over([0, 1]).f0(),
+            Query::over([0, 1]).f0().window(100),
+        ]);
+        assert!(answers[0].is_ok());
+        assert!(matches!(
+            &answers[1],
+            Err(EngineError::Query(pfe_core::QueryError::BadParameter(m)))
+                if m.contains("windowed engine")
+        ));
     }
 
     #[test]
@@ -657,7 +460,7 @@ mod tests {
         let exact = engine
             .query(&Query::over(0..6).f0().exact_if_available())
             .expect("ok");
-        assert_eq!(exact.guarantee, Guarantee::exact());
+        assert_eq!(exact.guarantee, pfe_query::Guarantee::exact());
         // Exact answers are never rounded.
         assert_eq!(exact.provenance.sym_diff, 0);
         assert_eq!(
@@ -709,6 +512,38 @@ mod tests {
         let stats = engine.stats();
         assert_eq!(stats.rows_ingested, 500);
         assert_eq!(stats.shards, 3);
+    }
+
+    #[test]
+    fn push_packed_batch_matches_per_row_pushes() {
+        let d = 10;
+        let data = uniform_binary(d, 2000, 41);
+        let rows: Vec<u64> = match &data {
+            Dataset::Binary(m) => m.rows().to_vec(),
+            Dataset::Qary(_) => unreachable!("generator yields binary data"),
+        };
+        let per_row = Engine::start(d, 2, small_cfg(3)).expect("start");
+        for &row in &rows {
+            per_row.push_packed(row).expect("push");
+        }
+        let batched = Engine::start(d, 2, small_cfg(3)).expect("start");
+        batched.push_packed_batch(&rows).expect("batch push");
+        let a = per_row.shutdown().expect("shutdown");
+        let b = batched.shutdown().expect("shutdown");
+        assert_eq!(a.n(), b.n());
+        // Same shard partitioning, same per-shard arrival order => every
+        // statistic identical.
+        for mask in [0b11u64, 0b1111, (1 << d) - 1] {
+            let cols = pfe_row::ColumnSet::from_mask(d, mask).expect("valid");
+            assert_eq!(
+                a.f0(&cols).expect("ok").estimate,
+                b.f0(&cols).expect("ok").estimate
+            );
+            assert_eq!(
+                a.heavy_hitters(&cols, 0.05, 1.0, 2.0).expect("ok"),
+                b.heavy_hitters(&cols, 0.05, 1.0, 2.0).expect("ok")
+            );
+        }
     }
 
     #[test]

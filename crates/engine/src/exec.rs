@@ -1,0 +1,392 @@
+//! The snapshot-relative query executor: plan → cache probe → compute →
+//! materialize, shared by every serving frontend.
+//!
+//! [`Engine`](crate::Engine) answers whole-stream batches against its
+//! published snapshot; the windowed engine (`pfe-window`) answers
+//! `last_n`-row batches against merged covering-set snapshots. Both drive
+//! the same [`QueryExecutor`]: one planner, one LRU answer cache keyed by
+//! the canonical [`pfe_query::QueryKey`], one per-statistic counter set,
+//! and one materialization path attaching guarantees and provenance — so
+//! the two frontends cannot drift in semantics.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use pfe_core::bounds;
+use pfe_query::{
+    Answer, AnswerValue, CostInfo, Guarantee, GuaranteeSource, Provenance, Query, StatKind,
+    Statistic,
+};
+
+use crate::cache::{CacheStats, CachedAnswer, QueryCache};
+use crate::error::EngineError;
+use crate::planner::{plan, PlanGroup, Planned};
+use crate::snapshot::Snapshot;
+
+/// Per-statistic counters of queries answered since the executor started.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QueryCounters {
+    /// `F_0` queries answered.
+    pub f0: u64,
+    /// Point-frequency queries answered.
+    pub frequency: u64,
+    /// Heavy-hitter queries answered.
+    pub heavy_hitters: u64,
+    /// `ℓ_1`-sample queries answered.
+    pub l1_sample: u64,
+}
+
+impl QueryCounters {
+    /// Total queries answered across all statistics.
+    pub fn total(&self) -> u64 {
+        self.f0 + self.frequency + self.heavy_hitters + self.l1_sample
+    }
+
+    /// The counter for one statistic kind.
+    pub fn get(&self, kind: StatKind) -> u64 {
+        match kind {
+            StatKind::F0 => self.f0,
+            StatKind::Frequency => self.frequency,
+            StatKind::HeavyHitters => self.heavy_hitters,
+            StatKind::L1Sample => self.l1_sample,
+        }
+    }
+}
+
+#[derive(Default)]
+struct StatCounterCells {
+    f0: AtomicU64,
+    frequency: AtomicU64,
+    heavy_hitters: AtomicU64,
+    l1_sample: AtomicU64,
+}
+
+impl StatCounterCells {
+    fn bump(&self, kind: StatKind, by: u64) {
+        let cell = match kind {
+            StatKind::F0 => &self.f0,
+            StatKind::Frequency => &self.frequency,
+            StatKind::HeavyHitters => &self.heavy_hitters,
+            StatKind::L1Sample => &self.l1_sample,
+        };
+        cell.fetch_add(by, Ordering::Relaxed);
+    }
+
+    fn read(&self) -> QueryCounters {
+        QueryCounters {
+            f0: self.f0.load(Ordering::Relaxed),
+            frequency: self.frequency.load(Ordering::Relaxed),
+            heavy_hitters: self.heavy_hitters.load(Ordering::Relaxed),
+            l1_sample: self.l1_sample.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The shared plan/probe/compute/materialize pipeline behind a serving
+/// frontend: an LRU answer cache plus per-statistic counters, exercised
+/// one snapshot at a time.
+pub struct QueryExecutor {
+    cache: QueryCache,
+    counters: StatCounterCells,
+    /// Whether this executor's frontend can serve `window(last_n)`
+    /// queries (only the windowed engine resolves covering sets).
+    windowed: bool,
+}
+
+impl QueryExecutor {
+    /// Create an executor with an answer cache of `cache_capacity`
+    /// entries (0 disables caching). `windowed` declares whether the
+    /// owning frontend resolves window requests; when `false`, queries
+    /// carrying [`pfe_query::QueryOptions::window`] get a typed per-slot
+    /// error instead of a silently whole-stream answer.
+    pub fn new(cache_capacity: usize, windowed: bool) -> Self {
+        Self {
+            cache: QueryCache::new(cache_capacity),
+            counters: StatCounterCells::default(),
+            windowed,
+        }
+    }
+
+    /// Answer a batch of queries against one snapshot. Answers return in
+    /// request order; per-query errors are reported per slot, never
+    /// batch-fatal. Co-plannable queries (same canonical key) share one
+    /// cache probe and at most one snapshot compute.
+    pub fn answer_batch(
+        &self,
+        snap: &Arc<Snapshot>,
+        queries: &[Query],
+    ) -> Vec<Result<Answer, EngineError>> {
+        let mut out: Vec<Option<Result<Answer, EngineError>>> = vec![None; queries.len()];
+        if !self.windowed {
+            for (slot, q) in queries.iter().enumerate() {
+                if q.options.window.is_some() {
+                    out[slot] = Some(Err(EngineError::Query(pfe_core::QueryError::BadParameter(
+                        "window(last_n) queries require a windowed engine (pfe-window)".to_string(),
+                    ))));
+                }
+            }
+        }
+        // Plan only the slots that passed the frontend gate; on the
+        // common all-open path, plan the request slice directly (no
+        // clones).
+        let plan = if out.iter().all(Option::is_none) {
+            plan(snap, queries)
+        } else {
+            // Re-map planned slots back to original request slots.
+            let slots: Vec<usize> = (0..queries.len())
+                .filter(|slot| out[*slot].is_none())
+                .collect();
+            let open: Vec<Query> = slots.iter().map(|&slot| queries[slot].clone()).collect();
+            let mut p = plan(snap, &open);
+            for (slot, _) in p.errors.iter_mut() {
+                *slot = slots[*slot];
+            }
+            for group in p.groups.iter_mut() {
+                for m in group.members.iter_mut() {
+                    m.slot = slots[m.slot];
+                }
+            }
+            p
+        };
+        for (slot, e) in plan.errors {
+            out[slot] = Some(Err(e));
+        }
+        for group in &plan.groups {
+            match self.execute_group(snap, queries, group) {
+                Err(e) => {
+                    for m in &group.members {
+                        out[m.slot] = Some(Err(e.clone()));
+                    }
+                }
+                Ok((value, cached)) => {
+                    self.counters
+                        .bump(group.key.kind, group.members.len() as u64);
+                    let group_size = group.members.len() as u32;
+                    for m in &group.members {
+                        out[m.slot] = Some(Ok(materialize(snap, m, &value, cached, group_size)));
+                    }
+                }
+            }
+        }
+        out.into_iter()
+            .map(|slot| slot.expect("planner fills every slot"))
+            .collect()
+    }
+
+    /// Probe the cache for a group's key, or compute its answer once from
+    /// the snapshot and (re)fill the cache entry.
+    fn execute_group(
+        &self,
+        snap: &Snapshot,
+        queries: &[Query],
+        group: &PlanGroup,
+    ) -> Result<(CachedAnswer, bool), EngineError> {
+        if group.probe_cache {
+            if let Some(hit) = self.cache.get(&group.key) {
+                return Ok((hit, true));
+            }
+        }
+        let rep = &group.members[0];
+        let value = match &queries[rep.slot].statistic {
+            Statistic::F0 => {
+                if rep.exact {
+                    CachedAnswer::F0(snap.f0_exact(&rep.cols)?)
+                } else {
+                    // The estimate belongs to the rounded target (the
+                    // group key's mask); per-query provenance is attached
+                    // at materialization.
+                    CachedAnswer::F0(snap.f0(&rep.target)?.estimate)
+                }
+            }
+            Statistic::Frequency { .. } => {
+                // The pattern was encoded once at plan time; the probe
+                // above and this compute both reuse it.
+                let key = rep
+                    .pattern_key
+                    .expect("planned frequency queries carry a key");
+                CachedAnswer::Frequency(snap.frequency(&rep.cols, key)?)
+            }
+            Statistic::HeavyHitters { phi } => {
+                let mut hitters = snap.heavy_hitters(&rep.cols, *phi, 1.0, 2.0)?;
+                if rep.exact {
+                    // Full retention: estimates are exact counts, so the
+                    // recall slack is unnecessary — keep exactly `≥ φn`.
+                    let threshold = phi * snap.n() as f64;
+                    hitters.retain(|h| h.estimate >= threshold);
+                }
+                CachedAnswer::HeavyHitters(hitters)
+            }
+            Statistic::L1Sample { k, seed } => {
+                CachedAnswer::L1Sample(snap.l1_sample(&rep.cols, *k, *seed)?)
+            }
+        };
+        self.cache.put(group.key, value.clone());
+        Ok((value, false))
+    }
+
+    /// Cache hit/miss/occupancy counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Per-statistic served-query counters.
+    pub fn counters(&self) -> QueryCounters {
+        self.counters.read()
+    }
+}
+
+/// Attach one member's provenance, guarantee, and cost metadata to the
+/// group's shared value.
+fn materialize(
+    snap: &Snapshot,
+    m: &Planned,
+    value: &CachedAnswer,
+    cached: bool,
+    group_size: u32,
+) -> Answer {
+    let provenance = Provenance {
+        requested: m.cols,
+        answered_on: m.target,
+        sym_diff: m.sym_diff,
+    };
+    let sample_guarantee = |epsilon: f64| {
+        if m.exact {
+            Guarantee::exact()
+        } else {
+            Guarantee {
+                alpha: 1.0,
+                epsilon,
+                source: GuaranteeSource::Sample,
+            }
+        }
+    };
+    let (value, guarantee) = match value {
+        CachedAnswer::F0(estimate) => {
+            let guarantee = if m.exact {
+                Guarantee::exact()
+            } else {
+                // Theorem 6.5: the sketch's β times the per-query
+                // Lemma 6.4 rounding distortion.
+                let k = snap
+                    .net_f0()
+                    .sketch(m.target.mask())
+                    .map(|s| s.k())
+                    .unwrap_or(2);
+                Guarantee {
+                    alpha: bounds::kmv_beta(k)
+                        * bounds::f0_rounding_distortion(snap.sample().alphabet(), m.sym_diff),
+                    epsilon: 0.0,
+                    source: GuaranteeSource::AlphaNet,
+                }
+            };
+            (
+                AnswerValue::F0 {
+                    estimate: *estimate,
+                },
+                guarantee,
+            )
+        }
+        CachedAnswer::Frequency(fa) => (
+            AnswerValue::Frequency {
+                estimate: fa.estimate,
+                upper_bound: fa.upper_bound,
+            },
+            // Theorem 5.1: unbiased with additive error ε‖f‖₁.
+            sample_guarantee(fa.additive_error),
+        ),
+        CachedAnswer::HeavyHitters(hitters) => (
+            AnswerValue::HeavyHitters {
+                hitters: hitters.clone(),
+            },
+            sample_guarantee(snap.sample().additive_error(bounds::DEFAULT_DELTA)),
+        ),
+        CachedAnswer::L1Sample(patterns) => (
+            AnswerValue::L1Sample {
+                patterns: patterns.clone(),
+            },
+            // Probability-mass error of sample proportions.
+            sample_guarantee(bounds::sample_epsilon(
+                snap.sample().sample_len().max(1),
+                bounds::DEFAULT_DELTA,
+            )),
+        ),
+    };
+    Answer {
+        value,
+        guarantee,
+        provenance,
+        epoch: snap.epoch(),
+        cost: CostInfo { cached, group_size },
+        window: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EngineConfig;
+    use crate::shard::ShardSummary;
+    use pfe_stream::gen::uniform_binary;
+
+    fn snapshot(d: u32, rows: usize) -> Arc<Snapshot> {
+        let cfg = EngineConfig {
+            sample_t: 256,
+            kmv_k: 64,
+            ..Default::default()
+        };
+        let mut shard = ShardSummary::new(d, 2, 0, &cfg).expect("new");
+        if let pfe_row::Dataset::Binary(m) = &uniform_binary(d, rows, 3) {
+            for &row in m.rows() {
+                shard.push_packed(row);
+            }
+        }
+        Arc::new(Snapshot::from_shards(vec![shard], 1))
+    }
+
+    #[test]
+    fn non_windowed_executor_rejects_window_queries_per_slot() {
+        let snap = snapshot(8, 500);
+        let exec = QueryExecutor::new(16, false);
+        let answers = exec.answer_batch(
+            &snap,
+            &[
+                Query::over([0, 1]).f0(),
+                Query::over([0, 1]).f0().window(100),
+                Query::over([0, 2]).f0(),
+            ],
+        );
+        assert!(answers[0].is_ok());
+        assert!(matches!(
+            answers[1],
+            Err(EngineError::Query(pfe_core::QueryError::BadParameter(_)))
+        ));
+        // The slot after the rejected one still answers in its own slot.
+        let a2 = answers[2].as_ref().expect("ok");
+        assert_eq!(a2.provenance.requested.to_indices(), vec![0, 2]);
+        // Rejected slots never reach the counters.
+        assert_eq!(exec.counters().total(), 2);
+    }
+
+    #[test]
+    fn windowed_executor_accepts_window_queries() {
+        let snap = snapshot(8, 500);
+        let exec = QueryExecutor::new(16, true);
+        let answers = exec.answer_batch(&snap, &[Query::over([0, 1]).f0().window(100)]);
+        let a = answers[0].as_ref().expect("windowed slot accepted");
+        // The executor leaves coverage attachment to the frontend.
+        assert_eq!(a.window, None);
+    }
+
+    #[test]
+    fn counters_and_cache_shared_across_batches() {
+        let snap = snapshot(8, 500);
+        let exec = QueryExecutor::new(16, false);
+        let q = Query::over([0, 1]).heavy_hitters(0.1);
+        let first = exec.answer_batch(&snap, std::slice::from_ref(&q));
+        assert!(!first[0].as_ref().expect("ok").cost.cached);
+        let second = exec.answer_batch(&snap, std::slice::from_ref(&q));
+        assert!(second[0].as_ref().expect("ok").cost.cached);
+        assert_eq!(exec.counters().heavy_hitters, 2);
+        assert_eq!(exec.cache_stats().hits, 1);
+    }
+}

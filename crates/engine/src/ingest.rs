@@ -211,6 +211,43 @@ impl IngestPipeline {
         Ok(())
     }
 
+    /// Route a slice of packed binary rows.
+    ///
+    /// Every row is validated *before* any routing happens (a malformed
+    /// batch routes nothing), then rows are partitioned into the per-shard
+    /// buffers and forwarded one bounded-channel message per full chunk —
+    /// the same wire format as [`push_packed`](Self::push_packed), with
+    /// the per-row q/mask checks and counter updates amortized across the
+    /// whole slice.
+    ///
+    /// # Errors
+    /// `Query(BadParameter)` on shape violations; `Closed` if a worker
+    /// has gone away.
+    pub fn push_packed_batch(&mut self, rows: &[u64]) -> Result<(), EngineError> {
+        if self.q != 2 {
+            return Err(EngineError::Query(QueryError::BadParameter(
+                "push_packed requires a binary pipeline".into(),
+            )));
+        }
+        let above_d = !((1u64 << self.d) - 1);
+        if let Some(&bad) = rows.iter().find(|&&row| row & above_d != 0) {
+            return Err(EngineError::Query(QueryError::BadParameter(format!(
+                "row {bad:#x} has bits above d={}",
+                self.d
+            ))));
+        }
+        for &row in rows {
+            let shard = self.shard_of_packed(row);
+            self.packed_buf[shard].push(row);
+            if self.packed_buf[shard].len() >= self.batch_rows {
+                let batch = std::mem::take(&mut self.packed_buf[shard]);
+                self.send(shard, RowBatch::Packed(batch))?;
+            }
+        }
+        self.rows_routed += rows.len() as u64;
+        Ok(())
+    }
+
     /// Route one dense row.
     ///
     /// # Errors
@@ -256,11 +293,9 @@ impl IngestPipeline {
             )));
         }
         match data {
-            Dataset::Binary(m) => {
-                for &row in m.rows() {
-                    self.push_packed(row)?;
-                }
-            }
+            // One validation sweep + chunked channel sends for the packed
+            // fast path, instead of per-row routing.
+            Dataset::Binary(m) => self.push_packed_batch(m.rows())?,
             Dataset::Qary(m) => {
                 for i in 0..m.num_rows() {
                     self.push_dense(m.row(i))?;
@@ -431,6 +466,13 @@ mod tests {
         assert!(matches!(p.push_dense(&[0, 1]), Err(EngineError::Query(_))));
         assert!(matches!(p.push_dense(&[7; 8]), Err(EngineError::Query(_))));
         assert!(matches!(p.push_packed(1 << 20), Err(EngineError::Query(_))));
+        // A batch with one bad row routes nothing.
+        let routed_before = p.rows_routed();
+        assert!(matches!(
+            p.push_packed_batch(&[0b1, 1 << 20, 0b10]),
+            Err(EngineError::Query(_))
+        ));
+        assert_eq!(p.rows_routed(), routed_before);
         // Still healthy afterwards.
         p.push_packed(0b1010_1010).expect("good row");
         p.push_dense(&[0, 1, 0, 1, 0, 1, 0, 1]).expect("good row");

@@ -67,18 +67,20 @@ pub mod cache;
 pub mod config;
 pub mod engine;
 pub mod error;
+pub mod exec;
 pub mod ingest;
 pub mod json;
 pub mod persist;
-mod planner;
+pub mod planner;
 pub mod shard;
 pub mod snapshot;
 pub mod wire;
 
 pub use cache::{CacheStats, CachedAnswer, QueryCache};
 pub use config::{EngineConfig, FreqNetConfig};
-pub use engine::{Engine, EngineStats, QueryCounters};
+pub use engine::{Engine, EngineStats};
 pub use error::EngineError;
+pub use exec::{QueryCounters, QueryExecutor};
 pub use ingest::{IngestPipeline, RowBatch};
 pub use json::Json;
 pub use persist::merge_snapshot_files;
@@ -88,5 +90,5 @@ pub use snapshot::{FrequencyAnswer, Snapshot};
 // import path.
 pub use pfe_query::{
     Answer, AnswerValue, CostInfo, Guarantee, GuaranteeSource, Provenance, Query, QueryKey,
-    QueryOptions, StatKind, Statistic,
+    QueryOptions, StatKind, Statistic, WindowCoverage,
 };

@@ -11,6 +11,12 @@
 //! [`PlanGroup`]; the executor computes the group's answer once and
 //! materializes a per-query [`Answer`](pfe_query::Answer) with each
 //! query's own provenance.
+//!
+//! The planner is snapshot-relative, not engine-relative: the windowed
+//! engine plans each covering-set batch against the *merged* snapshot of
+//! that covering set (whose epoch slot carries the covering-set
+//! fingerprint), so windowed queries group — and cache — by fingerprint
+//! exactly like whole-stream queries group by epoch.
 
 use std::collections::HashMap;
 
@@ -23,7 +29,7 @@ use crate::snapshot::Snapshot;
 
 /// One query after normalization.
 #[derive(Debug, Clone)]
-pub(crate) struct Planned {
+pub struct Planned {
     /// Index into the request slice (answers return in request order).
     pub slot: usize,
     /// The validated query column set.
@@ -43,7 +49,7 @@ pub(crate) struct Planned {
 /// A set of queries sharing one canonical key: one cache probe, one
 /// snapshot compute.
 #[derive(Debug, Clone)]
-pub(crate) struct PlanGroup {
+pub struct PlanGroup {
     /// The shared canonical key (also the cache key).
     pub key: QueryKey,
     /// Whether the executor may probe the answer cache (false for
@@ -56,8 +62,10 @@ pub(crate) struct PlanGroup {
 /// The plan for one batch: groups to execute plus per-slot planning
 /// errors (bad columns, stale pins, codec failures).
 #[derive(Debug, Clone, Default)]
-pub(crate) struct Plan {
+pub struct Plan {
+    /// Groups to execute, in first-appearance order.
     pub groups: Vec<PlanGroup>,
+    /// Per-slot planning failures (`(request index, error)`).
     pub errors: Vec<(usize, EngineError)>,
 }
 
@@ -68,7 +76,7 @@ fn column_set(snap: &Snapshot, cols: &[u32]) -> Result<ColumnSet, EngineError> {
 }
 
 /// Normalize and group a batch against one snapshot.
-pub(crate) fn plan(snap: &Snapshot, queries: &[Query]) -> Plan {
+pub fn plan(snap: &Snapshot, queries: &[Query]) -> Plan {
     let epoch = snap.epoch();
     let exhaustive = snap.is_exhaustive();
     let mut plan = Plan::default();
@@ -117,7 +125,14 @@ pub(crate) fn plan(snap: &Snapshot, queries: &[Query]) -> Plan {
             },
             _ => None,
         };
-        let key = QueryKey::new(epoch, target.mask(), &q.statistic, pattern_key, exact);
+        let key = QueryKey::new(
+            epoch,
+            target.mask(),
+            &q.statistic,
+            pattern_key,
+            exact,
+            q.options.window.unwrap_or(0),
+        );
         let planned = Planned {
             slot,
             cols,
@@ -239,6 +254,23 @@ mod tests {
         assert_eq!(bypass.len(), 1);
         assert_eq!(bypass[0].members.len(), 1);
         assert_eq!(bypass[0].members[0].slot, 1);
+    }
+
+    #[test]
+    fn window_lengths_split_groups() {
+        let snap = snapshot(8, 500);
+        let queries = vec![
+            Query::over([0, 1]).heavy_hitters(0.1).window(100),
+            Query::over([0, 1]).heavy_hitters(0.1).window(100),
+            Query::over([0, 1]).heavy_hitters(0.1).window(200),
+            Query::over([0, 1]).heavy_hitters(0.1),
+        ];
+        let plan = plan(&snap, &queries);
+        assert_eq!(plan.groups.len(), 3, "two windows + whole-stream");
+        assert_eq!(plan.groups[0].members.len(), 2);
+        assert_eq!(plan.groups[0].key.window, 100);
+        assert_eq!(plan.groups[1].key.window, 200);
+        assert_eq!(plan.groups[2].key.window, 0);
     }
 
     #[test]

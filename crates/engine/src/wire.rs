@@ -77,7 +77,9 @@ fn flag(req: &Json, field: &str) -> Result<bool, String> {
 ///
 /// The object's `op` must be a [`StatKind::name`]; `cols` is required;
 /// statistic payloads (`pattern`, `phi`, `k`) and options (`epoch`,
-/// `bypass_cache`, `exact`, `seed`) are read from sibling fields.
+/// `bypass_cache`, `exact`, `seed`, `window`) are read from sibling
+/// fields. A `window` field asks for the most recent `window` rows and is
+/// honored by a windowed engine (a plain engine returns a typed error).
 ///
 /// # Errors
 /// A human-readable message naming the malformed field.
@@ -114,6 +116,9 @@ pub fn query_from_json(req: &Json) -> Result<Query, String> {
     }
     if flag(req, "exact")? {
         query = query.exact_if_available();
+    }
+    if let Some(last_n) = uint(req, "window")? {
+        query = query.window(last_n);
     }
     Ok(query)
 }
@@ -206,6 +211,17 @@ pub fn answer_to_json(answer: &Answer, q: u32) -> Json {
     fields.push(("epoch", Json::Num(answer.epoch as f64)));
     fields.push(("cached", Json::Bool(answer.cost.cached)));
     fields.push(("group_size", Json::Num(answer.cost.group_size as f64)));
+    if let Some(w) = &answer.window {
+        fields.push((
+            "window",
+            Json::obj([
+                ("requested_rows", Json::Num(w.requested_rows as f64)),
+                ("covered_rows", Json::Num(w.covered_rows as f64)),
+                ("buckets", Json::Num(w.buckets as f64)),
+                ("truncated", Json::Bool(w.truncated)),
+            ]),
+        ));
+    }
     Json::obj(fields)
 }
 
@@ -280,6 +296,16 @@ mod tests {
         .unwrap();
         assert_eq!(q.statistic, Statistic::L1Sample { k: 16, seed: 7 });
         assert!(q.options.exact_if_available);
+
+        // A window field travels on every statistic op.
+        let q = query_from_json(&Json::parse(r#"{"op":"f0","cols":[0,1],"window":5000}"#).unwrap())
+            .unwrap();
+        assert_eq!(q.options.window, Some(5000));
+        let q = query_from_json(
+            &Json::parse(r#"{"op":"heavy_hitters","cols":[0],"phi":0.1,"window":100}"#).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(q.options.window, Some(100));
     }
 
     #[test]
@@ -293,6 +319,7 @@ mod tests {
             r#"{"op":"l1_sample","cols":[0]}"#,
             r#"{"op":"f0","cols":[0],"epoch":1.5}"#,
             r#"{"op":"f0","cols":[0],"bypass_cache":1}"#,
+            r#"{"op":"f0","cols":[0],"window":-3}"#,
         ] {
             let req = Json::parse(text).expect("valid json");
             assert!(query_from_json(&req).is_err(), "accepted {text}");
@@ -320,6 +347,7 @@ mod tests {
                 cached: true,
                 group_size: 2,
             },
+            window: None,
         };
         let json = answer_to_json(&answer, 2);
         assert_eq!(json.get("ok"), Some(&Json::Bool(true)));
@@ -336,7 +364,25 @@ mod tests {
         assert_eq!(json.get("sym_diff").and_then(Json::as_f64), Some(1.0));
         assert_eq!(json.get("cached"), Some(&Json::Bool(true)));
         assert_eq!(json.get("group_size").and_then(Json::as_f64), Some(2.0));
+        // Unwindowed answers carry no window object…
+        assert!(json.get("window").is_none());
+        // …windowed answers serialize their realized coverage.
+        let windowed = Answer {
+            window: Some(pfe_query::WindowCoverage {
+                requested_rows: 1000,
+                covered_rows: 1200,
+                buckets: 3,
+                truncated: false,
+            }),
+            ..answer
+        };
+        let json_w = answer_to_json(&windowed, 2);
+        let w = json_w.get("window").expect("coverage travels");
+        assert_eq!(w.get("requested_rows").and_then(Json::as_f64), Some(1000.0));
+        assert_eq!(w.get("covered_rows").and_then(Json::as_f64), Some(1200.0));
+        assert_eq!(w.get("buckets").and_then(Json::as_f64), Some(3.0));
+        assert_eq!(w.get("truncated"), Some(&Json::Bool(false)));
         // The output is valid, re-parseable JSON.
-        assert_eq!(Json::parse(&json.to_string()).expect("reparse"), json);
+        assert_eq!(Json::parse(&json_w.to_string()).expect("reparse"), json_w);
     }
 }

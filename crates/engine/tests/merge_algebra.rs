@@ -1,0 +1,174 @@
+//! Algebraic contracts of `Snapshot::merge` — the operation the
+//! `pfe-window` covering-set merge is built on.
+//!
+//! For disjoint segments of one stream:
+//!
+//! - **3-way associativity**: `(A ∪ B) ∪ C == A ∪ (B ∪ C)` bit-exactly
+//!   for *all four* statistics while the reservoirs are under-full (both
+//!   orders concatenate the segments in stream order — the regime the
+//!   window ring's oldest-first cascade relies on), and for the
+//!   KMV-backed `F_0` in every regime.
+//! - **Commutativity**: `A ∪ B == B ∪ A` for the multiset-insensitive
+//!   statistics (`F_0`, frequency, heavy hitters). The `ℓ_1` sampler
+//!   indexes the sample *in order*, so commutativity is deliberately not
+//!   claimed for it — which is why the window ring always merges
+//!   oldest-first.
+//!
+//! Rows counters and epochs must combine correctly in every case.
+
+use pfe_engine::{EngineConfig, ShardSummary, Snapshot};
+use pfe_row::{ColumnSet, PatternKey};
+use proptest::prelude::*;
+
+const D: u32 = 10;
+
+fn cfg(sample_t: usize, seed: u64) -> EngineConfig {
+    EngineConfig {
+        sample_t,
+        kmv_k: 32,
+        seed,
+        ..Default::default()
+    }
+}
+
+/// One snapshot over a row segment (`shard_id` varies the reservoir seed,
+/// as window buckets and ingest shards do).
+fn snap_over(rows: &[u64], sample_t: usize, seed: u64, shard_id: usize, epoch: u64) -> Snapshot {
+    let mut shard = ShardSummary::new(D, 2, shard_id, &cfg(sample_t, seed)).expect("new");
+    for &row in rows {
+        shard.push_packed(row);
+    }
+    Snapshot::from_shards(vec![shard], epoch)
+}
+
+fn merged(a: &Snapshot, b: &Snapshot) -> Snapshot {
+    // Snapshot has no Clone; rebuild the left side through its own merge.
+    let mut acc = empty_like();
+    acc.merge(a).expect("compatible");
+    acc.merge(b).expect("compatible");
+    acc
+}
+
+thread_local! {
+    static EMPTY_PARAMS: std::cell::RefCell<Option<(usize, u64)>> = const { std::cell::RefCell::new(None) };
+}
+
+fn set_empty_params(sample_t: usize, seed: u64) {
+    EMPTY_PARAMS.with(|p| *p.borrow_mut() = Some((sample_t, seed)));
+}
+
+fn empty_like() -> Snapshot {
+    let (sample_t, seed) = EMPTY_PARAMS.with(|p| p.borrow().expect("params set"));
+    snap_over(&[], sample_t, seed, 0, 0)
+}
+
+/// Every queryable surface of a snapshot, bit-comparable.
+fn battery(
+    snap: &Snapshot,
+    mask: u64,
+) -> (
+    f64,
+    f64,
+    Vec<pfe_core::HeavyHitter>,
+    Vec<pfe_core::SampledPattern>,
+) {
+    let cols = ColumnSet::from_mask(D, mask).expect("valid");
+    (
+        snap.f0(&cols).expect("ok").estimate,
+        snap.frequency(&cols, PatternKey::new(0))
+            .expect("ok")
+            .estimate,
+        snap.heavy_hitters(&cols, 0.05, 1.0, 2.0).expect("ok"),
+        snap.l1_sample(&cols, 8, 5).expect("ok"),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Under-full regime: associativity holds bit-exactly for all four
+    /// statistics, commutativity for the multiset-insensitive three.
+    #[test]
+    fn prop_merge_associative_and_commutative_underfull(
+        rows in proptest::collection::vec(0u64..(1 << D), 60..400),
+        cut1 in 0.1f64..0.45,
+        cut2 in 0.55f64..0.9,
+        mask in 1u64..(1 << D),
+        seed in 0u64..1000,
+    ) {
+        let sample_t = 2048; // above total rows: lossless merges
+        set_empty_params(sample_t, seed);
+        let (i, j) = (
+            (rows.len() as f64 * cut1) as usize,
+            (rows.len() as f64 * cut2) as usize,
+        );
+        let a = snap_over(&rows[..i], sample_t, seed, 0, 3);
+        let b = snap_over(&rows[i..j], sample_t, seed, 1, 5);
+        let c = snap_over(&rows[j..], sample_t, seed, 2, 4);
+
+        // (A ∪ B) ∪ C == A ∪ (B ∪ C), every statistic bit-identical.
+        let left = merged(&merged(&a, &b), &c);
+        let right = merged(&a, &merged(&b, &c));
+        prop_assert_eq!(left.n(), rows.len() as u64);
+        prop_assert_eq!(left.n(), right.n());
+        prop_assert_eq!(left.epoch(), 5, "merged epoch is the max input epoch");
+        prop_assert_eq!(left.epoch(), right.epoch());
+        prop_assert_eq!(battery(&left, mask), battery(&right, mask));
+
+        // Both equal a single sequential build over the whole stream
+        // (shard_id 0 so the reservoir seed matches A's — irrelevant
+        // while under-full, but keeps the contract tight).
+        let whole = snap_over(&rows, sample_t, seed, 0, 5);
+        prop_assert_eq!(battery(&left, mask), battery(&whole, mask));
+
+        // A ∪ B == B ∪ A for the multiset-insensitive statistics.
+        let ab = merged(&a, &b);
+        let ba = merged(&b, &a);
+        let (f0_ab, freq_ab, hh_ab, _) = battery(&ab, mask);
+        let (f0_ba, freq_ba, hh_ba, _) = battery(&ba, mask);
+        prop_assert_eq!(f0_ab, f0_ba);
+        prop_assert_eq!(freq_ab, freq_ba);
+        prop_assert_eq!(hh_ab, hh_ba);
+        prop_assert_eq!(ab.n(), ba.n());
+    }
+
+    /// Over-full regime: the KMV union behind `F_0` stays exactly
+    /// commutative and associative even when the reservoirs subsample.
+    #[test]
+    fn prop_f0_merge_algebra_survives_overfull_reservoirs(
+        rows in proptest::collection::vec(0u64..(1 << D), 150..500),
+        mask in 1u64..(1 << D),
+        seed in 0u64..1000,
+    ) {
+        let sample_t = 32; // far below segment sizes: reservoirs subsample
+        set_empty_params(sample_t, seed);
+        let third = rows.len() / 3;
+        let a = snap_over(&rows[..third], sample_t, seed, 0, 1);
+        let b = snap_over(&rows[third..2 * third], sample_t, seed, 1, 1);
+        let c = snap_over(&rows[2 * third..], sample_t, seed, 2, 1);
+        let cols = ColumnSet::from_mask(D, mask).expect("valid");
+        let f0 = |s: &Snapshot| s.f0(&cols).expect("ok").estimate;
+
+        let left = f0(&merged(&merged(&a, &b), &c));
+        let right = f0(&merged(&a, &merged(&b, &c)));
+        let flipped = f0(&merged(&merged(&c, &a), &b));
+        let whole = f0(&snap_over(&rows, sample_t, seed, 0, 1));
+        prop_assert_eq!(left, right);
+        prop_assert_eq!(left, flipped, "F_0 union is fully commutative");
+        prop_assert_eq!(left, whole, "union == sequential build");
+    }
+}
+
+#[test]
+fn incompatible_snapshots_refuse_to_merge() {
+    set_empty_params(64, 7);
+    let a = snap_over(&[1, 2, 3], 64, 7, 0, 1);
+    // Different base seed => different per-mask KMV seeds.
+    let b = snap_over(&[4, 5], 64, 8, 0, 1);
+    let mut acc = empty_like();
+    acc.merge(&a).expect("compatible");
+    assert!(matches!(
+        acc.merge(&b),
+        Err(pfe_engine::EngineError::Incompatible(_))
+    ));
+}

@@ -42,6 +42,8 @@ pub mod kind {
     pub const SUMMARY_SUITE: u16 = 2;
     /// A standalone sketch or summary (tests, tooling).
     pub const SKETCH: u16 = 3;
+    /// A sliding-window bucket ring (`pfe-window`'s `BucketRing`).
+    pub const WINDOW: u16 = 4;
 }
 
 /// Wrap `payload` in a framed byte vector with the given record kind.

@@ -84,6 +84,38 @@ pub struct Provenance {
     pub sym_diff: u32,
 }
 
+/// Realized coverage of a windowed answer.
+///
+/// A windowed engine answers `last_n`-row queries by merging the minimal
+/// covering set of its tiered buckets, so the suffix actually summarized
+/// can overshoot the request by less than one bucket (the oldest one
+/// included). The accompanying [`Guarantee`] then holds over the
+/// `covered_rows`-row suffix, not the requested window — clients that
+/// need the slack can read it off `covered_rows - requested_rows`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowCoverage {
+    /// The `last_n` the query asked for.
+    pub requested_rows: u64,
+    /// Rows of the suffix actually summarized: at least
+    /// `min(requested_rows, retained)`, at most one bucket more than
+    /// `requested_rows`.
+    pub covered_rows: u64,
+    /// How many ring buckets (including the active one) were merged to
+    /// cover the window.
+    pub buckets: u32,
+    /// True when the ring has already evicted rows the request wanted
+    /// (`requested_rows` exceeds total retention): the answer covers
+    /// everything retained, which is less than asked.
+    pub truncated: bool,
+}
+
+impl WindowCoverage {
+    /// Rows covered beyond the request (`0` when truncated).
+    pub fn slack_rows(&self) -> u64 {
+        self.covered_rows.saturating_sub(self.requested_rows)
+    }
+}
+
 /// Cache and planner cost metadata for one answer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CostInfo {
@@ -134,10 +166,15 @@ pub struct Answer {
     pub guarantee: Guarantee,
     /// Which column set actually answered.
     pub provenance: Provenance,
-    /// Epoch of the snapshot the answer was computed against.
+    /// Epoch of the snapshot the answer was computed against; for
+    /// windowed answers, the covering-set fingerprint of the merged
+    /// buckets (stable exactly while the covering buckets are).
     pub epoch: u64,
     /// Cache/planner metadata.
     pub cost: CostInfo,
+    /// Realized window coverage — `Some` exactly when the query carried
+    /// [`QueryOptions::window`](crate::QueryOptions::window).
+    pub window: Option<WindowCoverage>,
 }
 
 impl Answer {
@@ -197,6 +234,7 @@ mod tests {
                 cached: false,
                 group_size: 1,
             },
+            window: None,
         }
     }
 
@@ -215,6 +253,24 @@ mod tests {
         let a = answer(AnswerValue::L1Sample { patterns: vec![] });
         assert_eq!(a.kind(), StatKind::L1Sample);
         assert_eq!(a.patterns(), Some(&[][..]));
+    }
+
+    #[test]
+    fn window_coverage_slack() {
+        let w = WindowCoverage {
+            requested_rows: 100,
+            covered_rows: 130,
+            buckets: 3,
+            truncated: false,
+        };
+        assert_eq!(w.slack_rows(), 30);
+        let t = WindowCoverage {
+            requested_rows: 1000,
+            covered_rows: 600,
+            buckets: 4,
+            truncated: true,
+        };
+        assert_eq!(t.slack_rows(), 0);
     }
 
     #[test]

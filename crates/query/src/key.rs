@@ -2,11 +2,14 @@
 //! to.
 //!
 //! Two queries that must share one snapshot compute — same epoch, same
-//! *effective* (rounded) mask, same statistic payload, same exactness —
-//! hash to the same [`QueryKey`]. The serving engine keys its LRU answer
-//! cache by this type and its batch planner groups co-plannable queries
-//! by it, so "shares a cache entry" and "shares a planner group" are one
-//! definition.
+//! *effective* (rounded) mask, same statistic payload, same exactness,
+//! same window — hash to the same [`QueryKey`]. The serving engine keys
+//! its LRU answer cache by this type and its batch planner groups
+//! co-plannable queries by it, so "shares a cache entry" and "shares a
+//! planner group" are one definition. For windowed serving the epoch slot
+//! carries the covering-set fingerprint instead of a snapshot sequence
+//! number, so a cached windowed answer is invalidated exactly when the
+//! buckets covering its window change.
 
 use pfe_row::PatternKey;
 
@@ -15,7 +18,8 @@ use crate::statistic::{StatKind, Statistic};
 /// Canonical identity of one query against one snapshot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct QueryKey {
-    /// Snapshot epoch the answer is computed against.
+    /// Snapshot epoch the answer is computed against — or, for windowed
+    /// queries, the covering-set fingerprint of the merged buckets.
     pub epoch: u64,
     /// Effective subset mask: the *rounded* net-member mask for
     /// (non-exact) `F_0`, the query's own mask for the sample statistics
@@ -27,6 +31,10 @@ pub struct QueryKey {
     /// Whether the exact (full-retention) path answers this query; exact
     /// and approximate answers never share an entry.
     pub exact: bool,
+    /// Requested window length `last_n` (`0` = whole stream). Two
+    /// `last_n` values can resolve to the same covering set; they still
+    /// get distinct entries so the reported coverage stays per-request.
+    pub window: u64,
     /// Statistic payload: the encoded pattern key (frequency), `φ` bits
     /// (heavy hitters), `(k, seed)` (`ℓ_1` sample), `0` for `F_0`.
     pub aux: u128,
@@ -38,16 +46,19 @@ impl QueryKey {
     /// `mask` must already be the effective mask (rounded for non-exact
     /// `F_0`); `pattern_key` must be the pattern encoded against the
     /// query's own columns and is required exactly when the statistic is
-    /// [`Statistic::Frequency`].
+    /// [`Statistic::Frequency`]; `window` is the requested `last_n` (`0`
+    /// for whole-stream queries).
     ///
     /// ```
     /// use pfe_query::{QueryKey, Statistic, StatKind};
     ///
-    /// let a = QueryKey::new(1, 0b011, &Statistic::HeavyHitters { phi: 0.1 }, None, false);
-    /// let b = QueryKey::new(1, 0b011, &Statistic::HeavyHitters { phi: 0.1 }, None, false);
-    /// let c = QueryKey::new(1, 0b011, &Statistic::HeavyHitters { phi: 0.2 }, None, false);
+    /// let a = QueryKey::new(1, 0b011, &Statistic::HeavyHitters { phi: 0.1 }, None, false, 0);
+    /// let b = QueryKey::new(1, 0b011, &Statistic::HeavyHitters { phi: 0.1 }, None, false, 0);
+    /// let c = QueryKey::new(1, 0b011, &Statistic::HeavyHitters { phi: 0.2 }, None, false, 0);
+    /// let w = QueryKey::new(1, 0b011, &Statistic::HeavyHitters { phi: 0.1 }, None, false, 500);
     /// assert_eq!(a, b);
     /// assert_ne!(a, c);
+    /// assert_ne!(a, w);
     /// assert_eq!(a.kind, StatKind::HeavyHitters);
     /// ```
     ///
@@ -60,6 +71,7 @@ impl QueryKey {
         statistic: &Statistic,
         pattern_key: Option<PatternKey>,
         exact: bool,
+        window: u64,
     ) -> Self {
         let aux = match statistic {
             Statistic::F0 => 0,
@@ -74,6 +86,7 @@ impl QueryKey {
             mask,
             kind: statistic.kind(),
             exact,
+            window,
             aux,
         }
     }
@@ -85,20 +98,31 @@ mod tests {
 
     #[test]
     fn distinct_dimensions_do_not_collide() {
-        let base = QueryKey::new(1, 0b11, &Statistic::F0, None, false);
-        assert_ne!(base, QueryKey::new(2, 0b11, &Statistic::F0, None, false));
-        assert_ne!(base, QueryKey::new(1, 0b10, &Statistic::F0, None, false));
-        assert_ne!(base, QueryKey::new(1, 0b11, &Statistic::F0, None, true));
+        let base = QueryKey::new(1, 0b11, &Statistic::F0, None, false, 0);
+        assert_ne!(base, QueryKey::new(2, 0b11, &Statistic::F0, None, false, 0));
+        assert_ne!(base, QueryKey::new(1, 0b10, &Statistic::F0, None, false, 0));
+        assert_ne!(base, QueryKey::new(1, 0b11, &Statistic::F0, None, true, 0));
         assert_ne!(
             base,
-            QueryKey::new(1, 0b11, &Statistic::HeavyHitters { phi: 0.0 }, None, false)
+            QueryKey::new(1, 0b11, &Statistic::F0, None, false, 100)
+        );
+        assert_ne!(
+            base,
+            QueryKey::new(
+                1,
+                0b11,
+                &Statistic::HeavyHitters { phi: 0.0 },
+                None,
+                false,
+                0
+            )
         );
     }
 
     #[test]
     fn l1_aux_packs_k_and_seed() {
-        let a = QueryKey::new(1, 1, &Statistic::L1Sample { k: 2, seed: 3 }, None, false);
-        let b = QueryKey::new(1, 1, &Statistic::L1Sample { k: 3, seed: 2 }, None, false);
+        let a = QueryKey::new(1, 1, &Statistic::L1Sample { k: 2, seed: 3 }, None, false, 0);
+        let b = QueryKey::new(1, 1, &Statistic::L1Sample { k: 3, seed: 2 }, None, false, 0);
         assert_ne!(a.aux, b.aux);
         assert_eq!(a.aux, (2u128 << 64) | 3);
     }
@@ -108,9 +132,17 @@ mod tests {
         let stat = Statistic::Frequency {
             pattern: vec![1, 0],
         };
-        let k1 = QueryKey::new(1, 0b11, &stat, Some(PatternKey::new(1)), false);
-        let k2 = QueryKey::new(1, 0b11, &stat, Some(PatternKey::new(2)), false);
+        let k1 = QueryKey::new(1, 0b11, &stat, Some(PatternKey::new(1)), false, 0);
+        let k2 = QueryKey::new(1, 0b11, &stat, Some(PatternKey::new(2)), false, 0);
         assert_ne!(k1, k2);
+    }
+
+    #[test]
+    fn window_lengths_do_not_collide() {
+        let a = QueryKey::new(7, 0b1, &Statistic::F0, None, false, 100);
+        let b = QueryKey::new(7, 0b1, &Statistic::F0, None, false, 200);
+        assert_ne!(a, b);
+        assert_eq!(a.window, 100);
     }
 
     #[test]
@@ -122,6 +154,7 @@ mod tests {
             &Statistic::Frequency { pattern: vec![0] },
             None,
             false,
+            0,
         );
     }
 }

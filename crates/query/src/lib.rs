@@ -13,12 +13,14 @@
 //!   statistics ([`Statistic::F0`], [`Statistic::Frequency`],
 //!   [`Statistic::HeavyHitters`], [`Statistic::L1Sample`]) plus
 //!   per-query [`QueryOptions`] (epoch pinning, cache bypass,
-//!   exact-if-available);
+//!   exact-if-available, sliding `window(last_n)`);
 //! - [`Answer`]: the uniform response — statistic payload, the
 //!   theorem-derived [`Guarantee`] (`α` multiplicative, `ε` additive,
 //!   [`GuaranteeSource`] exact / sample / α-net), rounded-mask
 //!   [`Provenance`] (Lemma 6.4: which net member actually answered),
-//!   snapshot epoch, and cache/cost metadata ([`CostInfo`]);
+//!   snapshot epoch, cache/cost metadata ([`CostInfo`]), and — for
+//!   windowed queries — the realized [`WindowCoverage`] (the merged
+//!   covering set may overshoot `last_n` by less than one bucket);
 //! - [`QueryKey`]: the canonical hash identity — queries sharing an
 //!   effective (rounded) mask and statistic share one cache entry and
 //!   one planner group.
@@ -41,7 +43,9 @@ mod key;
 mod query;
 mod statistic;
 
-pub use answer::{Answer, AnswerValue, CostInfo, Guarantee, GuaranteeSource, Provenance};
+pub use answer::{
+    Answer, AnswerValue, CostInfo, Guarantee, GuaranteeSource, Provenance, WindowCoverage,
+};
 pub use key::QueryKey;
 pub use query::{Query, QueryBuilder, QueryOptions};
 pub use statistic::{StatKind, Statistic};

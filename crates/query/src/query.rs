@@ -19,6 +19,13 @@ pub struct QueryOptions {
     /// the retained rows and report a `Guarantee` with `source: Exact`
     /// instead of the sketch/sample bound.
     pub exact_if_available: bool,
+    /// Answer over (roughly) the most recent `last_n` rows instead of the
+    /// whole stream. Served by a windowed engine, which merges the minimal
+    /// covering set of its tiered buckets: the covered suffix is at least
+    /// `last_n` rows but may overshoot by less than one bucket (the answer
+    /// reports the realized coverage in `Answer::window`). A plain
+    /// whole-stream engine rejects windowed queries with a typed error.
+    pub window: Option<u64>,
 }
 
 /// One projection query: a column subset, a [`Statistic`], and
@@ -42,6 +49,9 @@ pub struct QueryOptions {
 ///
 /// let q = Query::over([2, 4]).l1_sample(16).with_seed(42);
 /// assert_eq!(q.statistic, Statistic::L1Sample { k: 16, seed: 42 });
+///
+/// let q = Query::over([0, 1]).f0().window(1_000_000);
+/// assert_eq!(q.options.window, Some(1_000_000));
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct Query {
@@ -97,6 +107,14 @@ impl Query {
         if let Statistic::L1Sample { seed, .. } = &mut self.statistic {
             *seed = new_seed;
         }
+        self
+    }
+
+    /// Answer over the most recent `last_n` rows (see
+    /// [`QueryOptions::window`]).
+    #[must_use]
+    pub fn window(mut self, last_n: u64) -> Self {
+        self.options.window = Some(last_n);
         self
     }
 }
@@ -160,9 +178,15 @@ mod tests {
     fn options_chain_and_default_off() {
         let q = Query::over([0]).f0();
         assert_eq!(q.options, QueryOptions::default());
-        let q = q.pinned_to(3).bypass_cache().exact_if_available();
+        assert_eq!(q.options.window, None);
+        let q = q
+            .pinned_to(3)
+            .bypass_cache()
+            .exact_if_available()
+            .window(500);
         assert_eq!(q.options.pin_epoch, Some(3));
         assert!(q.options.bypass_cache && q.options.exact_if_available);
+        assert_eq!(q.options.window, Some(500));
     }
 
     #[test]

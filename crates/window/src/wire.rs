@@ -1,0 +1,85 @@
+//! JSON serialization of [`WindowStats`] — the `window_stats` op of the
+//! `serve` wire protocol.
+
+use pfe_engine::Json;
+
+use crate::engine::WindowStats;
+
+/// Serialize [`WindowStats`] as the `{"op":"window_stats"}` response
+/// object.
+pub fn window_stats_to_json(stats: &WindowStats) -> Json {
+    Json::obj([
+        ("ok", Json::Bool(true)),
+        ("retained_rows", Json::Num(stats.retained_rows as f64)),
+        ("active_rows", Json::Num(stats.active_rows as f64)),
+        ("evicted_rows", Json::Num(stats.evicted_rows as f64)),
+        ("buckets", Json::Num(stats.buckets as f64)),
+        (
+            "buckets_per_tier",
+            Json::Arr(
+                stats
+                    .buckets_per_tier
+                    .iter()
+                    .map(|&n| Json::Num(n as f64))
+                    .collect(),
+            ),
+        ),
+        ("sealed_buckets", Json::Num(stats.sealed_buckets as f64)),
+        ("tier_merges", Json::Num(stats.tier_merges as f64)),
+        ("evictions", Json::Num(stats.evictions as f64)),
+        (
+            "merged_cache_hits",
+            Json::Num(stats.merged_cache_hits as f64),
+        ),
+        (
+            "merged_cache_misses",
+            Json::Num(stats.merged_cache_misses as f64),
+        ),
+        ("ring_bytes", Json::Num(stats.ring_bytes as f64)),
+        ("cache_hits", Json::Num(stats.cache.hits as f64)),
+        ("cache_misses", Json::Num(stats.cache.misses as f64)),
+        ("queries_served", Json::Num(stats.queries_served as f64)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{WindowConfig, WindowedEngine};
+    use pfe_engine::EngineConfig;
+    use pfe_stream::gen::uniform_binary;
+
+    #[test]
+    fn stats_serialize_and_reparse() {
+        let engine = WindowedEngine::start(
+            8,
+            2,
+            EngineConfig {
+                sample_t: 128,
+                kmv_k: 32,
+                ..Default::default()
+            },
+            WindowConfig {
+                bucket_rows: 50,
+                tier_cap: 2,
+                max_tiers: 3,
+                merged_cache: 2,
+            },
+        )
+        .expect("start");
+        engine.ingest(&uniform_binary(8, 230, 1)).expect("ingest");
+        let json = window_stats_to_json(&engine.window_stats());
+        assert_eq!(json.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(
+            json.get("retained_rows").and_then(Json::as_f64),
+            Some(230.0)
+        );
+        assert_eq!(json.get("sealed_buckets").and_then(Json::as_f64), Some(4.0));
+        let tiers = json
+            .get("buckets_per_tier")
+            .and_then(Json::as_arr)
+            .expect("tier array");
+        assert_eq!(tiers.len(), 3);
+        assert_eq!(Json::parse(&json.to_string()).expect("reparse"), json);
+    }
+}

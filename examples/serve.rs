@@ -20,19 +20,71 @@
 //! {"op":"quit"}
 //! ```
 //!
+//! Passing a `window` object to `start` serves the stream through a
+//! sliding-window engine (`pfe-window`) instead: every statistic op then
+//! accepts a `window` field (answer over the most recent that-many rows,
+//! reported coverage included in the response) and `window_stats` reports
+//! the bucket-ring shape:
+//!
+//! ```text
+//! {"op":"start","d":12,"q":2,"window":{"bucket_rows":512,"tier_cap":4,"max_tiers":6}}
+//! {"op":"ingest","rows":[...]}
+//! {"op":"heavy_hitters","cols":[0,1,2],"phi":0.1,"window":1000}
+//! {"op":"window_stats"}
+//! ```
+//!
 //! Run `cargo run --release --example serve -- --demo` for a scripted
-//! session over generated data (no stdin needed).
+//! session over generated data (no stdin needed), or `--demo-window` for
+//! the windowed equivalent.
 
 use std::io::{BufRead, Write};
 
 use subspace_exploration::engine::{wire, Engine, EngineConfig, Json, Query};
+use subspace_exploration::window::{wire as window_wire, WindowConfig, WindowedEngine};
 
 fn err(msg: impl Into<String>) -> Json {
     Json::obj([("ok", Json::Bool(false)), ("error", Json::Str(msg.into()))])
 }
 
+/// Error payload for an unrecognized op name: the offending op string is
+/// echoed in its own field so clients can match it programmatically
+/// instead of parsing the message.
+fn err_unknown_op(op: &str, context: &str) -> Json {
+    Json::obj([
+        ("ok", Json::Bool(false)),
+        ("error", Json::Str(format!("unknown {context} op '{op}'"))),
+        ("op", Json::Str(op.to_string())),
+    ])
+}
+
+/// Whole-stream or sliding-window serving, behind one protocol.
+enum Backend {
+    Plain(Engine),
+    Windowed(WindowedEngine),
+}
+
+impl Backend {
+    fn query_batch(
+        &self,
+        queries: &[Query],
+    ) -> Vec<Result<subspace_exploration::engine::Answer, subspace_exploration::engine::EngineError>>
+    {
+        match self {
+            Backend::Plain(e) => e.query_batch(queries),
+            Backend::Windowed(e) => e.query_batch(queries),
+        }
+    }
+
+    fn push_dense(&self, row: &[u16]) -> Result<(), subspace_exploration::engine::EngineError> {
+        match self {
+            Backend::Plain(e) => e.push_dense(row),
+            Backend::Windowed(e) => e.push_dense(row),
+        }
+    }
+}
+
 struct Server {
-    engine: Option<Engine>,
+    backend: Option<Backend>,
     q: u32,
 }
 
@@ -52,8 +104,8 @@ impl Server {
         }
     }
 
-    fn engine(&self) -> Result<&Engine, Json> {
-        self.engine
+    fn backend(&self) -> Result<&Backend, Json> {
+        self.backend
             .as_ref()
             .ok_or_else(|| err("no engine: send 'start' first"))
     }
@@ -62,8 +114,10 @@ impl Server {
     fn serve_query(&self, req: &Json) -> Result<Json, Json> {
         let query = wire::query_from_json(req).map_err(err)?;
         let answer = self
-            .engine()?
-            .query(&query)
+            .backend()?
+            .query_batch(std::slice::from_ref(&query))
+            .pop()
+            .expect("one answer per query")
             .map_err(|e| err(e.to_string()))?;
         Ok(wire::answer_to_json(&answer, self.q))
     }
@@ -76,14 +130,28 @@ impl Server {
             .get("queries")
             .and_then(Json::as_arr)
             .ok_or_else(|| err("missing 'queries'"))?;
-        let engine = self.engine()?;
-        let parsed: Vec<Result<Query, String>> = items.iter().map(wire::query_from_json).collect();
+        let backend = self.backend()?;
+        let parsed: Vec<Result<Query, Json>> = items
+            .iter()
+            .map(|item| {
+                wire::query_from_json(item).map_err(|e| {
+                    // Echo an unrecognized statistic op by name; other
+                    // parse failures keep their field-naming message.
+                    match item.get("op").and_then(Json::as_str) {
+                        Some(op) if e.contains("unknown statistic op") => {
+                            err_unknown_op(op, "statistic")
+                        }
+                        _ => err(e),
+                    }
+                })
+            })
+            .collect();
         let valid: Vec<Query> = parsed.iter().filter_map(|p| p.clone().ok()).collect();
-        let mut served = engine.query_batch(&valid).into_iter();
+        let mut served = backend.query_batch(&valid).into_iter();
         let answers = parsed
             .into_iter()
             .map(|p| match p {
-                Err(e) => err(e),
+                Err(e) => e,
                 Ok(_) => match served.next().expect("one answer per valid query") {
                     Ok(answer) => wire::answer_to_json(&answer, self.q),
                     Err(e) => err(e.to_string()),
@@ -96,72 +164,134 @@ impl Server {
         ]))
     }
 
+    fn start(&mut self, req: &Json) -> Result<Json, Json> {
+        let d = req.get("d").and_then(Json::as_f64).unwrap_or(0.0) as u32;
+        let q = req.get("q").and_then(Json::as_f64).unwrap_or(2.0) as u32;
+        let mut cfg = EngineConfig::default();
+        if let Some(s) = req.get("shards").and_then(Json::as_f64) {
+            cfg.shards = s as usize;
+        }
+        if let Some(a) = req.get("alpha").and_then(Json::as_f64) {
+            cfg.alpha = a;
+        }
+        if let Some(t) = req.get("sample_t").and_then(Json::as_f64) {
+            cfg.sample_t = t as usize;
+        }
+        if let Some(k) = req.get("kmv_k").and_then(Json::as_f64) {
+            cfg.kmv_k = k as usize;
+        }
+        let backend = match req.get("window") {
+            None | Some(Json::Null) => {
+                Backend::Plain(Engine::start(d, q, cfg).map_err(|e| err(e.to_string()))?)
+            }
+            Some(win) => {
+                let mut wcfg = WindowConfig::default();
+                if let Some(v) = win.get("bucket_rows").and_then(Json::as_f64) {
+                    wcfg.bucket_rows = v as u64;
+                }
+                if let Some(v) = win.get("tier_cap").and_then(Json::as_f64) {
+                    wcfg.tier_cap = v as usize;
+                }
+                if let Some(v) = win.get("max_tiers").and_then(Json::as_f64) {
+                    wcfg.max_tiers = v as u32;
+                }
+                if let Some(v) = win.get("merged_cache").and_then(Json::as_f64) {
+                    wcfg.merged_cache = v as usize;
+                }
+                Backend::Windowed(
+                    WindowedEngine::start(d, q, cfg, wcfg).map_err(|e| err(e.to_string()))?,
+                )
+            }
+        };
+        let windowed = matches!(backend, Backend::Windowed(_));
+        self.backend = Some(backend);
+        self.q = q;
+        Ok(Json::obj([
+            ("ok", Json::Bool(true)),
+            ("windowed", Json::Bool(windowed)),
+        ]))
+    }
+
     fn dispatch(&mut self, op: &str, req: &Json) -> Result<Json, Json> {
         match op {
-            "start" => {
-                let d = req.get("d").and_then(Json::as_f64).unwrap_or(0.0) as u32;
-                let q = req.get("q").and_then(Json::as_f64).unwrap_or(2.0) as u32;
-                let mut cfg = EngineConfig::default();
-                if let Some(s) = req.get("shards").and_then(Json::as_f64) {
-                    cfg.shards = s as usize;
-                }
-                if let Some(a) = req.get("alpha").and_then(Json::as_f64) {
-                    cfg.alpha = a;
-                }
-                if let Some(t) = req.get("sample_t").and_then(Json::as_f64) {
-                    cfg.sample_t = t as usize;
-                }
-                if let Some(k) = req.get("kmv_k").and_then(Json::as_f64) {
-                    cfg.kmv_k = k as usize;
-                }
-                let engine = Engine::start(d, q, cfg).map_err(|e| err(e.to_string()))?;
-                self.engine = Some(engine);
-                self.q = q;
-                Ok(Json::obj([("ok", Json::Bool(true))]))
-            }
+            "start" => self.start(req),
             "ingest" => {
                 let rows = req
                     .get("rows")
                     .and_then(Json::as_arr)
                     .ok_or_else(|| err("missing 'rows'"))?;
-                let engine = self.engine()?;
+                let backend = self.backend()?;
                 for row in rows {
                     let dense = wire::u16s(Some(row)).map_err(err)?;
-                    engine.push_dense(&dense).map_err(|e| err(e.to_string()))?;
+                    backend.push_dense(&dense).map_err(|e| err(e.to_string()))?;
                 }
                 Ok(Json::obj([
                     ("ok", Json::Bool(true)),
                     ("rows", Json::Num(rows.len() as f64)),
                 ]))
             }
-            "snapshot" => {
-                let snap = self.engine()?.refresh().map_err(|e| err(e.to_string()))?;
-                Ok(Json::obj([
+            "snapshot" => match self.backend()? {
+                Backend::Plain(e) => {
+                    let snap = e.refresh().map_err(|e| err(e.to_string()))?;
+                    Ok(Json::obj([
+                        ("ok", Json::Bool(true)),
+                        ("epoch", Json::Num(snap.epoch() as f64)),
+                        ("rows", Json::Num(snap.n() as f64)),
+                    ]))
+                }
+                // The windowed engine serves the live ring directly —
+                // there is nothing to publish; report what is retained.
+                Backend::Windowed(e) => Ok(Json::obj([
                     ("ok", Json::Bool(true)),
-                    ("epoch", Json::Num(snap.epoch() as f64)),
-                    ("rows", Json::Num(snap.n() as f64)),
-                ]))
-            }
+                    ("rows", Json::Num(e.retained_rows() as f64)),
+                ])),
+            },
             "f0" | "frequency" | "freq" | "heavy_hitters" | "hh" | "l1_sample" => {
                 self.serve_query(req)
             }
             "batch" => self.serve_batch(req),
-            "stats" => Ok(wire::stats_to_json(&self.engine()?.stats())),
+            // `stats` keeps the documented schema on both backends; the
+            // windowed engine maps its ring counters onto it (ingested =
+            // retained + evicted, "snapshot" = the live ring) and serves
+            // ring-specific detail under `window_stats`.
+            "stats" => match self.backend()? {
+                Backend::Plain(e) => Ok(wire::stats_to_json(&e.stats())),
+                Backend::Windowed(e) => {
+                    let w = e.window_stats();
+                    Ok(wire::stats_to_json(
+                        &subspace_exploration::engine::EngineStats {
+                            rows_ingested: w.retained_rows + w.evicted_rows,
+                            snapshot_epoch: 0,
+                            snapshot_rows: w.retained_rows,
+                            snapshot_bytes: w.ring_bytes,
+                            cache: w.cache,
+                            shards: 1,
+                            queries_served: w.queries_served,
+                            queries: w.queries,
+                        },
+                    ))
+                }
+            },
+            "window_stats" => match self.backend()? {
+                Backend::Windowed(e) => Ok(window_wire::window_stats_to_json(&e.window_stats())),
+                Backend::Plain(_) => Err(err(
+                    "window_stats requires a windowed engine: start with a 'window' object",
+                )),
+            },
             "quit" => Ok(Json::obj([
                 ("ok", Json::Bool(true)),
                 ("bye", Json::Bool(true)),
             ])),
-            other => Err(err(format!("unknown op '{other}'"))),
+            other => Err(err_unknown_op(other, "request")),
         }
     }
 }
 
-fn demo_script() -> Vec<String> {
+fn demo_rows(d: u32, count: usize, seed: u64) -> Vec<String> {
     use subspace_exploration::hash::rng::Xoshiro256pp;
-    let mut rng = Xoshiro256pp::seed_from_u64(1);
-    let d = 12;
-    let mut lines = vec![format!(r#"{{"op":"start","d":{d},"q":2,"shards":4}}"#)];
-    for _ in 0..20 {
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    let mut lines = Vec::new();
+    for _ in 0..count {
         let rows: Vec<String> = (0..500)
             .map(|_| {
                 let row = rng.next_u64() & ((1 << d) - 1);
@@ -171,6 +301,13 @@ fn demo_script() -> Vec<String> {
             .collect();
         lines.push(format!(r#"{{"op":"ingest","rows":[{}]}}"#, rows.join(",")));
     }
+    lines
+}
+
+fn demo_script() -> Vec<String> {
+    let d = 12;
+    let mut lines = vec![format!(r#"{{"op":"start","d":{d},"q":2,"shards":4}}"#)];
+    lines.extend(demo_rows(d, 20, 1));
     lines.extend([
         r#"{"op":"snapshot"}"#.to_string(),
         r#"{"op":"f0","cols":[0,1,2,3,4,5]}"#.to_string(),
@@ -186,12 +323,42 @@ fn demo_script() -> Vec<String> {
     lines
 }
 
+fn demo_window_script() -> Vec<String> {
+    let d = 12;
+    let mut lines = vec![format!(
+        r#"{{"op":"start","d":{d},"q":2,"window":{{"bucket_rows":512,"tier_cap":4,"max_tiers":6}}}}"#
+    )];
+    lines.extend(demo_rows(d, 20, 2));
+    lines.extend([
+        // The last thousand rows vs the whole retained stream.
+        r#"{"op":"heavy_hitters","cols":[0,1,2],"phi":0.05,"window":1000}"#.to_string(),
+        r#"{"op":"heavy_hitters","cols":[0,1,2],"phi":0.05}"#.to_string(),
+        r#"{"op":"f0","cols":[0,1,2,3,4,5],"window":2000}"#.to_string(),
+        r#"{"op":"batch","queries":[{"op":"f0","cols":[0,1],"window":1000},{"op":"f0","cols":[0,1],"window":1001}]}"#
+            .to_string(),
+        r#"{"op":"window_stats"}"#.to_string(),
+        r#"{"op":"quit"}"#.to_string(),
+    ]);
+    lines
+}
+
 fn main() {
-    let mut server = Server { engine: None, q: 2 };
+    let mut server = Server {
+        backend: None,
+        q: 2,
+    };
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
-    if std::env::args().any(|a| a == "--demo") {
-        for line in demo_script() {
+    let args: Vec<String> = std::env::args().collect();
+    let demo = if args.iter().any(|a| a == "--demo-window") {
+        Some(demo_window_script())
+    } else if args.iter().any(|a| a == "--demo") {
+        Some(demo_script())
+    } else {
+        None
+    };
+    if let Some(script) = demo {
+        for line in script {
             let resp = server.handle(&line);
             writeln!(out, "{resp}").expect("stdout");
             if line.contains("\"quit\"") {
@@ -221,9 +388,10 @@ fn main() {
         // to stderr so stdout stays a pure response stream.
         eprintln!("serve: no requests received on stdin");
         eprintln!(
-            "usage: serve [--demo] — speak line-delimited JSON on stdin, one request per line:"
+            "usage: serve [--demo|--demo-window] — speak line-delimited JSON on stdin, one request per line:"
         );
         eprintln!("  {{\"op\":\"start\",\"d\":12,\"q\":2,\"shards\":4}}   then ingest/snapshot/f0/frequency/heavy_hitters/l1_sample/batch/stats/quit");
+        eprintln!("  add \"window\":{{\"bucket_rows\":512}} to start for sliding-window serving ('window' field on every statistic op, plus window_stats)");
         eprintln!("  (see the \"serve\" protocol section in README.md, or run with --demo for a scripted session)");
     }
 }

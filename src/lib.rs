@@ -28,6 +28,10 @@
 //!   over the mergeable summaries (shard → merge → snapshot → cache),
 //!   with a mask-sharing batch planner, durable checkpoint/resume, and
 //!   cross-process snapshot union;
+//! - [`window`] — sliding-window analytics: a tiered ring of sealed
+//!   mergeable buckets (exponential histogram) serving `last_n`-row
+//!   queries by merging the minimal covering set, with fingerprint-keyed
+//!   caching and durable checkpoint/resume of the whole ring;
 //! - [`persist`] — the zero-dependency versioned binary codec (magic +
 //!   version + CRC-32 framing) behind the durable snapshots.
 //!
@@ -43,3 +47,4 @@ pub use pfe_query as query;
 pub use pfe_row as row;
 pub use pfe_sketch as sketch;
 pub use pfe_stream as stream;
+pub use pfe_window as window;
