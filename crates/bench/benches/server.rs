@@ -1,0 +1,134 @@
+//! TCP serving benchmarks: a multi-connection load generator against a
+//! live `pfe-server` on an ephemeral port, measuring query throughput and
+//! per-request latency as the client-connection count and the
+//! worker-pool size vary.
+//!
+//! The interesting shape is the crossover: with one worker, connections
+//! serialize; with workers ≥ connections, sessions run truly in parallel
+//! (on a multi-core box — the 1-core CI runner flattens the scaling, the
+//! same caveat as the engine's shard benchmark). Queries rotate through
+//! mask-colliding `f0`s and a heavy-hitter request so the answer cache
+//! sees a realistic hit mix.
+
+use std::hint::black_box;
+use std::net::SocketAddr;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pfe_engine::Json;
+use pfe_server::{Client, Server, ServerConfig, ServerHandle, ShutdownReport};
+use pfe_stream::gen::uniform_binary;
+
+const D: u32 = 12;
+const ROWS: usize = 20_000;
+/// Requests per connection per measured round.
+const REQUESTS: usize = 50;
+
+fn query_lines() -> Vec<String> {
+    vec![
+        r#"{"op":"f0","cols":[0,1,2,3,4,5]}"#.to_string(),
+        r#"{"op":"f0","cols":[0,1,2,3,4,5,6]}"#.to_string(),
+        r#"{"op":"heavy_hitters","cols":[0,1,2],"phi":0.05}"#.to_string(),
+        r#"{"op":"frequency","cols":[0,1],"pattern":[1,1]}"#.to_string(),
+    ]
+}
+
+/// Bind, start, and feed a server; returns the running server's handle
+/// and join plus the address to hammer.
+fn serve_ingested(
+    workers: usize,
+) -> (
+    SocketAddr,
+    ServerHandle,
+    std::thread::JoinHandle<ShutdownReport>,
+) {
+    let server = Server::bind(ServerConfig {
+        workers,
+        queue: 64,
+        ..Default::default()
+    })
+    .expect("bind");
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run().expect("run"));
+
+    let mut feeder = Client::connect(addr).expect("connect");
+    feeder
+        .request_line(r#"{"op":"start","d":12,"q":2,"shards":2,"sample_t":2048,"kmv_k":64}"#)
+        .expect("start");
+    let rows = match uniform_binary(D, ROWS, 1) {
+        pfe_row::Dataset::Binary(m) => m.rows().to_vec(),
+        pfe_row::Dataset::Qary(_) => unreachable!("generator yields binary data"),
+    };
+    for chunk in rows.chunks(2000) {
+        let body: Vec<String> = chunk
+            .iter()
+            .map(|row| {
+                let bits: Vec<String> = (0..D).map(|i| ((row >> i) & 1).to_string()).collect();
+                format!("[{}]", bits.join(","))
+            })
+            .collect();
+        feeder
+            .request_line(&format!(r#"{{"op":"ingest","rows":[{}]}}"#, body.join(",")))
+            .expect("ingest");
+    }
+    feeder
+        .request_line(r#"{"op":"snapshot"}"#)
+        .expect("snapshot");
+    feeder.request_line(r#"{"op":"quit"}"#).expect("quit");
+    (addr, handle, join)
+}
+
+/// One measured round: `conns` fresh connections, each issuing
+/// `REQUESTS` queries, all in flight together.
+fn hammer(addr: SocketAddr, conns: usize) {
+    let queries = query_lines();
+    let threads: Vec<_> = (0..conns)
+        .map(|t| {
+            let queries = queries.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                for i in 0..REQUESTS {
+                    let line = &queries[(i + t) % queries.len()];
+                    let resp = client.request_line(line).expect("query");
+                    assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "failed: {resp}");
+                    black_box(&resp);
+                }
+                client.request_line(r#"{"op":"quit"}"#).expect("quit");
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("load thread");
+    }
+}
+
+/// Throughput vs connection count at a fixed worker pool.
+fn bench_connections(c: &mut Criterion) {
+    let (addr, handle, join) = serve_ingested(4);
+    let mut g = c.benchmark_group("server_w4_by_connections");
+    g.sample_size(10);
+    for conns in [1usize, 2, 4, 8] {
+        g.throughput(Throughput::Elements((conns * REQUESTS) as u64));
+        g.bench_function(format!("c{conns}"), |b| b.iter(|| hammer(addr, conns)));
+    }
+    g.finish();
+    handle.shutdown();
+    join.join().expect("server");
+}
+
+/// Throughput vs worker count at a fixed connection count.
+fn bench_workers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("server_c4_by_workers");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements((4 * REQUESTS) as u64));
+    for workers in [1usize, 2, 4] {
+        let (addr, handle, join) = serve_ingested(workers);
+        g.bench_function(format!("w{workers}"), |b| b.iter(|| hammer(addr, 4)));
+        handle.shutdown();
+        join.join().expect("server");
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_connections, bench_workers);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+#![deny(missing_docs)]
+//! `pfe-server` — concurrent network serving of projected-frequency
+//! queries: the line-delimited JSON protocol over TCP, with a bounded
+//! worker pool, typed saturation rejection, and graceful
+//! checkpoint-on-shutdown. Zero external dependencies (`std::net` + a
+//! hand-rolled pool, per the repo's offline-compat convention).
+//!
+//! Three layers, each usable alone:
+//!
+//! 1. **[`proto`]** — the protocol dispatcher. One [`Dispatcher`] turns a
+//!    request line into a response [`proto::Reply`]; it owns the backend
+//!    (whole-stream [`Engine`](pfe_engine::Engine) or sliding-window
+//!    [`WindowedEngine`](pfe_window::WindowedEngine)) and the
+//!    `server_stats` counters. Stdin (pipe) mode, TCP sessions, and tests
+//!    all share this one definition, so transports can never drift.
+//!    [`proto::OPS`] is the op registry CI checks `docs/PROTOCOL.md`
+//!    against.
+//! 2. **[`Server`]** — a TCP listener whose accepted connections are
+//!    served by a bounded [`pool::WorkerPool`]. When every worker is busy
+//!    and the queue is full, a new connection gets the typed
+//!    `"code":"saturated"` rejection instead of queueing unboundedly.
+//!    Shutdown — via [`ServerHandle::shutdown`], the wire `shutdown` op,
+//!    or SIGINT/SIGTERM ([`install_signal_handlers`]) — stops accepting,
+//!    drains in-flight requests, and checkpoints the backend durably via
+//!    `pfe-persist`.
+//! 3. **[`Client`]** — a small synchronous client (one request line out,
+//!    one response line back), the library behind `examples/client.rs`.
+//!
+//! A full round trip, in process:
+//!
+//! ```
+//! use pfe_server::{Client, Server, ServerConfig};
+//! use pfe_engine::Json;
+//!
+//! let server = Server::bind(ServerConfig::default()).unwrap();
+//! let addr = server.local_addr();
+//! let handle = server.handle();
+//! let running = std::thread::spawn(move || server.run().unwrap());
+//!
+//! let mut client = Client::connect(addr).unwrap();
+//! let r = client.request_line(r#"{"op":"start","d":8,"q":2,"shards":2}"#).unwrap();
+//! assert_eq!(r.get("ok"), Some(&Json::Bool(true)));
+//! client.request_line(r#"{"op":"ingest","rows":[[0,1,0,0,1,0,1,1],[1,1,0,0,0,0,1,1]]}"#).unwrap();
+//! client.request_line(r#"{"op":"snapshot"}"#).unwrap();
+//! let r = client.request_line(r#"{"op":"f0","cols":[0,1,2]}"#).unwrap();
+//! assert!(r.get("estimate").and_then(Json::as_f64).unwrap() >= 1.0);
+//!
+//! handle.shutdown();
+//! running.join().unwrap();
+//! ```
+//!
+//! `examples/serve.rs` (workspace root) runs this server from the command
+//! line (`--listen`), `benches/server.rs` measures throughput against
+//! connection and worker counts, and `docs/GUIDE.md` walks the whole
+//! install → ingest → query → serve path.
+
+pub mod client;
+pub mod pool;
+pub mod proto;
+pub mod server;
+
+pub use client::{Client, ClientError};
+pub use proto::{Control, Dispatcher};
+pub use server::{
+    install_signal_handlers, Server, ServerConfig, ServerError, ServerHandle, ShutdownReport,
+};

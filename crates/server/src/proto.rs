@@ -1,0 +1,767 @@
+//! The protocol dispatcher: one definition of the line-delimited JSON
+//! surface, shared by stdin (pipe) mode, TCP sessions, and tests.
+//!
+//! A [`Dispatcher`] owns the serving backend (whole-stream
+//! [`Engine`] or sliding-window
+//! [`WindowedEngine`], selected by the
+//! `start` request) plus the server-level counters, and turns one request
+//! line into one response [`Reply`]. Statistic requests and responses are
+//! the canonical `pfe-query` types serialized by `pfe_engine::wire`, so
+//! the Rust API, the cache keys, and every transport speak one language.
+//! The full request/response reference lives in `docs/PROTOCOL.md`
+//! (checked against [`OPS`] by CI).
+//!
+//! ```
+//! use pfe_server::proto::{Control, Dispatcher};
+//! use pfe_engine::Json;
+//!
+//! let dispatcher = Dispatcher::new(None);
+//! let reply = dispatcher.handle_line(r#"{"op":"start","d":8,"q":2,"shards":2}"#);
+//! assert_eq!(reply.json.get("ok"), Some(&Json::Bool(true)));
+//! let reply = dispatcher.handle_line(r#"{"op":"ingest","rows":[[0,1,0,0,1,0,1,1]]}"#);
+//! assert_eq!(reply.json.get("rows").and_then(Json::as_f64), Some(1.0));
+//! dispatcher.handle_line(r#"{"op":"snapshot"}"#);
+//! let reply = dispatcher.handle_line(r#"{"op":"f0","cols":[0,1,2]}"#);
+//! assert!(reply.json.get("estimate").is_some());
+//! assert!(matches!(reply.control, Control::Continue));
+//! ```
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, RwLock};
+
+use pfe_engine::{wire, Engine, EngineConfig, EngineError, EngineStats, Json, Query};
+use pfe_window::{wire as window_wire, WindowConfig, WindowedEngine};
+
+/// Every op name the dispatcher recognizes, aliases included.
+///
+/// This is the single registry the `match` in [`Dispatcher::handle_line`]
+/// is built from; `scripts/check_protocol_docs.sh` (CI) fails if any name
+/// listed here is missing from `docs/PROTOCOL.md`.
+pub const OPS: &[&str] = &[
+    // OPS_START — one op per line; greppable by the docs-drift check.
+    "start",
+    "ingest",
+    "snapshot",
+    "f0",
+    "frequency",
+    "freq",
+    "heavy_hitters",
+    "hh",
+    "l1_sample",
+    "batch",
+    "stats",
+    "window_stats",
+    "server_stats",
+    "checkpoint",
+    "shutdown",
+    "quit",
+    // OPS_END
+];
+
+/// Build an `{"ok":false,"error":msg}` payload.
+pub fn err(msg: impl Into<String>) -> Json {
+    Json::obj([("ok", Json::Bool(false)), ("error", Json::Str(msg.into()))])
+}
+
+/// Error payload for an unrecognized op name: the offending op string is
+/// echoed in its own field so clients can match it programmatically
+/// instead of parsing the message.
+pub fn err_unknown_op(op: &str, context: &str) -> Json {
+    Json::obj([
+        ("ok", Json::Bool(false)),
+        ("error", Json::Str(format!("unknown {context} op '{op}'"))),
+        ("op", Json::Str(op.to_string())),
+    ])
+}
+
+/// The typed saturation rejection a client receives when the worker pool
+/// cannot take its connection (`"code":"saturated"` is the stable,
+/// machine-matchable field).
+pub fn err_saturated(workers: usize, queue: usize) -> Json {
+    Json::obj([
+        ("ok", Json::Bool(false)),
+        (
+            "error",
+            Json::Str(format!(
+                "server saturated: all {workers} workers busy and the \
+                 {queue}-connection queue is full; retry later"
+            )),
+        ),
+        ("code", Json::Str("saturated".to_string())),
+    ])
+}
+
+/// Whole-stream or sliding-window serving, behind one protocol.
+pub enum Backend {
+    /// Whole-stream serving ([`Engine`]).
+    Plain(Engine),
+    /// Sliding-window serving ([`WindowedEngine`]).
+    Windowed(WindowedEngine),
+}
+
+impl Backend {
+    /// Answer a batch through whichever engine is live.
+    pub fn query_batch(&self, queries: &[Query]) -> Vec<Result<pfe_engine::Answer, EngineError>> {
+        match self {
+            Backend::Plain(e) => e.query_batch(queries),
+            Backend::Windowed(e) => e.query_batch(queries),
+        }
+    }
+
+    /// Route one dense row.
+    ///
+    /// # Errors
+    /// Shape violations or a closed pipeline.
+    pub fn push_dense(&self, row: &[u16]) -> Result<(), EngineError> {
+        match self {
+            Backend::Plain(e) => e.push_dense(row),
+            Backend::Windowed(e) => e.push_dense(row),
+        }
+    }
+
+    /// Engine-level counters under the one documented `stats` schema: the
+    /// windowed engine maps its ring counters onto it (ingested =
+    /// retained + evicted, "snapshot" fields describe the live ring,
+    /// epoch 0) and serves ring-specific detail under `window_stats`.
+    pub fn stats(&self) -> EngineStats {
+        match self {
+            Backend::Plain(e) => e.stats(),
+            Backend::Windowed(e) => {
+                let w = e.window_stats();
+                EngineStats {
+                    rows_ingested: w.retained_rows + w.evicted_rows,
+                    snapshot_epoch: 0,
+                    snapshot_rows: w.retained_rows,
+                    snapshot_bytes: w.ring_bytes,
+                    cache: w.cache,
+                    shards: 1,
+                    queries_served: w.queries_served,
+                    queries: w.queries,
+                }
+            }
+        }
+    }
+
+    /// Write a durable checkpoint: the merged snapshot for a plain
+    /// engine, the whole bucket ring for a windowed one.
+    ///
+    /// # Errors
+    /// Persistence/IO failures, or `NoSnapshot` on an empty plain engine
+    /// that was already shut down.
+    pub fn checkpoint(&self, path: &Path) -> Result<(), EngineError> {
+        match self {
+            Backend::Plain(e) => e.checkpoint(path).map(|_| ()),
+            Backend::Windowed(e) => e.checkpoint(path),
+        }
+    }
+}
+
+/// What the transport should do after writing a [`Reply`]'s response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Control {
+    /// Keep reading requests on this session.
+    Continue,
+    /// Close this session (the `quit` op); the server keeps running.
+    CloseSession,
+    /// Stop the whole server (the `shutdown` op): sessions drain — each
+    /// finishes its in-flight request — and then the transport writes
+    /// the shutdown checkpoint via [`Dispatcher::shutdown_checkpoint`],
+    /// so every request acknowledged before exit is included.
+    ShutdownServer,
+}
+
+/// One response line plus the transport action that follows it.
+pub struct Reply {
+    /// The response object (always carries `"ok"`).
+    pub json: Json,
+    /// What the session should do after sending `json`.
+    pub control: Control,
+}
+
+impl Reply {
+    fn cont(json: Json) -> Self {
+        Self {
+            json,
+            control: Control::Continue,
+        }
+    }
+}
+
+/// Connection/request counters served by `server_stats`. The TCP layer
+/// owns the connection-shaped ones; the dispatcher maintains the request
+/// and per-op counters on every transport (in pipe mode the connection
+/// counters simply stay 0).
+#[derive(Debug, Default)]
+pub struct ServerCounters {
+    /// Connections accepted since start.
+    pub connections_accepted: AtomicU64,
+    /// Connections currently open (accepted, not yet closed).
+    pub connections_open: AtomicU64,
+    /// Connections rejected with the typed saturation error.
+    pub rejected_saturated: AtomicU64,
+    /// Requests handled to completion across all sessions.
+    pub requests_handled: AtomicU64,
+    /// Requests currently being dispatched.
+    pub in_flight: AtomicU64,
+    ops: Mutex<BTreeMap<String, u64>>,
+}
+
+impl ServerCounters {
+    fn count_op(&self, op: &str) {
+        let mut ops = self.ops.lock().expect("ops lock");
+        *ops.entry(op.to_string()).or_insert(0) += 1;
+    }
+
+    /// Per-op request counts (unrecognized names land under `unknown`).
+    pub fn ops(&self) -> BTreeMap<String, u64> {
+        self.ops.lock().expect("ops lock").clone()
+    }
+}
+
+struct Started {
+    backend: Backend,
+    q: u32,
+}
+
+/// The shared protocol state machine: owns the backend, the counters, and
+/// the shutdown-checkpoint path; `handle_line` is safe to call from many
+/// session threads at once (ingest serializes inside the engine, queries
+/// are wait-free against the published snapshot).
+pub struct Dispatcher {
+    started: RwLock<Option<Started>>,
+    counters: ServerCounters,
+    checkpoint_path: Option<PathBuf>,
+    checkpointed: AtomicBool,
+    /// `(workers, queue)` reported by `server_stats`; `(0, 0)` until the
+    /// TCP layer announces its pool shape.
+    pool_shape: RwLock<(usize, usize)>,
+}
+
+impl Dispatcher {
+    /// A fresh dispatcher with no backend. `checkpoint_path` is where the
+    /// `shutdown` op (and the TCP server's signal-driven shutdown) writes
+    /// the durable state; `None` disables shutdown checkpointing.
+    pub fn new(checkpoint_path: Option<PathBuf>) -> Self {
+        Self {
+            started: RwLock::new(None),
+            counters: ServerCounters::default(),
+            checkpoint_path,
+            checkpointed: AtomicBool::new(false),
+            pool_shape: RwLock::new((0, 0)),
+        }
+    }
+
+    /// Announce the worker-pool shape reported by `server_stats`.
+    pub fn set_pool_shape(&self, workers: usize, queue: usize) {
+        *self.pool_shape.write().expect("pool shape lock") = (workers, queue);
+    }
+
+    /// The live counters (the TCP layer increments the connection ones).
+    pub fn counters(&self) -> &ServerCounters {
+        &self.counters
+    }
+
+    /// The configured shutdown-checkpoint path, if any.
+    pub fn checkpoint_path(&self) -> Option<&Path> {
+        self.checkpoint_path.as_deref()
+    }
+
+    /// Handle one request line: parse, count, dispatch, and answer. Never
+    /// panics on malformed input — every failure is an `"ok":false`
+    /// response.
+    pub fn handle_line(&self, line: &str) -> Reply {
+        self.counters.in_flight.fetch_add(1, Ordering::Relaxed);
+        let reply = self.handle_inner(line);
+        self.counters.in_flight.fetch_sub(1, Ordering::Relaxed);
+        self.counters
+            .requests_handled
+            .fetch_add(1, Ordering::Relaxed);
+        reply
+    }
+
+    fn handle_inner(&self, line: &str) -> Reply {
+        let req = match Json::parse(line) {
+            Ok(v) => v,
+            Err(e) => return Reply::cont(err(e.to_string())),
+        };
+        let op = match req.get("op").and_then(Json::as_str) {
+            Some(op) => op.to_string(),
+            None => return Reply::cont(err("missing 'op'")),
+        };
+        self.counters.count_op(if OPS.contains(&op.as_str()) {
+            &op
+        } else {
+            "unknown"
+        });
+        match self.dispatch(&op, &req) {
+            Ok(reply) => reply,
+            Err(json) => Reply::cont(json),
+        }
+    }
+
+    fn with_backend<T>(&self, f: impl FnOnce(&Backend, u32) -> Result<T, Json>) -> Result<T, Json> {
+        let guard = self.started.read().expect("backend lock");
+        match guard.as_ref() {
+            Some(s) => f(&s.backend, s.q),
+            None => Err(err("no engine: send 'start' first")),
+        }
+    }
+
+    /// Serve one statistic request through the canonical query types.
+    fn serve_query(&self, req: &Json) -> Result<Json, Json> {
+        let query = wire::query_from_json(req).map_err(err)?;
+        self.with_backend(|backend, q| {
+            let answer = backend
+                .query_batch(std::slice::from_ref(&query))
+                .pop()
+                .expect("one answer per query")
+                .map_err(|e| err(e.to_string()))?;
+            Ok(wire::answer_to_json(&answer, q))
+        })
+    }
+
+    /// Serve a whole batch through the mask-sharing planner; per-query
+    /// failures — parse errors included — come back as error objects in
+    /// their slots, never batch-fatal.
+    fn serve_batch(&self, req: &Json) -> Result<Json, Json> {
+        let items = req
+            .get("queries")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| err("missing 'queries'"))?;
+        let parsed: Vec<Result<Query, Json>> = items
+            .iter()
+            .map(|item| {
+                wire::query_from_json(item).map_err(|e| {
+                    // Echo an unrecognized statistic op by name; other
+                    // parse failures keep their field-naming message.
+                    match item.get("op").and_then(Json::as_str) {
+                        Some(op) if e.contains("unknown statistic op") => {
+                            err_unknown_op(op, "statistic")
+                        }
+                        _ => err(e),
+                    }
+                })
+            })
+            .collect();
+        let valid: Vec<Query> = parsed.iter().filter_map(|p| p.clone().ok()).collect();
+        self.with_backend(|backend, q| {
+            let mut served = backend.query_batch(&valid).into_iter();
+            let answers = parsed
+                .iter()
+                .map(|p| match p {
+                    Err(e) => e.clone(),
+                    Ok(_) => match served.next().expect("one answer per valid query") {
+                        Ok(answer) => wire::answer_to_json(&answer, q),
+                        Err(e) => err(e.to_string()),
+                    },
+                })
+                .collect();
+            Ok(Json::obj([
+                ("ok", Json::Bool(true)),
+                ("answers", Json::Arr(answers)),
+            ]))
+        })
+    }
+
+    fn start(&self, req: &Json) -> Result<Json, Json> {
+        let d = req.get("d").and_then(Json::as_f64).unwrap_or(0.0) as u32;
+        let q = req.get("q").and_then(Json::as_f64).unwrap_or(2.0) as u32;
+        let mut cfg = EngineConfig::default();
+        if let Some(s) = req.get("shards").and_then(Json::as_f64) {
+            cfg.shards = s as usize;
+        }
+        if let Some(a) = req.get("alpha").and_then(Json::as_f64) {
+            cfg.alpha = a;
+        }
+        if let Some(t) = req.get("sample_t").and_then(Json::as_f64) {
+            cfg.sample_t = t as usize;
+        }
+        if let Some(k) = req.get("kmv_k").and_then(Json::as_f64) {
+            cfg.kmv_k = k as usize;
+        }
+        if let Some(s) = req.get("seed").and_then(Json::as_f64) {
+            cfg.seed = s as u64;
+        }
+        let backend = match req.get("window") {
+            None | Some(Json::Null) => {
+                Backend::Plain(Engine::start(d, q, cfg).map_err(|e| err(e.to_string()))?)
+            }
+            Some(win) => {
+                let mut wcfg = WindowConfig::default();
+                if let Some(v) = win.get("bucket_rows").and_then(Json::as_f64) {
+                    wcfg.bucket_rows = v as u64;
+                }
+                if let Some(v) = win.get("tier_cap").and_then(Json::as_f64) {
+                    wcfg.tier_cap = v as usize;
+                }
+                if let Some(v) = win.get("max_tiers").and_then(Json::as_f64) {
+                    wcfg.max_tiers = v as u32;
+                }
+                if let Some(v) = win.get("merged_cache").and_then(Json::as_f64) {
+                    wcfg.merged_cache = v as usize;
+                }
+                Backend::Windowed(
+                    WindowedEngine::start(d, q, cfg, wcfg).map_err(|e| err(e.to_string()))?,
+                )
+            }
+        };
+        let windowed = matches!(backend, Backend::Windowed(_));
+        // Last start wins (operator action): sessions already in flight
+        // keep their answers consistent — the swap happens between
+        // requests, never inside one.
+        *self.started.write().expect("backend lock") = Some(Started { backend, q });
+        Ok(Json::obj([
+            ("ok", Json::Bool(true)),
+            ("windowed", Json::Bool(windowed)),
+        ]))
+    }
+
+    /// Response body for the `server_stats` op.
+    fn server_stats(&self) -> Json {
+        let (workers, queue) = *self.pool_shape.read().expect("pool shape lock");
+        let c = &self.counters;
+        let engine = {
+            let guard = self.started.read().expect("backend lock");
+            match guard.as_ref() {
+                Some(s) => wire::stats_to_json(&s.backend.stats()),
+                None => Json::Null,
+            }
+        };
+        Json::obj([
+            ("ok", Json::Bool(true)),
+            (
+                "connections_accepted",
+                Json::Num(c.connections_accepted.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "connections_open",
+                Json::Num(c.connections_open.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "rejected_saturated",
+                Json::Num(c.rejected_saturated.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "requests_handled",
+                Json::Num(c.requests_handled.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "in_flight",
+                Json::Num(c.in_flight.load(Ordering::Relaxed) as f64),
+            ),
+            ("workers", Json::Num(workers as f64)),
+            ("queue_capacity", Json::Num(queue as f64)),
+            (
+                "ops",
+                Json::Obj(
+                    c.ops()
+                        .into_iter()
+                        .map(|(k, v)| (k, Json::Num(v as f64)))
+                        .collect(),
+                ),
+            ),
+            ("engine", engine),
+        ])
+    }
+
+    /// Write the shutdown checkpoint (configured path) exactly once —
+    /// called by the transport *after* sessions drain, so acknowledged
+    /// requests are always included. Returns the path written, `None`
+    /// when unconfigured, no backend is live, or an earlier call already
+    /// checkpointed.
+    ///
+    /// # Errors
+    /// The persistence error, stringified for the wire.
+    pub fn shutdown_checkpoint(&self) -> Result<Option<PathBuf>, String> {
+        let Some(path) = self.checkpoint_path.clone() else {
+            return Ok(None);
+        };
+        if self.checkpointed.swap(true, Ordering::SeqCst) {
+            return Ok(None);
+        }
+        let guard = self.started.read().expect("backend lock");
+        match guard.as_ref() {
+            Some(s) => {
+                s.backend.checkpoint(&path).map_err(|e| e.to_string())?;
+                Ok(Some(path))
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn checkpoint_op(&self, req: &Json) -> Result<Json, Json> {
+        let path: PathBuf = match req.get("path").and_then(Json::as_str) {
+            Some(p) => PathBuf::from(p),
+            None => self
+                .checkpoint_path
+                .clone()
+                .ok_or_else(|| err("no checkpoint path: pass 'path' or configure one"))?,
+        };
+        self.with_backend(|backend, _| {
+            backend.checkpoint(&path).map_err(|e| err(e.to_string()))?;
+            Ok(Json::obj([
+                ("ok", Json::Bool(true)),
+                ("path", Json::Str(path.display().to_string())),
+            ]))
+        })
+    }
+
+    fn dispatch(&self, op: &str, req: &Json) -> Result<Reply, Json> {
+        match op {
+            "start" => self.start(req).map(Reply::cont),
+            "ingest" => {
+                let rows = req
+                    .get("rows")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| err("missing 'rows'"))?;
+                // Parse every row before pushing any, so a malformed
+                // symbol rejects the request with nothing ingested.
+                let dense: Vec<Vec<u16>> = rows
+                    .iter()
+                    .map(|row| wire::u16s(Some(row)).map_err(err))
+                    .collect::<Result<_, _>>()?;
+                self.with_backend(|backend, _| {
+                    for (accepted, row) in dense.iter().enumerate() {
+                        // A mid-batch engine rejection (e.g. a wrong-arity
+                        // row) reports how many rows landed, so a client
+                        // can resume without double-ingesting.
+                        backend.push_dense(row).map_err(|e| {
+                            Json::obj([
+                                ("ok", Json::Bool(false)),
+                                ("error", Json::Str(e.to_string())),
+                                ("rows_ingested", Json::Num(accepted as f64)),
+                            ])
+                        })?;
+                    }
+                    Ok(Reply::cont(Json::obj([
+                        ("ok", Json::Bool(true)),
+                        ("rows", Json::Num(dense.len() as f64)),
+                    ])))
+                })
+            }
+            "snapshot" => self.with_backend(|backend, _| match backend {
+                Backend::Plain(e) => {
+                    let snap = e.refresh().map_err(|e| err(e.to_string()))?;
+                    Ok(Reply::cont(Json::obj([
+                        ("ok", Json::Bool(true)),
+                        ("epoch", Json::Num(snap.epoch() as f64)),
+                        ("rows", Json::Num(snap.n() as f64)),
+                    ])))
+                }
+                // The windowed engine serves the live ring directly —
+                // there is nothing to publish; report what is retained.
+                Backend::Windowed(e) => Ok(Reply::cont(Json::obj([
+                    ("ok", Json::Bool(true)),
+                    ("rows", Json::Num(e.retained_rows() as f64)),
+                ]))),
+            }),
+            "f0" | "frequency" | "freq" | "heavy_hitters" | "hh" | "l1_sample" => {
+                self.serve_query(req).map(Reply::cont)
+            }
+            "batch" => self.serve_batch(req).map(Reply::cont),
+            "stats" => self
+                .with_backend(|backend, _| Ok(wire::stats_to_json(&backend.stats())))
+                .map(Reply::cont),
+            "window_stats" => self
+                .with_backend(|backend, _| match backend {
+                    Backend::Windowed(e) => {
+                        Ok(window_wire::window_stats_to_json(&e.window_stats()))
+                    }
+                    Backend::Plain(_) => Err(err(
+                        "window_stats requires a windowed engine: start with a 'window' object",
+                    )),
+                })
+                .map(Reply::cont),
+            "server_stats" => Ok(Reply::cont(self.server_stats())),
+            "checkpoint" => self.checkpoint_op(req).map(Reply::cont),
+            // The checkpoint itself is NOT written here: it happens after
+            // every session drains (`Server::run`, or the pipe-mode loop),
+            // so rows acknowledged by in-flight ingests during the drain
+            // window are always included. The reply announces the path the
+            // drain will write.
+            "shutdown" => Ok(Reply {
+                json: Json::obj([
+                    ("ok", Json::Bool(true)),
+                    ("shutdown", Json::Bool(true)),
+                    (
+                        "checkpoint",
+                        self.checkpoint_path
+                            .as_ref()
+                            .map(|p| Json::Str(p.display().to_string()))
+                            .unwrap_or(Json::Null),
+                    ),
+                ]),
+                control: Control::ShutdownServer,
+            }),
+            "quit" => Ok(Reply {
+                json: Json::obj([("ok", Json::Bool(true)), ("bye", Json::Bool(true))]),
+                control: Control::CloseSession,
+            }),
+            other => Err(err_unknown_op(other, "request")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn started() -> Dispatcher {
+        let d = Dispatcher::new(None);
+        let r = d.handle_line(r#"{"op":"start","d":8,"q":2,"shards":2,"sample_t":256,"kmv_k":32}"#);
+        assert_eq!(r.json.get("ok"), Some(&Json::Bool(true)));
+        d
+    }
+
+    #[test]
+    fn every_match_arm_is_registered_in_ops() {
+        // Any op the dispatcher serves must answer without the
+        // unknown-op error; any name not in OPS must get it. This pins
+        // the OPS registry to the match arms.
+        let d = started();
+        for op in OPS {
+            let r = d.handle_line(&format!(r#"{{"op":"{op}"}}"#));
+            assert_ne!(
+                r.json.get("error").and_then(Json::as_str),
+                Some(format!("unknown request op '{op}'").as_str()),
+                "op '{op}' is listed in OPS but not dispatched"
+            );
+        }
+        let r = d.handle_line(r#"{"op":"definitely_not_an_op"}"#);
+        assert_eq!(
+            r.json.get("op").and_then(Json::as_str),
+            Some("definitely_not_an_op")
+        );
+    }
+
+    #[test]
+    fn lifecycle_and_errors() {
+        let d = Dispatcher::new(None);
+        // Before start, statistic ops are typed failures.
+        let r = d.handle_line(r#"{"op":"f0","cols":[0]}"#);
+        assert_eq!(r.json.get("ok"), Some(&Json::Bool(false)));
+        // Unparseable JSON never panics.
+        let r = d.handle_line("{nope");
+        assert_eq!(r.json.get("ok"), Some(&Json::Bool(false)));
+        let r = d.handle_line(r#"{"cols":[0]}"#);
+        assert!(r.json.get("error").is_some());
+        // Full happy path.
+        let r = d.handle_line(r#"{"op":"start","d":8,"q":2,"shards":2}"#);
+        assert_eq!(r.json.get("windowed"), Some(&Json::Bool(false)));
+        d.handle_line(r#"{"op":"ingest","rows":[[0,1,0,0,1,0,1,1],[1,1,0,0,0,0,1,1]]}"#);
+        let r = d.handle_line(r#"{"op":"snapshot"}"#);
+        assert_eq!(r.json.get("rows").and_then(Json::as_f64), Some(2.0));
+        let r = d.handle_line(r#"{"op":"f0","cols":[0,1,2]}"#);
+        assert!(r.json.get("estimate").is_some());
+        let r = d.handle_line(
+            r#"{"op":"batch","queries":[{"op":"f0","cols":[0,1]},{"op":"bogus","cols":[0]}]}"#,
+        );
+        let answers = r
+            .json
+            .get("answers")
+            .and_then(Json::as_arr)
+            .expect("answers");
+        assert_eq!(answers[0].get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(answers[1].get("op").and_then(Json::as_str), Some("bogus"));
+        // quit closes the session, not the server.
+        let r = d.handle_line(r#"{"op":"quit"}"#);
+        assert!(matches!(r.control, Control::CloseSession));
+        // stats and server_stats serve on the shared schema.
+        let r = d.handle_line(r#"{"op":"stats"}"#);
+        assert_eq!(
+            r.json.get("rows_ingested").and_then(Json::as_f64),
+            Some(2.0)
+        );
+        let r = d.handle_line(r#"{"op":"server_stats"}"#);
+        assert!(r.json.get("ops").is_some());
+        assert!(r
+            .json
+            .get("engine")
+            .and_then(|e| e.get("rows_ingested"))
+            .is_some());
+    }
+
+    #[test]
+    fn windowed_backend_over_the_same_protocol() {
+        let d = Dispatcher::new(None);
+        let r = d.handle_line(
+            r#"{"op":"start","d":8,"q":2,"window":{"bucket_rows":64,"tier_cap":2,"max_tiers":3}}"#,
+        );
+        assert_eq!(r.json.get("windowed"), Some(&Json::Bool(true)));
+        for _ in 0..4 {
+            d.handle_line(r#"{"op":"ingest","rows":[[0,1,0,0,1,0,1,1],[1,1,0,0,0,0,1,1]]}"#);
+        }
+        let r = d.handle_line(r#"{"op":"f0","cols":[0,1,2],"window":4}"#);
+        let w = r.json.get("window").expect("coverage");
+        assert_eq!(w.get("requested_rows").and_then(Json::as_f64), Some(4.0));
+        let r = d.handle_line(r#"{"op":"window_stats"}"#);
+        assert!(r.json.get("buckets_per_tier").is_some());
+        // stats keeps the plain schema on windowed engines.
+        let r = d.handle_line(r#"{"op":"stats"}"#);
+        assert_eq!(
+            r.json.get("rows_ingested").and_then(Json::as_f64),
+            Some(8.0)
+        );
+    }
+
+    #[test]
+    fn shutdown_checkpoints_once_to_configured_path() {
+        let dir = std::env::temp_dir().join("pfe-server-proto-shutdown");
+        std::fs::create_dir_all(&dir).expect("tmpdir");
+        let path = dir.join("proto-shutdown.pfes");
+        std::fs::remove_file(&path).ok();
+        let d = Dispatcher::new(Some(path.clone()));
+        d.handle_line(r#"{"op":"start","d":8,"q":2,"shards":1}"#);
+        d.handle_line(r#"{"op":"ingest","rows":[[0,1,0,0,1,0,1,1]]}"#);
+        // The op announces the path but does NOT write it — the write
+        // belongs to the transport's post-drain step, so rows ingested by
+        // other sessions during the drain are never lost.
+        let r = d.handle_line(r#"{"op":"shutdown"}"#);
+        assert!(matches!(r.control, Control::ShutdownServer));
+        assert_eq!(
+            r.json.get("checkpoint").and_then(Json::as_str),
+            Some(path.display().to_string().as_str())
+        );
+        assert!(!path.exists(), "the op itself must not checkpoint");
+        // The transport's drain writes it exactly once.
+        assert_eq!(d.shutdown_checkpoint(), Ok(Some(path.clone())));
+        assert!(path.exists());
+        assert_eq!(d.shutdown_checkpoint(), Ok(None), "second write is a no-op");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn protocol_doc_covers_every_registered_op() {
+        // Belt and braces with scripts/check_protocol_docs.sh: the wire
+        // reference must name every op the dispatcher serves.
+        let doc = include_str!("../../../docs/PROTOCOL.md");
+        for op in OPS {
+            assert!(
+                doc.contains(&format!("\"{op}\"")),
+                "docs/PROTOCOL.md does not document op '{op}'"
+            );
+        }
+    }
+
+    #[test]
+    fn checkpoint_op_with_explicit_path() {
+        let dir = std::env::temp_dir().join("pfe-server-proto-ckpt");
+        std::fs::create_dir_all(&dir).expect("tmpdir");
+        let path = dir.join("explicit.pfes");
+        std::fs::remove_file(&path).ok();
+        let d = started();
+        d.handle_line(r#"{"op":"ingest","rows":[[0,1,0,0,1,0,1,1]]}"#);
+        // No configured path and none given: typed error.
+        let r = d.handle_line(r#"{"op":"checkpoint"}"#);
+        assert_eq!(r.json.get("ok"), Some(&Json::Bool(false)));
+        let r = d.handle_line(&format!(
+            r#"{{"op":"checkpoint","path":"{}"}}"#,
+            path.display()
+        ));
+        assert_eq!(r.json.get("ok"), Some(&Json::Bool(true)));
+        assert!(path.exists());
+        std::fs::remove_file(&path).ok();
+    }
+}

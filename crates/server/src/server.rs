@@ -1,0 +1,433 @@
+//! The TCP server: many simultaneous line-protocol sessions over one
+//! shared [`Dispatcher`], a bounded worker pool with typed saturation
+//! rejection, and graceful shutdown (signal, handle, or the `shutdown`
+//! op) that checkpoints via `pfe-persist` before exiting.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use pfe_engine::Json;
+
+use crate::pool::WorkerPool;
+use crate::proto::{err_saturated, Control, Dispatcher};
+
+/// How a TCP server is shaped.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address; port 0 picks an ephemeral port (see
+    /// [`Server::local_addr`]).
+    pub addr: String,
+    /// Worker threads — the maximum number of connections served
+    /// concurrently.
+    pub workers: usize,
+    /// Accepted connections allowed to wait for a worker; beyond this the
+    /// server answers with the typed saturation rejection and closes.
+    pub queue: usize,
+    /// Where graceful shutdown checkpoints the backend (`None` disables
+    /// shutdown checkpointing). Also the default path of the `checkpoint`
+    /// op.
+    pub checkpoint_path: Option<PathBuf>,
+    /// Poll granularity for shutdown: how long a session blocks in a read
+    /// before re-checking the stop flag, and how long the accept loop
+    /// sleeps when idle.
+    pub poll_interval: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue: 16,
+            checkpoint_path: None,
+            poll_interval: Duration::from_millis(50),
+        }
+    }
+}
+
+/// What a completed [`Server::run`] did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShutdownReport {
+    /// Where the shutdown checkpoint was written (`None`: no path
+    /// configured, no backend started, or a `shutdown` op already wrote
+    /// it — the op reports its own path on the wire).
+    pub checkpointed: Option<PathBuf>,
+    /// Connections accepted over the server's lifetime.
+    pub connections_accepted: u64,
+    /// Connections bounced with the saturation rejection.
+    pub rejected_saturated: u64,
+    /// Requests handled to completion.
+    pub requests_handled: u64,
+}
+
+/// Errors from binding or running a [`Server`].
+#[derive(Debug)]
+pub enum ServerError {
+    /// Socket-level failure (bind, accept, configure).
+    Io(std::io::Error),
+    /// The configuration is invalid.
+    BadConfig(String),
+    /// The shutdown checkpoint failed; the message carries the
+    /// persistence error.
+    Checkpoint(String),
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "server io error: {e}"),
+            Self::BadConfig(m) => write!(f, "bad server config: {m}"),
+            Self::Checkpoint(m) => write!(f, "shutdown checkpoint failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+impl From<std::io::Error> for ServerError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// A handle for stopping a running server from another thread (tests,
+/// operator tooling). Cheap to clone.
+#[derive(Clone)]
+pub struct ServerHandle {
+    stop: Arc<AtomicBool>,
+    addr: SocketAddr,
+}
+
+impl ServerHandle {
+    /// Ask the server to stop: the accept loop exits, sessions drain
+    /// (each finishes its in-flight request), and the shutdown checkpoint
+    /// is written before [`Server::run`] returns.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+    }
+
+    /// The address the server is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+// Process-wide SIGINT/SIGTERM flag. The handler may only touch
+// async-signal-safe state, so it sets one static flag that every running
+// accept loop polls alongside its own stop flag.
+static SIGNAL_STOP: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+extern "C" fn on_signal(_sig: i32) {
+    SIGNAL_STOP.store(true, Ordering::SeqCst);
+}
+
+/// Install SIGINT/SIGTERM handlers that gracefully stop every running
+/// [`Server`] in this process (ctrl-c → checkpoint → drain → exit).
+///
+/// Deliberately *not* called by [`Server::bind`]: embedding applications
+/// and tests keep their own signal semantics unless they opt in. The
+/// `serve --listen` CLI opts in.
+#[cfg(unix)]
+pub fn install_signal_handlers() {
+    // `signal(2)` via the libc std already links; glibc gives BSD
+    // semantics (the handler stays installed). SIGINT = 2, SIGTERM = 15.
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    let handler = on_signal as *const () as usize;
+    unsafe {
+        signal(2, handler);
+        signal(15, handler);
+    }
+}
+
+/// Install SIGINT/SIGTERM handlers (no-op off Unix).
+#[cfg(not(unix))]
+pub fn install_signal_handlers() {}
+
+/// A bound, not-yet-running TCP server: a listener, a shared
+/// [`Dispatcher`], and a bounded session pool. [`run`](Self::run)
+/// blocks; grab a [`handle`](Self::handle) first to stop it.
+pub struct Server {
+    listener: TcpListener,
+    dispatcher: Arc<Dispatcher>,
+    cfg: ServerConfig,
+    stop: Arc<AtomicBool>,
+    addr: SocketAddr,
+}
+
+impl Server {
+    /// Bind the listen socket and build the shared dispatcher.
+    ///
+    /// # Errors
+    /// `BadConfig` for a zero-worker pool, `Io` for socket failures.
+    pub fn bind(cfg: ServerConfig) -> Result<Self, ServerError> {
+        if cfg.workers == 0 {
+            return Err(ServerError::BadConfig("workers must be >= 1".into()));
+        }
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let dispatcher = Arc::new(Dispatcher::new(cfg.checkpoint_path.clone()));
+        dispatcher.set_pool_shape(cfg.workers, cfg.queue);
+        Ok(Self {
+            listener,
+            dispatcher,
+            cfg,
+            stop: Arc::new(AtomicBool::new(false)),
+            addr,
+        })
+    }
+
+    /// The bound address (resolves port 0 to the ephemeral port picked).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A clonable handle that can stop this server from another thread.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            stop: Arc::clone(&self.stop),
+            addr: self.addr,
+        }
+    }
+
+    /// The shared dispatcher (embedding applications can pre-`start` an
+    /// engine or read counters without a connection).
+    pub fn dispatcher(&self) -> &Arc<Dispatcher> {
+        &self.dispatcher
+    }
+
+    fn stopping(&self) -> bool {
+        self.stop.load(Ordering::SeqCst) || SIGNAL_STOP.load(Ordering::SeqCst)
+    }
+
+    /// Serve until stopped (handle, `shutdown` op, or signal): accept
+    /// connections, hand each to the bounded session pool (or reject with
+    /// the typed saturation error), then drain sessions and write the
+    /// shutdown checkpoint.
+    ///
+    /// # Errors
+    /// `Io` on accept-loop failures, `Checkpoint` if the final checkpoint
+    /// cannot be written (the server still drained).
+    pub fn run(self) -> Result<ShutdownReport, ServerError> {
+        let pool: WorkerPool<TcpStream> = {
+            let dispatcher = Arc::clone(&self.dispatcher);
+            let stop = Arc::clone(&self.stop);
+            let poll = self.cfg.poll_interval;
+            WorkerPool::new(self.cfg.workers, self.cfg.queue, move |stream| {
+                serve_session(stream, &dispatcher, &stop, poll);
+            })
+        };
+        let mut accept_error: Option<std::io::Error> = None;
+        while !self.stopping() {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let counters = self.dispatcher.counters();
+                    counters
+                        .connections_accepted
+                        .fetch_add(1, Ordering::Relaxed);
+                    counters.connections_open.fetch_add(1, Ordering::Relaxed);
+                    if let Err(stream) = pool.try_submit(stream) {
+                        counters.rejected_saturated.fetch_add(1, Ordering::Relaxed);
+                        counters.connections_open.fetch_sub(1, Ordering::Relaxed);
+                        reject_saturated(stream, self.cfg.workers, self.cfg.queue);
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    // A short fixed sleep, not `poll_interval`: this is
+                    // the accept latency a fresh connection pays, so it
+                    // stays small while the stop flag is still checked
+                    // often enough.
+                    std::thread::sleep(Duration::from_millis(1).min(self.cfg.poll_interval));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                // A fatal accept error (e.g. EMFILE) must still fall
+                // through to the drain: returning here would drop the
+                // pool, whose join waits on sessions that never saw the
+                // stop flag — a wedged server instead of an error.
+                Err(e) => {
+                    accept_error = Some(e);
+                    break;
+                }
+            }
+        }
+        // Drain: sessions notice the stop flag at their next poll tick,
+        // finish the request in flight, and close. Only then is the
+        // shutdown checkpoint written, so every request acknowledged on
+        // any session is included in the durable state.
+        self.stop.store(true, Ordering::SeqCst);
+        pool.join();
+        if let Some(e) = accept_error {
+            // Best-effort durability even on the failure path.
+            let _ = self.dispatcher.shutdown_checkpoint();
+            return Err(ServerError::Io(e));
+        }
+        let checkpointed = self
+            .dispatcher
+            .shutdown_checkpoint()
+            .map_err(ServerError::Checkpoint)?;
+        let counters = self.dispatcher.counters();
+        Ok(ShutdownReport {
+            checkpointed,
+            connections_accepted: counters.connections_accepted.load(Ordering::Relaxed),
+            rejected_saturated: counters.rejected_saturated.load(Ordering::Relaxed),
+            requests_handled: counters.requests_handled.load(Ordering::Relaxed),
+        })
+    }
+}
+
+fn reject_saturated(mut stream: TcpStream, workers: usize, queue: usize) {
+    // Best-effort: the client may already be gone.
+    let _ = writeln!(stream, "{}", err_saturated(workers, queue));
+    let _ = stream.flush();
+    // Let the rejection land before the close: a client that pipelined a
+    // request has unread bytes in our receive buffer, and closing over
+    // them sends RST — which can discard the rejection line in flight.
+    // Half-close our side, then drain (bounded) what the client sent.
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let mut sink = [0u8; 1024];
+    for _ in 0..64 {
+        match std::io::Read::read(&mut stream, &mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+}
+
+/// One session: read request lines, dispatch, write response lines, until
+/// the peer closes, `quit`/`shutdown` arrives, or the server stops.
+fn serve_session(stream: TcpStream, dispatcher: &Dispatcher, stop: &AtomicBool, poll: Duration) {
+    let _open = decrement_on_drop(dispatcher);
+    if session_loop(stream, dispatcher, stop, poll).is_err() {
+        // Peer went away mid-session; nothing to report to it.
+    }
+}
+
+/// Decrement `connections_open` when the session ends, however it ends.
+fn decrement_on_drop(dispatcher: &Dispatcher) -> impl Drop + '_ {
+    struct Guard<'a>(&'a Dispatcher);
+    impl Drop for Guard<'_> {
+        fn drop(&mut self) {
+            self.0
+                .counters()
+                .connections_open
+                .fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+    Guard(dispatcher)
+}
+
+fn session_loop(
+    stream: TcpStream,
+    dispatcher: &Dispatcher,
+    stop: &AtomicBool,
+    poll: Duration,
+) -> std::io::Result<()> {
+    stream.set_nodelay(true)?;
+    // Reads time out at the poll interval so a session blocked on an idle
+    // connection still notices shutdown and drains.
+    stream.set_read_timeout(Some(poll))?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    // The line buffer survives timeouts: a read interrupted mid-line
+    // keeps the partial data and the next read appends to it. Raw bytes,
+    // not `read_line`: on a timeout `read_line` truncates a partial
+    // multi-byte UTF-8 suffix back off the buffer even though the bytes
+    // left the socket, desyncing the stream; `read_until` keeps them.
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        if stop.load(Ordering::SeqCst) || SIGNAL_STOP.load(Ordering::SeqCst) {
+            let _ = writeln!(writer, "{}", shutting_down());
+            return Ok(());
+        }
+        match reader.read_until(b'\n', &mut line) {
+            Ok(0) => return Ok(()), // peer closed
+            Ok(_) => {
+                let control = {
+                    // Invalid UTF-8 becomes U+FFFD and fails JSON parsing
+                    // with an ordinary error response.
+                    let text = String::from_utf8_lossy(&line);
+                    let trimmed = text.trim();
+                    if trimmed.is_empty() {
+                        Control::Continue
+                    } else {
+                        let reply = dispatcher.handle_line(trimmed);
+                        writeln!(writer, "{}", reply.json)?;
+                        writer.flush()?;
+                        reply.control
+                    }
+                };
+                line.clear();
+                match control {
+                    Control::Continue => {}
+                    Control::CloseSession => return Ok(()),
+                    Control::ShutdownServer => {
+                        stop.store(true, Ordering::SeqCst);
+                        return Ok(());
+                    }
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // Idle poll tick: loop around and re-check the stop flag.
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn shutting_down() -> Json {
+    Json::obj([
+        ("ok", Json::Bool(false)),
+        ("error", Json::Str("server shutting down".to_string())),
+        ("code", Json::Str("shutting_down".to_string())),
+    ])
+}
+
+/// Connect-and-bind helper for tests and doctests: a default-config
+/// server on an ephemeral port with the given worker/queue shape.
+///
+/// # Errors
+/// See [`Server::bind`].
+pub fn bind_ephemeral(workers: usize, queue: usize) -> Result<Server, ServerError> {
+    Server::bind(ServerConfig {
+        workers,
+        queue,
+        ..Default::default()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bind_rejects_zero_workers() {
+        let cfg = ServerConfig {
+            workers: 0,
+            ..Default::default()
+        };
+        assert!(matches!(Server::bind(cfg), Err(ServerError::BadConfig(_))));
+    }
+
+    #[test]
+    fn handle_stops_an_idle_server() {
+        let server = bind_ephemeral(1, 1).expect("bind");
+        let handle = server.handle();
+        let t = std::thread::spawn(move || server.run().expect("run"));
+        handle.shutdown();
+        let report = t.join().expect("join");
+        assert_eq!(report.connections_accepted, 0);
+        assert_eq!(report.checkpointed, None);
+    }
+}

@@ -1,291 +1,52 @@
-//! `serve` — line-delimited JSON query serving over stdin/stdout.
+//! `serve` — the query server: line-delimited JSON over **TCP** (many
+//! concurrent clients) or over **stdin/stdout** (pipe mode).
 //!
-//! Each input line is one JSON request; each output line is one JSON
-//! response. The engine is created by the first `start` request and serves
-//! every later request against its most recent snapshot. Statistic
-//! requests and responses are the canonical `pfe-query` types serialized
-//! by `pfe_engine::wire` — the same definition that drives the Rust API
-//! and the cache keys.
+//! Both modes speak the same protocol through the same
+//! `pfe_server::proto::Dispatcher` — see `docs/PROTOCOL.md` for every op
+//! with request/response examples. The engine is created by the first
+//! `start` request and serves every later request; passing a `window`
+//! object to `start` serves a sliding-window engine instead.
+//!
+//! TCP mode:
+//!
+//! ```text
+//! cargo run --release --example serve -- --listen 127.0.0.1:7070 \
+//!     --workers 8 --queue 32 --checkpoint snap.pfes
+//! ```
+//!
+//! then talk to it with `examples/client.rs` (or netcat). `--workers`
+//! bounds concurrent sessions; beyond `--queue` waiting connections the
+//! server answers `{"ok":false,"code":"saturated"}` and closes instead of
+//! queueing unboundedly. SIGINT/SIGTERM (or a `shutdown` request) stops
+//! accepting, drains in-flight requests, and — when `--checkpoint` is
+//! given — writes the backend durably via `pfe-persist` before exiting.
+//! `--listen 127.0.0.1:0` picks an ephemeral port (printed on stderr as
+//! `listening on ADDR`).
+//!
+//! Pipe mode (no `--listen`): each stdin line is one request, each stdout
+//! line is the response, ending at `{"op":"quit"}`/`{"op":"shutdown"}` or
+//! EOF:
 //!
 //! ```text
 //! {"op":"start","d":12,"q":2,"shards":4}
 //! {"op":"ingest","rows":[[0,1,0,...],[1,1,0,...]]}
 //! {"op":"snapshot"}
 //! {"op":"f0","cols":[0,5,9]}
-//! {"op":"frequency","cols":[0,5],"pattern":[1,0]}
 //! {"op":"heavy_hitters","cols":[0,1,2],"phi":0.1}
-//! {"op":"l1_sample","cols":[0,1],"k":8,"seed":7}
 //! {"op":"batch","queries":[{"op":"f0","cols":[0,1]},{"op":"f0","cols":[0,1,2]}]}
 //! {"op":"stats"}
 //! {"op":"quit"}
 //! ```
 //!
-//! Passing a `window` object to `start` serves the stream through a
-//! sliding-window engine (`pfe-window`) instead: every statistic op then
-//! accepts a `window` field (answer over the most recent that-many rows,
-//! reported coverage included in the response) and `window_stats` reports
-//! the bucket-ring shape:
-//!
-//! ```text
-//! {"op":"start","d":12,"q":2,"window":{"bucket_rows":512,"tier_cap":4,"max_tiers":6}}
-//! {"op":"ingest","rows":[...]}
-//! {"op":"heavy_hitters","cols":[0,1,2],"phi":0.1,"window":1000}
-//! {"op":"window_stats"}
-//! ```
-//!
-//! Run `cargo run --release --example serve -- --demo` for a scripted
-//! session over generated data (no stdin needed), or `--demo-window` for
-//! the windowed equivalent.
+//! Run with `--demo` for a scripted whole-stream session over generated
+//! data (no stdin needed), or `--demo-window` for the windowed
+//! equivalent.
 
 use std::io::{BufRead, Write};
+use std::path::PathBuf;
 
-use subspace_exploration::engine::{wire, Engine, EngineConfig, Json, Query};
-use subspace_exploration::window::{wire as window_wire, WindowConfig, WindowedEngine};
-
-fn err(msg: impl Into<String>) -> Json {
-    Json::obj([("ok", Json::Bool(false)), ("error", Json::Str(msg.into()))])
-}
-
-/// Error payload for an unrecognized op name: the offending op string is
-/// echoed in its own field so clients can match it programmatically
-/// instead of parsing the message.
-fn err_unknown_op(op: &str, context: &str) -> Json {
-    Json::obj([
-        ("ok", Json::Bool(false)),
-        ("error", Json::Str(format!("unknown {context} op '{op}'"))),
-        ("op", Json::Str(op.to_string())),
-    ])
-}
-
-/// Whole-stream or sliding-window serving, behind one protocol.
-enum Backend {
-    Plain(Engine),
-    Windowed(WindowedEngine),
-}
-
-impl Backend {
-    fn query_batch(
-        &self,
-        queries: &[Query],
-    ) -> Vec<Result<subspace_exploration::engine::Answer, subspace_exploration::engine::EngineError>>
-    {
-        match self {
-            Backend::Plain(e) => e.query_batch(queries),
-            Backend::Windowed(e) => e.query_batch(queries),
-        }
-    }
-
-    fn push_dense(&self, row: &[u16]) -> Result<(), subspace_exploration::engine::EngineError> {
-        match self {
-            Backend::Plain(e) => e.push_dense(row),
-            Backend::Windowed(e) => e.push_dense(row),
-        }
-    }
-}
-
-struct Server {
-    backend: Option<Backend>,
-    q: u32,
-}
-
-impl Server {
-    fn handle(&mut self, line: &str) -> Json {
-        let req = match Json::parse(line) {
-            Ok(v) => v,
-            Err(e) => return err(e.to_string()),
-        };
-        let op = match req.get("op").and_then(Json::as_str) {
-            Some(op) => op.to_string(),
-            None => return err("missing 'op'"),
-        };
-        match self.dispatch(&op, &req) {
-            Ok(v) => v,
-            Err(v) => v,
-        }
-    }
-
-    fn backend(&self) -> Result<&Backend, Json> {
-        self.backend
-            .as_ref()
-            .ok_or_else(|| err("no engine: send 'start' first"))
-    }
-
-    /// Serve one statistic request through the canonical query types.
-    fn serve_query(&self, req: &Json) -> Result<Json, Json> {
-        let query = wire::query_from_json(req).map_err(err)?;
-        let answer = self
-            .backend()?
-            .query_batch(std::slice::from_ref(&query))
-            .pop()
-            .expect("one answer per query")
-            .map_err(|e| err(e.to_string()))?;
-        Ok(wire::answer_to_json(&answer, self.q))
-    }
-
-    /// Serve a whole batch through the mask-sharing planner; per-query
-    /// failures — parse errors included — come back as error objects in
-    /// their slots, never batch-fatal.
-    fn serve_batch(&self, req: &Json) -> Result<Json, Json> {
-        let items = req
-            .get("queries")
-            .and_then(Json::as_arr)
-            .ok_or_else(|| err("missing 'queries'"))?;
-        let backend = self.backend()?;
-        let parsed: Vec<Result<Query, Json>> = items
-            .iter()
-            .map(|item| {
-                wire::query_from_json(item).map_err(|e| {
-                    // Echo an unrecognized statistic op by name; other
-                    // parse failures keep their field-naming message.
-                    match item.get("op").and_then(Json::as_str) {
-                        Some(op) if e.contains("unknown statistic op") => {
-                            err_unknown_op(op, "statistic")
-                        }
-                        _ => err(e),
-                    }
-                })
-            })
-            .collect();
-        let valid: Vec<Query> = parsed.iter().filter_map(|p| p.clone().ok()).collect();
-        let mut served = backend.query_batch(&valid).into_iter();
-        let answers = parsed
-            .into_iter()
-            .map(|p| match p {
-                Err(e) => e,
-                Ok(_) => match served.next().expect("one answer per valid query") {
-                    Ok(answer) => wire::answer_to_json(&answer, self.q),
-                    Err(e) => err(e.to_string()),
-                },
-            })
-            .collect();
-        Ok(Json::obj([
-            ("ok", Json::Bool(true)),
-            ("answers", Json::Arr(answers)),
-        ]))
-    }
-
-    fn start(&mut self, req: &Json) -> Result<Json, Json> {
-        let d = req.get("d").and_then(Json::as_f64).unwrap_or(0.0) as u32;
-        let q = req.get("q").and_then(Json::as_f64).unwrap_or(2.0) as u32;
-        let mut cfg = EngineConfig::default();
-        if let Some(s) = req.get("shards").and_then(Json::as_f64) {
-            cfg.shards = s as usize;
-        }
-        if let Some(a) = req.get("alpha").and_then(Json::as_f64) {
-            cfg.alpha = a;
-        }
-        if let Some(t) = req.get("sample_t").and_then(Json::as_f64) {
-            cfg.sample_t = t as usize;
-        }
-        if let Some(k) = req.get("kmv_k").and_then(Json::as_f64) {
-            cfg.kmv_k = k as usize;
-        }
-        let backend = match req.get("window") {
-            None | Some(Json::Null) => {
-                Backend::Plain(Engine::start(d, q, cfg).map_err(|e| err(e.to_string()))?)
-            }
-            Some(win) => {
-                let mut wcfg = WindowConfig::default();
-                if let Some(v) = win.get("bucket_rows").and_then(Json::as_f64) {
-                    wcfg.bucket_rows = v as u64;
-                }
-                if let Some(v) = win.get("tier_cap").and_then(Json::as_f64) {
-                    wcfg.tier_cap = v as usize;
-                }
-                if let Some(v) = win.get("max_tiers").and_then(Json::as_f64) {
-                    wcfg.max_tiers = v as u32;
-                }
-                if let Some(v) = win.get("merged_cache").and_then(Json::as_f64) {
-                    wcfg.merged_cache = v as usize;
-                }
-                Backend::Windowed(
-                    WindowedEngine::start(d, q, cfg, wcfg).map_err(|e| err(e.to_string()))?,
-                )
-            }
-        };
-        let windowed = matches!(backend, Backend::Windowed(_));
-        self.backend = Some(backend);
-        self.q = q;
-        Ok(Json::obj([
-            ("ok", Json::Bool(true)),
-            ("windowed", Json::Bool(windowed)),
-        ]))
-    }
-
-    fn dispatch(&mut self, op: &str, req: &Json) -> Result<Json, Json> {
-        match op {
-            "start" => self.start(req),
-            "ingest" => {
-                let rows = req
-                    .get("rows")
-                    .and_then(Json::as_arr)
-                    .ok_or_else(|| err("missing 'rows'"))?;
-                let backend = self.backend()?;
-                for row in rows {
-                    let dense = wire::u16s(Some(row)).map_err(err)?;
-                    backend.push_dense(&dense).map_err(|e| err(e.to_string()))?;
-                }
-                Ok(Json::obj([
-                    ("ok", Json::Bool(true)),
-                    ("rows", Json::Num(rows.len() as f64)),
-                ]))
-            }
-            "snapshot" => match self.backend()? {
-                Backend::Plain(e) => {
-                    let snap = e.refresh().map_err(|e| err(e.to_string()))?;
-                    Ok(Json::obj([
-                        ("ok", Json::Bool(true)),
-                        ("epoch", Json::Num(snap.epoch() as f64)),
-                        ("rows", Json::Num(snap.n() as f64)),
-                    ]))
-                }
-                // The windowed engine serves the live ring directly —
-                // there is nothing to publish; report what is retained.
-                Backend::Windowed(e) => Ok(Json::obj([
-                    ("ok", Json::Bool(true)),
-                    ("rows", Json::Num(e.retained_rows() as f64)),
-                ])),
-            },
-            "f0" | "frequency" | "freq" | "heavy_hitters" | "hh" | "l1_sample" => {
-                self.serve_query(req)
-            }
-            "batch" => self.serve_batch(req),
-            // `stats` keeps the documented schema on both backends; the
-            // windowed engine maps its ring counters onto it (ingested =
-            // retained + evicted, "snapshot" = the live ring) and serves
-            // ring-specific detail under `window_stats`.
-            "stats" => match self.backend()? {
-                Backend::Plain(e) => Ok(wire::stats_to_json(&e.stats())),
-                Backend::Windowed(e) => {
-                    let w = e.window_stats();
-                    Ok(wire::stats_to_json(
-                        &subspace_exploration::engine::EngineStats {
-                            rows_ingested: w.retained_rows + w.evicted_rows,
-                            snapshot_epoch: 0,
-                            snapshot_rows: w.retained_rows,
-                            snapshot_bytes: w.ring_bytes,
-                            cache: w.cache,
-                            shards: 1,
-                            queries_served: w.queries_served,
-                            queries: w.queries,
-                        },
-                    ))
-                }
-            },
-            "window_stats" => match self.backend()? {
-                Backend::Windowed(e) => Ok(window_wire::window_stats_to_json(&e.window_stats())),
-                Backend::Plain(_) => Err(err(
-                    "window_stats requires a windowed engine: start with a 'window' object",
-                )),
-            },
-            "quit" => Ok(Json::obj([
-                ("ok", Json::Bool(true)),
-                ("bye", Json::Bool(true)),
-            ])),
-            other => Err(err_unknown_op(other, "request")),
-        }
-    }
-}
+use subspace_exploration::server::proto::{Control, Dispatcher};
+use subspace_exploration::server::{install_signal_handlers, Server, ServerConfig};
 
 fn demo_rows(d: u32, count: usize, seed: u64) -> Vec<String> {
     use subspace_exploration::hash::rng::Xoshiro256pp;
@@ -318,6 +79,7 @@ fn demo_script() -> Vec<String> {
         r#"{"op":"batch","queries":[{"op":"f0","cols":[0,1,2,3,4,5]},{"op":"f0","cols":[0,1,2,3,4,5,6]}]}"#
             .to_string(),
         r#"{"op":"stats"}"#.to_string(),
+        r#"{"op":"server_stats"}"#.to_string(),
         r#"{"op":"quit"}"#.to_string(),
     ]);
     lines
@@ -342,14 +104,66 @@ fn demo_window_script() -> Vec<String> {
     lines
 }
 
-fn main() {
-    let mut server = Server {
-        backend: None,
-        q: 2,
+/// Parse `--flag value` pairs out of the argument list.
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn run_tcp(args: &[String], listen: String) {
+    let mut cfg = ServerConfig {
+        addr: listen,
+        ..Default::default()
     };
+    if let Some(w) = flag_value(args, "--workers").and_then(|v| v.parse().ok()) {
+        cfg.workers = w;
+    }
+    if let Some(q) = flag_value(args, "--queue").and_then(|v| v.parse().ok()) {
+        cfg.queue = q;
+    }
+    if let Some(p) = flag_value(args, "--checkpoint") {
+        cfg.checkpoint_path = Some(PathBuf::from(p));
+    }
+    let server = match Server::bind(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("serve: {e}");
+            std::process::exit(1);
+        }
+    };
+    install_signal_handlers();
+    eprintln!("listening on {}", server.local_addr());
+    match server.run() {
+        Ok(report) => {
+            if let Some(path) = &report.checkpointed {
+                eprintln!("checkpointed to {}", path.display());
+            }
+            eprintln!(
+                "served {} connections, {} requests ({} rejected saturated)",
+                report.connections_accepted, report.requests_handled, report.rejected_saturated
+            );
+        }
+        Err(e) => {
+            eprintln!("serve: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(listen) = flag_value(&args, "--listen") {
+        run_tcp(&args, listen);
+        return;
+    }
+
+    // Pipe mode: the same dispatcher over stdin/stdout. `--checkpoint`
+    // gives `shutdown` (and the `checkpoint` op) a default path here too.
+    let dispatcher = Dispatcher::new(flag_value(&args, "--checkpoint").map(PathBuf::from));
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
-    let args: Vec<String> = std::env::args().collect();
     let demo = if args.iter().any(|a| a == "--demo-window") {
         Some(demo_window_script())
     } else if args.iter().any(|a| a == "--demo") {
@@ -357,11 +171,24 @@ fn main() {
     } else {
         None
     };
+    // In pipe mode the session IS the server: when `shutdown` ends the
+    // loop, write the configured checkpoint (the reply only announced the
+    // path — the write happens after the session drains, same as TCP).
+    let finish = |dispatcher: &Dispatcher, control: Control| {
+        if matches!(control, Control::ShutdownServer) {
+            match dispatcher.shutdown_checkpoint() {
+                Ok(Some(path)) => eprintln!("checkpointed to {}", path.display()),
+                Ok(None) => {}
+                Err(e) => eprintln!("serve: shutdown checkpoint failed: {e}"),
+            }
+        }
+    };
     if let Some(script) = demo {
         for line in script {
-            let resp = server.handle(&line);
-            writeln!(out, "{resp}").expect("stdout");
-            if line.contains("\"quit\"") {
+            let reply = dispatcher.handle_line(&line);
+            writeln!(out, "{}", reply.json).expect("stdout");
+            if !matches!(reply.control, Control::Continue) {
+                finish(&dispatcher, reply.control);
                 break;
             }
         }
@@ -374,10 +201,11 @@ fn main() {
         if line.trim().is_empty() {
             continue;
         }
-        let resp = server.handle(&line);
+        let reply = dispatcher.handle_line(&line);
         handled += 1;
-        writeln!(out, "{resp}").expect("stdout");
-        if line.contains("\"quit\"") && resp.get("bye").is_some() {
+        writeln!(out, "{}", reply.json).expect("stdout");
+        if !matches!(reply.control, Control::Continue) {
+            finish(&dispatcher, reply.control);
             break;
         }
     }
@@ -388,10 +216,14 @@ fn main() {
         // to stderr so stdout stays a pure response stream.
         eprintln!("serve: no requests received on stdin");
         eprintln!(
-            "usage: serve [--demo|--demo-window] — speak line-delimited JSON on stdin, one request per line:"
+            "usage: serve [--demo|--demo-window] [--checkpoint PATH]            pipe mode (stdin/stdout)"
         );
-        eprintln!("  {{\"op\":\"start\",\"d\":12,\"q\":2,\"shards\":4}}   then ingest/snapshot/f0/frequency/heavy_hitters/l1_sample/batch/stats/quit");
+        eprintln!(
+            "       serve --listen ADDR [--workers N] [--queue N] [--checkpoint PATH]   TCP mode"
+        );
+        eprintln!("  speak line-delimited JSON, one request per line:");
+        eprintln!("  {{\"op\":\"start\",\"d\":12,\"q\":2,\"shards\":4}}   then ingest/snapshot/f0/frequency/heavy_hitters/l1_sample/batch/stats/server_stats/checkpoint/shutdown/quit");
         eprintln!("  add \"window\":{{\"bucket_rows\":512}} to start for sliding-window serving ('window' field on every statistic op, plus window_stats)");
-        eprintln!("  (see the \"serve\" protocol section in README.md, or run with --demo for a scripted session)");
+        eprintln!("  (see docs/PROTOCOL.md for the full reference, or run with --demo for a scripted session)");
     }
 }

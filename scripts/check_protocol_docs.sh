@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Docs-consistency check: every op the dispatcher registers must be
+# documented in docs/PROTOCOL.md, and every documented op must be
+# registered. The registry is the OPS constant in
+# crates/server/src/proto.rs (between the OPS_START/OPS_END markers);
+# the proto unit tests pin that list to the dispatch match arms.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+proto=crates/server/src/proto.rs
+docs=docs/PROTOCOL.md
+
+registered=$(sed -n '/OPS_START/,/OPS_END/p' "$proto" | grep -o '"[a-z_0-9]*"' | tr -d '"' | sort)
+[ -n "$registered" ] || { echo "FAIL: no ops found between OPS_START/OPS_END in $proto"; exit 1; }
+
+# Ops the document describes: the `"op":"name"` strings in its examples.
+documented=$(grep -oE '"op":"[a-z_0-9]+"' "$docs" | sed 's/.*:"\([a-z_0-9]*\)"/\1/' | sort -u)
+
+fail=0
+for op in $registered; do
+    if ! grep -q "\"$op\"" "$docs"; then
+        echo "FAIL: dispatcher op '$op' is not documented in $docs"
+        fail=1
+    fi
+done
+for op in $documented; do
+    if ! printf '%s\n' $registered | grep -qx "$op"; then
+        # Statistic ops appearing only inside batch examples are still
+        # registered ops, so anything here is genuine drift.
+        echo "FAIL: $docs documents op '$op' which the dispatcher does not register"
+        fail=1
+    fi
+done
+
+if [ "$fail" -eq 0 ]; then
+    echo "OK: $(printf '%s\n' $registered | wc -l) dispatcher ops all documented, no stale docs"
+fi
+exit "$fail"

@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Smoke-run the docs/GUIDE.md quickstart: build the examples, run the
+# scripted pipe-mode sessions, then a real TCP server + client round
+# trip ending in a wire shutdown with a durable checkpoint. Fails if any
+# response is an error or the checkpoint is missing.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmpdir=$(mktemp -d)
+trap 'kill $server_pid 2>/dev/null || true; rm -rf "$tmpdir"' EXIT
+
+echo "== build (guide §1)"
+cargo build --release --example serve --example client
+
+echo "== pipe-mode demos (guide §5)"
+out=$(cargo run --release --example serve -- --demo 2>/dev/null)
+echo "$out" | grep -q '"bye":true' || { echo "FAIL: demo session did not finish"; exit 1; }
+echo "$out" | grep -q '"ok":false' && { echo "FAIL: demo session had an error response"; exit 1; }
+out=$(cargo run --release --example serve -- --demo-window 2>/dev/null)
+echo "$out" | grep -q '"bye":true' || { echo "FAIL: windowed demo did not finish"; exit 1; }
+echo "$out" | grep -q '"ok":false' && { echo "FAIL: windowed demo had an error response"; exit 1; }
+
+echo "== TCP server + client round trip (guide §5)"
+ckpt="$tmpdir/smoke.pfes"
+cargo run --release --example serve -- \
+    --listen 127.0.0.1:0 --workers 2 --queue 4 --checkpoint "$ckpt" \
+    2>"$tmpdir/serve.err" &
+server_pid=$!
+
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(grep -o 'listening on [0-9.:]*' "$tmpdir/serve.err" 2>/dev/null | awk '{print $3}' || true)
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "FAIL: server never reported its address"; cat "$tmpdir/serve.err"; exit 1; }
+echo "   server at $addr"
+
+out=$(cargo run --release --example client -- "$addr" --demo 2>/dev/null)
+echo "$out" | grep -q '"bye":true' || { echo "FAIL: client demo did not finish"; exit 1; }
+echo "$out" | grep -q '"ok":false' && { echo "FAIL: client demo had an error response"; exit 1; }
+echo "$out" | grep -q '"estimate"' || { echo "FAIL: no statistic answer in client demo"; exit 1; }
+
+echo "== wire shutdown + durable checkpoint (guide §5)"
+out=$(cargo run --release --example client -- "$addr" --shutdown 2>/dev/null)
+echo "$out" | grep -q '"shutdown":true' || { echo "FAIL: shutdown not acknowledged"; exit 1; }
+for _ in $(seq 1 100); do
+    kill -0 "$server_pid" 2>/dev/null || break
+    sleep 0.1
+done
+kill -0 "$server_pid" 2>/dev/null && { echo "FAIL: server still running after shutdown"; exit 1; }
+wait "$server_pid" 2>/dev/null || true
+[ -s "$ckpt" ] || { echo "FAIL: shutdown checkpoint missing or empty"; exit 1; }
+
+echo "OK: guide quickstart runs end to end (checkpoint: $(wc -c <"$ckpt") bytes)"

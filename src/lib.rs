@@ -32,6 +32,11 @@
 //!   mergeable buckets (exponential histogram) serving `last_n`-row
 //!   queries by merging the minimal covering set, with fingerprint-keyed
 //!   caching and durable checkpoint/resume of the whole ring;
+//! - [`server`] — concurrent network serving: the line-delimited JSON
+//!   protocol over TCP with a bounded worker pool, typed saturation
+//!   rejection, graceful checkpoint-on-shutdown, and a small client
+//!   library (one protocol dispatcher shared by pipe mode, TCP sessions,
+//!   and tests);
 //! - [`persist`] — the zero-dependency versioned binary codec (magic +
 //!   version + CRC-32 framing) behind the durable snapshots.
 //!
@@ -45,6 +50,7 @@ pub use pfe_lowerbounds as lowerbounds;
 pub use pfe_persist as persist;
 pub use pfe_query as query;
 pub use pfe_row as row;
+pub use pfe_server as server;
 pub use pfe_sketch as sketch;
 pub use pfe_stream as stream;
 pub use pfe_window as window;
