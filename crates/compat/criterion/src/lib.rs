@@ -256,6 +256,39 @@ fn run_bench(
         human_time(median),
         rate.unwrap_or_default()
     );
+    emit_json_line(label, median);
+}
+
+/// When `BENCH_JSON_PATH` is set, append one JSON line per benchmark —
+/// `{"id":"<label>","estimate_ns":<median>}` — to that file.
+/// `scripts/bench_json.sh` assembles these into a `BENCH_<date>.json`
+/// report; unset, benchmarks print to stdout only.
+fn emit_json_line(label: &str, median_secs: f64) {
+    let Ok(path) = std::env::var("BENCH_JSON_PATH") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let escaped: String = label
+        .chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            _ => vec![c],
+        })
+        .collect();
+    if let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    {
+        use std::io::Write as _;
+        let _ = writeln!(
+            f,
+            "{{\"id\":\"{escaped}\",\"estimate_ns\":{:.1}}}",
+            median_secs * 1e9
+        );
+    }
 }
 
 fn human_time(secs: f64) -> String {

@@ -12,9 +12,10 @@
 //! out through normal LRU pressure since no new queries touch them.
 
 use std::collections::{BTreeMap, HashMap};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use pfe_core::{HeavyHitter, SampledPattern};
+use pfe_obs::{Counter, Gauge, Recorder};
 use pfe_query::QueryKey;
 
 use crate::snapshot::FrequencyAnswer;
@@ -39,8 +40,6 @@ struct LruState {
     /// Recency index: tick -> key; first entry is least recent.
     order: BTreeMap<u64, QueryKey>,
     tick: u64,
-    hits: u64,
-    misses: u64,
 }
 
 /// Cache hit/miss counters.
@@ -50,6 +49,8 @@ pub struct CacheStats {
     pub hits: u64,
     /// Lookups that fell through to the snapshot.
     pub misses: u64,
+    /// Entries dropped by LRU pressure.
+    pub evictions: u64,
     /// Entries currently held.
     pub len: usize,
 }
@@ -67,13 +68,22 @@ impl CacheStats {
 }
 
 /// Bounded LRU cache; `capacity == 0` disables it entirely.
+///
+/// Hit/miss/eviction counters live in `pfe-obs` handles so the same
+/// series feeds [`CacheStats`], the `metrics` wire op, and the
+/// Prometheus endpoint; a cache built with [`QueryCache::new`] keeps
+/// detached (unregistered) handles.
 pub struct QueryCache {
     capacity: usize,
     state: Mutex<LruState>,
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    evictions: Arc<Counter>,
+    len_gauge: Arc<Gauge>,
 }
 
 impl QueryCache {
-    /// Create with room for `capacity` answers.
+    /// Create with room for `capacity` answers and detached counters.
     pub fn new(capacity: usize) -> Self {
         Self {
             capacity,
@@ -81,10 +91,23 @@ impl QueryCache {
                 map: HashMap::new(),
                 order: BTreeMap::new(),
                 tick: 0,
-                hits: 0,
-                misses: 0,
             }),
+            hits: Arc::new(Counter::new()),
+            misses: Arc::new(Counter::new()),
+            evictions: Arc::new(Counter::new()),
+            len_gauge: Arc::new(Gauge::new()),
         }
+    }
+
+    /// Create with counters registered in `recorder` under the
+    /// `engine_cache_*` names.
+    pub fn with_recorder(capacity: usize, recorder: &Recorder) -> Self {
+        let mut cache = Self::new(capacity);
+        cache.hits = recorder.counter("engine_cache_hits");
+        cache.misses = recorder.counter("engine_cache_misses");
+        cache.evictions = recorder.counter("engine_cache_evictions");
+        cache.len_gauge = recorder.gauge("engine_cache_len");
+        cache
     }
 
     /// Look up a key, refreshing its recency on hit.
@@ -102,11 +125,11 @@ impl QueryCache {
                 let value = value.clone();
                 s.order.remove(&old);
                 s.order.insert(tick, *key);
-                s.hits += 1;
+                self.hits.inc();
                 Some(value)
             }
             None => {
-                s.misses += 1;
+                self.misses.inc();
                 None
             }
         }
@@ -130,15 +153,18 @@ impl QueryCache {
             let (&oldest, &victim) = s.order.iter().next().expect("nonempty over capacity");
             s.order.remove(&oldest);
             s.map.remove(&victim);
+            self.evictions.inc();
         }
+        self.len_gauge.set(s.map.len() as u64);
     }
 
     /// Hit/miss/occupancy counters.
     pub fn stats(&self) -> CacheStats {
         let s = self.state.lock().expect("cache lock");
         CacheStats {
-            hits: s.hits,
-            misses: s.misses,
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            evictions: self.evictions.get(),
             len: s.map.len(),
         }
     }
@@ -148,6 +174,7 @@ impl QueryCache {
         let mut s = self.state.lock().expect("cache lock");
         s.map.clear();
         s.order.clear();
+        self.len_gauge.set(0);
     }
 }
 
@@ -185,6 +212,34 @@ mod tests {
         assert!(c.get(&key(2)).is_none());
         assert!(c.get(&key(1)).is_some());
         assert!(c.get(&key(3)).is_some());
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn hit_ratio_is_zero_not_nan_before_any_lookup() {
+        let stats = QueryCache::new(4).stats();
+        assert_eq!((stats.hits, stats.misses), (0, 0));
+        let ratio = stats.hit_ratio();
+        assert!(ratio.is_finite());
+        assert_eq!(ratio, 0.0);
+    }
+
+    #[test]
+    fn recorder_backed_cache_shares_its_counters() {
+        let rec = pfe_obs::Recorder::new();
+        let c = QueryCache::with_recorder(1, &rec);
+        c.get(&key(1));
+        c.put(key(1), answer(1.0));
+        c.put(key(2), answer(2.0)); // evicts 1
+        c.get(&key(2));
+        let read = |name: &str| rec.counter(name).get();
+        assert_eq!(read("engine_cache_hits"), 1);
+        assert_eq!(read("engine_cache_misses"), 1);
+        assert_eq!(read("engine_cache_evictions"), 1);
+        assert_eq!(rec.gauge("engine_cache_len").get(), 1);
+        // The CacheStats view reads the very same handles.
+        let stats = c.stats();
+        assert_eq!((stats.hits, stats.misses, stats.evictions), (1, 1, 1));
     }
 
     #[test]

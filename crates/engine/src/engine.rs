@@ -23,6 +23,7 @@
 
 use std::sync::{Arc, Mutex, RwLock};
 
+use pfe_obs::Recorder;
 use pfe_query::{Answer, Query};
 use pfe_row::Dataset;
 use pfe_sketch::traits::SpaceUsage;
@@ -81,8 +82,25 @@ impl Engine {
     /// # Errors
     /// Config validation or summary construction errors.
     pub fn start(d: u32, q: u32, cfg: EngineConfig) -> Result<Self, EngineError> {
-        let exec = QueryExecutor::new(cfg.cache_capacity, false);
-        let pipeline = IngestPipeline::new(d, q, &cfg)?;
+        Self::start_with_recorder(d, q, cfg, Arc::new(Recorder::new()))
+    }
+
+    /// Like [`start`](Self::start), but registering every engine metric
+    /// (query counters/latencies, cache series, ingest backpressure,
+    /// snapshot gauges) in a shared `recorder` — the server threads one
+    /// recorder through the engine, window ring, and connection handling.
+    ///
+    /// # Errors
+    /// Config validation or summary construction errors.
+    pub fn start_with_recorder(
+        d: u32,
+        q: u32,
+        cfg: EngineConfig,
+        recorder: Arc<Recorder>,
+    ) -> Result<Self, EngineError> {
+        let exec = QueryExecutor::with_recorder(cfg.cache_capacity, false, Arc::clone(&recorder));
+        let mut pipeline = IngestPipeline::new(d, q, &cfg)?;
+        pipeline.instrument(recorder.counter("engine_ingest_backpressure"));
         Ok(Self {
             pipeline: Mutex::new(Some(pipeline)),
             published: RwLock::new(None),
@@ -196,11 +214,25 @@ impl Engine {
         path: P,
         cfg: EngineConfig,
     ) -> Result<Self, EngineError> {
+        Self::resume_with_recorder(path, cfg, Arc::new(Recorder::new()))
+    }
+
+    /// Like [`resume`](Self::resume), but registering metrics in a shared
+    /// `recorder` (see [`start_with_recorder`](Self::start_with_recorder)).
+    ///
+    /// # Errors
+    /// Same as [`resume`](Self::resume).
+    pub fn resume_with_recorder<P: AsRef<std::path::Path>>(
+        path: P,
+        cfg: EngineConfig,
+        recorder: Arc<Recorder>,
+    ) -> Result<Self, EngineError> {
         let snap = Snapshot::load_from(path)?;
         let (d, q) = crate::persist::validate_resume(&snap, &cfg)?;
-        let exec = QueryExecutor::new(cfg.cache_capacity, false);
-        let pipeline =
+        let exec = QueryExecutor::with_recorder(cfg.cache_capacity, false, Arc::clone(&recorder));
+        let mut pipeline =
             IngestPipeline::with_base(d, q, &cfg, Some(snap.to_base_shard()), snap.epoch())?;
+        pipeline.instrument(recorder.counter("engine_ingest_backpressure"));
         Ok(Self {
             pipeline: Mutex::new(Some(pipeline)),
             published: RwLock::new(Some(Arc::new(snap))),
@@ -271,7 +303,18 @@ impl Engine {
         self.exec.answer_batch(&snap, queries)
     }
 
+    /// The recorder this engine reports into (see
+    /// [`start_with_recorder`](Self::start_with_recorder)).
+    pub fn recorder(&self) -> &Arc<Recorder> {
+        self.exec.recorder()
+    }
+
     /// Observability counters.
+    ///
+    /// Reading stats also mirrors the pipeline/snapshot-derived values
+    /// (rows routed, snapshot epoch/rows/bytes, shard count) into the
+    /// recorder's `engine_*` gauges, so a Prometheus scrape taken through
+    /// the server sees them without a separate wire round trip.
     pub fn stats(&self) -> EngineStats {
         let (rows_ingested, shards) = {
             let guard = self.pipeline.lock().expect("pipeline lock");
@@ -284,7 +327,7 @@ impl Engine {
         };
         let snap = self.snapshot();
         let queries = self.exec.counters();
-        EngineStats {
+        let stats = EngineStats {
             rows_ingested,
             snapshot_epoch: snap.as_ref().map(|s| s.epoch()).unwrap_or(0),
             snapshot_rows: snap.as_ref().map(|s| s.n()).unwrap_or(0),
@@ -293,7 +336,15 @@ impl Engine {
             shards,
             queries_served: queries.total(),
             queries,
-        }
+        };
+        let rec = self.exec.recorder();
+        rec.gauge("engine_rows_ingested").set(stats.rows_ingested);
+        rec.gauge("engine_snapshot_epoch").set(stats.snapshot_epoch);
+        rec.gauge("engine_snapshot_rows").set(stats.snapshot_rows);
+        rec.gauge("engine_snapshot_bytes")
+            .set(stats.snapshot_bytes as u64);
+        rec.gauge("engine_shards").set(stats.shards as u64);
+        stats
     }
 }
 

@@ -9,10 +9,11 @@
 //! and one materialization path attaching guarantees and provenance — so
 //! the two frontends cannot drift in semantics.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use pfe_core::bounds;
+use pfe_obs::{Counter, Histogram, Recorder};
 use pfe_query::{
     Answer, AnswerValue, CostInfo, Guarantee, GuaranteeSource, Provenance, Query, StatKind,
     Statistic,
@@ -53,41 +54,34 @@ impl QueryCounters {
     }
 }
 
-#[derive(Default)]
-struct StatCounterCells {
-    f0: AtomicU64,
-    frequency: AtomicU64,
-    heavy_hitters: AtomicU64,
-    l1_sample: AtomicU64,
-}
-
-impl StatCounterCells {
-    fn bump(&self, kind: StatKind, by: u64) {
-        let cell = match kind {
-            StatKind::F0 => &self.f0,
-            StatKind::Frequency => &self.frequency,
-            StatKind::HeavyHitters => &self.heavy_hitters,
-            StatKind::L1Sample => &self.l1_sample,
-        };
-        cell.fetch_add(by, Ordering::Relaxed);
-    }
-
-    fn read(&self) -> QueryCounters {
-        QueryCounters {
-            f0: self.f0.load(Ordering::Relaxed),
-            frequency: self.frequency.load(Ordering::Relaxed),
-            heavy_hitters: self.heavy_hitters.load(Ordering::Relaxed),
-            l1_sample: self.l1_sample.load(Ordering::Relaxed),
-        }
+fn kind_index(kind: StatKind) -> usize {
+    match kind {
+        StatKind::F0 => 0,
+        StatKind::Frequency => 1,
+        StatKind::HeavyHitters => 2,
+        StatKind::L1Sample => 3,
     }
 }
 
 /// The shared plan/probe/compute/materialize pipeline behind a serving
-/// frontend: an LRU answer cache plus per-statistic counters, exercised
-/// one snapshot at a time.
+/// frontend: an LRU answer cache plus per-statistic counters and latency
+/// histograms, exercised one snapshot at a time.
+///
+/// All metrics live in the executor's [`Recorder`]: `engine_queries_*`
+/// counters, `engine_query_latency_ns_*` per-statistic histograms,
+/// `engine_stage_{plan,cache_probe,compute,materialize}_ns` stage
+/// histograms, and the `engine_cache_*` series owned by the cache. The
+/// legacy [`QueryCounters`]/[`CacheStats`] views read the same handles.
 pub struct QueryExecutor {
     cache: QueryCache,
-    counters: StatCounterCells,
+    recorder: Arc<Recorder>,
+    /// Per-statistic handles, indexed by [`kind_index`].
+    stat_queries: [Arc<Counter>; 4],
+    stat_latency: [Arc<Histogram>; 4],
+    stage_plan: Arc<Histogram>,
+    stage_probe: Arc<Histogram>,
+    stage_compute: Arc<Histogram>,
+    stage_materialize: Arc<Histogram>,
     /// Whether this executor's frontend can serve `window(last_n)`
     /// queries (only the windowed engine resolves covering sets).
     windowed: bool,
@@ -95,16 +89,39 @@ pub struct QueryExecutor {
 
 impl QueryExecutor {
     /// Create an executor with an answer cache of `cache_capacity`
-    /// entries (0 disables caching). `windowed` declares whether the
-    /// owning frontend resolves window requests; when `false`, queries
-    /// carrying [`pfe_query::QueryOptions::window`] get a typed per-slot
-    /// error instead of a silently whole-stream answer.
+    /// entries (0 disables caching) and a private recorder. `windowed`
+    /// declares whether the owning frontend resolves window requests;
+    /// when `false`, queries carrying [`pfe_query::QueryOptions::window`]
+    /// get a typed per-slot error instead of a silently whole-stream
+    /// answer.
     pub fn new(cache_capacity: usize, windowed: bool) -> Self {
+        Self::with_recorder(cache_capacity, windowed, Arc::new(Recorder::new()))
+    }
+
+    /// Create an executor registering its metrics in a shared `recorder`
+    /// (the server threads one recorder through engine, window, and
+    /// connection handling).
+    pub fn with_recorder(cache_capacity: usize, windowed: bool, recorder: Arc<Recorder>) -> Self {
+        let stat_queries =
+            StatKind::ALL.map(|kind| recorder.counter(&format!("engine_queries_{}", kind.name())));
+        let stat_latency = StatKind::ALL
+            .map(|kind| recorder.histogram(&format!("engine_query_latency_ns_{}", kind.name())));
         Self {
-            cache: QueryCache::new(cache_capacity),
-            counters: StatCounterCells::default(),
+            cache: QueryCache::with_recorder(cache_capacity, &recorder),
+            stat_queries,
+            stat_latency,
+            stage_plan: recorder.histogram("engine_stage_plan_ns"),
+            stage_probe: recorder.histogram("engine_stage_cache_probe_ns"),
+            stage_compute: recorder.histogram("engine_stage_compute_ns"),
+            stage_materialize: recorder.histogram("engine_stage_materialize_ns"),
+            recorder,
             windowed,
         }
+    }
+
+    /// The recorder this executor reports into.
+    pub fn recorder(&self) -> &Arc<Recorder> {
+        &self.recorder
     }
 
     /// Answer a batch of queries against one snapshot. Answers return in
@@ -129,6 +146,7 @@ impl QueryExecutor {
         // Plan only the slots that passed the frontend gate; on the
         // common all-open path, plan the request slice directly (no
         // clones).
+        let plan_start = Instant::now();
         let plan = if out.iter().all(Option::is_none) {
             plan(snap, queries)
         } else {
@@ -148,10 +166,12 @@ impl QueryExecutor {
             }
             p
         };
+        self.stage_plan.record_duration(plan_start.elapsed());
         for (slot, e) in plan.errors {
             out[slot] = Some(Err(e));
         }
         for group in &plan.groups {
+            let group_start = Instant::now();
             match self.execute_group(snap, queries, group) {
                 Err(e) => {
                     for m in &group.members {
@@ -159,12 +179,35 @@ impl QueryExecutor {
                     }
                 }
                 Ok((value, cached)) => {
-                    self.counters
-                        .bump(group.key.kind, group.members.len() as u64);
+                    let idx = kind_index(group.key.kind);
+                    self.stat_queries[idx].add(group.members.len() as u64);
                     let group_size = group.members.len() as u32;
+                    let mat_start = Instant::now();
                     for m in &group.members {
                         out[m.slot] = Some(Ok(materialize(snap, m, &value, cached, group_size)));
                     }
+                    self.stage_materialize.record_duration(mat_start.elapsed());
+                    let elapsed = group_start.elapsed();
+                    // Each member observed the group's latency: the
+                    // histogram count matches queries served.
+                    let elapsed_ns = elapsed.as_nanos().min(u64::MAX as u128) as u64;
+                    for _ in &group.members {
+                        self.stat_latency[idx].record(elapsed_ns);
+                    }
+                    self.recorder.slow_log().record(
+                        &format!("query:{}", group.key.kind.name()),
+                        elapsed,
+                        || {
+                            vec![
+                                ("mask".to_string(), format!("{:#x}", group.key.mask)),
+                                ("epoch".to_string(), group.key.epoch.to_string()),
+                                ("exact".to_string(), group.key.exact.to_string()),
+                                ("cached".to_string(), cached.to_string()),
+                                ("group_size".to_string(), group_size.to_string()),
+                                ("group_ns".to_string(), elapsed_ns.to_string()),
+                            ]
+                        },
+                    );
                 }
             }
         }
@@ -182,10 +225,14 @@ impl QueryExecutor {
         group: &PlanGroup,
     ) -> Result<(CachedAnswer, bool), EngineError> {
         if group.probe_cache {
-            if let Some(hit) = self.cache.get(&group.key) {
+            let probe_start = Instant::now();
+            let hit = self.cache.get(&group.key);
+            self.stage_probe.record_duration(probe_start.elapsed());
+            if let Some(hit) = hit {
                 return Ok((hit, true));
             }
         }
+        let compute_start = Instant::now();
         let rep = &group.members[0];
         let value = match &queries[rep.slot].statistic {
             Statistic::F0 => {
@@ -220,6 +267,7 @@ impl QueryExecutor {
                 CachedAnswer::L1Sample(snap.l1_sample(&rep.cols, *k, *seed)?)
             }
         };
+        self.stage_compute.record_duration(compute_start.elapsed());
         self.cache.put(group.key, value.clone());
         Ok((value, false))
     }
@@ -229,9 +277,15 @@ impl QueryExecutor {
         self.cache.stats()
     }
 
-    /// Per-statistic served-query counters.
+    /// Per-statistic served-query counters (a view over the recorder's
+    /// `engine_queries_*` series).
     pub fn counters(&self) -> QueryCounters {
-        self.counters.read()
+        QueryCounters {
+            f0: self.stat_queries[kind_index(StatKind::F0)].get(),
+            frequency: self.stat_queries[kind_index(StatKind::Frequency)].get(),
+            heavy_hitters: self.stat_queries[kind_index(StatKind::HeavyHitters)].get(),
+            l1_sample: self.stat_queries[kind_index(StatKind::L1Sample)].get(),
+        }
     }
 }
 
@@ -375,6 +429,49 @@ mod tests {
         let a = answers[0].as_ref().expect("windowed slot accepted");
         // The executor leaves coverage attachment to the frontend.
         assert_eq!(a.window, None);
+    }
+
+    #[test]
+    fn recorder_latency_counts_match_queries_served() {
+        let snap = snapshot(8, 500);
+        let rec = Arc::new(pfe_obs::Recorder::new());
+        let exec = QueryExecutor::with_recorder(16, false, Arc::clone(&rec));
+        let queries = [
+            Query::over([0, 1]).f0(),
+            Query::over([0, 1]).f0(), // co-planned with the first
+            Query::over([0, 2]).heavy_hitters(0.1),
+        ];
+        let answers = exec.answer_batch(&snap, &queries);
+        assert!(answers.iter().all(Result::is_ok));
+        // One latency observation per answered query, even when a plan
+        // group serves several members from one compute.
+        assert_eq!(rec.histogram("engine_query_latency_ns_f0").count(), 2);
+        assert_eq!(
+            rec.histogram("engine_query_latency_ns_heavy_hitters")
+                .count(),
+            1
+        );
+        assert_eq!(rec.counter("engine_queries_f0").get(), 2);
+        assert_eq!(rec.histogram("engine_stage_plan_ns").count(), 1);
+        assert!(rec.histogram("engine_stage_compute_ns").count() >= 1);
+        assert!(rec.histogram("engine_stage_materialize_ns").count() >= 1);
+        // The QueryCounters view reads the same series.
+        assert_eq!(exec.counters().total(), 3);
+    }
+
+    #[test]
+    fn slow_log_disabled_by_default_enabled_by_threshold() {
+        let snap = snapshot(8, 500);
+        let rec = Arc::new(pfe_obs::Recorder::new());
+        let exec = QueryExecutor::with_recorder(16, false, Arc::clone(&rec));
+        exec.answer_batch(&snap, &[Query::over([0, 1]).f0()]);
+        assert!(rec.slow_log().is_empty(), "threshold 0 logs nothing");
+        // Entry shape and ring behaviour are pinned in pfe-obs; here we
+        // only need the executor to share the recorder's slow log so a
+        // server-set threshold reaches query groups.
+        assert_eq!(rec.slow_log().threshold_ms(), 0);
+        rec.slow_log().set_threshold_ms(250);
+        assert_eq!(exec.recorder().slow_log().threshold_ms(), 250);
     }
 
     #[test]

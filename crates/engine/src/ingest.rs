@@ -58,6 +58,10 @@ pub struct IngestPipeline {
     /// Checkpointed state a resumed pipeline folds under every snapshot
     /// (cloned per snapshot so the fold is deterministic).
     base: Option<ShardSummary>,
+    /// Sends that blocked on a full shard channel (backpressure events);
+    /// detached unless [`instrument`](Self::instrument) installed a
+    /// registered handle.
+    backpressure: std::sync::Arc<pfe_obs::Counter>,
 }
 
 fn worker(rx: Receiver<Msg>, mut shard: ShardSummary) -> ShardSummary {
@@ -138,7 +142,15 @@ impl IngestPipeline {
             rows_routed: base.as_ref().map(|b| b.rows()).unwrap_or(0),
             epoch: start_epoch,
             base,
+            backpressure: std::sync::Arc::new(pfe_obs::Counter::new()),
         })
+    }
+
+    /// Route backpressure events (sends that found a shard channel full)
+    /// into `counter` — typically `engine_ingest_backpressure` from the
+    /// engine's shared recorder.
+    pub fn instrument(&mut self, counter: std::sync::Arc<pfe_obs::Counter>) {
+        self.backpressure = counter;
     }
 
     /// Dimension `d`.
@@ -174,9 +186,19 @@ impl IngestPipeline {
     }
 
     fn send(&self, shard: usize, batch: RowBatch) -> Result<(), EngineError> {
-        self.senders[shard]
-            .send(Msg::Batch(batch))
-            .map_err(|_| EngineError::Closed)
+        // Try the non-blocking path first so a full channel is visible as
+        // a backpressure event before the router parks on the blocking
+        // send (same delivery order either way — one sender per shard).
+        match self.senders[shard].try_send(Msg::Batch(batch)) {
+            Ok(()) => Ok(()),
+            Err(mpsc::TrySendError::Disconnected(_)) => Err(EngineError::Closed),
+            Err(mpsc::TrySendError::Full(msg)) => {
+                self.backpressure.inc();
+                self.senders[shard]
+                    .send(msg)
+                    .map_err(|_| EngineError::Closed)
+            }
+        }
     }
 
     /// Route one packed binary row.

@@ -277,7 +277,12 @@ impl Json {
             Json::Null => out.push_str("null"),
             Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
             Json::Num(v) => {
-                if v.fract() == 0.0 && v.abs() < 9.0e15 {
+                if !v.is_finite() {
+                    // JSON has no NaN/Infinity literal; emitting one would
+                    // make the document unparseable (including by this
+                    // module's own parser). Serialize as null instead.
+                    out.push_str("null");
+                } else if v.fract() == 0.0 && v.abs() < 9.0e15 {
                     let _ = write!(out, "{}", *v as i64);
                 } else {
                     let _ = write!(out, "{v}");
@@ -366,6 +371,23 @@ impl Json {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn non_finite_numbers_serialize_as_null_not_nan() {
+        for v in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let doc = Json::Obj(std::collections::BTreeMap::from([(
+                "ratio".to_string(),
+                Json::Num(v),
+            )]));
+            let text = doc.to_string();
+            assert_eq!(text, r#"{"ratio":null}"#, "for {v}");
+            // The output must stay parseable by this parser.
+            Json::parse(&text).expect("round-trippable");
+        }
+        // Finite values are untouched.
+        assert_eq!(Json::Num(0.5).to_string(), "0.5");
+        assert_eq!(Json::Num(3.0).to_string(), "3");
+    }
 
     #[test]
     fn roundtrip_protocol_shapes() {

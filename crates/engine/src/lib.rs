@@ -86,6 +86,9 @@ pub use json::Json;
 pub use persist::merge_snapshot_files;
 pub use shard::ShardSummary;
 pub use snapshot::{FrequencyAnswer, Snapshot};
+// The shared observability registry — re-exported so frontends threading
+// a recorder through the engine need only one import path.
+pub use pfe_obs::{Recorder, SlowEntry};
 // The canonical query surface — re-exported so engine users need only one
 // import path.
 pub use pfe_query::{

@@ -235,6 +235,7 @@ pub fn stats_to_json(stats: &EngineStats) -> Json {
         ("snapshot_bytes", Json::Num(stats.snapshot_bytes as f64)),
         ("cache_hits", Json::Num(stats.cache.hits as f64)),
         ("cache_misses", Json::Num(stats.cache.misses as f64)),
+        ("cache_evictions", Json::Num(stats.cache.evictions as f64)),
         ("cache_hit_ratio", Json::Num(stats.cache.hit_ratio())),
         ("queries_served", Json::Num(stats.queries_served as f64)),
         (

@@ -28,10 +28,12 @@
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Mutex, RwLock};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Instant;
 
 use pfe_engine::{wire, Engine, EngineConfig, EngineError, EngineStats, Json, Query};
+use pfe_obs::{Counter, Gauge, Histogram, Recorder};
 use pfe_window::{wire as window_wire, WindowConfig, WindowedEngine};
 
 /// Every op name the dispatcher recognizes, aliases included.
@@ -54,6 +56,8 @@ pub const OPS: &[&str] = &[
     "stats",
     "window_stats",
     "server_stats",
+    "metrics",
+    "slow_log",
     "checkpoint",
     "shutdown",
     "quit",
@@ -193,30 +197,63 @@ impl Reply {
 /// owns the connection-shaped ones; the dispatcher maintains the request
 /// and per-op counters on every transport (in pipe mode the connection
 /// counters simply stay 0).
-#[derive(Debug, Default)]
+///
+/// Every field is a handle into the dispatcher's shared
+/// [`Recorder`] (`server_*` names), so `server_stats`, the `metrics` op,
+/// and the Prometheus endpoint all read the same series. Per-op handles
+/// are pre-resolved for all of [`OPS`] at construction — the hot path
+/// never takes the registry lock.
+#[derive(Debug)]
 pub struct ServerCounters {
     /// Connections accepted since start.
-    pub connections_accepted: AtomicU64,
+    pub connections_accepted: Arc<Counter>,
     /// Connections currently open (accepted, not yet closed).
-    pub connections_open: AtomicU64,
+    pub connections_open: Arc<Gauge>,
     /// Connections rejected with the typed saturation error.
-    pub rejected_saturated: AtomicU64,
+    pub rejected_saturated: Arc<Counter>,
     /// Requests handled to completion across all sessions.
-    pub requests_handled: AtomicU64,
+    pub requests_handled: Arc<Counter>,
     /// Requests currently being dispatched.
-    pub in_flight: AtomicU64,
-    ops: Mutex<BTreeMap<String, u64>>,
+    pub in_flight: Arc<Gauge>,
+    /// `op name -> (request counter, latency histogram)`; unrecognized
+    /// names share the `unknown` slot.
+    ops: BTreeMap<&'static str, (Arc<Counter>, Arc<Histogram>)>,
 }
 
 impl ServerCounters {
-    fn count_op(&self, op: &str) {
-        let mut ops = self.ops.lock().expect("ops lock");
-        *ops.entry(op.to_string()).or_insert(0) += 1;
+    fn new(recorder: &Recorder) -> Self {
+        let mut ops = BTreeMap::new();
+        for &op in OPS.iter().chain(std::iter::once(&"unknown")) {
+            ops.insert(
+                op,
+                (
+                    recorder.counter(&format!("server_op_requests_{op}")),
+                    recorder.histogram(&format!("server_op_latency_ns_{op}")),
+                ),
+            );
+        }
+        Self {
+            connections_accepted: recorder.counter("server_connections_accepted"),
+            connections_open: recorder.gauge("server_connections_open"),
+            rejected_saturated: recorder.counter("server_rejected_saturated"),
+            requests_handled: recorder.counter("server_requests_handled"),
+            in_flight: recorder.gauge("server_in_flight"),
+            ops,
+        }
     }
 
-    /// Per-op request counts (unrecognized names land under `unknown`).
+    fn op_handles(&self, op: &str) -> &(Arc<Counter>, Arc<Histogram>) {
+        self.ops.get(op).unwrap_or_else(|| &self.ops["unknown"])
+    }
+
+    /// Per-op request counts — ops with traffic only (unrecognized names
+    /// land under `unknown`).
     pub fn ops(&self) -> BTreeMap<String, u64> {
-        self.ops.lock().expect("ops lock").clone()
+        self.ops
+            .iter()
+            .filter(|(_, (count, _))| count.get() > 0)
+            .map(|(&op, (count, _))| (op.to_string(), count.get()))
+            .collect()
     }
 }
 
@@ -231,6 +268,7 @@ struct Started {
 /// are wait-free against the published snapshot).
 pub struct Dispatcher {
     started: RwLock<Option<Started>>,
+    recorder: Arc<Recorder>,
     counters: ServerCounters,
     checkpoint_path: Option<PathBuf>,
     checkpointed: AtomicBool,
@@ -244,9 +282,12 @@ impl Dispatcher {
     /// `shutdown` op (and the TCP server's signal-driven shutdown) writes
     /// the durable state; `None` disables shutdown checkpointing.
     pub fn new(checkpoint_path: Option<PathBuf>) -> Self {
+        let recorder = Arc::new(Recorder::new());
+        let counters = ServerCounters::new(&recorder);
         Self {
             started: RwLock::new(None),
-            counters: ServerCounters::default(),
+            recorder,
+            counters,
             checkpoint_path,
             checkpointed: AtomicBool::new(false),
             pool_shape: RwLock::new((0, 0)),
@@ -263,6 +304,38 @@ impl Dispatcher {
         &self.counters
     }
 
+    /// The shared metrics registry: server, engine, and window series all
+    /// live here (the `start` op threads it into whichever backend it
+    /// builds), so `metrics`, `slow_log`, and the Prometheus endpoint
+    /// expose one coherent view.
+    pub fn recorder(&self) -> &Arc<Recorder> {
+        &self.recorder
+    }
+
+    /// Mirror backend-derived values into their gauges so a metrics read
+    /// reflects the live state, not the state at the last `stats` call.
+    fn sync_gauges(&self) {
+        let guard = self.started.read().expect("backend lock");
+        if let Some(s) = guard.as_ref() {
+            match &s.backend {
+                Backend::Plain(e) => {
+                    let _ = e.stats();
+                }
+                Backend::Windowed(e) => {
+                    let _ = e.window_stats();
+                }
+            }
+        }
+    }
+
+    /// The full registry in Prometheus text-exposition format (metric
+    /// prefix `pfe`), gauges synced first. This is what the optional
+    /// `--metrics` HTTP endpoint serves.
+    pub fn render_prometheus(&self) -> String {
+        self.sync_gauges();
+        self.recorder.render_prometheus("pfe")
+    }
+
     /// The configured shutdown-checkpoint path, if any.
     pub fn checkpoint_path(&self) -> Option<&Path> {
         self.checkpoint_path.as_deref()
@@ -272,12 +345,10 @@ impl Dispatcher {
     /// panics on malformed input — every failure is an `"ok":false`
     /// response.
     pub fn handle_line(&self, line: &str) -> Reply {
-        self.counters.in_flight.fetch_add(1, Ordering::Relaxed);
+        self.counters.in_flight.add(1);
         let reply = self.handle_inner(line);
-        self.counters.in_flight.fetch_sub(1, Ordering::Relaxed);
-        self.counters
-            .requests_handled
-            .fetch_add(1, Ordering::Relaxed);
+        self.counters.in_flight.sub(1);
+        self.counters.requests_handled.inc();
         reply
     }
 
@@ -290,15 +361,26 @@ impl Dispatcher {
             Some(op) => op.to_string(),
             None => return Reply::cont(err("missing 'op'")),
         };
-        self.counters.count_op(if OPS.contains(&op.as_str()) {
-            &op
+        let canonical = if OPS.contains(&op.as_str()) {
+            op.as_str()
         } else {
             "unknown"
-        });
-        match self.dispatch(&op, &req) {
+        };
+        let (count, latency) = self.counters.op_handles(canonical);
+        count.inc();
+        let begin = Instant::now();
+        let reply = match self.dispatch(&op, &req) {
             Ok(reply) => reply,
             Err(json) => Reply::cont(json),
-        }
+        };
+        let elapsed = begin.elapsed();
+        latency.record_duration(elapsed);
+        self.recorder
+            .slow_log()
+            .record(&format!("op:{canonical}"), elapsed, || {
+                vec![("op".to_string(), op.clone())]
+            });
+        reply
     }
 
     fn with_backend<T>(&self, f: impl FnOnce(&Backend, u32) -> Result<T, Json>) -> Result<T, Json> {
@@ -384,10 +466,14 @@ impl Dispatcher {
         if let Some(s) = req.get("seed").and_then(Json::as_f64) {
             cfg.seed = s as u64;
         }
+        if let Some(ms) = req.get("slow_ms").and_then(Json::as_f64) {
+            self.recorder.slow_log().set_threshold_ms(ms as u64);
+        }
         let backend = match req.get("window") {
-            None | Some(Json::Null) => {
-                Backend::Plain(Engine::start(d, q, cfg).map_err(|e| err(e.to_string()))?)
-            }
+            None | Some(Json::Null) => Backend::Plain(
+                Engine::start_with_recorder(d, q, cfg, Arc::clone(&self.recorder))
+                    .map_err(|e| err(e.to_string()))?,
+            ),
             Some(win) => {
                 let mut wcfg = WindowConfig::default();
                 if let Some(v) = win.get("bucket_rows").and_then(Json::as_f64) {
@@ -403,7 +489,14 @@ impl Dispatcher {
                     wcfg.merged_cache = v as usize;
                 }
                 Backend::Windowed(
-                    WindowedEngine::start(d, q, cfg, wcfg).map_err(|e| err(e.to_string()))?,
+                    WindowedEngine::start_with_recorder(
+                        d,
+                        q,
+                        cfg,
+                        wcfg,
+                        Arc::clone(&self.recorder),
+                    )
+                    .map_err(|e| err(e.to_string()))?,
                 )
             }
         };
@@ -433,24 +526,21 @@ impl Dispatcher {
             ("ok", Json::Bool(true)),
             (
                 "connections_accepted",
-                Json::Num(c.connections_accepted.load(Ordering::Relaxed) as f64),
+                Json::Num(c.connections_accepted.get() as f64),
             ),
             (
                 "connections_open",
-                Json::Num(c.connections_open.load(Ordering::Relaxed) as f64),
+                Json::Num(c.connections_open.get() as f64),
             ),
             (
                 "rejected_saturated",
-                Json::Num(c.rejected_saturated.load(Ordering::Relaxed) as f64),
+                Json::Num(c.rejected_saturated.get() as f64),
             ),
             (
                 "requests_handled",
-                Json::Num(c.requests_handled.load(Ordering::Relaxed) as f64),
+                Json::Num(c.requests_handled.get() as f64),
             ),
-            (
-                "in_flight",
-                Json::Num(c.in_flight.load(Ordering::Relaxed) as f64),
-            ),
+            ("in_flight", Json::Num(c.in_flight.get() as f64)),
             ("workers", Json::Num(workers as f64)),
             ("queue_capacity", Json::Num(queue as f64)),
             (
@@ -463,6 +553,86 @@ impl Dispatcher {
                 ),
             ),
             ("engine", engine),
+        ])
+    }
+
+    /// Response body for the `metrics` op: the full registry as JSON, or
+    /// Prometheus text exposition when the request carries
+    /// `"format":"prometheus"`.
+    fn metrics_op(&self, req: &Json) -> Json {
+        if req.get("format").and_then(Json::as_str) == Some("prometheus") {
+            return Json::obj([
+                ("ok", Json::Bool(true)),
+                ("format", Json::Str("prometheus".to_string())),
+                ("text", Json::Str(self.render_prometheus())),
+            ]);
+        }
+        self.sync_gauges();
+        let counters: BTreeMap<String, Json> = self
+            .recorder
+            .counters_snapshot()
+            .into_iter()
+            .map(|(k, v)| (k, Json::Num(v as f64)))
+            .collect();
+        let gauges: BTreeMap<String, Json> = self
+            .recorder
+            .gauges_snapshot()
+            .into_iter()
+            .map(|(k, v)| (k, Json::Num(v as f64)))
+            .collect();
+        let histograms: BTreeMap<String, Json> = self
+            .recorder
+            .histograms_snapshot()
+            .into_iter()
+            .map(|(k, s)| {
+                (
+                    k,
+                    Json::obj([
+                        ("count", Json::Num(s.count as f64)),
+                        ("sum", Json::Num(s.sum as f64)),
+                        ("max", Json::Num(s.max as f64)),
+                        ("p50", Json::Num(s.p50 as f64)),
+                        ("p90", Json::Num(s.p90 as f64)),
+                        ("p99", Json::Num(s.p99 as f64)),
+                    ]),
+                )
+            })
+            .collect();
+        Json::obj([
+            ("ok", Json::Bool(true)),
+            ("counters", Json::Obj(counters)),
+            ("gauges", Json::Obj(gauges)),
+            ("histograms", Json::Obj(histograms)),
+        ])
+    }
+
+    /// Response body for the `slow_log` op: optionally set the threshold,
+    /// then return the retained entries (oldest first).
+    fn slow_log_op(&self, req: &Json) -> Json {
+        let log = self.recorder.slow_log();
+        if let Some(ms) = req.get("threshold_ms").and_then(Json::as_f64) {
+            log.set_threshold_ms(ms as u64);
+        }
+        let entries: Vec<Json> = log
+            .entries()
+            .into_iter()
+            .map(|e| {
+                let detail: BTreeMap<String, Json> = e
+                    .detail
+                    .into_iter()
+                    .map(|(k, v)| (k, Json::Str(v)))
+                    .collect();
+                Json::obj([
+                    ("what", Json::Str(e.what)),
+                    ("micros", Json::Num(e.micros as f64)),
+                    ("detail", Json::Obj(detail)),
+                ])
+            })
+            .collect();
+        Json::obj([
+            ("ok", Json::Bool(true)),
+            ("threshold_ms", Json::Num(log.threshold_ms() as f64)),
+            ("entries", Json::Arr(entries)),
         ])
     }
 
@@ -575,6 +745,8 @@ impl Dispatcher {
                 })
                 .map(Reply::cont),
             "server_stats" => Ok(Reply::cont(self.server_stats())),
+            "metrics" => Ok(Reply::cont(self.metrics_op(req))),
+            "slow_log" => Ok(Reply::cont(self.slow_log_op(req))),
             "checkpoint" => self.checkpoint_op(req).map(Reply::cont),
             // The checkpoint itself is NOT written here: it happens after
             // every session drains (`Server::run`, or the pipe-mode loop),
@@ -743,6 +915,74 @@ mod tests {
                 "docs/PROTOCOL.md does not document op '{op}'"
             );
         }
+    }
+
+    #[test]
+    fn metrics_op_serves_the_shared_registry() {
+        let d = started();
+        d.handle_line(r#"{"op":"ingest","rows":[[0,1,0,0,1,0,1,1]]}"#);
+        d.handle_line(r#"{"op":"snapshot"}"#);
+        d.handle_line(r#"{"op":"f0","cols":[0,1,2]}"#);
+        let r = d.handle_line(r#"{"op":"metrics"}"#);
+        assert_eq!(r.json.get("ok"), Some(&Json::Bool(true)));
+        // Engine and server series live in one registry.
+        let counters = r.json.get("counters").expect("counters");
+        assert_eq!(
+            counters.get("engine_queries_f0").and_then(Json::as_f64),
+            Some(1.0)
+        );
+        assert_eq!(
+            counters
+                .get("server_op_requests_ingest")
+                .and_then(Json::as_f64),
+            Some(1.0)
+        );
+        // Gauges are synced from the live backend at read time.
+        let gauges = r.json.get("gauges").expect("gauges");
+        assert_eq!(
+            gauges.get("engine_rows_ingested").and_then(Json::as_f64),
+            Some(1.0)
+        );
+        // The latency histogram counted the query.
+        let hist = r
+            .json
+            .get("histograms")
+            .and_then(|h| h.get("engine_query_latency_ns_f0"))
+            .expect("f0 latency histogram");
+        assert_eq!(hist.get("count").and_then(Json::as_f64), Some(1.0));
+        assert!(hist.get("p99").and_then(Json::as_f64).is_some());
+        // Prometheus form is the same registry as text.
+        let r = d.handle_line(r#"{"op":"metrics","format":"prometheus"}"#);
+        let text = r.json.get("text").and_then(Json::as_str).expect("text");
+        assert!(text.contains("# TYPE pfe_engine_queries_f0_total counter"));
+        assert!(text.contains("pfe_engine_queries_f0_total 1"));
+        assert!(text.contains("pfe_server_requests_handled_total"));
+    }
+
+    #[test]
+    fn slow_log_op_sets_threshold_and_lists_entries() {
+        let d = started();
+        // Default: disabled, empty.
+        let r = d.handle_line(r#"{"op":"slow_log"}"#);
+        assert_eq!(r.json.get("threshold_ms").and_then(Json::as_f64), Some(0.0));
+        assert_eq!(
+            r.json
+                .get("entries")
+                .and_then(Json::as_arr)
+                .map(<[Json]>::len),
+            Some(0)
+        );
+        // Setting the threshold through the op sticks (and is shared with
+        // the engine's slow log — one ring for the whole process).
+        let r = d.handle_line(r#"{"op":"slow_log","threshold_ms":250}"#);
+        assert_eq!(
+            r.json.get("threshold_ms").and_then(Json::as_f64),
+            Some(250.0)
+        );
+        assert_eq!(d.recorder().slow_log().threshold_ms(), 250);
+        // `start` accepts slow_ms too.
+        d.handle_line(r#"{"op":"start","d":8,"q":2,"shards":1,"slow_ms":9}"#);
+        assert_eq!(d.recorder().slow_log().threshold_ms(), 9);
     }
 
     #[test]

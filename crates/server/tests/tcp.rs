@@ -322,6 +322,114 @@ fn windowed_backend_matches_direct_windowed_engine() {
 }
 
 #[test]
+fn metrics_counters_account_for_every_concurrent_request_exactly() {
+    // N clients each issue a known op mix; afterwards the `metrics` op
+    // must account for every request exactly — counter totals and
+    // latency-histogram counts both — with no loss under concurrency.
+    const CLIENTS: u64 = 4;
+    const MIX: &[(&str, usize)] = &[
+        ("f0", 5),
+        ("frequency", 3),
+        ("heavy_hitters", 2),
+        ("l1_sample", 1),
+        ("stats", 1),
+    ];
+    fn req_for(op: &str) -> String {
+        match op {
+            "f0" => r#"{"op":"f0","cols":[0,1,2,3]}"#.to_string(),
+            "frequency" => r#"{"op":"frequency","cols":[0,1],"pattern":[1,1]}"#.to_string(),
+            "heavy_hitters" => r#"{"op":"heavy_hitters","cols":[0,1,2],"phi":0.05}"#.to_string(),
+            "l1_sample" => r#"{"op":"l1_sample","cols":[0,1],"k":4,"seed":7}"#.to_string(),
+            other => format!(r#"{{"op":"{other}"}}"#),
+        }
+    }
+
+    let rows = dense_rows(5);
+    let (handle, join) = spawn_server(quick_poll());
+    let addr = handle.addr();
+    let mut feeder = Client::connect(addr).expect("connect");
+    feeder.request_line(&start_request(None)).expect("start");
+    let ingest_requests = ingest_lines(&rows);
+    for line in &ingest_requests {
+        feeder.request_line(line).expect("ingest");
+    }
+    feeder
+        .request_line(r#"{"op":"snapshot"}"#)
+        .expect("snapshot");
+
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                for &(op, n) in MIX {
+                    for _ in 0..n {
+                        let r = client.request_line(&req_for(op)).expect("request");
+                        assert_eq!(r.get("ok"), Some(&Json::Bool(true)), "failed: {r}");
+                    }
+                }
+                client.request_line(r#"{"op":"quit"}"#).expect("quit");
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("client thread");
+    }
+
+    let m = feeder.request_line(r#"{"op":"metrics"}"#).expect("metrics");
+    let counters = m.get("counters").expect("counters");
+    let histograms = m.get("histograms").expect("histograms");
+    let counter = |name: &str| counters.get(name).and_then(Json::as_f64).unwrap_or(0.0);
+    let hist_count = |name: &str| {
+        histograms
+            .get(name)
+            .and_then(|h| h.get("count"))
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0)
+    };
+
+    // Per-op request counters and latency histograms agree with each
+    // other and with what the clients actually sent.
+    let mut total = 0.0;
+    for &(op, n) in MIX {
+        let sent = (CLIENTS as usize * n) as f64;
+        assert_eq!(counter(&format!("server_op_requests_{op}")), sent, "{op}");
+        assert_eq!(
+            hist_count(&format!("server_op_latency_ns_{op}")),
+            sent,
+            "latency count for {op}"
+        );
+        total += sent;
+    }
+    assert_eq!(counter("server_op_requests_quit"), CLIENTS as f64);
+    assert_eq!(counter("server_op_requests_start"), 1.0);
+    assert_eq!(counter("server_op_requests_snapshot"), 1.0);
+    assert_eq!(
+        counter("server_op_requests_ingest"),
+        ingest_requests.len() as f64
+    );
+    // Everything the feeder + clients sent before this metrics request.
+    total += (CLIENTS + 2) as f64 + ingest_requests.len() as f64;
+    assert_eq!(counter("server_requests_handled"), total);
+    assert_eq!(counter("server_connections_accepted"), (CLIENTS + 1) as f64);
+
+    // The engine saw exactly one query per statistic request, and its
+    // per-statistic latency histograms counted every one.
+    for &(op, n) in &MIX[..4] {
+        let sent = (CLIENTS as usize * n) as f64;
+        assert_eq!(counter(&format!("engine_queries_{op}")), sent, "{op}");
+        assert_eq!(
+            hist_count(&format!("engine_query_latency_ns_{op}")),
+            sent,
+            "engine latency count for {op}"
+        );
+    }
+
+    handle.shutdown();
+    let report = join.join().expect("server thread");
+    assert_eq!(report.requests_handled, total as u64 + 1); // + the metrics op
+}
+
+#[test]
 fn saturation_is_a_typed_rejection_not_a_queue() {
     // One worker, rendezvous queue: the first connection owns the worker
     // for its whole session, so the second must bounce.

@@ -2,14 +2,14 @@
 //! ring, answered through the shared `pfe-engine` query executor.
 
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use pfe_core::QueryError;
 use pfe_engine::{
-    Answer, CacheStats, EngineConfig, EngineError, Query, QueryCounters, QueryExecutor,
+    Answer, CacheStats, EngineConfig, EngineError, Query, QueryCounters, QueryExecutor, Recorder,
     ShardSummary, Snapshot, WindowCoverage,
 };
+use pfe_obs::{Counter, Histogram};
 use pfe_row::Dataset;
 use pfe_sketch::traits::SpaceUsage;
 
@@ -105,8 +105,11 @@ pub struct WindowedEngine {
     ring: Mutex<BucketRing>,
     exec: QueryExecutor,
     merged: Mutex<MergedLru>,
-    merged_hits: AtomicU64,
-    merged_misses: AtomicU64,
+    merged_hits: Arc<Counter>,
+    merged_misses: Arc<Counter>,
+    /// Distribution of covering-set sizes (buckets merged per resolved
+    /// covering), recorded once per distinct covering per batch.
+    covering_buckets: Arc<Histogram>,
 }
 
 impl WindowedEngine {
@@ -122,14 +125,31 @@ impl WindowedEngine {
         ecfg: EngineConfig,
         wcfg: WindowConfig,
     ) -> Result<Self, EngineError> {
+        Self::start_with_recorder(d, q, ecfg, wcfg, Arc::new(Recorder::new()))
+    }
+
+    /// Like [`start`](Self::start), but registering every window metric
+    /// (merged-snapshot LRU hits/misses, covering-set size histogram,
+    /// ring gauges) plus the shared executor's series in `recorder`.
+    ///
+    /// # Errors
+    /// Config validation or summary construction errors.
+    pub fn start_with_recorder(
+        d: u32,
+        q: u32,
+        ecfg: EngineConfig,
+        wcfg: WindowConfig,
+        recorder: Arc<Recorder>,
+    ) -> Result<Self, EngineError> {
         let merged = MergedLru::new(wcfg.merged_cache);
         let ring = BucketRing::new(d, q, &ecfg, wcfg)?;
         Ok(Self {
             ring: Mutex::new(ring),
-            exec: QueryExecutor::new(ecfg.cache_capacity, true),
             merged: Mutex::new(merged),
-            merged_hits: AtomicU64::new(0),
-            merged_misses: AtomicU64::new(0),
+            merged_hits: recorder.counter("window_merged_cache_hits"),
+            merged_misses: recorder.counter("window_merged_cache_misses"),
+            covering_buckets: recorder.histogram("window_covering_buckets"),
+            exec: QueryExecutor::with_recorder(ecfg.cache_capacity, true, recorder),
         })
     }
 
@@ -259,14 +279,15 @@ impl WindowedEngine {
                     None => {
                         let source = match merged.get(c.fingerprint) {
                             Some(snap) => {
-                                self.merged_hits.fetch_add(1, Ordering::Relaxed);
+                                self.merged_hits.inc();
                                 Source::Warm(snap)
                             }
                             None => {
-                                self.merged_misses.fetch_add(1, Ordering::Relaxed);
+                                self.merged_misses.inc();
                                 Source::Cold(ring.covering_summaries(&c))
                             }
                         };
+                        self.covering_buckets.record(c.buckets as u64);
                         groups.push((c, vec![slot], source));
                     }
                 }
@@ -329,6 +350,19 @@ impl WindowedEngine {
     /// `Persist` for unreadable/corrupt files, `Incompatible` when `ecfg`
     /// disagrees with the ring.
     pub fn resume<P: AsRef<Path>>(path: P, ecfg: EngineConfig) -> Result<Self, EngineError> {
+        Self::resume_with_recorder(path, ecfg, Arc::new(Recorder::new()))
+    }
+
+    /// Like [`resume`](Self::resume), but registering metrics in a shared
+    /// `recorder` (see [`start_with_recorder`](Self::start_with_recorder)).
+    ///
+    /// # Errors
+    /// Same as [`resume`](Self::resume).
+    pub fn resume_with_recorder<P: AsRef<Path>>(
+        path: P,
+        ecfg: EngineConfig,
+        recorder: Arc<Recorder>,
+    ) -> Result<Self, EngineError> {
         let ring: BucketRing = pfe_persist::load(path, pfe_persist::kind::WINDOW)?;
         let (d, q) = (ring.dimension(), ring.alphabet());
         let stored = ring.engine_config();
@@ -356,14 +390,26 @@ impl WindowedEngine {
         Snapshot::from_shards(vec![ring.active().clone()], 0).check_mergeable(&probe)?;
         Ok(Self {
             ring: Mutex::new(ring),
-            exec: QueryExecutor::new(ecfg.cache_capacity, true),
             merged: Mutex::new(MergedLru::new(wcfg.merged_cache)),
-            merged_hits: AtomicU64::new(0),
-            merged_misses: AtomicU64::new(0),
+            merged_hits: recorder.counter("window_merged_cache_hits"),
+            merged_misses: recorder.counter("window_merged_cache_misses"),
+            covering_buckets: recorder.histogram("window_covering_buckets"),
+            exec: QueryExecutor::with_recorder(ecfg.cache_capacity, true, recorder),
         })
     }
 
+    /// The recorder this engine reports into (see
+    /// [`start_with_recorder`](Self::start_with_recorder)).
+    pub fn recorder(&self) -> &Arc<Recorder> {
+        self.exec.recorder()
+    }
+
     /// Observability counters.
+    ///
+    /// Reading stats also mirrors the ring-derived values (retained/
+    /// active/evicted rows, bucket counts, seals, tier merges, ring
+    /// bytes) into the recorder's `window_*` gauges, so a Prometheus
+    /// scrape taken through the server sees them too.
     pub fn window_stats(&self) -> WindowStats {
         let (
             retained_rows,
@@ -389,7 +435,7 @@ impl WindowedEngine {
             )
         });
         let queries = self.exec.counters();
-        WindowStats {
+        let stats = WindowStats {
             retained_rows,
             active_rows,
             evicted_rows,
@@ -398,13 +444,23 @@ impl WindowedEngine {
             sealed_buckets,
             tier_merges,
             evictions,
-            merged_cache_hits: self.merged_hits.load(Ordering::Relaxed),
-            merged_cache_misses: self.merged_misses.load(Ordering::Relaxed),
+            merged_cache_hits: self.merged_hits.get(),
+            merged_cache_misses: self.merged_misses.get(),
             ring_bytes,
             cache: self.exec.cache_stats(),
             queries_served: queries.total(),
             queries,
-        }
+        };
+        let rec = self.exec.recorder();
+        rec.gauge("window_retained_rows").set(stats.retained_rows);
+        rec.gauge("window_active_rows").set(stats.active_rows);
+        rec.gauge("window_evicted_rows").set(stats.evicted_rows);
+        rec.gauge("window_buckets").set(stats.buckets as u64);
+        rec.gauge("window_sealed_buckets").set(stats.sealed_buckets);
+        rec.gauge("window_tier_merges").set(stats.tier_merges);
+        rec.gauge("window_evictions").set(stats.evictions);
+        rec.gauge("window_ring_bytes").set(stats.ring_bytes as u64);
+        stats
     }
 }
 
@@ -610,6 +666,32 @@ mod tests {
         assert_eq!(stats.queries_served, 0);
         engine.query(&Query::over([0]).f0().window(10)).expect("ok");
         assert_eq!(engine.window_stats().queries.f0, 1);
+    }
+
+    #[test]
+    fn shared_recorder_sees_window_metrics() {
+        let rec = Arc::new(Recorder::new());
+        let engine = WindowedEngine::start_with_recorder(10, 2, ecfg(), wcfg(), Arc::clone(&rec))
+            .expect("start");
+        engine.ingest(&uniform_binary(10, 950, 12)).expect("ingest");
+        let q = Query::over([0, 1]).f0().window(300);
+        engine.query(&q).expect("ok");
+        engine.query(&q).expect("ok");
+        assert_eq!(rec.counter("window_merged_cache_misses").get(), 1);
+        // Each batch re-resolves its covering set even when the merged
+        // snapshot is warm, so the histogram counts resolutions.
+        assert_eq!(rec.histogram("window_covering_buckets").count(), 2);
+        assert!(rec.histogram("window_covering_buckets").snapshot().max >= 1);
+        // Executor series land in the same registry…
+        assert_eq!(rec.counter("engine_queries_f0").get(), 2);
+        // …and reading stats mirrors the ring shape into gauges.
+        let stats = engine.window_stats();
+        assert_eq!(rec.gauge("window_retained_rows").get(), stats.retained_rows);
+        assert_eq!(
+            rec.gauge("window_sealed_buckets").get(),
+            stats.sealed_buckets
+        );
+        assert_eq!(stats.merged_cache_hits, 1);
     }
 
     #[test]

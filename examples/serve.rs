@@ -11,7 +11,8 @@
 //!
 //! ```text
 //! cargo run --release --example serve -- --listen 127.0.0.1:7070 \
-//!     --workers 8 --queue 32 --checkpoint snap.pfes
+//!     --workers 8 --queue 32 --checkpoint snap.pfes \
+//!     --metrics 127.0.0.1:9100 --slow-ms 50
 //! ```
 //!
 //! then talk to it with `examples/client.rs` (or netcat). `--workers`
@@ -21,7 +22,10 @@
 //! accepting, drains in-flight requests, and — when `--checkpoint` is
 //! given — writes the backend durably via `pfe-persist` before exiting.
 //! `--listen 127.0.0.1:0` picks an ephemeral port (printed on stderr as
-//! `listening on ADDR`).
+//! `listening on ADDR`). `--metrics ADDR` opens a Prometheus scrape
+//! endpoint (printed as `metrics on ADDR`; any HTTP GET answers the full
+//! metric registry in text exposition format), and `--slow-ms N` logs
+//! requests taking ≥ N ms into the ring served by the `slow_log` op.
 //!
 //! Pipe mode (no `--listen`): each stdin line is one request, each stdout
 //! line is the response, ending at `{"op":"quit"}`/`{"op":"shutdown"}` or
@@ -126,6 +130,12 @@ fn run_tcp(args: &[String], listen: String) {
     if let Some(p) = flag_value(args, "--checkpoint") {
         cfg.checkpoint_path = Some(PathBuf::from(p));
     }
+    if let Some(m) = flag_value(args, "--metrics") {
+        cfg.metrics_addr = Some(m);
+    }
+    if let Some(ms) = flag_value(args, "--slow-ms").and_then(|v| v.parse().ok()) {
+        cfg.slow_ms = Some(ms);
+    }
     let server = match Server::bind(cfg) {
         Ok(s) => s,
         Err(e) => {
@@ -135,6 +145,9 @@ fn run_tcp(args: &[String], listen: String) {
     };
     install_signal_handlers();
     eprintln!("listening on {}", server.local_addr());
+    if let Some(maddr) = server.metrics_addr() {
+        eprintln!("metrics on {maddr}");
+    }
     match server.run() {
         Ok(report) => {
             if let Some(path) = &report.checkpointed {
@@ -219,8 +232,9 @@ fn main() {
             "usage: serve [--demo|--demo-window] [--checkpoint PATH]            pipe mode (stdin/stdout)"
         );
         eprintln!(
-            "       serve --listen ADDR [--workers N] [--queue N] [--checkpoint PATH]   TCP mode"
+            "       serve --listen ADDR [--workers N] [--queue N] [--checkpoint PATH] [--metrics ADDR] [--slow-ms N]   TCP mode"
         );
+        eprintln!("  --metrics ADDR serves Prometheus text exposition over HTTP (scrape it); --slow-ms N logs requests >= N ms into the ring behind the slow_log op");
         eprintln!("  speak line-delimited JSON, one request per line:");
         eprintln!("  {{\"op\":\"start\",\"d\":12,\"q\":2,\"shards\":4}}   then ingest/snapshot/f0/frequency/heavy_hitters/l1_sample/batch/stats/server_stats/checkpoint/shutdown/quit");
         eprintln!("  add \"window\":{{\"bucket_rows\":512}} to start for sliding-window serving ('window' field on every statistic op, plus window_stats)");

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Run workspace benchmarks and emit a machine-readable BENCH_<date>.json:
+# every benchmark id mapped to its median ns/iter estimate, plus the core
+# count of the machine that produced the numbers (throughput benchmarks
+# are meaningless without it).
+#
+# Usage:
+#   scripts/bench_json.sh                 # all benches -> BENCH_<date>.json
+#   scripts/bench_json.sh server query    # only these bench targets
+#   BENCH_JSON_OUT=out.json scripts/bench_json.sh
+#
+# The numbers come from the vendored criterion shim: setting
+# BENCH_JSON_PATH makes it append one JSON line per benchmark, which this
+# script assembles into a single object. CI runs a small subset and
+# validates the output parses.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+DATE="$(date -u +%Y-%m-%d)"
+OUT="${BENCH_JSON_OUT:-BENCH_${DATE}.json}"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+BENCH_ARGS=()
+for target in "$@"; do
+    BENCH_ARGS+=(--bench "$target")
+done
+
+BENCH_JSON_PATH="$RAW" cargo bench -p pfe-bench "${BENCH_ARGS[@]+"${BENCH_ARGS[@]}"}" 1>&2
+
+CORES="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)"
+
+{
+    printf '{\n  "date": "%s",\n  "cores": %s,\n  "benchmarks": {\n' "$DATE" "$CORES"
+    first=1
+    while IFS= read -r line; do
+        id="$(printf '%s' "$line" | sed -E 's/.*"id":"((\\.|[^"\\])*)".*/\1/')"
+        ns="$(printf '%s' "$line" | sed -E 's/.*"estimate_ns":([0-9.]+).*/\1/')"
+        [ "$first" -eq 1 ] || printf ',\n'
+        first=0
+        printf '    "%s": %s' "$id" "$ns"
+    done < "$RAW"
+    printf '\n  }\n}\n'
+} > "$OUT"
+
+count="$(wc -l < "$RAW" | tr -d ' ')"
+echo "wrote $OUT ($count benchmarks, $CORES cores)" 1>&2

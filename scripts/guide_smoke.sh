@@ -24,6 +24,7 @@ echo "== TCP server + client round trip (guide §5)"
 ckpt="$tmpdir/smoke.pfes"
 cargo run --release --example serve -- \
     --listen 127.0.0.1:0 --workers 2 --queue 4 --checkpoint "$ckpt" \
+    --metrics 127.0.0.1:0 --slow-ms 50 \
     2>"$tmpdir/serve.err" &
 server_pid=$!
 
@@ -34,12 +35,37 @@ for _ in $(seq 1 100); do
     sleep 0.1
 done
 [ -n "$addr" ] || { echo "FAIL: server never reported its address"; cat "$tmpdir/serve.err"; exit 1; }
-echo "   server at $addr"
+maddr=$(grep -o 'metrics on [0-9.:]*' "$tmpdir/serve.err" | awk '{print $3}')
+[ -n "$maddr" ] || { echo "FAIL: server never reported its metrics address"; cat "$tmpdir/serve.err"; exit 1; }
+echo "   server at $addr, metrics at $maddr"
 
 out=$(cargo run --release --example client -- "$addr" --demo 2>/dev/null)
 echo "$out" | grep -q '"bye":true' || { echo "FAIL: client demo did not finish"; exit 1; }
 echo "$out" | grep -q '"ok":false' && { echo "FAIL: client demo had an error response"; exit 1; }
 echo "$out" | grep -q '"estimate"' || { echo "FAIL: no statistic answer in client demo"; exit 1; }
+
+echo "== Prometheus scrape endpoint (guide §7)"
+# Scrape with bash's /dev/tcp so the check needs no curl/netcat.
+mhost=${maddr%:*}; mport=${maddr##*:}
+scrape="$tmpdir/metrics.txt"
+exec 3<>"/dev/tcp/$mhost/$mport"
+printf 'GET /metrics HTTP/1.1\r\nHost: %s\r\n\r\n' "$maddr" >&3
+cat <&3 >"$scrape"
+exec 3<&- 3>&-
+grep -q '^HTTP/1.1 200 OK' "$scrape" || { echo "FAIL: metrics endpoint did not answer 200"; exit 1; }
+grep -q 'text/plain; version=0.0.4' "$scrape" || { echo "FAIL: wrong exposition content type"; exit 1; }
+# Strip the HTTP head, then validate the exposition-format line grammar:
+# every line is "# TYPE name kind", or "name[{labels}] value".
+body="$tmpdir/metrics.body"
+sed '1,/^\r*$/d' "$scrape" | tr -d '\r' >"$body"
+grep -q '# TYPE pfe_server_requests_handled_total counter' "$body" \
+    || { echo "FAIL: expected server counter missing from scrape"; exit 1; }
+grep -q '# TYPE pfe_server_op_latency_ns_server_stats histogram' "$body" \
+    || { echo "FAIL: expected latency histogram missing from scrape"; exit 1; }
+bad=$(grep -vE '^$|^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram)$|^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?$' "$body" || true)
+[ -z "$bad" ] || { echo "FAIL: lines violate the exposition grammar:"; echo "$bad"; exit 1; }
+lines=$(grep -c '^pfe_' "$body")
+echo "   scrape OK ($lines metric lines, grammar clean)"
 
 echo "== wire shutdown + durable checkpoint (guide §5)"
 out=$(cargo run --release --example client -- "$addr" --shutdown 2>/dev/null)
