@@ -432,6 +432,36 @@ fn build_sketch_map<T>(
     Ok(map)
 }
 
+/// BoundaryOnly fallback shared by the `F_0` and `F_p` nets: re-round an
+/// in-net query of non-boundary size to the nearest boundary weight
+/// (grow small queries to `small`, shrink large ones to `large`), with
+/// the same deterministic index choice as [`AlphaNet::round`].
+fn boundary_round(net: &AlphaNet, cols: &ColumnSet) -> RoundedQuery {
+    let len = cols.len();
+    let (target_w, cost) = if len <= net.small {
+        (net.small, net.small - len)
+    } else {
+        (net.large, len - net.large)
+    };
+    let mut mask = cols.mask();
+    if len < target_w {
+        let full = (1u64 << net.d) - 1;
+        for _ in 0..(target_w - len) {
+            let absent = full & !mask;
+            mask |= 1u64 << absent.trailing_zeros();
+        }
+    } else {
+        for _ in 0..(len - target_w) {
+            let top = 63 - mask.leading_zeros();
+            mask &= !(1u64 << top);
+        }
+    }
+    RoundedQuery {
+        target: ColumnSet::from_mask(net.d, mask).expect("valid"),
+        sym_diff: cost,
+    }
+}
+
 /// α-net summary for projected `F_0` (Algorithm 1 with a distinct-count
 /// plug-in).
 #[derive(Clone)]
@@ -747,30 +777,7 @@ impl<S: DistinctSketch> AlphaNetF0<S> {
     pub fn effective_rounding(&self, cols: &ColumnSet) -> Result<RoundedQuery, QueryError> {
         let mut r = self.net.round(cols)?;
         if self.mode == NetMode::BoundaryOnly && !self.sketches.contains_key(&r.target.mask()) {
-            // Round again to the nearest boundary weight.
-            let len = cols.len();
-            let (target_w, cost) = if len <= self.net.small {
-                (self.net.small, self.net.small - len)
-            } else {
-                (self.net.large, len - self.net.large)
-            };
-            let mut mask = cols.mask();
-            if len < target_w {
-                let full = (1u64 << self.net.d) - 1;
-                for _ in 0..(target_w - len) {
-                    let absent = full & !mask;
-                    mask |= 1u64 << absent.trailing_zeros();
-                }
-            } else {
-                for _ in 0..(len - target_w) {
-                    let top = 63 - mask.leading_zeros();
-                    mask &= !(1u64 << top);
-                }
-            }
-            r = RoundedQuery {
-                target: ColumnSet::from_mask(self.net.d, mask).expect("valid"),
-                sym_diff: cost,
-            };
+            r = boundary_round(&self.net, cols);
         }
         Ok(r)
     }
@@ -883,6 +890,156 @@ impl<M: MomentSketch> AlphaNetFp<M> {
         })
     }
 
+    /// Create an empty streaming summary for binary rows (`Q = 2`); feed
+    /// rows with [`push_packed`](Self::push_packed). One-pass semantics:
+    /// identical to [`build`](Self::build) over the same rows in any order
+    /// (moment sketches are sums, hence order-insensitive up to float
+    /// rounding; exactly order-insensitive for integer-sum sketches).
+    ///
+    /// # Errors
+    /// Parameter errors; net size above `max_subsets`.
+    pub fn new_streaming(
+        net: AlphaNet,
+        mode: NetMode,
+        max_subsets: u128,
+        factory: impl FnMut(u64) -> M,
+    ) -> Result<Self, QueryError> {
+        Self::new_streaming_qary(net, mode, max_subsets, 2, factory)
+    }
+
+    /// Create an empty streaming summary over alphabet `q`; feed rows with
+    /// [`push_dense`](Self::push_dense) (or [`push_packed`](Self::push_packed)
+    /// when `q = 2`). Validates every net codec up front so pushes are
+    /// panic-free on in-alphabet rows.
+    ///
+    /// # Errors
+    /// Parameter/codec errors; net size above `max_subsets`.
+    pub fn new_streaming_qary(
+        net: AlphaNet,
+        mode: NetMode,
+        max_subsets: u128,
+        q: u32,
+        mut factory: impl FnMut(u64) -> M,
+    ) -> Result<Self, QueryError> {
+        if q < 2 {
+            return Err(QueryError::BadParameter(format!(
+                "alphabet q={q} must be >= 2"
+            )));
+        }
+        let count = net.member_count(mode);
+        if count > max_subsets {
+            return Err(QueryError::BadParameter(format!(
+                "net would materialize {count} subsets, above the safety cap {max_subsets}"
+            )));
+        }
+        if q > 2 {
+            // Only widths that actually occur among materialized members
+            // (mirrors `build`, which never sees non-member widths).
+            let widths: Vec<u32> = match mode {
+                NetMode::Full => (0..=net.small).chain(net.large..=net.d).collect(),
+                NetMode::BoundaryOnly => vec![net.small, net.large],
+            };
+            for w in widths {
+                PatternCodec::new(q, w)?;
+            }
+        }
+        let mut sketches: SeededHashMap<u64, M> = seeded_map(0xa1fa);
+        sketches.reserve(count as usize);
+        let mut p = None;
+        for mask in net.members(mode) {
+            let s = factory(mask);
+            p.get_or_insert(s.p());
+            sketches.insert(mask, s);
+        }
+        let p = p.ok_or(QueryError::EmptyData)?;
+        Ok(Self {
+            net,
+            mode,
+            sketches,
+            q,
+            p,
+        })
+    }
+
+    /// Observe one dense row over alphabet `q` (streaming ingestion;
+    /// row-major `+1` update of every net sketch). Produces the same
+    /// sketch contents as [`build`](Self::build) over the same rows.
+    ///
+    /// # Panics
+    /// Panics on wrong row length or out-of-alphabet symbols.
+    pub fn push_dense(&mut self, row: &[u16]) {
+        assert_eq!(row.len(), self.net.d as usize, "row length != d");
+        for &s in row {
+            assert!((s as u32) < self.q, "symbol {s} outside alphabet");
+        }
+        if self.q == 2 {
+            let mut packed = 0u64;
+            for (i, &s) in row.iter().enumerate() {
+                packed |= (s as u64) << i;
+            }
+            self.push_packed(packed);
+            return;
+        }
+        // One codec per projection width, built on the stack per call
+        // (PatternCodec is Copy and cheap to construct).
+        let mut codecs: [Option<PatternCodec>; 64] = [None; 64];
+        for (&mask, sketch) in self.sketches.iter_mut() {
+            let cols = ColumnSet::from_mask(self.net.d, mask).expect("valid member");
+            let w = cols.len() as usize;
+            let codec = *codecs[w].get_or_insert_with(|| {
+                PatternCodec::new(self.q, w as u32).expect("validated at construction")
+            });
+            let key = codec.encode_row(row, &cols);
+            sketch.update(key.fingerprint64(FINGERPRINT_SEED), 1);
+        }
+    }
+
+    /// Observe one packed binary row (streaming ingestion; row-major
+    /// update of every net sketch).
+    ///
+    /// # Panics
+    /// Panics if the row has bits at or above `d`.
+    pub fn push_packed(&mut self, row: u64) {
+        assert!(
+            row & !((1u64 << self.net.d) - 1) == 0,
+            "row has bits above d={}",
+            self.net.d
+        );
+        assert_eq!(self.q, 2, "push_packed requires a binary summary");
+        for (&mask, sketch) in self.sketches.iter_mut() {
+            let key = pfe_row::pext_u64(row, mask);
+            sketch.update(PatternKey::from(key).fingerprint64(FINGERPRINT_SEED), 1);
+        }
+    }
+
+    /// Merge a summary built over a disjoint segment of the same stream:
+    /// per-subset sketch merge through [`MomentSketch::merge_with`]. Both
+    /// summaries must share the net, mode, alphabet, order `p`, and
+    /// per-mask sketch parameters/seeds (use the same factory on both
+    /// sides). Integer-sum sketches (`AmsF2`) merge *bit-exactly* under
+    /// any grouping; float-sum sketches (`StableFp`) merge exactly up to
+    /// f64 addition order.
+    ///
+    /// # Panics
+    /// Panics on net/mode/alphabet/order mismatch (and propagates the
+    /// underlying sketch's parameter-mismatch panics).
+    pub fn merge(&mut self, other: &Self) {
+        assert_eq!(self.net, other.net, "alpha-net merge: net mismatch");
+        assert_eq!(self.mode, other.mode, "alpha-net merge: mode mismatch");
+        assert_eq!(self.q, other.q, "alpha-net merge: alphabet mismatch");
+        assert_eq!(
+            self.p.to_bits(),
+            other.p.to_bits(),
+            "alpha-net merge: moment order mismatch"
+        );
+        for (mask, theirs) in other.sketches.iter() {
+            self.sketches
+                .get_mut(mask)
+                .expect("identical net membership")
+                .merge_with(theirs);
+        }
+    }
+
     /// The moment order this net answers.
     pub fn p(&self) -> f64 {
         self.p
@@ -893,9 +1050,36 @@ impl<M: MomentSketch> AlphaNetFp<M> {
         &self.net
     }
 
+    /// The materialization mode.
+    pub fn mode(&self) -> NetMode {
+        self.mode
+    }
+
+    /// The alphabet size `Q`.
+    pub fn alphabet(&self) -> u32 {
+        self.q
+    }
+
     /// Number of sketches kept.
     pub fn num_sketches(&self) -> usize {
         self.sketches.len()
+    }
+
+    /// The sketch materialized for `mask`, if it is a net member —
+    /// exposed so callers (e.g. guarantee reporting) can read sketch
+    /// parameters without reaching into the map.
+    pub fn sketch(&self, mask: u64) -> Option<&M> {
+        self.sketches.get(&mask)
+    }
+
+    /// Round a query exactly as [`fp`](Self::fp) will (BoundaryOnly mode
+    /// also rounds in-net queries of non-boundary sizes).
+    pub fn effective_rounding(&self, cols: &ColumnSet) -> Result<RoundedQuery, QueryError> {
+        let mut r = self.net.round(cols)?;
+        if self.mode == NetMode::BoundaryOnly && !self.sketches.contains_key(&r.target.mask()) {
+            r = boundary_round(&self.net, cols);
+        }
+        Ok(r)
     }
 
     /// Answer a projected `F_p` query.
@@ -910,35 +1094,7 @@ impl<M: MomentSketch> AlphaNetFp<M> {
                 supported: self.p,
             });
         }
-        let mut r = self.net.round(cols)?;
-        if self.mode == NetMode::BoundaryOnly && !self.sketches.contains_key(&r.target.mask()) {
-            // Delegate to the same boundary rounding as the F0 net by
-            // rebuilding the rounded query inline (duplicated tiny logic to
-            // avoid a trait dance).
-            let len = cols.len();
-            let (target_w, cost) = if len <= self.net.small {
-                (self.net.small, self.net.small - len)
-            } else {
-                (self.net.large, len - self.net.large)
-            };
-            let mut mask = cols.mask();
-            if len < target_w {
-                let full = (1u64 << self.net.d) - 1;
-                for _ in 0..(target_w - len) {
-                    let absent = full & !mask;
-                    mask |= 1u64 << absent.trailing_zeros();
-                }
-            } else {
-                for _ in 0..(len - target_w) {
-                    let top = 63 - mask.leading_zeros();
-                    mask &= !(1u64 << top);
-                }
-            }
-            r = RoundedQuery {
-                target: ColumnSet::from_mask(self.net.d, mask).expect("valid"),
-                sym_diff: cost,
-            };
-        }
+        let r = self.effective_rounding(cols)?;
         let sketch = self
             .sketches
             .get(&r.target.mask())
@@ -1384,6 +1540,77 @@ mod tests {
         let mut s =
             AlphaNetF0::new_streaming(n, NetMode::Full, 1 << 10, |m| Kmv::new(8, m)).expect("new");
         s.push_packed(1 << 5);
+    }
+
+    #[test]
+    fn fp_streaming_and_sharded_merge_match_batch_build_bit_exactly() {
+        use pfe_sketch::ams_f2::AmsF2;
+        // AMS sums are integers: streaming pushes and any merge grouping
+        // must be bit-identical to the single batch build.
+        let d = 10;
+        let data = uniform_binary(d, 1200, 29);
+        let n = net(d, 0.25);
+        let batch = AlphaNetFp::build(&data, n, NetMode::Full, 1 << 20, |m| {
+            AmsF2::new(5, 8, m ^ 0xf2f2)
+        })
+        .expect("build");
+        let mut shards: Vec<AlphaNetFp<AmsF2>> = (0..3)
+            .map(|_| {
+                AlphaNetFp::new_streaming(n, NetMode::Full, 1 << 20, |m| {
+                    AmsF2::new(5, 8, m ^ 0xf2f2)
+                })
+                .expect("new")
+            })
+            .collect();
+        if let pfe_row::Dataset::Binary(m) = &data {
+            for (i, &row) in m.rows().iter().enumerate() {
+                shards[i % 3].push_packed(row);
+            }
+        } else {
+            unreachable!("generator yields binary data");
+        }
+        let mut merged = shards.remove(0);
+        for s in &shards {
+            merged.merge(s);
+        }
+        assert_eq!(merged.p(), 2.0);
+        assert_eq!(merged.alphabet(), 2);
+        assert_eq!(merged.mode(), NetMode::Full);
+        for mask in [0b11u64, 0b1111100000, 0b1010101010, (1 << d) - 1] {
+            let cols = ColumnSet::from_mask(d, mask).expect("valid");
+            assert_eq!(
+                merged.fp(&cols, 2.0).expect("ok").estimate.to_bits(),
+                batch.fp(&cols, 2.0).expect("ok").estimate.to_bits(),
+                "sharded Fp merge diverged at mask {mask:#b}"
+            );
+        }
+    }
+
+    #[test]
+    fn fp_boundary_mode_rounds_and_reports_distortion() {
+        use pfe_sketch::stable_fp::StableFp;
+        let d = 10;
+        let data = uniform_binary(d, 400, 31);
+        let n = net(d, 0.25);
+        let summary = AlphaNetFp::build(&data, n, NetMode::BoundaryOnly, 1 << 20, |m| {
+            StableFp::new(8, 1.0, m ^ 0x51ab)
+        })
+        .expect("build");
+        // In-net but non-boundary size: rounded, and the effective
+        // rounding must agree with what fp() answers on.
+        let cols = ColumnSet::from_indices(d, &[0]).expect("v");
+        let r = summary.effective_rounding(&cols).expect("ok");
+        let ans = summary.fp(&cols, 1.0).expect("ok");
+        assert_eq!(ans.answered_on, r.target);
+        assert_eq!(ans.sym_diff, r.sym_diff);
+        assert!(r.sym_diff > 0);
+        // p = 1 pays no rounding distortion (Lemma 6.4(2): |p-1| = 0).
+        assert_eq!(ans.distortion_bound, 1.0);
+        // Wrong order is a typed error.
+        assert!(matches!(
+            summary.fp(&cols, 1.5),
+            Err(QueryError::UnsupportedMoment { .. })
+        ));
     }
 
     #[test]

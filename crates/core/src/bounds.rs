@@ -57,6 +57,47 @@ pub fn fp_rounding_distortion(q: u32, sym_diff: u32, p: f64) -> f64 {
     (q as f64).powf(sym_diff as f64 * (p - 1.0).abs())
 }
 
+/// The `β` of a `t`-estimator Indyk stable-projection `ℓ_p` sketch
+/// (Ping Li, "On Approximating Frequency Moments of Data Streams with
+/// Skewed Projections"): the median-of-`t` estimator has relative
+/// standard error `O(1/√t)`, so `β = 1 + 3/√t` holds the constant-factor
+/// guarantee at ≈95% confidence — the plug-in `β` of Theorem 6.5 for the
+/// fractional-`p` path.
+///
+/// ```
+/// use pfe_core::bounds::stable_fp_beta;
+///
+/// assert!(stable_fp_beta(256) < stable_fp_beta(16));
+/// assert!(stable_fp_beta(16) > 1.0);
+/// ```
+///
+/// # Panics
+/// Panics if `t == 0`.
+pub fn stable_fp_beta(t: usize) -> f64 {
+    assert!(t > 0, "estimator count t must be >= 1");
+    1.0 + 3.0 / (t as f64).sqrt()
+}
+
+/// The `β` of a median-of-means AMS `F_2` sketch with `per_group`
+/// estimators per group: `Var[mean of m] ≤ 2F_2²/m`, so two standard
+/// errors give `β = 1 + √(8/per_group)` — bit-exact mergeable, used on
+/// the `p = 2` dispatch path. Inverts `AmsF2::with_error`
+/// (`per_group = ⌈8/ε²⌉`).
+///
+/// ```
+/// use pfe_core::bounds::ams_f2_beta;
+///
+/// assert!(ams_f2_beta(128) < ams_f2_beta(16));
+/// assert!(ams_f2_beta(16) > 1.0);
+/// ```
+///
+/// # Panics
+/// Panics if `per_group == 0`.
+pub fn ams_f2_beta(per_group: usize) -> f64 {
+    assert!(per_group > 0, "per_group must be >= 1");
+    1.0 + (8.0 / per_group as f64).sqrt()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -99,5 +140,23 @@ mod tests {
     #[should_panic(expected = "outside (0,1)")]
     fn sample_epsilon_rejects_bad_delta() {
         sample_epsilon(16, 1.5);
+    }
+
+    #[test]
+    fn moment_betas_decrease_and_invert_with_error() {
+        let mut prev = f64::INFINITY;
+        for t in [4usize, 16, 64, 1024] {
+            let b = stable_fp_beta(t);
+            assert!(b > 1.0 && b < prev);
+            prev = b;
+        }
+        // ams_f2_beta inverts AmsF2::with_error's per_group = ceil(8/eps^2):
+        // the sketch sized for eps reports beta <= 1 + eps (up to ceiling).
+        for eps in [0.5f64, 0.25, 0.1] {
+            let per_group = (8.0 / (eps * eps)).ceil() as usize;
+            let b = ams_f2_beta(per_group);
+            assert!(b <= 1.0 + eps + 1e-12, "beta {b} for eps {eps}");
+            assert!(b > 1.0);
+        }
     }
 }

@@ -8,6 +8,7 @@ use pfe_sketch::traits::SpaceUsage;
 
 use crate::alpha_net::{AlphaNet, AlphaNetF0, NetAnswer, NetMode};
 use crate::exact::ExactSummary;
+use crate::fp::{fp_seed, FpConfig, FpNet};
 use crate::problem::QueryError;
 use crate::uniform_sample::UniformSampleSummary;
 
@@ -46,6 +47,8 @@ pub struct SummarySuite {
     exact: Option<ExactSummary>,
     sample: UniformSampleSummary,
     net_f0: AlphaNetF0<Kmv>,
+    /// One moment net per configured `F_p` order (empty by default).
+    fp_nets: Vec<FpNet>,
 }
 
 impl SummarySuite {
@@ -54,16 +57,44 @@ impl SummarySuite {
     /// # Errors
     /// Propagates parameter/codec/cap errors from the component builders.
     pub fn build(data: &Dataset, cfg: &SuiteConfig) -> Result<Self, QueryError> {
+        Self::build_with_fp(data, cfg, &FpConfig::default())
+    }
+
+    /// Build all summaries plus one `F_p` moment net per order in
+    /// `fp_cfg.orders` (seeded from `cfg.seed` via [`fp_seed`], so two
+    /// suites with equal configs answer bit-identically).
+    ///
+    /// # Errors
+    /// Propagates parameter/codec/cap errors from the component builders.
+    pub fn build_with_fp(
+        data: &Dataset,
+        cfg: &SuiteConfig,
+        fp_cfg: &FpConfig,
+    ) -> Result<Self, QueryError> {
+        fp_cfg.validate()?;
         let net = AlphaNet::new(data.dimension(), cfg.alpha)?;
         let kmv_k = cfg.kmv_k;
         let seed = cfg.seed;
         let net_f0 = AlphaNetF0::build(data, net, NetMode::Full, cfg.max_subsets, |mask| {
             Kmv::new(kmv_k, mask ^ seed)
         })?;
+        let mut fp_nets = Vec::with_capacity(fp_cfg.orders.len());
+        for (idx, &p) in fp_cfg.orders.iter().enumerate() {
+            fp_nets.push(FpNet::build(
+                data,
+                net,
+                NetMode::Full,
+                cfg.max_subsets,
+                p,
+                fp_cfg,
+                fp_seed(cfg.seed, idx),
+            )?);
+        }
         Ok(Self {
             exact: cfg.keep_exact.then(|| ExactSummary::build(data)),
             sample: UniformSampleSummary::build(data, cfg.sample_t, cfg.seed ^ 0x5a5a),
             net_f0,
+            fp_nets,
         })
     }
 
@@ -82,12 +113,34 @@ impl SummarySuite {
         &self.net_f0
     }
 
+    /// The materialized `F_p` moment nets, one per configured order.
+    pub fn fp_nets(&self) -> &[FpNet] {
+        &self.fp_nets
+    }
+
     /// Answer `F_0` through the α-net.
     ///
     /// # Errors
     /// Dimension errors.
     pub fn f0(&self, cols: &ColumnSet) -> Result<NetAnswer, QueryError> {
         self.net_f0.f0(cols)
+    }
+
+    /// Answer `F_p` through the moment net materialized for order `p`.
+    ///
+    /// # Errors
+    /// `UnsupportedMoment` if no net was built for `p` (matching up to
+    /// `1e-12`); dimension errors.
+    pub fn fp(&self, cols: &ColumnSet, p: f64) -> Result<NetAnswer, QueryError> {
+        let net = self
+            .fp_nets
+            .iter()
+            .find(|n| (n.p() - p).abs() <= 1e-12)
+            .ok_or(QueryError::UnsupportedMoment {
+                requested: p,
+                supported: f64::NAN,
+            })?;
+        net.fp(cols)
     }
 
     /// Space of each component in bytes: `(exact, sample, net)`.
@@ -105,12 +158,22 @@ impl Persist for SummarySuite {
         self.exact.encode(enc);
         self.sample.encode(enc);
         self.net_f0.encode(enc);
+        enc.put_len(self.fp_nets.len());
+        for net in &self.fp_nets {
+            net.encode(enc);
+        }
     }
 
     fn decode(dec: &mut Decoder<'_>) -> Result<Self, PersistError> {
         let exact = Option::<ExactSummary>::decode(dec)?;
         let sample = UniformSampleSummary::decode(dec)?;
         let net_f0 = AlphaNetF0::<Kmv>::decode(dec)?;
+        // Each fp net is at least a family tag plus net parameters.
+        let n_fp = dec.take_len(13)?;
+        let mut fp_nets = Vec::with_capacity(n_fp);
+        for _ in 0..n_fp {
+            fp_nets.push(FpNet::decode(dec)?);
+        }
         // Cross-component consistency: all parts summarize one (d, Q).
         let (d, q) = (sample.dimension(), sample.alphabet());
         if net_f0.net().dimension() != d || net_f0.alphabet() != q {
@@ -129,10 +192,21 @@ impl Persist for SummarySuite {
                 )));
             }
         }
+        for net in &fp_nets {
+            if net.net().dimension() != d || net.alphabet() != q {
+                return Err(PersistError::Malformed(format!(
+                    "fp net (p={}) summarizes ({}, Q={}) but the sample holds ({d}, Q={q})",
+                    net.p(),
+                    net.net().dimension(),
+                    net.alphabet()
+                )));
+            }
+        }
         Ok(Self {
             exact,
             sample,
             net_f0,
+            fp_nets,
         })
     }
 }
@@ -140,7 +214,7 @@ impl Persist for SummarySuite {
 impl SpaceUsage for SummarySuite {
     fn space_bytes(&self) -> usize {
         let (exact, sample, net) = self.space_breakdown();
-        exact + sample + net
+        exact + sample + net + self.fp_nets.iter().map(|n| n.space_bytes()).sum::<usize>()
     }
 }
 
@@ -182,6 +256,55 @@ mod tests {
         .expect("build");
         let (exact, sample, _net) = suite.space_breakdown();
         assert!(exact > sample, "exact {exact} not above sample {sample}");
+    }
+
+    #[test]
+    fn suite_fp_orders_answer_and_round_trip() {
+        let data = uniform_binary(10, 800, 9);
+        let cfg = SuiteConfig {
+            kmv_k: 64,
+            sample_t: 256,
+            seed: 42,
+            keep_exact: true,
+            ..Default::default()
+        };
+        let fp_cfg = FpConfig {
+            orders: vec![0.5, 1.0, 2.0],
+            stable_t: 8,
+            ..FpConfig::default()
+        };
+        let suite = SummarySuite::build_with_fp(&data, &cfg, &fp_cfg).expect("build");
+        assert_eq!(suite.fp_nets().len(), 3);
+        let cols = ColumnSet::from_indices(10, &[0, 1]).expect("v");
+        for &p in &fp_cfg.orders {
+            let ans = suite.fp(&cols, p).expect("ok");
+            assert!(ans.estimate.is_finite(), "p={p} estimate not finite");
+        }
+        // Unconfigured order is a typed error.
+        assert!(matches!(
+            suite.fp(&cols, 1.7),
+            Err(QueryError::UnsupportedMoment { .. })
+        ));
+        // Persist round-trips to bit-identical fp answers.
+        let mut enc = Encoder::new();
+        suite.encode(&mut enc);
+        let bytes = enc.into_bytes();
+        let back = SummarySuite::decode(&mut Decoder::new(&bytes)).expect("decode");
+        for &p in &fp_cfg.orders {
+            assert_eq!(
+                back.fp(&cols, p).expect("ok").estimate.to_bits(),
+                suite.fp(&cols, p).expect("ok").estimate.to_bits(),
+                "p={p}: persisted suite diverged"
+            );
+        }
+        // Two independent builds with equal configs agree bit-for-bit.
+        let twin = SummarySuite::build_with_fp(&data, &cfg, &fp_cfg).expect("build");
+        for &p in &fp_cfg.orders {
+            assert_eq!(
+                twin.fp(&cols, p).expect("ok").estimate.to_bits(),
+                suite.fp(&cols, p).expect("ok").estimate.to_bits(),
+            );
+        }
     }
 
     #[test]

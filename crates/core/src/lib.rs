@@ -34,6 +34,7 @@ pub mod enumeration;
 pub mod estimator;
 pub mod exact;
 pub mod f1;
+pub mod fp;
 pub mod marginals;
 pub mod problem;
 pub mod sampling;
@@ -45,6 +46,7 @@ pub use enumeration::{SubsetEnumerationF0, SubsetEnumerationFp};
 pub use estimator::{SuiteConfig, SummarySuite};
 pub use exact::ExactSummary;
 pub use f1::F1Counter;
+pub use fp::{fp_seed, FpConfig, FpNet};
 pub use marginals::MarginalsSummary;
 pub use problem::{HeavyHitter, QueryError, SampledPattern, ScalarEstimate};
 pub use sampling::ExactLpSampler;

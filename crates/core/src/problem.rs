@@ -20,7 +20,8 @@ pub enum QueryError {
     UnsupportedMoment {
         /// The requested order.
         requested: f64,
-        /// The order the summary was built for.
+        /// The order the summary was built for; `NaN` when no moment
+        /// summary was configured at all.
         supported: f64,
     },
     /// A parameter is outside its valid range.
@@ -43,7 +44,11 @@ impl std::fmt::Display for QueryError {
                 requested,
                 supported,
             } => {
-                write!(f, "summary supports p={supported}, asked for p={requested}")
+                if supported.is_nan() {
+                    write!(f, "no F_p summary configured for p={requested}")
+                } else {
+                    write!(f, "summary supports p={supported}, asked for p={requested}")
+                }
             }
             Self::BadParameter(msg) => write!(f, "bad parameter: {msg}"),
             Self::EmptyData => write!(f, "summary holds no data"),

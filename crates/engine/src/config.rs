@@ -1,5 +1,7 @@
 //! Engine configuration.
 
+use pfe_core::FpConfig;
+
 use crate::error::EngineError;
 
 /// Optional α-net point-frequency summary (one CountMin per net subset on
@@ -46,6 +48,9 @@ pub struct EngineConfig {
     pub seed: u64,
     /// Optional point-frequency net.
     pub freq_net: Option<FreqNetConfig>,
+    /// Optional `F_p` moment nets (one α-net of moment sketches per
+    /// configured order). Off by default: each order costs a full net.
+    pub fp: Option<FpConfig>,
     /// Query-cache entries kept (LRU); 0 disables caching.
     pub cache_capacity: usize,
 }
@@ -62,6 +67,7 @@ impl Default for EngineConfig {
             max_subsets: 1 << 22,
             seed: 0,
             freq_net: None,
+            fp: None,
             cache_capacity: 1024,
         }
     }
@@ -102,6 +108,10 @@ impl EngineConfig {
                     "freq_net depth/width must be >= 1".into(),
                 ));
             }
+        }
+        if let Some(fp) = &self.fp {
+            fp.validate()
+                .map_err(|e| EngineError::BadConfig(format!("fp: {e}")))?;
         }
         Ok(())
     }
@@ -145,6 +155,10 @@ mod tests {
             },
             EngineConfig {
                 freq_net: Some(FreqNetConfig { depth: 0, width: 8 }),
+                ..Default::default()
+            },
+            EngineConfig {
+                fp: Some(FpConfig::with_orders([2.5])),
                 ..Default::default()
             },
         ] {

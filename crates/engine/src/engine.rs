@@ -202,7 +202,7 @@ impl Engine {
     /// snapshot's epoch.
     ///
     /// `cfg` must carry the same parameters (`alpha`, `kmv_k`, `sample_t`,
-    /// `seed`, `freq_net`) the snapshot was built with — per-mask sketch
+    /// `seed`, `freq_net`, `fp`) the snapshot was built with — per-mask sketch
     /// seeds are re-derived from `cfg.seed`, and a mismatch would corrupt
     /// later merges, so every parameter is verified against the decoded
     /// summaries first.

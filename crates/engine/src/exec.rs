@@ -35,12 +35,14 @@ pub struct QueryCounters {
     pub heavy_hitters: u64,
     /// `ℓ_1`-sample queries answered.
     pub l1_sample: u64,
+    /// `F_p` moment queries answered.
+    pub fp: u64,
 }
 
 impl QueryCounters {
     /// Total queries answered across all statistics.
     pub fn total(&self) -> u64 {
-        self.f0 + self.frequency + self.heavy_hitters + self.l1_sample
+        self.f0 + self.frequency + self.heavy_hitters + self.l1_sample + self.fp
     }
 
     /// The counter for one statistic kind.
@@ -50,6 +52,7 @@ impl QueryCounters {
             StatKind::Frequency => self.frequency,
             StatKind::HeavyHitters => self.heavy_hitters,
             StatKind::L1Sample => self.l1_sample,
+            StatKind::Fp => self.fp,
         }
     }
 }
@@ -60,6 +63,7 @@ fn kind_index(kind: StatKind) -> usize {
         StatKind::Frequency => 1,
         StatKind::HeavyHitters => 2,
         StatKind::L1Sample => 3,
+        StatKind::Fp => 4,
     }
 }
 
@@ -76,8 +80,8 @@ pub struct QueryExecutor {
     cache: QueryCache,
     recorder: Arc<Recorder>,
     /// Per-statistic handles, indexed by [`kind_index`].
-    stat_queries: [Arc<Counter>; 4],
-    stat_latency: [Arc<Histogram>; 4],
+    stat_queries: [Arc<Counter>; 5],
+    stat_latency: [Arc<Histogram>; 5],
     stage_plan: Arc<Histogram>,
     stage_probe: Arc<Histogram>,
     stage_compute: Arc<Histogram>,
@@ -266,6 +270,20 @@ impl QueryExecutor {
             Statistic::L1Sample { k, seed } => {
                 CachedAnswer::L1Sample(snap.l1_sample(&rep.cols, *k, *seed)?)
             }
+            Statistic::Fp { p } => {
+                if rep.exact {
+                    CachedAnswer::Fp {
+                        p: *p,
+                        estimate: snap.fp_exact(&rep.cols, *p)?,
+                    }
+                } else {
+                    // Like F_0: the estimate belongs to the rounded target.
+                    CachedAnswer::Fp {
+                        p: *p,
+                        estimate: snap.fp(&rep.target, *p)?.estimate,
+                    }
+                }
+            }
         };
         self.stage_compute.record_duration(compute_start.elapsed());
         self.cache.put(group.key, value.clone());
@@ -285,6 +303,7 @@ impl QueryExecutor {
             frequency: self.stat_queries[kind_index(StatKind::Frequency)].get(),
             heavy_hitters: self.stat_queries[kind_index(StatKind::HeavyHitters)].get(),
             l1_sample: self.stat_queries[kind_index(StatKind::L1Sample)].get(),
+            fp: self.stat_queries[kind_index(StatKind::Fp)].get(),
         }
     }
 }
@@ -364,6 +383,28 @@ fn materialize(
                 bounds::DEFAULT_DELTA,
             )),
         ),
+        CachedAnswer::Fp { p, estimate } => {
+            let guarantee = if m.exact {
+                Guarantee::exact()
+            } else {
+                // Theorem 6.5 with the moment plug-in's β (AMS at p = 2,
+                // stable projections otherwise) times the Lemma 6.4(2)–(3)
+                // rounding distortion Q^{|CΔC′|·|p−1|}.
+                let beta = snap.fp_net(*p).map(|n| n.beta()).unwrap_or(1.0);
+                Guarantee {
+                    alpha: beta
+                        * bounds::fp_rounding_distortion(snap.sample().alphabet(), m.sym_diff, *p),
+                    epsilon: 0.0,
+                    source: GuaranteeSource::AlphaNet,
+                }
+            };
+            (
+                AnswerValue::Fp {
+                    estimate: *estimate,
+                },
+                guarantee,
+            )
+        }
     };
     Answer {
         value,
@@ -472,6 +513,56 @@ mod tests {
         assert_eq!(rec.slow_log().threshold_ms(), 0);
         rec.slow_log().set_threshold_ms(250);
         assert_eq!(exec.recorder().slow_log().threshold_ms(), 250);
+    }
+
+    #[test]
+    fn fp_answers_carry_alpha_net_guarantee_and_count() {
+        let cfg = EngineConfig {
+            sample_t: 256,
+            kmv_k: 64,
+            fp: Some(pfe_core::FpConfig {
+                orders: vec![2.0, 1.5],
+                stable_t: 4,
+                ams_groups: 3,
+                ams_per_group: 4,
+            }),
+            ..Default::default()
+        };
+        let d = 8;
+        let mut shard = ShardSummary::new(d, 2, 0, &cfg).expect("new");
+        if let pfe_row::Dataset::Binary(m) = &uniform_binary(d, 500, 3) {
+            for &row in m.rows() {
+                shard.push_packed(row);
+            }
+        }
+        let snap = Arc::new(Snapshot::from_shards(vec![shard], 1));
+        let exec = QueryExecutor::new(16, false);
+        let answers = exec.answer_batch(
+            &snap,
+            &[
+                Query::over([0, 1]).fp(2.0),
+                Query::over([0, 1]).fp(1.5),
+                Query::over([0, 1]).fp(0.7), // unmaterialized order
+            ],
+        );
+        for (i, p) in [(0usize, 2.0), (1, 1.5)] {
+            let a = answers[i].as_ref().expect("ok");
+            assert_eq!(a.kind(), StatKind::Fp);
+            assert!(a.estimate().expect("scalar") > 0.0);
+            assert_eq!(a.guarantee.source, GuaranteeSource::AlphaNet);
+            let beta = snap.fp_net(p).expect("net").beta();
+            // In-net query: no rounding, so alpha is exactly the plug-in β.
+            assert_eq!(a.provenance.sym_diff, 0);
+            assert_eq!(a.guarantee.alpha, beta);
+        }
+        assert!(matches!(
+            answers[2],
+            Err(EngineError::Query(
+                pfe_core::QueryError::UnsupportedMoment { .. }
+            ))
+        ));
+        assert_eq!(exec.counters().fp, 2);
+        assert_eq!(exec.counters().total(), 2);
     }
 
     #[test]

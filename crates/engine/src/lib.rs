@@ -17,9 +17,11 @@
 //!    immutable snapshot via the `DistinctSketch::merge` /
 //!    reservoir-union contracts — exact for KMV/CountMin (per-mask seeds
 //!    are shared), hypergeometric-uniform for the row sample.
-//! 3. **Query serving** ([`Engine`]): typed [`Query`] batches — all four
+//! 3. **Query serving** ([`Engine`]): typed [`Query`] batches — the four
 //!    paper statistics (`F_0`, point frequency, heavy hitters, `ℓ_1`
-//!    sampling) — against `Arc`-shared snapshots. A batch **planner**
+//!    sampling) plus opt-in `F_p` frequency moments (AMS at `p = 2`,
+//!    stable projections at fractional `p`) — against `Arc`-shared
+//!    snapshots. A batch **planner**
 //!    normalizes every query to its canonical [`pfe_query::QueryKey`]
 //!    (rounded mask, encoded pattern) once, groups co-plannable queries
 //!    so one net lookup and one cache probe serve the whole group, and
@@ -78,12 +80,15 @@ pub mod wire;
 
 pub use cache::{CacheStats, CachedAnswer, QueryCache};
 pub use config::{EngineConfig, FreqNetConfig};
+// The moment-net configuration lives in pfe-core (the nets are built
+// there); re-exported so engine users need only one import path.
 pub use engine::{Engine, EngineStats};
 pub use error::EngineError;
 pub use exec::{QueryCounters, QueryExecutor};
 pub use ingest::{IngestPipeline, RowBatch};
 pub use json::Json;
 pub use persist::merge_snapshot_files;
+pub use pfe_core::FpConfig;
 pub use shard::ShardSummary;
 pub use snapshot::{FrequencyAnswer, Snapshot};
 // The shared observability registry — re-exported so frontends threading

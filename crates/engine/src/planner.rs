@@ -102,18 +102,20 @@ pub fn plan(snap: &Snapshot, queries: &[Query]) -> Plan {
             }
         };
         let exact = q.options.exact_if_available && exhaustive;
-        // F_0 rounds to a net member (Definition 6.1) unless the exact
-        // path answers from the retained rows directly.
-        let (target, sym_diff) = if matches!(q.statistic, Statistic::F0) && !exact {
-            match snap.f0_rounding(&cols) {
-                Ok(r) => (r.target, r.sym_diff),
-                Err(e) => {
-                    plan.errors.push((slot, e.into()));
-                    continue 'next;
-                }
+        // F_0 and F_p round to a net member (Definition 6.1) unless the
+        // exact path answers from the retained rows directly.
+        let rounding = match q.statistic {
+            Statistic::F0 if !exact => Some(snap.f0_rounding(&cols)),
+            Statistic::Fp { p } if !exact => Some(snap.fp_rounding(&cols, p)),
+            _ => None,
+        };
+        let (target, sym_diff) = match rounding {
+            Some(Ok(r)) => (r.target, r.sym_diff),
+            Some(Err(e)) => {
+                plan.errors.push((slot, e.into()));
+                continue 'next;
             }
-        } else {
-            (cols, 0)
+            None => (cols, 0),
         };
         let pattern_key = match &q.statistic {
             Statistic::Frequency { pattern } => match snap.encode_pattern(&cols, pattern) {
@@ -271,6 +273,45 @@ mod tests {
         assert_eq!(plan.groups[0].key.window, 100);
         assert_eq!(plan.groups[1].key.window, 200);
         assert_eq!(plan.groups[2].key.window, 0);
+    }
+
+    #[test]
+    fn fp_queries_round_like_f0_and_split_by_order() {
+        let cfg = EngineConfig {
+            sample_t: 256,
+            kmv_k: 64,
+            fp: Some(pfe_core::FpConfig {
+                orders: vec![2.0, 1.0],
+                stable_t: 4,
+                ams_groups: 3,
+                ams_per_group: 4,
+            }),
+            ..Default::default()
+        };
+        let d = 12;
+        let mut shard = ShardSummary::new(d, 2, 0, &cfg).expect("new");
+        if let pfe_row::Dataset::Binary(m) = &uniform_binary(d, 2000, 3) {
+            for &row in m.rows() {
+                shard.push_packed(row);
+            }
+        }
+        let snap = Snapshot::from_shards(vec![shard], 1);
+        let queries = vec![
+            Query::over(0..6).fp(2.0),
+            Query::over(0..6).fp(2.0),
+            Query::over(0..6).fp(1.0), // same mask, different order
+            Query::over(0..6).fp(1.7), // unmaterialized: plan-time error
+        ];
+        let plan = plan(&snap, &queries);
+        assert_eq!(plan.groups.len(), 2, "orders must not share groups");
+        assert_eq!(plan.groups[0].members.len(), 2);
+        // Mid-size subsets round to a net member, like F_0.
+        let r = snap
+            .fp_rounding(&plan.groups[0].members[0].cols, 2.0)
+            .expect("ok");
+        assert_eq!(plan.groups[0].members[0].target, r.target);
+        assert_eq!(plan.errors.len(), 1);
+        assert_eq!(plan.errors[0].0, 3);
     }
 
     #[test]

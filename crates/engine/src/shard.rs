@@ -9,7 +9,7 @@
 //! shard → merge → snapshot pipeline equivalent to a single-threaded build.
 
 use pfe_core::alpha_net::{AlphaNet, AlphaNetF0, NetMode};
-use pfe_core::{AlphaNetFrequency, UniformSampleSummary};
+use pfe_core::{fp_seed, AlphaNetFrequency, FpNet, UniformSampleSummary};
 use pfe_hash::rng::SplitMix64;
 use pfe_persist::{Decoder, Encoder, Persist, PersistError};
 use pfe_sketch::kmv::Kmv;
@@ -24,6 +24,7 @@ pub struct ShardSummary {
     sample: UniformSampleSummary,
     net_f0: AlphaNetF0<Kmv>,
     freq: Option<AlphaNetFrequency>,
+    fp: Vec<FpNet>,
     rows: u64,
 }
 
@@ -95,6 +96,23 @@ impl ShardSummary {
                 AlphaNetFrequency::new_streaming(net, q, fc.depth, fc.width, cfg.max_subsets, seed)
             })
             .transpose()?;
+        // Fp seeds, like KMV seeds, depend only on (base seed, order,
+        // mask) — not the shard id — so shard merges are well-defined.
+        let mut fp = Vec::new();
+        if let Some(fp_cfg) = &cfg.fp {
+            fp.reserve(fp_cfg.orders.len());
+            for (idx, &p) in fp_cfg.orders.iter().enumerate() {
+                fp.push(FpNet::new_streaming_qary(
+                    net,
+                    NetMode::Full,
+                    cfg.max_subsets,
+                    q,
+                    p,
+                    fp_cfg,
+                    fp_seed(seed, idx),
+                )?);
+            }
+        }
         Ok(Self {
             sample: UniformSampleSummary::new(
                 d,
@@ -104,6 +122,7 @@ impl ShardSummary {
             ),
             net_f0,
             freq,
+            fp,
             rows: 0,
         })
     }
@@ -119,6 +138,9 @@ impl ShardSummary {
         if let Some(freq) = &mut self.freq {
             freq.push_packed(row);
         }
+        for net in &mut self.fp {
+            net.push_packed(row);
+        }
         self.rows += 1;
     }
 
@@ -131,6 +153,9 @@ impl ShardSummary {
         self.net_f0.push_dense(row);
         if let Some(freq) = &mut self.freq {
             freq.push_dense(row);
+        }
+        for net in &mut self.fp {
+            net.push_dense(row);
         }
         self.rows += 1;
     }
@@ -147,6 +172,14 @@ impl ShardSummary {
             (Some(a), Some(b)) => a.merge(b),
             (None, None) => {}
             _ => panic!("shard merge: frequency-net presence mismatch"),
+        }
+        assert_eq!(
+            self.fp.len(),
+            other.fp.len(),
+            "shard merge: fp-net count mismatch"
+        );
+        for (a, b) in self.fp.iter_mut().zip(&other.fp) {
+            a.merge(b);
         }
         self.rows += other.rows;
     }
@@ -171,18 +204,25 @@ impl ShardSummary {
         self.freq.as_ref()
     }
 
+    /// The `F_p` moment nets, one per configured order.
+    pub fn fp(&self) -> &[FpNet] {
+        &self.fp
+    }
+
     /// Reassemble a shard from parts (the resume path: a decoded snapshot
     /// becomes the base state that every later snapshot merges on top of).
     pub(crate) fn from_parts(
         sample: UniformSampleSummary,
         net_f0: AlphaNetF0<Kmv>,
         freq: Option<AlphaNetFrequency>,
+        fp: Vec<FpNet>,
         rows: u64,
     ) -> Self {
         Self {
             sample,
             net_f0,
             freq,
+            fp,
             rows,
         }
     }
@@ -194,9 +234,10 @@ impl ShardSummary {
         UniformSampleSummary,
         AlphaNetF0<Kmv>,
         Option<AlphaNetFrequency>,
+        Vec<FpNet>,
         u64,
     ) {
-        (self.sample, self.net_f0, self.freq, self.rows)
+        (self.sample, self.net_f0, self.freq, self.fp, self.rows)
     }
 }
 
@@ -206,6 +247,10 @@ impl Persist for ShardSummary {
         self.sample.encode(enc);
         self.net_f0.encode(enc);
         self.freq.encode(enc);
+        enc.put_len(self.fp.len());
+        for net in &self.fp {
+            net.encode(enc);
+        }
     }
 
     fn decode(dec: &mut Decoder<'_>) -> Result<Self, PersistError> {
@@ -213,6 +258,12 @@ impl Persist for ShardSummary {
         let sample = UniformSampleSummary::decode(dec)?;
         let net_f0 = AlphaNetF0::<Kmv>::decode(dec)?;
         let freq = Option::<AlphaNetFrequency>::decode(dec)?;
+        // Each fp net is at least a family tag plus net parameters.
+        let n_fp = dec.take_len(13)?;
+        let mut fp = Vec::with_capacity(n_fp);
+        for _ in 0..n_fp {
+            fp.push(FpNet::decode(dec)?);
+        }
         // Cross-component consistency, mirroring `Snapshot::decode`: a
         // CRC-valid record whose parts are each internally consistent but
         // summarize different (d, Q) would panic later when a merge walks
@@ -237,10 +288,21 @@ impl Persist for ShardSummary {
                 )));
             }
         }
+        for net in &fp {
+            if net.net() != net_f0.net() || net.alphabet() != q {
+                return Err(PersistError::Malformed(format!(
+                    "fp net (p={}, d={}, Q={}) disagrees with the F0 net (d={d}, Q={q})",
+                    net.p(),
+                    net.net().dimension(),
+                    net.alphabet()
+                )));
+            }
+        }
         Ok(Self {
             sample,
             net_f0,
             freq,
+            fp,
             rows,
         })
     }
@@ -251,6 +313,7 @@ impl SpaceUsage for ShardSummary {
         self.sample.space_bytes()
             + self.net_f0.space_bytes()
             + self.freq.as_ref().map(|f| f.space_bytes()).unwrap_or(0)
+            + self.fp.iter().map(|n| n.space_bytes()).sum::<usize>()
     }
 }
 
@@ -269,6 +332,12 @@ mod tests {
             freq_net: Some(FreqNetConfig {
                 depth: 4,
                 width: 256,
+            }),
+            fp: Some(pfe_core::FpConfig {
+                orders: vec![2.0, 0.5],
+                stable_t: 4,
+                ams_groups: 3,
+                ams_per_group: 4,
             }),
             ..Default::default()
         }
@@ -307,6 +376,23 @@ mod tests {
         }
         // Frequency nets merge by CountMin addition: totals match exactly.
         assert_eq!(a.freq().expect("on").n(), single.freq().expect("on").n());
+        // AMS fp net (integer sums) merges bit-exactly; the stable net
+        // agrees up to f64 addition order.
+        let cols = ColumnSet::from_mask(d, 0b11).expect("valid");
+        assert_eq!(a.fp().len(), 2);
+        assert_eq!(
+            a.fp()[0].fp(&cols).expect("ok").estimate.to_bits(),
+            single.fp()[0].fp(&cols).expect("ok").estimate.to_bits(),
+            "AMS fp merge not bit-exact"
+        );
+        let (m, s) = (
+            a.fp()[1].fp(&cols).expect("ok").estimate,
+            single.fp()[1].fp(&cols).expect("ok").estimate,
+        );
+        assert!(
+            (m - s).abs() <= 1e-9 * s.abs().max(1.0),
+            "stable fp merge diverged beyond float tolerance: {m} vs {s}"
+        );
     }
 
     #[test]

@@ -9,7 +9,8 @@ use std::path::Path;
 
 use pfe_core::alpha_net::{AlphaNetF0, RoundedQuery};
 use pfe_core::{
-    AlphaNetFrequency, HeavyHitter, NetAnswer, QueryError, SampledPattern, UniformSampleSummary,
+    AlphaNetFrequency, FpNet, HeavyHitter, NetAnswer, QueryError, SampledPattern,
+    UniformSampleSummary,
 };
 use pfe_persist::{Decoder, Encoder, Persist, PersistError};
 use pfe_row::{ColumnSet, PatternCodec, PatternKey};
@@ -36,6 +37,7 @@ pub struct Snapshot {
     sample: UniformSampleSummary,
     net_f0: AlphaNetF0<Kmv>,
     freq: Option<AlphaNetFrequency>,
+    fp: Vec<FpNet>,
     rows: u64,
     epoch: u64,
 }
@@ -52,11 +54,12 @@ impl Snapshot {
         for shard in iter {
             acc.merge(&shard);
         }
-        let (sample, net_f0, freq, rows) = acc.into_parts();
+        let (sample, net_f0, freq, fp, rows) = acc.into_parts();
         Self {
             sample,
             net_f0,
             freq,
+            fp,
             rows,
             epoch,
         }
@@ -149,6 +152,23 @@ impl Snapshot {
             }
             _ => return mismatch("frequency net present on one side only"),
         }
+        if self.fp.len() != other.fp.len() {
+            return mismatch("fp-net counts differ");
+        }
+        for (a, b) in self.fp.iter().zip(&other.fp) {
+            if a.p().to_bits() != b.p().to_bits() {
+                return mismatch("fp-net moment orders differ");
+            }
+            if a.is_ams() != b.is_ams() {
+                return mismatch("fp-net sketch families differ");
+            }
+            if a.net() != b.net() || a.mode() != b.mode() || a.alphabet() != b.alphabet() {
+                return mismatch("fp-net alpha-nets differ");
+            }
+            if a.sketch_shape() != b.sketch_shape() {
+                return mismatch("fp-net sketch shapes differ");
+            }
+        }
         Ok(())
     }
 
@@ -170,6 +190,9 @@ impl Snapshot {
             (None, None) => {}
             _ => unreachable!("checked by check_mergeable"),
         }
+        for (a, b) in self.fp.iter_mut().zip(&other.fp) {
+            a.merge(b);
+        }
         self.rows += other.rows;
         self.epoch = self.epoch.max(other.epoch);
         Ok(())
@@ -182,6 +205,7 @@ impl Snapshot {
             self.sample.clone(),
             self.net_f0.clone(),
             self.freq.clone(),
+            self.fp.clone(),
             self.rows,
         )
     }
@@ -204,6 +228,16 @@ impl Snapshot {
     /// Whether the frequency net is materialized.
     pub fn has_freq_net(&self) -> bool {
         self.freq.is_some()
+    }
+
+    /// The materialized `F_p` moment nets, one per configured order.
+    pub fn fp_nets(&self) -> &[FpNet] {
+        &self.fp
+    }
+
+    /// The net materialized for moment order `p`, if any.
+    pub fn fp_net(&self, p: f64) -> Option<&FpNet> {
+        self.fp.iter().find(|n| (n.p() - p).abs() <= 1e-12)
     }
 
     /// Whether the uniform sample retains the *entire* stream (the
@@ -243,6 +277,58 @@ impl Snapshot {
     /// Dimension errors.
     pub fn f0(&self, cols: &ColumnSet) -> Result<NetAnswer, QueryError> {
         self.net_f0.f0(cols)
+    }
+
+    /// Exact projected `F_p = Σ f_i^p` from the fully retained rows. Like
+    /// [`f0_exact`](Self::f0_exact), only meaningful when
+    /// [`is_exhaustive`](Self::is_exhaustive) holds.
+    ///
+    /// # Errors
+    /// Dimension or codec errors.
+    pub fn fp_exact(&self, cols: &ColumnSet, p: f64) -> Result<f64, QueryError> {
+        let mut keys = self.sample.projected_sample(cols)?;
+        keys.sort_unstable();
+        let mut total = 0.0;
+        let mut i = 0;
+        while i < keys.len() {
+            let mut run = 1usize;
+            while i + run < keys.len() && keys[i + run] == keys[i] {
+                run += 1;
+            }
+            total += (run as f64).powf(p);
+            i += run;
+        }
+        Ok(total)
+    }
+
+    /// The rounding the order-`p` moment net will apply to this query —
+    /// the `F_p` analog of [`f0_rounding`](Self::f0_rounding).
+    ///
+    /// # Errors
+    /// [`QueryError::UnsupportedMoment`] when no net for `p` is
+    /// materialized; dimension errors.
+    pub fn fp_rounding(&self, cols: &ColumnSet, p: f64) -> Result<RoundedQuery, QueryError> {
+        self.fp_net(p)
+            .ok_or(QueryError::UnsupportedMoment {
+                requested: p,
+                supported: f64::NAN,
+            })?
+            .effective_rounding(cols)
+    }
+
+    /// Projected frequency moment `F_p` (Algorithm 1 with the moment
+    /// plug-in: AMS at `p = 2`, stable projections at fractional `p`).
+    ///
+    /// # Errors
+    /// [`QueryError::UnsupportedMoment`] when no net for `p` is
+    /// materialized; dimension errors.
+    pub fn fp(&self, cols: &ColumnSet, p: f64) -> Result<NetAnswer, QueryError> {
+        self.fp_net(p)
+            .ok_or(QueryError::UnsupportedMoment {
+                requested: p,
+                supported: f64::NAN,
+            })?
+            .fp(cols)
     }
 
     /// Encode a dense pattern for `cols`.
@@ -329,6 +415,10 @@ impl Persist for Snapshot {
         self.sample.encode(enc);
         self.net_f0.encode(enc);
         self.freq.encode(enc);
+        enc.put_len(self.fp.len());
+        for net in &self.fp {
+            net.encode(enc);
+        }
     }
 
     fn decode(dec: &mut Decoder<'_>) -> Result<Self, PersistError> {
@@ -363,10 +453,26 @@ impl Persist for Snapshot {
                 )));
             }
         }
+        // Each fp net is at least a family tag plus net parameters.
+        let n_fp = dec.take_len(13)?;
+        let mut fp = Vec::with_capacity(n_fp);
+        for _ in 0..n_fp {
+            let net = FpNet::decode(dec)?;
+            if net.net() != net_f0.net() || net.alphabet() != q {
+                return Err(PersistError::Malformed(format!(
+                    "fp net (p={}, d={}, Q={}) disagrees with the F0 net (d={d}, Q={q})",
+                    net.p(),
+                    net.net().dimension(),
+                    net.alphabet()
+                )));
+            }
+            fp.push(net);
+        }
         Ok(Self {
             sample,
             net_f0,
             freq,
+            fp,
             rows,
             epoch,
         })
@@ -378,6 +484,7 @@ impl SpaceUsage for Snapshot {
         self.sample.space_bytes()
             + self.net_f0.space_bytes()
             + self.freq.as_ref().map(|f| f.space_bytes()).unwrap_or(0)
+            + self.fp.iter().map(|n| n.space_bytes()).sum::<usize>()
     }
 }
 
@@ -397,6 +504,12 @@ mod tests {
             freq_net: Some(FreqNetConfig {
                 depth: 4,
                 width: 512,
+            }),
+            fp: Some(pfe_core::FpConfig {
+                orders: vec![2.0, 1.0],
+                stable_t: 4,
+                ams_groups: 3,
+                ams_per_group: 4,
             }),
             ..Default::default()
         };
@@ -429,6 +542,16 @@ mod tests {
             .expect("ok")
             .is_empty());
         assert_eq!(snap.l1_sample(&cols, 10, 3).expect("ok").len(), 10);
+        // Both moment nets answer; unmaterialized orders are typed errors.
+        assert_eq!(snap.fp_nets().len(), 2);
+        assert!(snap.fp(&cols, 2.0).expect("ams").estimate > 0.0);
+        // F_1 is the row count (up to sketch error): sanity-check scale.
+        let f1 = snap.fp(&cols, 1.0).expect("stable").estimate;
+        assert!(f1 > 0.0 && f1.is_finite());
+        assert!(matches!(
+            snap.fp(&cols, 1.7),
+            Err(QueryError::UnsupportedMoment { .. })
+        ));
         assert!(snap.space_bytes() > 0);
     }
 

@@ -5,8 +5,8 @@
 //! [`answer_to_json`] / [`stats_to_json`], so the Rust API, the cache
 //! keys, and the wire protocol can never drift apart. The statistic op
 //! names are [`StatKind::name`] (`f0`, `frequency`, `heavy_hitters`,
-//! `l1_sample`); per-query options travel as optional fields (`epoch`,
-//! `bypass_cache`, `exact`, `seed`).
+//! `l1_sample`, `fp`); per-query options travel as optional fields
+//! (`epoch`, `bypass_cache`, `exact`, `seed`).
 //!
 //! ```
 //! use pfe_engine::{wire, Json};
@@ -103,6 +103,13 @@ pub fn query_from_json(req: &Json) -> Result<Query, String> {
             let k = uint(req, "k")?.ok_or_else(|| "missing 'k'".to_string())?;
             builder.l1_sample(k as usize)
         }
+        "fp" => {
+            let p = req
+                .get("p")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| "missing 'p'".to_string())?;
+            builder.fp(p)
+        }
         other => return Err(format!("unknown statistic op '{other}'")),
     };
     if let Some(seed) = uint(req, "seed")? {
@@ -196,6 +203,9 @@ pub fn answer_to_json(answer: &Answer, q: u32) -> Json {
                         .collect(),
                 ),
             ));
+        }
+        AnswerValue::Fp { estimate } => {
+            fields.push(("estimate", Json::Num(*estimate)));
         }
     }
     fields.push((
@@ -298,6 +308,10 @@ mod tests {
         assert_eq!(q.statistic, Statistic::L1Sample { k: 16, seed: 7 });
         assert!(q.options.exact_if_available);
 
+        let q =
+            query_from_json(&Json::parse(r#"{"op":"fp","cols":[0,1],"p":1.5}"#).unwrap()).unwrap();
+        assert_eq!(q.statistic, Statistic::Fp { p: 1.5 });
+
         // A window field travels on every statistic op.
         let q = query_from_json(&Json::parse(r#"{"op":"f0","cols":[0,1],"window":5000}"#).unwrap())
             .unwrap();
@@ -318,6 +332,8 @@ mod tests {
             r#"{"op":"f0","cols":[-1]}"#,
             r#"{"op":"heavy_hitters","cols":[0]}"#,
             r#"{"op":"l1_sample","cols":[0]}"#,
+            r#"{"op":"fp","cols":[0]}"#,
+            r#"{"op":"fp","cols":[0],"p":"two"}"#,
             r#"{"op":"f0","cols":[0],"epoch":1.5}"#,
             r#"{"op":"f0","cols":[0],"bypass_cache":1}"#,
             r#"{"op":"f0","cols":[0],"window":-3}"#,

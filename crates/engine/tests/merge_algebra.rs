@@ -27,6 +27,12 @@ fn cfg(sample_t: usize, seed: u64) -> EngineConfig {
         sample_t,
         kmv_k: 32,
         seed,
+        fp: Some(pfe_core::FpConfig {
+            orders: vec![2.0, 1.5],
+            stable_t: 4,
+            ams_groups: 3,
+            ams_per_group: 4,
+        }),
         ..Default::default()
     }
 }
@@ -157,6 +163,76 @@ proptest! {
         prop_assert_eq!(left, flipped, "F_0 union is fully commutative");
         prop_assert_eq!(left, whole, "union == sequential build");
     }
+
+    /// `F_p` merge algebra, both plug-in families.
+    ///
+    /// - **AMS (`p = 2`)**: counter sums are `i64` additions, so every
+    ///   merge grouping — reassociated, commuted, or a sequential build —
+    ///   yields the bit-identical estimate.
+    /// - **Stable projections (`p < 2`)**: sketch state is `f64` sums, so
+    ///   a fixed merge structure is bit-reproducible, but reassociating
+    ///   the additions may move the last ulp. Across differing groupings
+    ///   the contract is a tight *relative* tolerance, not bit equality —
+    ///   which is why the window ring keeps one canonical (oldest-first)
+    ///   merge order.
+    #[test]
+    fn prop_fp_merge_algebra(
+        rows in proptest::collection::vec(0u64..(1 << D), 60..240),
+        mask in 1u64..(1 << D),
+        seed in 0u64..1000,
+    ) {
+        let sample_t = 2048;
+        set_empty_params(sample_t, seed);
+        let third = rows.len() / 3;
+        let a = snap_over(&rows[..third], sample_t, seed, 0, 1);
+        let b = snap_over(&rows[third..2 * third], sample_t, seed, 1, 1);
+        let c = snap_over(&rows[2 * third..], sample_t, seed, 2, 1);
+        let cols = ColumnSet::from_mask(D, mask).expect("valid");
+        let fp = |s: &Snapshot, p: f64| s.fp(&cols, p).expect("ok").estimate;
+
+        let left = merged(&merged(&a, &b), &c);
+        let right = merged(&a, &merged(&b, &c));
+        let flipped = merged(&merged(&c, &a), &b);
+        let whole = snap_over(&rows, sample_t, seed, 0, 1);
+
+        // AMS F_2: bit-exact under ANY grouping, and against the
+        // single-threaded sequential build.
+        for other in [&right, &flipped, &whole] {
+            prop_assert_eq!(fp(&left, 2.0).to_bits(), fp(other, 2.0).to_bits());
+        }
+
+        // Stable F_1.5: identical merge structure => bit-identical…
+        let left_again = merged(&merged(&a, &b), &c);
+        prop_assert_eq!(fp(&left, 1.5).to_bits(), fp(&left_again, 1.5).to_bits());
+        // …differing structure => equal up to f64 reassociation.
+        let close = |x: f64, y: f64| (x - y).abs() <= 1e-9 * y.abs().max(1.0);
+        prop_assert!(close(fp(&left, 1.5), fp(&right, 1.5)));
+        prop_assert!(close(fp(&left, 1.5), fp(&flipped, 1.5)));
+        prop_assert!(close(fp(&left, 1.5), fp(&whole, 1.5)));
+    }
+}
+
+/// A zero-row summary answers `F_p` with a finite 0 — never NaN, which
+/// the JSON wire layer could not represent. Checked end-to-end through
+/// the snapshot and directly at the sketch level (`lp_norm_estimate`).
+#[test]
+fn empty_snapshot_fp_is_finite_zero() {
+    set_empty_params(64, 7);
+    let empty = snap_over(&[], 64, 7, 0, 0);
+    let cols = ColumnSet::from_mask(D, 0b11).expect("valid");
+    for p in [2.0, 1.5] {
+        let ans = empty.fp(&cols, p).expect("ok");
+        assert!(
+            ans.estimate.is_finite(),
+            "p={p}: non-finite {}",
+            ans.estimate
+        );
+        assert_eq!(ans.estimate, 0.0, "p={p}");
+    }
+    // Sketch-level guard: an all-zero stable sketch has a finite norm.
+    let s = pfe_sketch::StableFp::new(5, 0.5, 42);
+    assert!(s.lp_norm_estimate().is_finite());
+    assert_eq!(s.lp_norm_estimate(), 0.0);
 }
 
 #[test]

@@ -131,6 +131,47 @@ fn one_shard_equals_many_shards_for_f0() {
 }
 
 #[test]
+fn sharded_fp_matches_suite() {
+    let seed = 21;
+    let data = uniform_binary(D, 1_500, 4);
+    let fp_cfg = pfe_core::FpConfig {
+        orders: vec![2.0, 1.5],
+        stable_t: 4,
+        ams_groups: 3,
+        ams_per_group: 4,
+    };
+    let suite = SummarySuite::build_with_fp(&data, &suite_cfg(seed), &fp_cfg).expect("suite");
+    for shards in [1usize, 4] {
+        let mut ecfg = engine_cfg(shards, seed);
+        ecfg.fp = Some(fp_cfg.clone());
+        let engine = Engine::start(D, 2, ecfg).expect("start");
+        engine.ingest(&data).expect("ingest");
+        engine.refresh().expect("refresh");
+        let snap = engine.snapshot().expect("published");
+        for cols in probe_sets() {
+            let cs = ColumnSet::from_indices(D, &cols).expect("valid");
+            // AMS F_2 counters are i64 sums: the sharded merge is
+            // bit-identical to the single-threaded suite build.
+            assert_eq!(
+                snap.fp(&cs, 2.0).expect("ok").estimate.to_bits(),
+                suite.fp(&cs, 2.0).expect("ok").estimate.to_bits(),
+                "{shards}-shard AMS F_2 diverged from suite at {cols:?}"
+            );
+            // Stable projections: sharding reassociates the f64 sums, so
+            // equality holds up to ulps, not bit-wise.
+            let (e, s) = (
+                snap.fp(&cs, 1.5).expect("ok").estimate,
+                suite.fp(&cs, 1.5).expect("ok").estimate,
+            );
+            assert!(
+                (e - s).abs() <= 1e-9 * s.abs().max(1.0),
+                "{shards}-shard stable F_1.5 diverged from suite at {cols:?}: {e} vs {s}"
+            );
+        }
+    }
+}
+
+#[test]
 fn f0_is_order_insensitive_under_shuffle_and_reorder() {
     let seed = 13;
     let data = uniform_binary(D, 10_000, 8);

@@ -3,7 +3,8 @@
 //! processes must union to the single-process build.
 
 use pfe_engine::{
-    merge_snapshot_files, Engine, EngineConfig, EngineError, FreqNetConfig, Query, Snapshot,
+    merge_snapshot_files, Engine, EngineConfig, EngineError, FpConfig, FreqNetConfig, Query,
+    Snapshot,
 };
 use pfe_row::{ColumnSet, Dataset};
 use pfe_stream::gen::uniform_binary;
@@ -17,6 +18,14 @@ fn cfg() -> EngineConfig {
         freq_net: Some(FreqNetConfig {
             depth: 4,
             width: 256,
+        }),
+        // Both F_p plug-in families ride through every checkpoint below:
+        // AMS (p = 2) and stable projections (p = 1.5).
+        fp: Some(FpConfig {
+            orders: vec![2.0, 1.5],
+            stable_t: 4,
+            ams_groups: 3,
+            ams_per_group: 4,
         }),
         seed: 42,
         ..Default::default()
@@ -39,6 +48,8 @@ fn battery(d: u32) -> Vec<Query> {
         Query::over([0, 1]).frequency([1u16, 0]),
         Query::over([0, 1, 2]).heavy_hitters(0.05),
         Query::over([0, 1, 2]).l1_sample(8).with_seed(5),
+        Query::over(0..2).fp(2.0),
+        Query::over(0..d / 2).fp(1.5),
     ]
 }
 
@@ -162,6 +173,22 @@ fn merged_half_stream_files_equal_single_stream_snapshot() {
             full_snap.heavy_hitters(&cols, 0.05, 1.0, 2.0).expect("ok"),
             "merged heavy hitters diverged at mask {mask:#b}"
         );
+        // AMS F_2 counters are i64 sums: cross-process union is bit-exact.
+        assert_eq!(
+            merged.fp(&cols, 2.0).expect("ok").estimate.to_bits(),
+            full_snap.fp(&cols, 2.0).expect("ok").estimate.to_bits(),
+            "merged AMS F_2 diverged at mask {mask:#b}"
+        );
+        // Stable-projection sums are f64: the union reassociates the
+        // additions, so equality holds up to the last ulp, not bit-wise.
+        let (m, s) = (
+            merged.fp(&cols, 1.5).expect("ok").estimate,
+            full_snap.fp(&cols, 1.5).expect("ok").estimate,
+        );
+        assert!(
+            (m - s).abs() <= 1e-9 * s.abs().max(1.0),
+            "merged stable F_1.5 diverged at mask {mask:#b}: {m} vs {s}"
+        );
     }
     for p in [path_a, path_b, path_full] {
         std::fs::remove_file(p).ok();
@@ -274,6 +301,27 @@ fn resume_rejects_mismatched_config() {
                 freq_net: Some(FreqNetConfig {
                     depth: 2,
                     width: 64,
+                }),
+                ..cfg()
+            },
+        ),
+        ("fp off", EngineConfig { fp: None, ..cfg() }),
+        (
+            "fp orders",
+            EngineConfig {
+                fp: Some(FpConfig {
+                    orders: vec![2.0, 0.5],
+                    ..cfg().fp.unwrap()
+                }),
+                ..cfg()
+            },
+        ),
+        (
+            "fp shape",
+            EngineConfig {
+                fp: Some(FpConfig {
+                    stable_t: 8,
+                    ..cfg().fp.unwrap()
                 }),
                 ..cfg()
             },

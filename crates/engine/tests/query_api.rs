@@ -2,17 +2,28 @@
 //!
 //! 1. Every answer produced through the typed `Query` surface is
 //!    **bit-identical** to the corresponding direct
-//!    `Snapshot::{f0, frequency, heavy_hitters, l1_sample}` call — the
+//!    `Snapshot::{f0, frequency, heavy_hitters, l1_sample, fp}` call — the
 //!    planner, the cache, and the guarantee wrapper never change values.
 //! 2. A shuffled `query_batch` returns answers **in request order** with
 //!    values identical to the unshuffled batch — planner grouping is
 //!    invisible to clients.
 
-use pfe_engine::{Answer, AnswerValue, Engine, EngineConfig, Query};
+use pfe_engine::{Answer, AnswerValue, Engine, EngineConfig, FpConfig, Query};
 use pfe_row::{BinaryMatrix, ColumnSet, Dataset};
 use proptest::prelude::*;
 
 const D: u32 = 10;
+
+/// Both `F_p` plug-in families: AMS at `p = 2`, stable projections at
+/// `p = 1`. Small shapes keep the proptest cases fast in debug builds.
+fn fp_config() -> FpConfig {
+    FpConfig {
+        orders: vec![2.0, 1.0],
+        stable_t: 4,
+        ams_groups: 3,
+        ams_per_group: 4,
+    }
+}
 
 fn engine_over(rows: Vec<u64>, seed: u64, shards: usize) -> Engine {
     let data = Dataset::Binary(BinaryMatrix::from_rows(D, rows));
@@ -24,6 +35,7 @@ fn engine_over(rows: Vec<u64>, seed: u64, shards: usize) -> Engine {
             kmv_k: 64,
             sample_t: 256,
             seed,
+            fp: Some(fp_config()),
             ..Default::default()
         },
     )
@@ -41,6 +53,8 @@ fn battery(cols: &[u32], pattern_bit: u16) -> Vec<Query> {
         Query::over(cols.iter().copied()).frequency(pattern),
         Query::over(cols.iter().copied()).heavy_hitters(0.1),
         Query::over(cols.iter().copied()).l1_sample(8).with_seed(3),
+        Query::over(cols.iter().copied()).fp(2.0),
+        Query::over(cols.iter().copied()).fp(1.0),
     ]
 }
 
@@ -107,6 +121,25 @@ proptest! {
             .expect("ok");
         let direct = snap.l1_sample(&cols, 8, 3).expect("ok");
         prop_assert_eq!(api.value, AnswerValue::L1Sample { patterns: direct });
+
+        // F_p moments, both plug-in families: bit-identical estimate and
+        // the same rounding provenance as the serving α-net.
+        for p in [2.0, 1.0] {
+            let api = engine
+                .query(&Query::over(indices.iter().copied()).fp(p))
+                .expect("ok");
+            let direct = snap.fp(&cols, p).expect("ok");
+            let AnswerValue::Fp { estimate } = api.value else {
+                panic!("expected Fp answer, got {:?}", api.value);
+            };
+            prop_assert_eq!(estimate.to_bits(), direct.estimate.to_bits());
+            prop_assert_eq!(api.provenance.answered_on, direct.answered_on);
+            prop_assert_eq!(api.provenance.sym_diff, direct.sym_diff);
+            // The guarantee is the net β inflated by the Lemma 6.4
+            // rounding distortion — never below the sketch's own β.
+            let beta = snap.fp_net(p).expect("configured").beta();
+            prop_assert!(api.guarantee.alpha >= beta);
+        }
     }
 
     /// Shuffling a batch changes nothing observable: answers come back in

@@ -153,6 +153,11 @@ pub enum AnswerValue {
         /// Sampled patterns with estimated probability mass.
         patterns: Vec<SampledPattern>,
     },
+    /// Frequency moment `F_p`.
+    Fp {
+        /// The (possibly rounded) moment estimate.
+        estimate: f64,
+    },
 }
 
 /// Answer to one [`Query`](crate::Query): the value plus everything a
@@ -185,15 +190,17 @@ impl Answer {
             AnswerValue::Frequency { .. } => StatKind::Frequency,
             AnswerValue::HeavyHitters { .. } => StatKind::HeavyHitters,
             AnswerValue::L1Sample { .. } => StatKind::L1Sample,
+            AnswerValue::Fp { .. } => StatKind::Fp,
         }
     }
 
-    /// The scalar estimate, for the scalar statistics (`F0`, frequency).
+    /// The scalar estimate, for the scalar statistics (`F0`, frequency,
+    /// `F_p`).
     pub fn estimate(&self) -> Option<f64> {
         match &self.value {
-            AnswerValue::F0 { estimate } | AnswerValue::Frequency { estimate, .. } => {
-                Some(*estimate)
-            }
+            AnswerValue::F0 { estimate }
+            | AnswerValue::Frequency { estimate, .. }
+            | AnswerValue::Fp { estimate } => Some(*estimate),
             _ => None,
         }
     }
@@ -253,6 +260,11 @@ mod tests {
         let a = answer(AnswerValue::L1Sample { patterns: vec![] });
         assert_eq!(a.kind(), StatKind::L1Sample);
         assert_eq!(a.patterns(), Some(&[][..]));
+
+        let a = answer(AnswerValue::Fp { estimate: 9.5 });
+        assert_eq!(a.kind(), StatKind::Fp);
+        assert_eq!(a.estimate(), Some(9.5));
+        assert!(a.hitters().is_none() && a.patterns().is_none());
     }
 
     #[test]

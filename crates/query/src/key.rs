@@ -36,7 +36,8 @@ pub struct QueryKey {
     /// get distinct entries so the reported coverage stays per-request.
     pub window: u64,
     /// Statistic payload: the encoded pattern key (frequency), `φ` bits
-    /// (heavy hitters), `(k, seed)` (`ℓ_1` sample), `0` for `F_0`.
+    /// (heavy hitters), `(k, seed)` (`ℓ_1` sample), `p` bits (`F_p`),
+    /// `0` for `F_0`.
     pub aux: u128,
 }
 
@@ -80,6 +81,7 @@ impl QueryKey {
                 .raw(),
             Statistic::HeavyHitters { phi } => phi.to_bits() as u128,
             Statistic::L1Sample { k, seed } => ((*k as u128) << 64) | *seed as u128,
+            Statistic::Fp { p } => p.to_bits() as u128,
         };
         Self {
             epoch,
@@ -125,6 +127,25 @@ mod tests {
         let b = QueryKey::new(1, 1, &Statistic::L1Sample { k: 3, seed: 2 }, None, false, 0);
         assert_ne!(a.aux, b.aux);
         assert_eq!(a.aux, (2u128 << 64) | 3);
+    }
+
+    #[test]
+    fn fp_orders_key_by_bits_and_do_not_collide_with_hh() {
+        let a = QueryKey::new(1, 0b11, &Statistic::Fp { p: 1.5 }, None, false, 0);
+        let b = QueryKey::new(1, 0b11, &Statistic::Fp { p: 2.0 }, None, false, 0);
+        assert_ne!(a, b);
+        assert_eq!(a.aux, 1.5f64.to_bits() as u128);
+        // Same aux bits under a different kind stays a distinct key.
+        let hh = QueryKey::new(
+            1,
+            0b11,
+            &Statistic::HeavyHitters { phi: 1.5 },
+            None,
+            false,
+            0,
+        );
+        assert_eq!(a.aux, hh.aux);
+        assert_ne!(a, hh);
     }
 
     #[test]

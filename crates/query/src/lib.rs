@@ -9,11 +9,13 @@
 //! API, its LRU cache keys, its batch planner, and the `serve` wire
 //! protocol all speak these types:
 //!
-//! - [`Query`]: fluent builder over a column subset — all four paper
+//! - [`Query`]: fluent builder over a column subset — the four paper
 //!   statistics ([`Statistic::F0`], [`Statistic::Frequency`],
 //!   [`Statistic::HeavyHitters`], [`Statistic::L1Sample`]) plus
-//!   per-query [`QueryOptions`] (epoch pinning, cache bypass,
-//!   exact-if-available, sliding `window(last_n)`);
+//!   frequency moments ([`Statistic::Fp`], AMS at `p = 2`, stable
+//!   projections at fractional `p`) and per-query [`QueryOptions`]
+//!   (epoch pinning, cache bypass, exact-if-available, sliding
+//!   `window(last_n)`);
 //! - [`Answer`]: the uniform response — statistic payload, the
 //!   theorem-derived [`Guarantee`] (`α` multiplicative, `ε` additive,
 //!   [`GuaranteeSource`] exact / sample / α-net), rounded-mask
@@ -33,6 +35,7 @@
 //!     Query::over([0, 1]).frequency([1u16, 0]),
 //!     Query::over([0, 1, 2]).heavy_hitters(0.1),
 //!     Query::over([0, 2]).l1_sample(16).with_seed(7),
+//!     Query::over([0, 1]).fp(1.5),
 //! ];
 //! let kinds: Vec<StatKind> = batch.iter().map(|q| q.statistic.kind()).collect();
 //! assert_eq!(kinds, StatKind::ALL);

@@ -151,6 +151,12 @@ impl QueryBuilder {
     pub fn l1_sample(self, k: usize) -> Query {
         self.finish(Statistic::L1Sample { k, seed: 0 })
     }
+
+    /// Frequency moment `F_p` for order `p` (must match an order the
+    /// serving engine materialized a moment net for).
+    pub fn fp(self, p: f64) -> Query {
+        self.finish(Statistic::Fp { p })
+    }
 }
 
 #[cfg(test)]
@@ -171,6 +177,10 @@ mod tests {
         assert_eq!(
             Query::over([0]).l1_sample(8).statistic,
             Statistic::L1Sample { k: 8, seed: 0 }
+        );
+        assert_eq!(
+            Query::over([0, 1]).fp(1.5).statistic,
+            Statistic::Fp { p: 1.5 }
         );
     }
 

@@ -1,4 +1,4 @@
-//! The four statistics a projection query can request.
+//! The five statistics a projection query can request.
 
 /// Discriminant of a [`Statistic`] — the payload-free tag used in cache
 /// keys, per-statistic counters, and planner grouping.
@@ -12,15 +12,18 @@ pub enum StatKind {
     HeavyHitters,
     /// `ℓ_1` pattern sampling.
     L1Sample,
+    /// Frequency moment `F_p`.
+    Fp,
 }
 
 impl StatKind {
     /// Every statistic kind, in canonical order.
-    pub const ALL: [StatKind; 4] = [
+    pub const ALL: [StatKind; 5] = [
         StatKind::F0,
         StatKind::Frequency,
         StatKind::HeavyHitters,
         StatKind::L1Sample,
+        StatKind::Fp,
     ];
 
     /// Stable lowercase name (wire protocol, stats reporting).
@@ -30,6 +33,7 @@ impl StatKind {
             StatKind::Frequency => "frequency",
             StatKind::HeavyHitters => "heavy_hitters",
             StatKind::L1Sample => "l1_sample",
+            StatKind::Fp => "fp",
         }
     }
 }
@@ -70,6 +74,14 @@ pub enum Statistic {
         /// Seed for the draw (deterministic per seed).
         seed: u64,
     },
+    /// Frequency moment `F_p = Σ f_i^p` on the projection (Lemma 6.4(2)–(3)
+    /// / Theorem 6.5): answered by the α-net of moment sketches
+    /// materialized for `p` — AMS sign sketches for `p = 2` (bit-exact
+    /// mergeable), Indyk stable projections for `0 < p < 2`.
+    Fp {
+        /// The moment order; must match a configured `fp` order.
+        p: f64,
+    },
 }
 
 impl Statistic {
@@ -80,6 +92,7 @@ impl Statistic {
             Statistic::Frequency { .. } => StatKind::Frequency,
             Statistic::HeavyHitters { .. } => StatKind::HeavyHitters,
             Statistic::L1Sample { .. } => StatKind::L1Sample,
+            Statistic::Fp { .. } => StatKind::Fp,
         }
     }
 }
@@ -99,7 +112,11 @@ mod tests {
             Statistic::L1Sample { k: 3, seed: 0 }.kind(),
             StatKind::L1Sample
         );
+        assert_eq!(Statistic::Fp { p: 1.5 }.kind(), StatKind::Fp);
         let names: Vec<&str> = StatKind::ALL.iter().map(|k| k.name()).collect();
-        assert_eq!(names, ["f0", "frequency", "heavy_hitters", "l1_sample"]);
+        assert_eq!(
+            names,
+            ["f0", "frequency", "heavy_hitters", "l1_sample", "fp"]
+        );
     }
 }

@@ -52,6 +52,7 @@ pub const OPS: &[&str] = &[
     "heavy_hitters",
     "hh",
     "l1_sample",
+    "fp",
     "batch",
     "stats",
     "window_stats",
@@ -466,6 +467,29 @@ impl Dispatcher {
         if let Some(s) = req.get("seed").and_then(Json::as_f64) {
             cfg.seed = s as u64;
         }
+        match req.get("fp") {
+            None | Some(Json::Null) => {}
+            Some(fp) => {
+                let orders = fp
+                    .get("orders")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| err("'fp' requires an 'orders' array"))?
+                    .iter()
+                    .map(|v| v.as_f64().ok_or_else(|| err("'orders' must be numbers")))
+                    .collect::<Result<Vec<f64>, Json>>()?;
+                let mut fp_cfg = pfe_engine::FpConfig::with_orders(orders);
+                if let Some(v) = fp.get("stable_t").and_then(Json::as_f64) {
+                    fp_cfg.stable_t = v as usize;
+                }
+                if let Some(v) = fp.get("ams_groups").and_then(Json::as_f64) {
+                    fp_cfg.ams_groups = v as usize;
+                }
+                if let Some(v) = fp.get("ams_per_group").and_then(Json::as_f64) {
+                    fp_cfg.ams_per_group = v as usize;
+                }
+                cfg.fp = Some(fp_cfg);
+            }
+        }
         if let Some(ms) = req.get("slow_ms").and_then(Json::as_f64) {
             self.recorder.slow_log().set_threshold_ms(ms as u64);
         }
@@ -727,7 +751,7 @@ impl Dispatcher {
                     ("rows", Json::Num(e.retained_rows() as f64)),
                 ]))),
             }),
-            "f0" | "frequency" | "freq" | "heavy_hitters" | "hh" | "l1_sample" => {
+            "f0" | "frequency" | "freq" | "heavy_hitters" | "hh" | "l1_sample" | "fp" => {
                 self.serve_query(req).map(Reply::cont)
             }
             "batch" => self.serve_batch(req).map(Reply::cont),
@@ -853,6 +877,36 @@ mod tests {
             .get("engine")
             .and_then(|e| e.get("rows_ingested"))
             .is_some());
+    }
+
+    #[test]
+    fn fp_op_serves_with_guarantee_when_configured() {
+        let d = Dispatcher::new(None);
+        let r = d.handle_line(
+            r#"{"op":"start","d":8,"q":2,"shards":2,"sample_t":256,"kmv_k":32,
+                "fp":{"orders":[2.0,1.5],"stable_t":4,"ams_groups":3,"ams_per_group":4}}"#,
+        );
+        assert_eq!(r.json.get("ok"), Some(&Json::Bool(true)));
+        for _ in 0..8 {
+            d.handle_line(r#"{"op":"ingest","rows":[[0,1,0,0,1,0,1,1],[1,1,0,0,0,0,1,1]]}"#);
+        }
+        d.handle_line(r#"{"op":"snapshot"}"#);
+        for p in ["2.0", "1.5"] {
+            let r = d.handle_line(&format!(r#"{{"op":"fp","cols":[0,1],"p":{p}}}"#));
+            assert_eq!(r.json.get("ok"), Some(&Json::Bool(true)), "p={p}");
+            assert!(r.json.get("estimate").and_then(Json::as_f64).expect("num") > 0.0);
+            let g = r.json.get("guarantee").expect("guarantee travels");
+            assert_eq!(g.get("source").and_then(Json::as_str), Some("alpha_net"));
+            assert!(g.get("alpha").and_then(Json::as_f64).expect("num") > 1.0);
+        }
+        // Unmaterialized order: typed per-request error, session stays up.
+        let r = d.handle_line(r#"{"op":"fp","cols":[0,1],"p":0.7}"#);
+        assert_eq!(r.json.get("ok"), Some(&Json::Bool(false)));
+        // A malformed fp config is a typed start failure.
+        let r = d.handle_line(r#"{"op":"start","d":8,"q":2,"fp":{"orders":[2.5]}}"#);
+        assert_eq!(r.json.get("ok"), Some(&Json::Bool(false)));
+        let r = d.handle_line(r#"{"op":"start","d":8,"q":2,"fp":{}}"#);
+        assert_eq!(r.json.get("ok"), Some(&Json::Bool(false)));
     }
 
     #[test]

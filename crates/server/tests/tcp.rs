@@ -23,6 +23,12 @@ fn test_cfg() -> EngineConfig {
         sample_t: 512,
         kmv_k: 64,
         seed: 3,
+        fp: Some(pfe_engine::FpConfig {
+            orders: vec![2.0, 1.5],
+            stable_t: 4,
+            ams_groups: 3,
+            ams_per_group: 4,
+        }),
         ..Default::default()
     }
 }
@@ -32,9 +38,22 @@ fn start_request(window: Option<&str>) -> String {
     let window = window
         .map(|w| format!(r#","window":{w}"#))
         .unwrap_or_default();
+    let fp = cfg.fp.expect("test config enables fp");
     format!(
-        r#"{{"op":"start","d":{D},"q":2,"shards":{},"sample_t":{},"kmv_k":{},"seed":{}{window}}}"#,
-        cfg.shards, cfg.sample_t, cfg.kmv_k, cfg.seed
+        concat!(
+            r#"{{"op":"start","d":{d},"q":2,"shards":{shards},"sample_t":{sample_t},"#,
+            r#""kmv_k":{kmv_k},"seed":{seed},"fp":{{"orders":[2.0,1.5],"stable_t":{stable_t},"#,
+            r#""ams_groups":{ams_groups},"ams_per_group":{ams_per_group}}}{window}}}"#
+        ),
+        d = D,
+        shards = cfg.shards,
+        sample_t = cfg.sample_t,
+        kmv_k = cfg.kmv_k,
+        seed = cfg.seed,
+        stable_t = fp.stable_t,
+        ams_groups = fp.ams_groups,
+        ams_per_group = fp.ams_per_group,
+        window = window
     )
 }
 
@@ -122,8 +141,9 @@ fn quick_poll() -> ServerConfig {
     }
 }
 
-/// The statistic requests every parity check issues: all four statistics
-/// plus a mask-colliding batch, optionally windowed.
+/// The statistic requests every parity check issues: all five statistics
+/// (`F_p` at both plug-in families) plus a mask-colliding batch,
+/// optionally windowed.
 fn statistic_requests(window: Option<u64>) -> Vec<String> {
     let w = window
         .map(|n| format!(r#","window":{n}"#))
@@ -134,8 +154,10 @@ fn statistic_requests(window: Option<u64>) -> Vec<String> {
         format!(r#"{{"op":"frequency","cols":[0,1],"pattern":[1,1]{w}}}"#),
         format!(r#"{{"op":"heavy_hitters","cols":[0,1,2],"phi":0.05{w}}}"#),
         format!(r#"{{"op":"l1_sample","cols":[0,1,2],"k":8,"seed":7{w}}}"#),
+        format!(r#"{{"op":"fp","cols":[0,1,2,3,4,5],"p":2.0{w}}}"#),
+        format!(r#"{{"op":"fp","cols":[0,1],"p":1.5{w}}}"#),
         format!(
-            r#"{{"op":"batch","queries":[{{"op":"f0","cols":[0,1,2,3,4,5]{w}}},{{"op":"heavy_hitters","cols":[0,1,2],"phi":0.05{w}}}]}}"#
+            r#"{{"op":"batch","queries":[{{"op":"f0","cols":[0,1,2,3,4,5]{w}}},{{"op":"fp","cols":[0,1,2,3,4,5],"p":2.0{w}}},{{"op":"heavy_hitters","cols":[0,1,2],"phi":0.05{w}}}]}}"#
         ),
     ]
 }
@@ -332,6 +354,7 @@ fn metrics_counters_account_for_every_concurrent_request_exactly() {
         ("frequency", 3),
         ("heavy_hitters", 2),
         ("l1_sample", 1),
+        ("fp", 2),
         ("stats", 1),
     ];
     fn req_for(op: &str) -> String {
@@ -340,6 +363,7 @@ fn metrics_counters_account_for_every_concurrent_request_exactly() {
             "frequency" => r#"{"op":"frequency","cols":[0,1],"pattern":[1,1]}"#.to_string(),
             "heavy_hitters" => r#"{"op":"heavy_hitters","cols":[0,1,2],"phi":0.05}"#.to_string(),
             "l1_sample" => r#"{"op":"l1_sample","cols":[0,1],"k":4,"seed":7}"#.to_string(),
+            "fp" => r#"{"op":"fp","cols":[0,1,2],"p":1.5}"#.to_string(),
             other => format!(r#"{{"op":"{other}"}}"#),
         }
     }
@@ -413,8 +437,8 @@ fn metrics_counters_account_for_every_concurrent_request_exactly() {
     assert_eq!(counter("server_connections_accepted"), (CLIENTS + 1) as f64);
 
     // The engine saw exactly one query per statistic request, and its
-    // per-statistic latency histograms counted every one.
-    for &(op, n) in &MIX[..4] {
+    // per-statistic latency histograms counted every one — `fp` included.
+    for &(op, n) in &MIX[..5] {
         let sent = (CLIENTS as usize * n) as f64;
         assert_eq!(counter(&format!("engine_queries_{op}")), sent, "{op}");
         assert_eq!(

@@ -111,6 +111,10 @@ impl MomentSketch for AmsF2 {
         medians.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
         medians[medians.len() / 2]
     }
+
+    fn merge_with(&mut self, other: &Self) {
+        self.merge(other);
+    }
 }
 
 impl Persist for AmsF2 {

@@ -137,6 +137,10 @@ impl MomentSketch for StableFp {
     fn estimate(&self) -> f64 {
         self.lp_norm_estimate().powf(self.p)
     }
+
+    fn merge_with(&mut self, other: &Self) {
+        self.merge(other);
+    }
 }
 
 impl Persist for StableFp {

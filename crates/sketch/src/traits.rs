@@ -55,6 +55,15 @@ pub trait MomentSketch: SpaceUsage {
 
     /// Estimate `F_p`.
     fn estimate(&self) -> f64;
+
+    /// Merge another sketch built with identical parameters/seed.
+    ///
+    /// # Panics
+    /// Implementations panic on parameter mismatch — merging incompatible
+    /// sketches is a logic error, not a runtime condition.
+    fn merge_with(&mut self, other: &Self)
+    where
+        Self: Sized;
 }
 
 /// Blanket helper: bytes of a `Vec`'s heap buffer.

@@ -373,6 +373,7 @@ impl WindowedEngine {
             ("seed", stored.seed == ecfg.seed),
             ("max_subsets", stored.max_subsets == ecfg.max_subsets),
             ("freq_net", stored.freq_net == ecfg.freq_net),
+            ("fp", stored.fp == ecfg.fp),
         ] {
             if !matches {
                 return Err(EngineError::Incompatible(format!(

@@ -117,8 +117,8 @@ pub struct BucketRing {
 impl BucketRing {
     /// Create an empty ring for a `d`-column stream over alphabet `q`.
     /// `ecfg` supplies the per-bucket summary parameters (`alpha`,
-    /// `kmv_k`, `sample_t`, `seed`, `freq_net`); its sharding fields are
-    /// unused.
+    /// `kmv_k`, `sample_t`, `seed`, `freq_net`, `fp`); its sharding
+    /// fields are unused.
     ///
     /// # Errors
     /// Config validation or summary construction errors.
@@ -426,6 +426,7 @@ impl Persist for BucketRing {
                 enc.put_u64(fc.width as u64);
             }
         }
+        self.ecfg.fp.encode(enc);
         enc.put_u32(self.d);
         enc.put_u32(self.q);
         enc.put_u64(self.next_id);
@@ -462,6 +463,7 @@ impl Persist for BucketRing {
         } else {
             None
         };
+        let fp = Option::<pfe_core::FpConfig>::decode(dec)?;
         let ecfg = EngineConfig {
             alpha,
             kmv_k,
@@ -469,6 +471,7 @@ impl Persist for BucketRing {
             max_subsets,
             seed,
             freq_net,
+            fp,
             ..EngineConfig::default()
         };
         let d = dec.take_u32()?;

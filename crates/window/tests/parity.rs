@@ -1,7 +1,8 @@
 //! Acceptance contracts for the window subsystem:
 //!
 //! 1. **Suffix parity** — for random streams and random `last_n`, every
-//!    windowed answer (`F_0`, frequency, heavy hitters, `ℓ_1` sample) is
+//!    windowed answer (`F_0`, frequency, heavy hitters, `ℓ_1` sample,
+//!    `F_p` moments) is
 //!    **bit-identical** to a fresh `SummarySuite` built over the suffix
 //!    the window actually covered, whose length is within one bucket of
 //!    `last_n`. The covering-set merge (KMV exact union + lossless
@@ -14,7 +15,7 @@
 //! length), which is the regime where reservoir merges are provably
 //! lossless; the KMV-backed `F_0` path is exact-union in every regime.
 
-use pfe_core::{SuiteConfig, SummarySuite};
+use pfe_core::{FpConfig, SuiteConfig, SummarySuite};
 use pfe_engine::{AnswerValue, EngineConfig, Query};
 use pfe_row::{BinaryMatrix, ColumnSet, Dataset};
 use pfe_window::{WindowConfig, WindowedEngine};
@@ -22,11 +23,23 @@ use proptest::prelude::*;
 
 const D: u32 = 10;
 
+/// Both `F_p` families ride every bucket: AMS (p = 2, bit-exact merges)
+/// and stable projections (p = 1.5, f64 sums).
+fn fp_cfg() -> FpConfig {
+    FpConfig {
+        orders: vec![2.0, 1.5],
+        stable_t: 4,
+        ams_groups: 3,
+        ams_per_group: 4,
+    }
+}
+
 fn ecfg(seed: u64) -> EngineConfig {
     EngineConfig {
         sample_t: 8192, // above total rows: under-full, lossless merges
         kmv_k: 64,
         seed,
+        fp: Some(fp_cfg()),
         ..Default::default()
     }
 }
@@ -48,7 +61,7 @@ fn windowed_over(rows: &[u64], seed: u64) -> WindowedEngine {
 
 fn suite_over(suffix: &[u64], seed: u64) -> SummarySuite {
     let data = Dataset::Binary(BinaryMatrix::from_rows(D, suffix.to_vec()));
-    SummarySuite::build(
+    SummarySuite::build_with_fp(
         &data,
         &SuiteConfig {
             alpha: ecfg(seed).alpha,
@@ -58,6 +71,7 @@ fn suite_over(suffix: &[u64], seed: u64) -> SummarySuite {
             seed,
             keep_exact: false,
         },
+        &fp_cfg(),
     )
     .expect("build")
 }
@@ -153,6 +167,35 @@ proptest! {
             .expect("ok");
         let direct = suite.sample().l1_sample(&cols, 8, 3).expect("ok");
         prop_assert_eq!(api.value, AnswerValue::L1Sample { patterns: direct });
+
+        // F_p, AMS family (p = 2): counter sums are i64, so the
+        // covering-set merge is bit-identical to the fresh suffix build.
+        let api = engine
+            .query(&Query::over(indices.iter().copied()).fp(2.0).window(last_n))
+            .expect("ok");
+        let direct = suite.fp(&cols, 2.0).expect("ok");
+        let AnswerValue::Fp { estimate } = api.value else {
+            panic!("expected Fp answer, got {:?}", api.value);
+        };
+        prop_assert_eq!(estimate.to_bits(), direct.estimate.to_bits());
+        prop_assert_eq!(api.provenance.answered_on, direct.answered_on);
+
+        // F_p, stable family (p = 1.5): the merge reassociates f64 sums
+        // across bucket boundaries, so equality holds up to ulps.
+        let api = engine
+            .query(&Query::over(indices.iter().copied()).fp(1.5).window(last_n))
+            .expect("ok");
+        let direct = suite.fp(&cols, 1.5).expect("ok");
+        let AnswerValue::Fp { estimate } = api.value else {
+            panic!("expected Fp answer, got {:?}", api.value);
+        };
+        prop_assert!(
+            (estimate - direct.estimate).abs() <= 1e-9 * direct.estimate.abs().max(1.0),
+            "stable F_1.5 diverged beyond reassociation slack: {} vs {}",
+            estimate,
+            direct.estimate
+        );
+        prop_assert_eq!(api.provenance.answered_on, direct.answered_on);
     }
 
     /// checkpoint → resume answers windowed queries bit-identically.
@@ -180,6 +223,10 @@ proptest! {
                 Query::over(indices.iter().copied())
                     .frequency(vec![0u16; indices.len()])
                     .window(last_n),
+                // Resume rebuilds the identical merge structure, so both
+                // F_p families must come back bit-exact.
+                Query::over(indices.iter().copied()).fp(2.0).window(last_n),
+                Query::over(indices.iter().copied()).fp(1.5).window(last_n),
             ];
             let a = engine.query_batch(&queries);
             let b = resumed.query_batch(&queries);

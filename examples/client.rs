@@ -31,13 +31,15 @@ fn demo_script() -> Vec<String> {
         })
         .collect();
     vec![
-        format!(r#"{{"op":"start","d":{d},"q":2,"shards":4}}"#),
+        format!(r#"{{"op":"start","d":{d},"q":2,"shards":4,"fp":{{"orders":[2.0,1.5]}}}}"#),
         format!(r#"{{"op":"ingest","rows":[{}]}}"#, rows.join(",")),
         r#"{"op":"snapshot"}"#.to_string(),
         r#"{"op":"f0","cols":[0,1,2,3,4,5]}"#.to_string(),
         r#"{"op":"frequency","cols":[0,1],"pattern":[1,1]}"#.to_string(),
         r#"{"op":"heavy_hitters","cols":[0,1,2],"phi":0.05}"#.to_string(),
         r#"{"op":"l1_sample","cols":[0,1,2],"k":4,"seed":7}"#.to_string(),
+        r#"{"op":"fp","cols":[0,1,2,3,4,5],"p":2.0}"#.to_string(),
+        r#"{"op":"fp","cols":[0,1,2],"p":1.5}"#.to_string(),
         r#"{"op":"batch","queries":[{"op":"f0","cols":[0,1]},{"op":"f0","cols":[0,1,2]}]}"#
             .to_string(),
         r#"{"op":"stats"}"#.to_string(),

@@ -71,7 +71,9 @@ fn demo_rows(d: u32, count: usize, seed: u64) -> Vec<String> {
 
 fn demo_script() -> Vec<String> {
     let d = 12;
-    let mut lines = vec![format!(r#"{{"op":"start","d":{d},"q":2,"shards":4}}"#)];
+    let mut lines = vec![format!(
+        r#"{{"op":"start","d":{d},"q":2,"shards":4,"fp":{{"orders":[2.0,1.5]}}}}"#
+    )];
     lines.extend(demo_rows(d, 20, 1));
     lines.extend([
         r#"{"op":"snapshot"}"#.to_string(),
@@ -80,6 +82,7 @@ fn demo_script() -> Vec<String> {
         r#"{"op":"frequency","cols":[0,1],"pattern":[1,1]}"#.to_string(),
         r#"{"op":"heavy_hitters","cols":[0,1,2],"phi":0.05}"#.to_string(),
         r#"{"op":"l1_sample","cols":[0,1,2],"k":4,"seed":7}"#.to_string(),
+        r#"{"op":"fp","cols":[0,1,2,3,4,5],"p":2.0}"#.to_string(),
         r#"{"op":"batch","queries":[{"op":"f0","cols":[0,1,2,3,4,5]},{"op":"f0","cols":[0,1,2,3,4,5,6]}]}"#
             .to_string(),
         r#"{"op":"stats"}"#.to_string(),

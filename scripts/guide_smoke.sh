@@ -43,6 +43,9 @@ out=$(cargo run --release --example client -- "$addr" --demo 2>/dev/null)
 echo "$out" | grep -q '"bye":true' || { echo "FAIL: client demo did not finish"; exit 1; }
 echo "$out" | grep -q '"ok":false' && { echo "FAIL: client demo had an error response"; exit 1; }
 echo "$out" | grep -q '"estimate"' || { echo "FAIL: no statistic answer in client demo"; exit 1; }
+# The demo includes F_p moment queries over the live TCP server; any
+# error reply would have tripped the ok:false check above.
+echo "$out" | grep -q '"op":"fp"' || { echo "FAIL: demo sent no fp query"; exit 1; }
 
 echo "== Prometheus scrape endpoint (guide §7)"
 # Scrape with bash's /dev/tcp so the check needs no curl/netcat.
