@@ -1,0 +1,45 @@
+//! Loading a checkpoint file back into a serving backend.
+//!
+//! The CLI auto-detects what a `.pfes` file holds by peeking the frame
+//! header: a whole-stream snapshot resumes into an [`Engine`], a window
+//! ring resumes into a [`pfe_window::WindowedEngine`]. Either way the
+//! engine flags on the command line must match the ones the checkpoint
+//! was built with — resume verifies them against the stored summaries.
+
+use std::sync::Arc;
+
+use pfe_engine::{Engine, EngineConfig, Recorder};
+use pfe_server::proto::Backend;
+use pfe_window::WindowedEngine;
+
+/// Resume `path` into whichever backend kind it holds, returning the
+/// backend and the stream's alphabet `Q` (needed to decode patterns in
+/// answers).
+pub fn resume_backend(
+    path: &str,
+    cfg: EngineConfig,
+    recorder: Arc<Recorder>,
+) -> Result<(Backend, u32), String> {
+    let kind = pfe_persist::peek_kind(path).map_err(|e| format!("{path}: {e}"))?;
+    match kind {
+        pfe_persist::kind::SNAPSHOT => {
+            let engine = Engine::resume_with_recorder(path, cfg, recorder)
+                .map_err(|e| format!("{path}: {e}"))?;
+            let q = engine
+                .snapshot()
+                .expect("resume publishes a snapshot")
+                .sample()
+                .alphabet();
+            Ok((Backend::Plain(engine), q))
+        }
+        pfe_persist::kind::WINDOW => {
+            let engine = WindowedEngine::resume_with_recorder(path, cfg, recorder)
+                .map_err(|e| format!("{path}: {e}"))?;
+            let q = engine.alphabet();
+            Ok((Backend::Windowed(engine), q))
+        }
+        other => Err(format!(
+            "{path}: checkpoint kind {other} is not servable (want a snapshot or window ring)"
+        )),
+    }
+}

@@ -1,0 +1,35 @@
+//! `pfe checkpoint` — merge shard snapshots into one checkpoint.
+//!
+//! Each input must be a whole-stream snapshot over the same shape and
+//! summary parameters (the merge validates this); the output answers
+//! queries as if every input's rows had been ingested by one engine.
+
+use pfe_engine::{merge_snapshot_files, Json};
+
+use crate::args::Args;
+
+/// `pfe checkpoint A B .. --out MERGED`.
+pub fn merge(args: &Args) -> Result<i32, String> {
+    let inputs = args.positionals();
+    if inputs.is_empty() {
+        return Err("usage: pfe checkpoint SNAP [SNAP..] --out MERGED".into());
+    }
+    let out = args
+        .value("--out")
+        .ok_or("usage: pfe checkpoint SNAP [SNAP..] --out MERGED")?;
+    let snapshot = merge_snapshot_files(&inputs).map_err(|e| e.to_string())?;
+    snapshot
+        .save_to(out)
+        .map_err(|e| format!("save {out}: {e}"))?;
+    println!(
+        "{}",
+        Json::obj([
+            ("ok", Json::Bool(true)),
+            ("inputs", Json::Num(inputs.len() as f64)),
+            ("rows", Json::Num(snapshot.n() as f64)),
+            ("epoch", Json::Num(snapshot.epoch() as f64)),
+            ("out", Json::Str(out.to_string())),
+        ])
+    );
+    Ok(0)
+}

@@ -1,0 +1,105 @@
+//! `pfe serve` — the wire protocol from the installed binary.
+//!
+//! The same dispatcher as `examples/serve.rs`, plus `--resume SNAP`:
+//! the backend comes up pre-installed from a checkpoint (snapshot or
+//! window ring, auto-detected) instead of waiting for a `start`
+//! request, so a server can restart into its durable state in one
+//! command.
+
+use std::io::{BufRead, Write};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use pfe_server::proto::{Control, Dispatcher};
+use pfe_server::{install_signal_handlers, Server, ServerConfig};
+
+use crate::args::{engine_config, Args};
+use crate::backend::resume_backend;
+
+/// Install the `--resume` checkpoint (if any) into `dispatcher`.
+fn preinstall(args: &Args, dispatcher: &Dispatcher) -> Result<(), String> {
+    let Some(snap) = args.value("--resume") else {
+        return Ok(());
+    };
+    let ecfg = engine_config(args)?;
+    let recorder = Arc::clone(dispatcher.recorder());
+    let (backend, q) = resume_backend(snap, ecfg, recorder)?;
+    dispatcher.install(backend, q);
+    eprintln!("resumed {snap} (q={q})");
+    Ok(())
+}
+
+fn serve_tcp(args: &Args, listen: String) -> Result<i32, String> {
+    let mut cfg = ServerConfig {
+        addr: listen,
+        ..Default::default()
+    };
+    if let Some(w) = args.parse("--workers")? {
+        cfg.workers = w;
+    }
+    if let Some(q) = args.parse("--queue")? {
+        cfg.queue = q;
+    }
+    if let Some(p) = args.value("--checkpoint") {
+        cfg.checkpoint_path = Some(PathBuf::from(p));
+    }
+    if let Some(m) = args.value("--metrics") {
+        cfg.metrics_addr = Some(m.to_string());
+    }
+    if let Some(ms) = args.parse("--slow-ms")? {
+        cfg.slow_ms = Some(ms);
+    }
+    let server = Server::bind(cfg).map_err(|e| e.to_string())?;
+    preinstall(args, server.dispatcher())?;
+    install_signal_handlers();
+    eprintln!("listening on {}", server.local_addr());
+    if let Some(maddr) = server.metrics_addr() {
+        eprintln!("metrics on {maddr}");
+    }
+    let report = server.run().map_err(|e| e.to_string())?;
+    if let Some(path) = &report.checkpointed {
+        eprintln!("checkpointed to {}", path.display());
+    }
+    eprintln!(
+        "served {} connections, {} requests ({} rejected saturated)",
+        report.connections_accepted, report.requests_handled, report.rejected_saturated
+    );
+    Ok(0)
+}
+
+fn serve_pipe(args: &Args) -> Result<i32, String> {
+    let dispatcher = Dispatcher::new(args.value("--checkpoint").map(PathBuf::from));
+    preinstall(args, &dispatcher)?;
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let line = line.map_err(|e| format!("stdin: {e}"))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let reply = dispatcher.handle_line(&line);
+        writeln!(out, "{}", reply.json).map_err(|e| format!("stdout: {e}"))?;
+        if !matches!(reply.control, Control::Continue) {
+            // In pipe mode the session IS the server: when `shutdown`
+            // ends the loop, write the configured checkpoint.
+            if matches!(reply.control, Control::ShutdownServer) {
+                match dispatcher.shutdown_checkpoint() {
+                    Ok(Some(path)) => eprintln!("checkpointed to {}", path.display()),
+                    Ok(None) => {}
+                    Err(e) => eprintln!("shutdown checkpoint failed: {e}"),
+                }
+            }
+            break;
+        }
+    }
+    Ok(0)
+}
+
+/// `pfe serve [--listen ADDR] [--resume SNAP] [server flags]`.
+pub fn serve(args: &Args) -> Result<i32, String> {
+    match args.value("--listen") {
+        Some(listen) => serve_tcp(args, listen.to_string()),
+        None => serve_pipe(args),
+    }
+}

@@ -1,0 +1,5 @@
+//! Thin entry point: all behavior (and all tests) live in `pfe_cli`.
+
+fn main() {
+    std::process::exit(pfe_cli::run(std::env::args().skip(1).collect()));
+}

@@ -256,14 +256,19 @@ fn run_bench(
         human_time(median),
         rate.unwrap_or_default()
     );
-    emit_json_line(label, median);
+    let bytes_per_sec = match throughput {
+        Some(Throughput::Bytes(n)) => Some(n as f64 / median),
+        _ => None,
+    };
+    emit_json_line(label, median, bytes_per_sec);
 }
 
 /// When `BENCH_JSON_PATH` is set, append one JSON line per benchmark —
-/// `{"id":"<label>","estimate_ns":<median>}` — to that file.
+/// `{"id":"<label>","estimate_ns":<median>}`, plus `"bytes_per_sec"`
+/// for byte-throughput benchmarks — to that file.
 /// `scripts/bench_json.sh` assembles these into a `BENCH_<date>.json`
 /// report; unset, benchmarks print to stdout only.
-fn emit_json_line(label: &str, median_secs: f64) {
+fn emit_json_line(label: &str, median_secs: f64, bytes_per_sec: Option<f64>) {
     let Ok(path) = std::env::var("BENCH_JSON_PATH") else {
         return;
     };
@@ -283,9 +288,12 @@ fn emit_json_line(label: &str, median_secs: f64) {
         .open(&path)
     {
         use std::io::Write as _;
+        let rate = bytes_per_sec
+            .map(|r| format!(",\"bytes_per_sec\":{r:.1}"))
+            .unwrap_or_default();
         let _ = writeln!(
             f,
-            "{{\"id\":\"{escaped}\",\"estimate_ns\":{:.1}}}",
+            "{{\"id\":\"{escaped}\",\"estimate_ns\":{:.1}{rate}}}",
             median_secs * 1e9
         );
     }

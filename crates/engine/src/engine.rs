@@ -149,6 +149,15 @@ impl Engine {
         self.with_pipeline(|p| p.push_dense(row))
     }
 
+    /// Route a flattened row-major slice of dense rows (`d` symbols per
+    /// row) — the allocation-free batch surface for general alphabets.
+    ///
+    /// # Errors
+    /// `Closed` after [`shutdown`](Self::shutdown) or on worker loss.
+    pub fn push_dense_batch(&self, flat: &[u16]) -> Result<(), EngineError> {
+        self.with_pipeline(|p| p.push_dense_batch(flat))
+    }
+
     /// Route a whole dataset.
     ///
     /// # Errors

@@ -32,8 +32,11 @@ use crate::snapshot::Snapshot;
 pub enum RowBatch {
     /// Packed binary rows (`q = 2` fast path).
     Packed(Vec<u64>),
-    /// Dense rows over a general alphabet.
-    Dense(Vec<Vec<u16>>),
+    /// Dense rows over a general alphabet, flattened row-major (`d`
+    /// symbols per row). One allocation per channel message instead of
+    /// one per row — the worker re-chunks by the dimension it already
+    /// knows.
+    Dense(Vec<u16>),
 }
 
 enum Msg {
@@ -48,7 +51,8 @@ pub struct IngestPipeline {
     handles: Vec<JoinHandle<ShardSummary>>,
     /// Router-side per-shard row buffers (amortize channel traffic).
     packed_buf: Vec<Vec<u64>>,
-    dense_buf: Vec<Vec<Vec<u16>>>,
+    /// Flattened row-major dense rows per shard (`d` symbols per row).
+    dense_buf: Vec<Vec<u16>>,
     d: u32,
     q: u32,
     batch_rows: usize,
@@ -64,7 +68,7 @@ pub struct IngestPipeline {
     backpressure: std::sync::Arc<pfe_obs::Counter>,
 }
 
-fn worker(rx: Receiver<Msg>, mut shard: ShardSummary) -> ShardSummary {
+fn worker(rx: Receiver<Msg>, mut shard: ShardSummary, d: usize) -> ShardSummary {
     while let Ok(msg) = rx.recv() {
         match msg {
             Msg::Batch(RowBatch::Packed(rows)) => {
@@ -72,9 +76,9 @@ fn worker(rx: Receiver<Msg>, mut shard: ShardSummary) -> ShardSummary {
                     shard.push_packed(row);
                 }
             }
-            Msg::Batch(RowBatch::Dense(rows)) => {
-                for row in rows {
-                    shard.push_dense(&row);
+            Msg::Batch(RowBatch::Dense(flat)) => {
+                for row in flat.chunks_exact(d) {
+                    shard.push_dense(row);
                 }
             }
             Msg::Collect(reply) => {
@@ -123,7 +127,7 @@ impl IngestPipeline {
             handles.push(std::thread::spawn(move || {
                 let shard = ShardSummary::new(d, q, shard_id, &cfg)
                     .expect("parameters validated by the router");
-                worker(rx, shard)
+                worker(rx, shard, d as usize)
             }));
             senders.push(tx);
         }
@@ -291,12 +295,51 @@ impl IngestPipeline {
             ))));
         }
         let shard = self.shard_of_dense(row);
-        self.dense_buf[shard].push(row.to_vec());
+        self.dense_buf[shard].extend_from_slice(row);
         self.rows_routed += 1;
-        if self.dense_buf[shard].len() >= self.batch_rows {
+        if self.dense_buf[shard].len() >= self.batch_rows * self.d as usize {
             let batch = std::mem::take(&mut self.dense_buf[shard]);
             self.send(shard, RowBatch::Dense(batch))?;
         }
+        Ok(())
+    }
+
+    /// Route a flattened row-major slice of dense rows (`d` symbols per
+    /// row, `flat.len() / d` rows).
+    ///
+    /// Every symbol is validated *before* any routing happens (a
+    /// malformed batch routes nothing), then rows are appended to the
+    /// per-shard flat buffers — no per-row allocation anywhere on the
+    /// path, which is what lets the columnar file ingester feed general
+    /// alphabets at the same channel cost as the packed path.
+    ///
+    /// # Errors
+    /// `Query(BadParameter)` on shape violations; `Closed` if a worker
+    /// has gone away.
+    pub fn push_dense_batch(&mut self, flat: &[u16]) -> Result<(), EngineError> {
+        let d = self.d as usize;
+        if d == 0 || !flat.len().is_multiple_of(d) {
+            return Err(EngineError::Query(QueryError::BadParameter(format!(
+                "flat length {} is not a multiple of d = {}",
+                flat.len(),
+                self.d
+            ))));
+        }
+        if let Some(&s) = flat.iter().find(|&&s| s as u32 >= self.q) {
+            return Err(EngineError::Query(QueryError::BadParameter(format!(
+                "symbol {s} outside alphabet Q={}",
+                self.q
+            ))));
+        }
+        for row in flat.chunks_exact(d) {
+            let shard = self.shard_of_dense(row);
+            self.dense_buf[shard].extend_from_slice(row);
+            if self.dense_buf[shard].len() >= self.batch_rows * d {
+                let batch = std::mem::take(&mut self.dense_buf[shard]);
+                self.send(shard, RowBatch::Dense(batch))?;
+            }
+        }
+        self.rows_routed += (flat.len() / d) as u64;
         Ok(())
     }
 
@@ -318,11 +361,9 @@ impl IngestPipeline {
             // One validation sweep + chunked channel sends for the packed
             // fast path, instead of per-row routing.
             Dataset::Binary(m) => self.push_packed_batch(m.rows())?,
-            Dataset::Qary(m) => {
-                for i in 0..m.num_rows() {
-                    self.push_dense(m.row(i))?;
-                }
-            }
+            // Same story for the dense path: the matrix is already flat
+            // row-major, so the batch router consumes it directly.
+            Dataset::Qary(m) => self.push_dense_batch(m.flat())?,
         }
         Ok(())
     }
@@ -504,6 +545,45 @@ mod tests {
         let mut q = IngestPipeline::new(4, 3, &cfg(1)).expect("spawn");
         assert!(matches!(q.push_packed(0), Err(EngineError::Query(_))));
         q.finish().expect("finish");
+    }
+
+    #[test]
+    fn dense_batch_matches_per_row_pushes() {
+        // One flat batched push must produce the same snapshot as d-sized
+        // per-row pushes: same per-shard arrival order either way.
+        let (d, q) = (6u32, 3u32);
+        let data = uniform_qary(q, d, 900, 11);
+        let rows: Vec<Vec<u16>> = match &data {
+            Dataset::Qary(m) => (0..m.num_rows()).map(|i| m.row(i).to_vec()).collect(),
+            Dataset::Binary(_) => unreachable!("generator yields q-ary data"),
+        };
+        let flat: Vec<u16> = rows.iter().flatten().copied().collect();
+        let mut a = IngestPipeline::new(d, q, &cfg(3)).expect("spawn");
+        for row in &rows {
+            a.push_dense(row).expect("push");
+        }
+        let mut b = IngestPipeline::new(d, q, &cfg(3)).expect("spawn");
+        b.push_dense_batch(&flat).expect("batch push");
+        assert_eq!(b.rows_routed(), 900);
+        let (sa, sb) = (a.finish().expect("finish"), b.finish().expect("finish"));
+        assert_eq!(sa.n(), sb.n());
+        let cols = ColumnSet::from_mask(d, 0b111).expect("valid");
+        assert_eq!(
+            sa.f0(&cols).expect("ok").estimate,
+            sb.f0(&cols).expect("ok").estimate
+        );
+        // Malformed flat batches are typed errors that route nothing.
+        let mut c = IngestPipeline::new(d, q, &cfg(2)).expect("spawn");
+        assert!(matches!(
+            c.push_dense_batch(&flat[..5]),
+            Err(EngineError::Query(_))
+        ));
+        assert!(matches!(
+            c.push_dense_batch(&[9; 6]),
+            Err(EngineError::Query(_))
+        ));
+        assert_eq!(c.rows_routed(), 0);
+        c.finish().expect("finish");
     }
 
     #[test]

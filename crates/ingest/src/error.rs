@@ -1,0 +1,127 @@
+//! Typed ingest errors with line/column provenance.
+//!
+//! The file ingester is a trust boundary exactly like the wire protocol:
+//! arbitrary bytes come in, and every way they can be malformed — ragged
+//! rows, non-digit bytes, out-of-alphabet values, unbalanced quotes,
+//! non-UTF-8 header names — must surface as a typed error naming where
+//! the problem is, never as a panic and never as a silently skipped row
+//! (unless the caller opted into a reject budget).
+
+use std::fmt;
+
+/// What exactly was wrong with a row or field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseErrorKind {
+    /// The row has the wrong number of fields for the schema.
+    Ragged,
+    /// A field contains a byte that is not an ASCII digit.
+    BadDigit,
+    /// A field parsed as an integer but falls outside the alphabet
+    /// `[0, Q)` (or exceeds the `u16` symbol range).
+    OutOfRange,
+    /// Unbalanced or misplaced double quotes.
+    Quote,
+    /// A byte sequence that is not valid UTF-8 where text is required.
+    Utf8,
+}
+
+impl fmt::Display for ParseErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Self::Ragged => "ragged row",
+            Self::BadDigit => "bad digit",
+            Self::OutOfRange => "value out of range",
+            Self::Quote => "quote error",
+            Self::Utf8 => "invalid UTF-8",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Every way ingest can fail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IngestError {
+    /// The underlying read failed.
+    Io {
+        /// The file (or reader label) being ingested.
+        path: String,
+        /// The stringified I/O error.
+        detail: String,
+    },
+    /// The input contained no rows at all (zero bytes, or a header with
+    /// no data lines).
+    EmptyInput {
+        /// The file (or reader label) being ingested.
+        path: String,
+    },
+    /// The schema could not be discovered or did not validate against
+    /// the explicit column spec.
+    Schema(String),
+    /// A data row failed to parse. `line` and `column` are 1-based;
+    /// `column` is the field index (0 when the problem is not tied to
+    /// one field, e.g. a blank line).
+    Parse {
+        /// 1-based line number in the input.
+        line: u64,
+        /// 1-based field index, 0 if not field-specific.
+        column: u32,
+        /// The failure category.
+        kind: ParseErrorKind,
+        /// Human-readable specifics (the offending byte, the count, …).
+        detail: String,
+    },
+    /// The downstream engine rejected rows the parser accepted.
+    Sink(String),
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io { path, detail } => write!(f, "io error reading {path}: {detail}"),
+            Self::EmptyInput { path } => write!(f, "no rows in {path}"),
+            Self::Schema(s) => write!(f, "schema error: {s}"),
+            Self::Parse {
+                line,
+                column,
+                kind,
+                detail,
+            } => {
+                if *column == 0 {
+                    write!(f, "line {line}: {kind}: {detail}")
+                } else {
+                    write!(f, "line {line}, column {column}: {kind}: {detail}")
+                }
+            }
+            Self::Sink(s) => write!(f, "sink error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_line_and_column() {
+        let e = IngestError::Parse {
+            line: 42,
+            column: 3,
+            kind: ParseErrorKind::BadDigit,
+            detail: "byte 'x'".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("line 42"), "{s}");
+        assert!(s.contains("column 3"), "{s}");
+        assert!(s.contains("bad digit"), "{s}");
+        // Column 0 means "whole row": no misleading column in the text.
+        let e = IngestError::Parse {
+            line: 7,
+            column: 0,
+            kind: ParseErrorKind::Ragged,
+            detail: "blank line".into(),
+        };
+        assert!(!e.to_string().contains("column"), "{e}");
+    }
+}

@@ -1,0 +1,201 @@
+//! The acceptance-parity suite: answers computed from a file ingested
+//! through the columnar chunked path are **bit-identical** to answers
+//! from the very same rows pushed through the Rust batch API. Chunk
+//! boundaries only decide when channel messages are sent, never the
+//! per-shard arrival order, so the merged summaries — and therefore
+//! every estimate, guarantee, and sampled pattern — must match exactly.
+
+use pfe_engine::{Engine, EngineConfig, Query};
+use pfe_ingest::{FileIngester, IngestError, IngestOptions};
+
+fn cfg() -> EngineConfig {
+    EngineConfig {
+        shards: 3,
+        sample_t: 256,
+        kmv_k: 64,
+        batch_rows: 128,
+        seed: 0xfeed,
+        ..Default::default()
+    }
+}
+
+fn engine_for(d: u32, q: u32) -> Engine {
+    Engine::start(d, q, cfg()).expect("engine start")
+}
+
+/// Deterministic pseudo-random packed rows (splitmix-style walk).
+fn packed_rows(d: u32, n: usize, mut state: u64) -> Vec<u64> {
+    let mask = (1u64 << d) - 1;
+    (0..n)
+        .map(|_| {
+            state = state.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(0xb5);
+            (state >> 17) & mask
+        })
+        .collect()
+}
+
+fn write_packed_csv(path: &std::path::Path, d: u32, rows: &[u64]) {
+    let mut text = String::new();
+    text.push_str(
+        &(0..d)
+            .map(|i| format!("c{i}"))
+            .collect::<Vec<_>>()
+            .join(","),
+    );
+    text.push('\n');
+    for &row in rows {
+        let line: Vec<String> = (0..d).map(|i| ((row >> i) & 1).to_string()).collect();
+        text.push_str(&line.join(","));
+        text.push('\n');
+    }
+    std::fs::write(path, text).expect("write csv");
+}
+
+/// The probe battery: one of each statistic shape over a few masks.
+fn battery(d: u32) -> Vec<Query> {
+    let full: Vec<u32> = (0..d.min(6)).collect();
+    let pattern = vec![1u16, 0, 1];
+    vec![
+        Query::over(full.clone()).f0(),
+        Query::over([0, 2, 4]).f0(),
+        Query::over([0, 1, 2]).frequency(pattern.clone()),
+        Query::over([1, 2, 3]).heavy_hitters(0.05),
+        Query::over(full).l1_sample(8),
+    ]
+}
+
+#[test]
+fn file_ingest_is_bit_identical_to_api_push_packed() {
+    let d = 12u32;
+    let rows = packed_rows(d, 3000, 0xabcdef);
+    let dir = std::env::temp_dir().join("pfe-ingest-parity");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("packed.csv");
+    write_packed_csv(&path, d, &rows);
+
+    // Side A: the file, through the chunked columnar ingester — with a
+    // chunk size chosen to split the file mid-stream many times.
+    let opts = IngestOptions {
+        chunk_rows: 257,
+        chunk_bytes: 4096,
+        ..Default::default()
+    };
+    let (file_engine, report) = FileIngester::new(opts)
+        .ingest_path_with(&path, |schema| {
+            assert_eq!(schema.dimension(), d);
+            Engine::start(schema.dimension(), schema.alphabet, cfg())
+                .map_err(|e| IngestError::Sink(e.to_string()))
+        })
+        .expect("file ingest");
+    assert_eq!(report.rows, 3000);
+    assert_eq!(report.rejected, 0);
+
+    // Side B: the same rows, one Rust API batch call.
+    let api_engine = engine_for(d, 2);
+    api_engine.push_packed_batch(&rows).expect("api push");
+
+    file_engine.refresh().expect("refresh");
+    api_engine.refresh().expect("refresh");
+    for q in battery(d) {
+        let a = file_engine.query(&q).expect("file answer");
+        let b = api_engine.query(&q).expect("api answer");
+        assert_eq!(a.value, b.value, "value diverged for {q:?}");
+        assert_eq!(a.guarantee, b.guarantee, "guarantee diverged for {q:?}");
+    }
+
+    file_engine.shutdown().ok();
+    api_engine.shutdown().ok();
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn file_ingest_is_bit_identical_to_api_push_dense() {
+    let (d, q) = (5u32, 6u32);
+    // Deterministic dense rows.
+    let mut state = 0x5eed_u64;
+    let flat: Vec<u16> = (0..2000 * d as usize)
+        .map(|_| {
+            state = state.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(0xb5);
+            ((state >> 23) % q as u64) as u16
+        })
+        .collect();
+    let dir = std::env::temp_dir().join("pfe-ingest-parity");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("dense.csv");
+    let mut text = String::from("v0,v1,v2,v3,v4\n");
+    for row in flat.chunks_exact(d as usize) {
+        let line: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+        text.push_str(&line.join(","));
+        text.push('\n');
+    }
+    std::fs::write(&path, text).unwrap();
+
+    let opts = IngestOptions {
+        alphabet: q,
+        chunk_rows: 193,
+        chunk_bytes: 2048,
+        ..Default::default()
+    };
+    let (file_engine, report) = FileIngester::new(opts)
+        .ingest_path_with(&path, |schema| {
+            Engine::start(schema.dimension(), schema.alphabet, cfg())
+                .map_err(|e| IngestError::Sink(e.to_string()))
+        })
+        .expect("file ingest");
+    assert_eq!(report.rows, 2000);
+
+    let api_engine = engine_for(d, q);
+    api_engine.push_dense_batch(&flat).expect("api push");
+
+    file_engine.refresh().expect("refresh");
+    api_engine.refresh().expect("refresh");
+    let queries = vec![
+        Query::over([0, 1, 2, 3, 4]).f0(),
+        Query::over([0, 2]).f0(),
+        Query::over([1, 3]).frequency(vec![2, 4]),
+        Query::over([0, 1]).heavy_hitters(0.05),
+    ];
+    for q in queries {
+        let a = file_engine.query(&q).expect("file answer");
+        let b = api_engine.query(&q).expect("api answer");
+        assert_eq!(a.value, b.value, "value diverged for {q:?}");
+        assert_eq!(a.guarantee, b.guarantee, "guarantee diverged for {q:?}");
+    }
+
+    file_engine.shutdown().ok();
+    api_engine.shutdown().ok();
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn chunk_size_never_changes_answers() {
+    // Same file, three very different chunk geometries → identical
+    // snapshots (stats n and one probe answer compared exactly).
+    let d = 10u32;
+    let rows = packed_rows(d, 1200, 0x1234);
+    let dir = std::env::temp_dir().join("pfe-ingest-parity");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("chunks.csv");
+    write_packed_csv(&path, d, &rows);
+    let probe = Query::over([0, 1, 2, 3]).f0();
+    let mut answers = Vec::new();
+    for (chunk_rows, chunk_bytes) in [(1, 64), (100, 1000), (100_000, 1 << 20)] {
+        let opts = IngestOptions {
+            chunk_rows,
+            chunk_bytes,
+            ..Default::default()
+        };
+        let (engine, _) = FileIngester::new(opts)
+            .ingest_path_with(&path, |s| {
+                Engine::start(s.dimension(), s.alphabet, cfg())
+                    .map_err(|e| IngestError::Sink(e.to_string()))
+            })
+            .expect("ingest");
+        engine.refresh().expect("refresh");
+        answers.push(engine.query(&probe).expect("answer"));
+        engine.shutdown().ok();
+    }
+    assert_eq!(answers[0], answers[1]);
+    assert_eq!(answers[1], answers[2]);
+    std::fs::remove_file(&path).ok();
+}

@@ -184,6 +184,46 @@ pub fn load<T: Persist, P: AsRef<Path>>(path: P, record_kind: u16) -> Result<T, 
     from_bytes(record_kind, &bytes)
 }
 
+/// Read just the record kind from a framed file without loading the
+/// payload — the first 8 header bytes (magic, version, kind) are enough.
+/// This lets tooling dispatch on file type (engine snapshot vs window
+/// ring) before committing to a full decode; the CRC is *not* checked
+/// here, so the subsequent kind-specific `load` remains the integrity
+/// gate.
+///
+/// # Errors
+/// `Io`, `Truncated`, `BadMagic`, or `UnsupportedVersion`.
+pub fn peek_kind<P: AsRef<Path>>(path: P) -> Result<u16, PersistError> {
+    use std::io::Read;
+    let mut file = std::fs::File::open(path)?;
+    let mut header = [0u8; 8];
+    let mut got = 0;
+    while got < header.len() {
+        let n = file.read(&mut header[got..])?;
+        if n == 0 {
+            return Err(PersistError::Truncated {
+                needed: header.len(),
+                available: got,
+            });
+        }
+        got += n;
+    }
+    let magic: [u8; 4] = header[0..4].try_into().expect("slice of 4");
+    if magic != MAGIC {
+        return Err(PersistError::BadMagic { found: magic });
+    }
+    let version = u16::from_le_bytes(header[4..6].try_into().expect("slice of 2"));
+    if version != VERSION {
+        return Err(PersistError::UnsupportedVersion {
+            found: version,
+            supported: VERSION,
+        });
+    }
+    Ok(u16::from_le_bytes(
+        header[6..8].try_into().expect("slice of 2"),
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -272,6 +312,41 @@ mod tests {
             frame(kind::SKETCH, enc.as_slice()),
             "in-place header patching must produce the canonical frame"
         );
+    }
+
+    #[test]
+    fn peek_kind_reads_header_only() {
+        let dir = std::env::temp_dir().join("pfe-persist-peek-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("peek.pfes");
+        save(&path, kind::WINDOW, &7u64).unwrap();
+        assert_eq!(peek_kind(&path).unwrap(), kind::WINDOW);
+        // Bad magic, bad version, and short files are typed errors.
+        let framed = frame(kind::SNAPSHOT, b"x");
+        let mut bad = framed.clone();
+        bad[0] = b'Q';
+        std::fs::write(&path, &bad).unwrap();
+        assert!(matches!(
+            peek_kind(&path),
+            Err(PersistError::BadMagic { .. })
+        ));
+        let mut bad = framed.clone();
+        bad[4] = 9;
+        std::fs::write(&path, &bad).unwrap();
+        assert!(matches!(
+            peek_kind(&path),
+            Err(PersistError::UnsupportedVersion { found: 9, .. })
+        ));
+        std::fs::write(&path, &framed[..5]).unwrap();
+        assert!(matches!(
+            peek_kind(&path),
+            Err(PersistError::Truncated { .. })
+        ));
+        assert!(matches!(
+            peek_kind(dir.join("absent.pfes")),
+            Err(PersistError::Io(_))
+        ));
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

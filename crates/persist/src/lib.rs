@@ -46,7 +46,7 @@ pub mod frame;
 
 pub use codec::{Decoder, Encoder};
 pub use error::PersistError;
-pub use frame::{kind, load, save, MAGIC, VERSION};
+pub use frame::{kind, load, peek_kind, save, MAGIC, VERSION};
 
 /// A type with a stable binary wire format.
 ///

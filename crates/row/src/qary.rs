@@ -145,6 +145,13 @@ impl QaryMatrix {
         self.data.extend_from_slice(row);
     }
 
+    /// The whole matrix as one flat row-major slice (`d` symbols per
+    /// row) — the zero-copy input for batched ingest paths.
+    #[inline]
+    pub fn flat(&self) -> &[u16] {
+        &self.data
+    }
+
     /// Row `i` as a slice.
     ///
     /// # Panics

@@ -295,6 +295,19 @@ impl Dispatcher {
         }
     }
 
+    /// Install a pre-built backend (e.g. one resumed from a checkpoint by
+    /// the CLI) so sessions can query immediately without a `start` op.
+    /// `q` is the stream alphabet — it scopes wire-level answer encoding
+    /// exactly as the `start` op's `q` parameter does. A later `start`
+    /// op replaces the installed backend, same as restarting.
+    ///
+    /// For metrics to flow into this dispatcher's registry, build the
+    /// backend with [`recorder`](Self::recorder) (the `*_with_recorder`
+    /// engine constructors).
+    pub fn install(&self, backend: Backend, q: u32) {
+        *self.started.write().expect("backend lock") = Some(Started { backend, q });
+    }
+
     /// Announce the worker-pool shape reported by `server_stats`.
     pub fn set_pool_shape(&self, workers: usize, queue: usize) {
         *self.pool_shape.write().expect("pool shape lock") = (workers, queue);

@@ -181,6 +181,25 @@ impl WindowedEngine {
         self.with_ring(|r| r.push_dense(row))
     }
 
+    /// Route a flattened row-major slice of dense rows (`d` symbols per
+    /// row, validated up front) under one ring lock.
+    ///
+    /// # Errors
+    /// `Query(BadParameter)` on shape violations.
+    pub fn push_dense_batch(&self, flat: &[u16]) -> Result<(), EngineError> {
+        self.with_ring(|r| r.push_dense_batch(flat))
+    }
+
+    /// Dimension `d` of the windowed stream.
+    pub fn dimension(&self) -> u32 {
+        self.with_ring(|r| r.dimension())
+    }
+
+    /// Alphabet `Q` of the windowed stream.
+    pub fn alphabet(&self) -> u32 {
+        self.with_ring(|r| r.alphabet())
+    }
+
     /// Route a whole dataset.
     ///
     /// # Errors
@@ -198,12 +217,7 @@ impl WindowedEngine {
             }
             match data {
                 Dataset::Binary(m) => r.push_packed_batch(m.rows()),
-                Dataset::Qary(m) => {
-                    for i in 0..m.num_rows() {
-                        r.push_dense(m.row(i))?;
-                    }
-                    Ok(())
-                }
+                Dataset::Qary(m) => r.push_dense_batch(m.flat()),
             }
         })
     }

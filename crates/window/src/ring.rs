@@ -282,6 +282,33 @@ impl BucketRing {
         Ok(())
     }
 
+    /// Observe a flattened row-major slice of dense rows (`d` symbols per
+    /// row; validated up front, a malformed batch observes nothing).
+    ///
+    /// # Errors
+    /// `Query(BadParameter)` on shape violations.
+    pub fn push_dense_batch(&mut self, flat: &[u16]) -> Result<(), EngineError> {
+        let d = self.d as usize;
+        if d == 0 || !flat.len().is_multiple_of(d) {
+            return Err(EngineError::Query(QueryError::BadParameter(format!(
+                "flat length {} is not a multiple of d = {}",
+                flat.len(),
+                self.d
+            ))));
+        }
+        if let Some(&s) = flat.iter().find(|&&s| s as u32 >= self.q) {
+            return Err(EngineError::Query(QueryError::BadParameter(format!(
+                "symbol {s} outside alphabet Q={}",
+                self.q
+            ))));
+        }
+        for row in flat.chunks_exact(d) {
+            self.active.push_dense(row);
+            self.maybe_seal();
+        }
+        Ok(())
+    }
+
     fn maybe_seal(&mut self) {
         if self.active.rows() >= self.wcfg.bucket_rows {
             self.seal();

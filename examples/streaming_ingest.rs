@@ -1,71 +1,127 @@
-//! Streaming ingestion: the one-pass model end to end.
+//! Streaming ingestion: the one-pass model end to end, on a real file.
 //!
-//! Rows arrive one at a time (here simulated from a generator); the α-net
-//! is sized *up front* from a memory budget via the inverse of Lemma 6.2,
-//! then fed row by row. No batch materialization anywhere — the shape of a
-//! production deployment of the paper's scheme.
+//! Earlier revisions of this example fed summaries row by row from a
+//! generator. Production data arrives as *files*, so this now runs the
+//! same one-pass story through the columnar ingest subsystem: a CSV is
+//! chunk-read, parsed at the byte level with no per-row allocation, and
+//! routed into the sharded engine in batch-sized messages — schema,
+//! dimension, and column names all discovered from the file itself.
+//! Projections are still chosen only at query time, after the pass.
 //!
 //! Run: `cargo run --release --example streaming_ingest`
 
-use subspace_exploration::core::alpha_net::{AlphaNet, AlphaNetF0, NetMode};
-use subspace_exploration::core::UniformSampleSummary;
-use subspace_exploration::row::{ColumnSet, Dataset};
-use subspace_exploration::sketch::kmv::Kmv;
-use subspace_exploration::sketch::traits::SpaceUsage;
+use std::sync::Arc;
+
+use subspace_exploration::engine::{Engine, EngineConfig, Query, Recorder};
+use subspace_exploration::ingest::{FileIngester, IngestError, IngestOptions};
+use subspace_exploration::query::AnswerValue;
+use subspace_exploration::row::Dataset;
 use subspace_exploration::stream::gen::zipf_patterns;
 
 fn main() {
-    let d = 14;
-    let budget_sketches = 2000u128;
+    let d = 14u32;
+    let rows = 100_000usize;
 
-    // Plan the net from the budget before any data arrives.
-    let net = AlphaNet::for_budget(d, budget_sketches).expect("budget feasible");
-    println!(
-        "planned net: alpha = {:.3}, {} sketches (budget {budget_sketches}), \
-         worst-case F0 distortion {}x",
-        net.alpha(),
-        net.size(),
-        net.f0_distortion_bound(2),
-    );
-
-    // Streaming phase: one pass, two summaries fed row by row.
-    let mut net_f0 = AlphaNetF0::new_streaming(net, NetMode::Full, budget_sketches, |mask| {
-        Kmv::new(128, mask ^ 0x57ee)
-    })
-    .expect("streaming summary");
-    let mut sample = UniformSampleSummary::new(d, 2, 2048, 99);
-
-    // Simulated source (any Iterator<Item = u64> of packed rows works).
-    let source = zipf_patterns(d, 100_000, 80, 1.25, 7);
-    let rows: &[u64] = match &source {
+    // Simulate the upstream system that dropped a file for us: a Zipfian
+    // packed-row workload serialized as headered CSV.
+    let dir = std::env::temp_dir().join("pfe-streaming-ingest");
+    std::fs::create_dir_all(&dir).expect("tempdir");
+    let path = dir.join("arrivals.csv");
+    let source = zipf_patterns(d, rows, 80, 1.25, 7);
+    let packed: &[u64] = match &source {
         Dataset::Binary(m) => m.rows(),
         Dataset::Qary(_) => unreachable!("generator yields binary data"),
     };
-    let mut seen = 0u64;
-    for &row in rows {
-        net_f0.push_packed(row);
-        let dense: Vec<u16> = (0..d).map(|c| ((row >> c) & 1) as u16).collect();
-        sample.push_dense(&dense);
-        seen += 1;
-        if seen.is_multiple_of(25_000) {
-            println!("  ingested {seen} rows...");
-        }
+    let mut text = (0..d)
+        .map(|i| format!("sensor_{i}"))
+        .collect::<Vec<_>>()
+        .join(",");
+    text.push('\n');
+    for &row in packed {
+        let line: Vec<String> = (0..d).map(|i| ((row >> i) & 1).to_string()).collect();
+        text.push_str(&line.join(","));
+        text.push('\n');
     }
+    std::fs::write(&path, &text).expect("write csv");
     println!(
-        "stream done: {seen} rows; net = {}, sample = {}",
-        net_f0.space_bytes(),
-        sample.space_bytes()
+        "file ready: {} ({} rows, {} bytes)",
+        path.display(),
+        rows,
+        text.len()
     );
 
-    // Query phase: projections chosen only now.
-    for mask in [0b11u64, 0b1111000011, 0b10101010101010] {
-        let cols = ColumnSet::from_mask(d, mask).expect("valid");
-        let f0 = net_f0.f0(&cols).expect("ok");
-        println!(
-            "C = {cols:<20} F0 ~ {:>8.0} (on {}, within {}x)",
-            f0.estimate, f0.answered_on, f0.distortion_bound
-        );
-        let hh = sample.heavy_hitters(&cols, 0.1, 1.0, 2.0).expect("ok");
-        println!("{:24} heavy hitters (phi=0.1): {}", "", hh.len());
+    // One pass: chunk-read the file, parse columns, feed the engine.
+    // The sink factory runs once the header has fixed the schema, so
+    // the engine's dimension comes from the file — no pre-scan.
+    let recorder = Arc::new(Recorder::new());
+    let opts = IngestOptions {
+        chunk_rows: 4096,
+        ..Default::default()
+    };
+    let ingester = FileIngester::with_recorder(opts, &recorder);
+    let cfg = EngineConfig {
+        shards: 4,
+        kmv_k: 128,
+        sample_t: 2048,
+        seed: 99,
+        ..Default::default()
+    };
+    let rec = Arc::clone(&recorder);
+    let (engine, report) = ingester
+        .ingest_path_with(&path, move |schema| {
+            println!(
+                "schema discovered: d = {}, Q = {}, first column {:?}",
+                schema.dimension(),
+                schema.alphabet,
+                schema.columns[0]
+            );
+            Engine::start_with_recorder(schema.dimension(), schema.alphabet, cfg, rec)
+                .map_err(|e| IngestError::Sink(e.to_string()))
+        })
+        .expect("ingest");
+    println!(
+        "stream done: {} rows in {} chunks, {:.1} MB/s ({:.0} rows/s)",
+        report.rows,
+        report.chunks,
+        report.mb_per_sec(),
+        report.rows_per_sec()
+    );
+
+    // The ingest run reported into the shared registry — the same
+    // counters a server's Prometheus endpoint would scrape.
+    for (name, value) in recorder.counters_snapshot() {
+        if name.starts_with("ingest_") {
+            println!("  {name} = {value}");
+        }
     }
+
+    // Query phase: projections chosen only now, against one snapshot.
+    let snapshot = engine.refresh().expect("refresh");
+    println!(
+        "snapshot: {} rows at epoch {}",
+        snapshot.n(),
+        snapshot.epoch()
+    );
+    for cols in [
+        vec![0u32, 1],
+        vec![4, 5, 6, 7, 9],
+        vec![1, 3, 5, 7, 9, 11, 13],
+    ] {
+        let f0 = engine.query(&Query::over(cols.clone()).f0()).expect("f0");
+        let hh = engine
+            .query(&Query::over(cols.clone()).heavy_hitters(0.1))
+            .expect("hh");
+        println!(
+            "C = {cols:?}: F0 ~ {:>8.0} (alpha {:.3}), heavy hitters (phi=0.1): {}",
+            f0.estimate().unwrap_or(0.0),
+            f0.guarantee.alpha,
+            match &hh.value {
+                AnswerValue::HeavyHitters { hitters } => hitters.len(),
+                _ => 0,
+            }
+        );
+    }
+
+    engine.shutdown().ok();
+    std::fs::remove_file(&path).ok();
 }

@@ -40,7 +40,23 @@ CORES="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)"
         first=0
         printf '    "%s": %s' "$id" "$ns"
     done < "$RAW"
-    printf '\n  }\n}\n'
+    printf '\n  }'
+    # Byte-throughput benchmarks (file ingest) also report MB/s.
+    if grep -q '"bytes_per_sec"' "$RAW"; then
+        printf ',\n  "throughput_mb_s": {\n'
+        first=1
+        while IFS= read -r line; do
+            case "$line" in *'"bytes_per_sec"'*) ;; *) continue ;; esac
+            id="$(printf '%s' "$line" | sed -E 's/.*"id":"((\\.|[^"\\])*)".*/\1/')"
+            bps="$(printf '%s' "$line" | sed -E 's/.*"bytes_per_sec":([0-9.]+).*/\1/')"
+            mbs="$(awk "BEGIN {printf \"%.2f\", $bps / 1048576}")"
+            [ "$first" -eq 1 ] || printf ',\n'
+            first=0
+            printf '    "%s": %s' "$id" "$mbs"
+        done < "$RAW"
+        printf '\n  }'
+    fi
+    printf '\n}\n'
 } > "$OUT"
 
 count="$(wc -l < "$RAW" | tr -d ' ')"

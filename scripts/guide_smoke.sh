@@ -81,4 +81,43 @@ kill -0 "$server_pid" 2>/dev/null && { echo "FAIL: server still running after sh
 wait "$server_pid" 2>/dev/null || true
 [ -s "$ckpt" ] || { echo "FAIL: shutdown checkpoint missing or empty"; exit 1; }
 
+echo "== pfe bulk-data CLI (guide §8)"
+cargo build --release -p pfe-cli
+pfe=target/release/pfe
+csv="$tmpdir/rows.csv"
+# Deterministic 12-column binary CSV (awk LCG, header + 500 rows).
+awk 'BEGIN {
+    d = 12
+    h = "c0"; for (i = 1; i < d; i++) h = h ",c" i
+    print h
+    s = 12345
+    for (r = 0; r < 500; r++) {
+        line = ""
+        for (i = 0; i < d; i++) {
+            s = (s * 1103515245 + 12345) % 2147483648
+            line = line (i ? "," : "") (int(s / 65536) % 2)
+        }
+        print line
+    }
+}' > "$csv"
+
+snap="$tmpdir/rows.pfes"
+out=$("$pfe" ingest "$csv" --out "$snap" --quiet)
+echo "$out" | grep -q '"ok":true' || { echo "FAIL: pfe ingest did not report ok"; exit 1; }
+echo "$out" | grep -q '"rows":500' || { echo "FAIL: pfe ingest row count wrong: $out"; exit 1; }
+[ -s "$snap" ] || { echo "FAIL: pfe ingest wrote no checkpoint"; exit 1; }
+
+out=$("$pfe" query "$snap" --op f0 --cols 0,1,2)
+echo "$out" | grep -q '"ok":true' || { echo "FAIL: pfe query failed: $out"; exit 1; }
+echo "$out" | grep -q '"estimate"' || { echo "FAIL: pfe query returned no estimate"; exit 1; }
+
+out=$("$pfe" stats "$snap")
+echo "$out" | grep -q '"snapshot_rows":500' || { echo "FAIL: pfe stats rows wrong: $out"; exit 1; }
+
+# The acceptance check in executable form: the file path and the Rust
+# batch API must answer every statistic bit-identically on this file.
+out=$("$pfe" verify "$csv")
+echo "$out" | grep -q '"ok":true' || { echo "FAIL: pfe verify found a divergence: $out"; exit 1; }
+echo "   pfe ingest/query/stats/verify OK"
+
 echo "OK: guide quickstart runs end to end (checkpoint: $(wc -c <"$ckpt") bytes)"

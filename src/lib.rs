@@ -38,7 +38,10 @@
 //!   library (one protocol dispatcher shared by pipe mode, TCP sessions,
 //!   and tests);
 //! - [`persist`] — the zero-dependency versioned binary codec (magic +
-//!   version + CRC-32 framing) behind the durable snapshots.
+//!   version + CRC-32 framing) behind the durable snapshots;
+//! - [`ingest`] — columnar CSV/TSV bulk loading: chunk-read, byte-level
+//!   parsed with no per-row allocation, typed line/column errors, feeding
+//!   the engines' batch surfaces (the `pfe` binary's file path).
 //!
 //! See `README.md` for a tour and `ARCHITECTURE.md` for the data-flow
 //! diagram, crate graph, and the theorem → module map.
@@ -46,6 +49,7 @@ pub use pfe_codes as codes;
 pub use pfe_core as core;
 pub use pfe_engine as engine;
 pub use pfe_hash as hash;
+pub use pfe_ingest as ingest;
 pub use pfe_lowerbounds as lowerbounds;
 pub use pfe_persist as persist;
 pub use pfe_query as query;
