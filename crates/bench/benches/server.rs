@@ -12,6 +12,7 @@
 
 use std::hint::black_box;
 use std::net::SocketAddr;
+use std::time::{Duration, Instant};
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use pfe_engine::Json;
@@ -41,9 +42,24 @@ fn serve_ingested(
     ServerHandle,
     std::thread::JoinHandle<ShutdownReport>,
 ) {
+    serve_ingested_sampled(workers, None)
+}
+
+/// Like [`serve_ingested`] with an explicit trace-sampling rate (`None`
+/// leaves the default — every request traced; `Some(0)` disables
+/// tracing entirely).
+fn serve_ingested_sampled(
+    workers: usize,
+    trace_sample: Option<u64>,
+) -> (
+    SocketAddr,
+    ServerHandle,
+    std::thread::JoinHandle<ShutdownReport>,
+) {
     let server = Server::bind(ServerConfig {
         workers,
         queue: 64,
+        trace_sample,
         ..Default::default()
     })
     .expect("bind");
@@ -130,5 +146,65 @@ fn bench_workers(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_connections, bench_workers);
+/// Tracing on (the default — every request records a full span tree)
+/// vs tracing off (`trace_sample` 0), same pool, same load. The span
+/// path's overhead budget is <5%; `scripts/check_trace_overhead.sh`
+/// machine-checks these two ids in the bench-report JSON.
+///
+/// The two sides are measured *interleaved* — one round on, one round
+/// off, repeated — and each side's recorded samples are replayed
+/// through `iter_custom`. Measuring one side to completion before the
+/// other leaves the comparison hostage to box-noise drift between the
+/// two windows (minutes apart on small machines), which routinely
+/// swamps a sub-5% effect; round-robin pairing cancels it.
+fn bench_tracing_overhead(c: &mut Criterion) {
+    const ROUNDS: usize = 120;
+    let (on_addr, on_handle, on_join) = serve_ingested_sampled(4, None);
+    let (off_addr, off_handle, off_join) = serve_ingested_sampled(4, Some(0));
+    for _ in 0..3 {
+        hammer(on_addr, 4);
+        hammer(off_addr, 4);
+    }
+    let mut times: [Vec<Duration>; 2] = [Vec::new(), Vec::new()];
+    for round in 0..ROUNDS {
+        // Alternate which side goes first so a noise burst spanning a
+        // few rounds lands on both sides evenly.
+        let order = if round % 2 == 0 { [0, 1] } else { [1, 0] };
+        for slot in order {
+            let addr = if slot == 0 { on_addr } else { off_addr };
+            let t0 = Instant::now();
+            hammer(addr, 4);
+            times[slot].push(t0.elapsed());
+        }
+    }
+    on_handle.shutdown();
+    off_handle.shutdown();
+    on_join.join().expect("server");
+    off_join.join().expect("server");
+
+    let mut g = c.benchmark_group("server_traced_vs_untraced");
+    g.sample_size(ROUNDS);
+    // The samples above are replayed, not re-run: a minimal budget
+    // stops the harness's calibration loop at one iteration per sample.
+    g.measurement_time(Duration::from_millis(1));
+    g.throughput(Throughput::Elements((4 * REQUESTS) as u64));
+    for (label, recorded) in [("on", &times[0]), ("off", &times[1])] {
+        let mut next = 0usize;
+        g.bench_function(label, |b| {
+            b.iter_custom(|_iters| {
+                let d = recorded[next % recorded.len()];
+                next += 1;
+                d
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_connections,
+    bench_workers,
+    bench_tracing_overhead
+);
 criterion_main!(benches);

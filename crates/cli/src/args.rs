@@ -12,6 +12,7 @@ const BOOL_FLAGS: &[&str] = &[
     "--quiet",
     "--exact",
     "--bypass-cache",
+    "--follow",
     "--help",
     "-h",
 ];

@@ -105,7 +105,9 @@ pub fn ingest(args: &Args) -> Result<i32, String> {
     let wcfg = window_config(args)?;
     let out = args.value("--out");
     let recorder = Arc::new(Recorder::new());
-    let ingester = FileIngester::with_recorder(opts, &recorder);
+    let trace = recorder.begin_trace(None);
+    let root = trace.span("cmd:ingest");
+    let ingester = FileIngester::with_recorder(opts, &recorder).with_trace(root.handle());
     let progress = Progress::start(&recorder, args.present("--quiet"));
 
     let (backend, report) = if let Some(wcfg) = wcfg {
@@ -136,6 +138,8 @@ pub fn ingest(args: &Args) -> Result<i32, String> {
         (Backend::Plain(engine), report)
     };
     drop(progress);
+    drop(root);
+    recorder.trace_store().finish(trace);
 
     if let Some(out) = out {
         backend
@@ -176,7 +180,9 @@ pub fn resume(args: &Args) -> Result<i32, String> {
     }
     opts.alphabet = q;
 
-    let ingester = FileIngester::with_recorder(opts, &recorder);
+    let trace = recorder.begin_trace(None);
+    let root = trace.span("cmd:resume");
+    let ingester = FileIngester::with_recorder(opts, &recorder).with_trace(root.handle());
     let progress = Progress::start(&recorder, args.present("--quiet"));
     let report = match &backend {
         Backend::Plain(e) => ingester.ingest_into(file, e).map(|(_, r)| r),
@@ -184,6 +190,8 @@ pub fn resume(args: &Args) -> Result<i32, String> {
     }
     .map_err(|e| e.to_string())?;
     drop(progress);
+    drop(root);
+    recorder.trace_store().finish(trace);
 
     let out = args.value("--out").unwrap_or(snap);
     backend

@@ -105,9 +105,16 @@ pub fn query(args: &Args) -> Result<i32, String> {
         .collect::<Result<_, _>>()
         .map_err(|e| format!("bad query: {e}"))?;
     let ecfg = engine_config(args)?;
-    let (backend, q) = resume_backend(snap, ecfg, Arc::new(Recorder::new()))?;
+    let recorder = Arc::new(Recorder::new());
+    let (backend, q) = resume_backend(snap, ecfg, Arc::clone(&recorder))?;
+    let trace = recorder.begin_trace(None);
+    let root = trace.span("cmd:query");
+    let stage = root.handle();
+    let results = backend.query_batch_traced(&queries, &stage);
+    drop(root);
+    recorder.trace_store().finish(trace);
     let mut code = 0;
-    for result in backend.query_batch(&queries) {
+    for result in results {
         match result {
             Ok(answer) => println!("{}", answer_to_json(&answer, q)),
             Err(e) => {

@@ -49,6 +49,9 @@ fn serve_tcp(args: &Args, listen: String) -> Result<i32, String> {
     if let Some(ms) = args.parse("--slow-ms")? {
         cfg.slow_ms = Some(ms);
     }
+    if let Some(n) = args.parse("--trace-sample")? {
+        cfg.trace_sample = Some(n);
+    }
     let server = Server::bind(cfg).map_err(|e| e.to_string())?;
     preinstall(args, server.dispatcher())?;
     install_signal_handlers();
@@ -69,6 +72,9 @@ fn serve_tcp(args: &Args, listen: String) -> Result<i32, String> {
 
 fn serve_pipe(args: &Args) -> Result<i32, String> {
     let dispatcher = Dispatcher::new(args.value("--checkpoint").map(PathBuf::from));
+    if let Some(n) = args.parse("--trace-sample")? {
+        dispatcher.recorder().trace_store().set_sample(n);
+    }
     preinstall(args, &dispatcher)?;
     let stdout = std::io::stdout();
     let mut out = stdout.lock();

@@ -27,6 +27,7 @@ mod cmd_checkpoint;
 mod cmd_ingest;
 mod cmd_query;
 mod cmd_serve;
+mod cmd_trace;
 mod cmd_verify;
 
 pub use args::Args;
@@ -43,6 +44,7 @@ SUBCOMMANDS
   checkpoint A B.. --out M   merge shard snapshots into one
   resume SNAP --ingest FILE  continue ingesting into an existing checkpoint
   serve [--listen ADDR]      wire protocol over TCP, or stdin/stdout pipe mode
+  trace ADDR [--last N]      fetch request traces from a live server
   bench-ingest FILE          columnar vs row-at-a-time ingest throughput
   verify FILE                prove file ingest matches the Rust API bit-for-bit
   help                       this text
@@ -85,6 +87,7 @@ pub fn run(argv: Vec<String>) -> i32 {
         "checkpoint" => cmd_checkpoint::merge(&args),
         "resume" => cmd_ingest::resume(&args),
         "serve" => cmd_serve::serve(&args),
+        "trace" => cmd_trace::trace(&args),
         "bench-ingest" => cmd_bench::bench_ingest(&args),
         "verify" => cmd_verify::verify(&args),
         "help" | "--help" | "-h" => {

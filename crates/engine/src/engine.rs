@@ -141,6 +141,20 @@ impl Engine {
         self.with_pipeline(|p| p.push_packed_batch(rows))
     }
 
+    /// [`push_packed_batch`](Self::push_packed_batch) under a request
+    /// trace: records the routing sweep and every per-shard channel hop
+    /// as spans on `trace` (no-ops when the handle is disabled).
+    ///
+    /// # Errors
+    /// Same as [`push_packed_batch`](Self::push_packed_batch).
+    pub fn push_packed_batch_traced(
+        &self,
+        rows: &[u64],
+        trace: &pfe_obs::TraceHandle,
+    ) -> Result<(), EngineError> {
+        self.with_pipeline(|p| p.push_packed_batch_traced(rows, trace))
+    }
+
     /// Route one dense row.
     ///
     /// # Errors
@@ -156,6 +170,20 @@ impl Engine {
     /// `Closed` after [`shutdown`](Self::shutdown) or on worker loss.
     pub fn push_dense_batch(&self, flat: &[u16]) -> Result<(), EngineError> {
         self.with_pipeline(|p| p.push_dense_batch(flat))
+    }
+
+    /// [`push_dense_batch`](Self::push_dense_batch) under a request
+    /// trace — see
+    /// [`push_packed_batch_traced`](Self::push_packed_batch_traced).
+    ///
+    /// # Errors
+    /// Same as [`push_dense_batch`](Self::push_dense_batch).
+    pub fn push_dense_batch_traced(
+        &self,
+        flat: &[u16],
+        trace: &pfe_obs::TraceHandle,
+    ) -> Result<(), EngineError> {
+        self.with_pipeline(|p| p.push_dense_batch_traced(flat, trace))
     }
 
     /// Route a whole dataset.
@@ -310,6 +338,22 @@ impl Engine {
             Err(e) => return queries.iter().map(|_| Err(e.clone())).collect(),
         };
         self.exec.answer_batch(&snap, queries)
+    }
+
+    /// [`query_batch`](Self::query_batch) under a request trace: the
+    /// planner/cache/compute/materialize stages record spans on `trace`
+    /// and every `Ok` answer echoes the trace id. With a disabled handle
+    /// this is exactly the untraced path.
+    pub fn query_batch_traced(
+        &self,
+        queries: &[Query],
+        trace: &pfe_obs::TraceHandle,
+    ) -> Vec<Result<Answer, EngineError>> {
+        let snap = match self.current() {
+            Ok(snap) => snap,
+            Err(e) => return queries.iter().map(|_| Err(e.clone())).collect(),
+        };
+        self.exec.answer_batch_traced(&snap, queries, trace)
     }
 
     /// The recorder this engine reports into (see

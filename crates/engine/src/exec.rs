@@ -13,7 +13,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use pfe_core::bounds;
-use pfe_obs::{Counter, Histogram, Recorder};
+use pfe_obs::{AttrValue, Counter, Histogram, Recorder, TraceHandle};
 use pfe_query::{
     Answer, AnswerValue, CostInfo, Guarantee, GuaranteeSource, Provenance, Query, StatKind,
     Statistic,
@@ -137,6 +137,22 @@ impl QueryExecutor {
         snap: &Arc<Snapshot>,
         queries: &[Query],
     ) -> Vec<Result<Answer, EngineError>> {
+        self.answer_batch_traced(snap, queries, &TraceHandle::disabled())
+    }
+
+    /// Like [`answer_batch`](Self::answer_batch), but additionally
+    /// recording per-stage spans (`plan`, `cache_probe`, `compute`,
+    /// `materialize`) into the request's trace. The trace context never
+    /// participates in planning or cache keys — a traced and an
+    /// untraced run of the same batch produce identical answers (modulo
+    /// the [`Answer::trace_id`] echo on client-traced and slow
+    /// requests).
+    pub fn answer_batch_traced(
+        &self,
+        snap: &Arc<Snapshot>,
+        queries: &[Query],
+        trace: &TraceHandle,
+    ) -> Vec<Result<Answer, EngineError>> {
         let mut out: Vec<Option<Result<Answer, EngineError>>> = vec![None; queries.len()];
         if !self.windowed {
             for (slot, q) in queries.iter().enumerate() {
@@ -151,6 +167,7 @@ impl QueryExecutor {
         // common all-open path, plan the request slice directly (no
         // clones).
         let plan_start = Instant::now();
+        let mut plan_span = trace.span("plan");
         let plan = if out.iter().all(Option::is_none) {
             plan(snap, queries)
         } else {
@@ -170,13 +187,16 @@ impl QueryExecutor {
             }
             p
         };
+        plan_span.attr("queries", queries.len());
+        plan_span.attr("groups", plan.groups.len());
+        drop(plan_span);
         self.stage_plan.record_duration(plan_start.elapsed());
         for (slot, e) in plan.errors {
             out[slot] = Some(Err(e));
         }
         for group in &plan.groups {
             let group_start = Instant::now();
-            match self.execute_group(snap, queries, group) {
+            match self.execute_group(snap, queries, group, trace) {
                 Err(e) => {
                     for m in &group.members {
                         out[m.slot] = Some(Err(e.clone()));
@@ -187,9 +207,18 @@ impl QueryExecutor {
                     self.stat_queries[idx].add(group.members.len() as u64);
                     let group_size = group.members.len() as u32;
                     let mat_start = Instant::now();
+                    let mut mat_span = trace.span("materialize");
+                    if mat_span.is_enabled() {
+                        mat_span.attr("statistic", group.key.kind.name());
+                        mat_span.attr("mask", AttrValue::Hex(group.key.mask));
+                        mat_span.attr("epoch", group.key.epoch);
+                        mat_span.attr("cached", cached);
+                        mat_span.attr("group_size", group_size);
+                    }
                     for m in &group.members {
                         out[m.slot] = Some(Ok(materialize(snap, m, &value, cached, group_size)));
                     }
+                    drop(mat_span);
                     self.stage_materialize.record_duration(mat_start.elapsed());
                     let elapsed = group_start.elapsed();
                     // Each member observed the group's latency: the
@@ -198,26 +227,51 @@ impl QueryExecutor {
                     for _ in &group.members {
                         self.stat_latency[idx].record(elapsed_ns);
                     }
-                    self.recorder.slow_log().record(
+                    let logged = self.recorder.slow_log().record(
                         &format!("query:{}", group.key.kind.name()),
                         elapsed,
                         || {
-                            vec![
+                            let mut detail = vec![
                                 ("mask".to_string(), format!("{:#x}", group.key.mask)),
                                 ("epoch".to_string(), group.key.epoch.to_string()),
                                 ("exact".to_string(), group.key.exact.to_string()),
                                 ("cached".to_string(), cached.to_string()),
                                 ("group_size".to_string(), group_size.to_string()),
                                 ("group_ns".to_string(), elapsed_ns.to_string()),
-                            ]
+                            ];
+                            if let Some(id) = trace.trace_id() {
+                                detail.push((
+                                    "trace_id".to_string(),
+                                    pfe_obs::TraceContext::format_id(id),
+                                ));
+                            }
+                            detail
                         },
                     );
+                    if logged {
+                        // Slow-log-qualifying requests are always kept by
+                        // the trace head-sampler.
+                        trace.mark_slow();
+                    }
                 }
             }
         }
-        out.into_iter()
+        let mut answers: Vec<Result<Answer, EngineError>> = out
+            .into_iter()
             .map(|slot| slot.expect("planner fills every slot"))
-            .collect()
+            .collect();
+        // Stamp answers only when the caller will look for the id: a
+        // client-supplied trace, or one marked slow mid-flight. The
+        // common fast path skips the 32-hex field entirely — it costs
+        // more to serialize and parse than the span recording itself.
+        if trace.client_supplied() || trace.is_slow() {
+            if let Some(id) = trace.trace_id() {
+                for a in answers.iter_mut().flatten() {
+                    a.trace_id = Some(id);
+                }
+            }
+        }
+        answers
     }
 
     /// Probe the cache for a group's key, or compute its answer once from
@@ -227,16 +281,25 @@ impl QueryExecutor {
         snap: &Snapshot,
         queries: &[Query],
         group: &PlanGroup,
+        trace: &TraceHandle,
     ) -> Result<(CachedAnswer, bool), EngineError> {
         if group.probe_cache {
             let probe_start = Instant::now();
+            let mut probe_span = trace.span("cache_probe");
             let hit = self.cache.get(&group.key);
+            probe_span.attr("hit", hit.is_some());
+            drop(probe_span);
             self.stage_probe.record_duration(probe_start.elapsed());
             if let Some(hit) = hit {
                 return Ok((hit, true));
             }
         }
         let compute_start = Instant::now();
+        let mut compute_span = trace.span("compute");
+        if compute_span.is_enabled() {
+            compute_span.attr("statistic", group.key.kind.name());
+            compute_span.attr("mask", AttrValue::Hex(group.key.mask));
+        }
         let rep = &group.members[0];
         let value = match &queries[rep.slot].statistic {
             Statistic::F0 => {
@@ -285,6 +348,7 @@ impl QueryExecutor {
                 }
             }
         };
+        drop(compute_span);
         self.stage_compute.record_duration(compute_start.elapsed());
         self.cache.put(group.key, value.clone());
         Ok((value, false))
@@ -413,6 +477,7 @@ fn materialize(
         epoch: snap.epoch(),
         cost: CostInfo { cached, group_size },
         window: None,
+        trace_id: None,
     }
 }
 

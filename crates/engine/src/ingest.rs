@@ -20,6 +20,7 @@ use std::thread::JoinHandle;
 
 use pfe_core::QueryError;
 use pfe_hash::hash_u64;
+use pfe_obs::TraceHandle;
 use pfe_row::Dataset;
 
 use crate::config::EngineConfig;
@@ -250,6 +251,23 @@ impl IngestPipeline {
     /// `Query(BadParameter)` on shape violations; `Closed` if a worker
     /// has gone away.
     pub fn push_packed_batch(&mut self, rows: &[u64]) -> Result<(), EngineError> {
+        self.push_packed_batch_traced(rows, &TraceHandle::disabled())
+    }
+
+    /// [`push_packed_batch`](Self::push_packed_batch) under a request
+    /// trace: the routing sweep is recorded as one `ingest_route` span
+    /// and every bounded-channel hop to a worker as a child `shard_send`
+    /// span (shard id, chunk index, rows). With a disabled handle this is
+    /// exactly the untraced path — same delivery order, no allocation.
+    ///
+    /// # Errors
+    /// `Query(BadParameter)` on shape violations; `Closed` if a worker
+    /// has gone away.
+    pub fn push_packed_batch_traced(
+        &mut self,
+        rows: &[u64],
+        trace: &TraceHandle,
+    ) -> Result<(), EngineError> {
         if self.q != 2 {
             return Err(EngineError::Query(QueryError::BadParameter(
                 "push_packed requires a binary pipeline".into(),
@@ -262,12 +280,27 @@ impl IngestPipeline {
                 self.d
             ))));
         }
+        let mut route_span = trace.span("ingest_route");
+        if route_span.is_enabled() {
+            route_span.attr("rows", rows.len());
+            route_span.attr("format", "packed");
+        }
+        let hop = route_span.handle();
+        let mut chunk = 0usize;
         for &row in rows {
             let shard = self.shard_of_packed(row);
             self.packed_buf[shard].push(row);
             if self.packed_buf[shard].len() >= self.batch_rows {
                 let batch = std::mem::take(&mut self.packed_buf[shard]);
+                let mut send_span = hop.span("shard_send");
+                if send_span.is_enabled() {
+                    send_span.attr("shard", shard);
+                    send_span.attr("chunk", chunk);
+                    send_span.attr("rows", batch.len());
+                }
                 self.send(shard, RowBatch::Packed(batch))?;
+                drop(send_span);
+                chunk += 1;
             }
         }
         self.rows_routed += rows.len() as u64;
@@ -317,6 +350,22 @@ impl IngestPipeline {
     /// `Query(BadParameter)` on shape violations; `Closed` if a worker
     /// has gone away.
     pub fn push_dense_batch(&mut self, flat: &[u16]) -> Result<(), EngineError> {
+        self.push_dense_batch_traced(flat, &TraceHandle::disabled())
+    }
+
+    /// [`push_dense_batch`](Self::push_dense_batch) under a request
+    /// trace — see
+    /// [`push_packed_batch_traced`](Self::push_packed_batch_traced) for
+    /// the span shape.
+    ///
+    /// # Errors
+    /// `Query(BadParameter)` on shape violations; `Closed` if a worker
+    /// has gone away.
+    pub fn push_dense_batch_traced(
+        &mut self,
+        flat: &[u16],
+        trace: &TraceHandle,
+    ) -> Result<(), EngineError> {
         let d = self.d as usize;
         if d == 0 || !flat.len().is_multiple_of(d) {
             return Err(EngineError::Query(QueryError::BadParameter(format!(
@@ -331,12 +380,27 @@ impl IngestPipeline {
                 self.q
             ))));
         }
+        let mut route_span = trace.span("ingest_route");
+        if route_span.is_enabled() {
+            route_span.attr("rows", flat.len() / d);
+            route_span.attr("format", "dense");
+        }
+        let hop = route_span.handle();
+        let mut chunk = 0usize;
         for row in flat.chunks_exact(d) {
             let shard = self.shard_of_dense(row);
             self.dense_buf[shard].extend_from_slice(row);
             if self.dense_buf[shard].len() >= self.batch_rows * d {
                 let batch = std::mem::take(&mut self.dense_buf[shard]);
+                let mut send_span = hop.span("shard_send");
+                if send_span.is_enabled() {
+                    send_span.attr("shard", shard);
+                    send_span.attr("chunk", chunk);
+                    send_span.attr("rows", batch.len() / d);
+                }
                 self.send(shard, RowBatch::Dense(batch))?;
+                drop(send_span);
+                chunk += 1;
             }
         }
         self.rows_routed += (flat.len() / d) as u64;

@@ -93,7 +93,10 @@ pub use shard::ShardSummary;
 pub use snapshot::{FrequencyAnswer, Snapshot};
 // The shared observability registry — re-exported so frontends threading
 // a recorder through the engine need only one import path.
-pub use pfe_obs::{Recorder, SlowEntry};
+pub use pfe_obs::{
+    chrome_trace_json, CompletedTrace, Recorder, SlowEntry, SpanRecord, TraceContext, TraceHandle,
+    TraceStore,
+};
 // The canonical query surface — re-exported so engine users need only one
 // import path.
 pub use pfe_query::{

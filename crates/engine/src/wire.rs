@@ -221,6 +221,9 @@ pub fn answer_to_json(answer: &Answer, q: u32) -> Json {
     fields.push(("epoch", Json::Num(answer.epoch as f64)));
     fields.push(("cached", Json::Bool(answer.cost.cached)));
     fields.push(("group_size", Json::Num(answer.cost.group_size as f64)));
+    if let Some(id) = answer.trace_id {
+        fields.push(("trace_id", Json::Str(pfe_obs::TraceContext::format_id(id))));
+    }
     if let Some(w) = &answer.window {
         fields.push((
             "window",
@@ -365,6 +368,7 @@ mod tests {
                 group_size: 2,
             },
             window: None,
+            trace_id: None,
         };
         let json = answer_to_json(&answer, 2);
         assert_eq!(json.get("ok"), Some(&Json::Bool(true)));
@@ -399,6 +403,19 @@ mod tests {
         assert_eq!(w.get("covered_rows").and_then(Json::as_f64), Some(1200.0));
         assert_eq!(w.get("buckets").and_then(Json::as_f64), Some(3.0));
         assert_eq!(w.get("truncated"), Some(&Json::Bool(false)));
+        // Untraced answers carry no trace_id field at all (wire parity);
+        // traced answers echo the id as 32 hex digits.
+        assert!(json_w.get("trace_id").is_none());
+        let traced = Answer {
+            trace_id: Some(0xab),
+            ..windowed
+        };
+        assert_eq!(
+            answer_to_json(&traced, 2)
+                .get("trace_id")
+                .and_then(Json::as_str),
+            Some(format!("{:032x}", 0xab).as_str())
+        );
         // The output is valid, re-parseable JSON.
         assert_eq!(Json::parse(&json_w.to_string()).expect("reparse"), json_w);
     }

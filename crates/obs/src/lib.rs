@@ -33,6 +33,13 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
+mod trace;
+
+pub use trace::{
+    chrome_trace_json, AttrValue, CompletedTrace, SpanGuard, SpanRecord, TraceContext, TraceHandle,
+    TraceStore, MAX_SPAN_ATTRS, TRACE_STORE_CAPACITY,
+};
+
 /// A monotonically increasing counter (lock-free).
 #[derive(Debug, Default)]
 pub struct Counter(AtomicU64);
@@ -394,18 +401,25 @@ pub struct Recorder {
     counters: RwLock<BTreeMap<String, Arc<Counter>>>,
     gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
     histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+    /// Constant labeled info gauges (`build_info`-style): metric name →
+    /// ordered label pairs; rendered with value 1.
+    infos: RwLock<BTreeMap<String, Vec<(String, String)>>>,
     slow: Option<SlowLog>,
+    traces: TraceStore,
 }
 
 impl Recorder {
     /// An empty registry (with a [`SLOW_LOG_CAPACITY`]-entry slow log,
-    /// disabled until a threshold is set).
+    /// disabled until a threshold is set, and a
+    /// [`TRACE_STORE_CAPACITY`]-trace store sampling every trace).
     pub fn new() -> Self {
         Self {
             counters: RwLock::new(BTreeMap::new()),
             gauges: RwLock::new(BTreeMap::new()),
             histograms: RwLock::new(BTreeMap::new()),
+            infos: RwLock::new(BTreeMap::new()),
             slow: Some(SlowLog::new(SLOW_LOG_CAPACITY)),
+            traces: TraceStore::default(),
         }
     }
 
@@ -443,6 +457,48 @@ impl Recorder {
         self.slow
             .as_ref()
             .expect("Recorder::new installs a slow log")
+    }
+
+    /// The request-trace store (see [`TraceStore`]).
+    pub fn trace_store(&self) -> &TraceStore {
+        &self.traces
+    }
+
+    /// Begin a request trace on this recorder's store — shorthand for
+    /// `trace_store().begin(ctx)`.
+    pub fn begin_trace(&self, ctx: Option<TraceContext>) -> TraceHandle {
+        self.traces.begin(ctx)
+    }
+
+    /// Render retained completed traces as Chrome trace-event JSON
+    /// (see [`chrome_trace_json`]); loadable in `chrome://tracing` and
+    /// Perfetto.
+    pub fn render_chrome_trace(&self) -> String {
+        chrome_trace_json(&self.traces.last(usize::MAX))
+    }
+
+    /// Register (or replace) a constant labeled info gauge — the
+    /// `build_info` idiom: rendered as `name{labels…} 1` in Prometheus
+    /// exposition, and surfaced by [`infos_snapshot`](Self::infos_snapshot)
+    /// for JSON metric views.
+    pub fn set_info(&self, name: &str, labels: &[(&str, &str)]) {
+        self.infos.write().expect("registry lock").insert(
+            name.to_string(),
+            labels
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+        );
+    }
+
+    /// All info gauges as sorted `(name, labels)` pairs.
+    pub fn infos_snapshot(&self) -> Vec<(String, Vec<(String, String)>)> {
+        self.infos
+            .read()
+            .expect("registry lock")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
     }
 
     /// All counters as sorted `(name, value)` pairs.
@@ -496,6 +552,20 @@ impl Recorder {
         for (k, v) in self.gauges_snapshot() {
             let n = name(&k);
             out.push_str(&format!("# TYPE {n} gauge\n{n} {v}\n"));
+        }
+        for (k, labels) in self.infos_snapshot() {
+            let n = name(&k);
+            let rendered: Vec<String> = labels
+                .iter()
+                .map(|(lk, lv)| {
+                    let v = lv.replace('\\', "\\\\").replace('"', "\\\"");
+                    format!("{}=\"{v}\"", sanitize_metric_name(lk))
+                })
+                .collect();
+            out.push_str(&format!(
+                "# TYPE {n} gauge\n{n}{{{}}} 1\n",
+                rendered.join(",")
+            ));
         }
         let hists: Vec<(String, Arc<Histogram>)> = self
             .histograms
@@ -721,6 +791,45 @@ mod tests {
             .collect();
         assert!(cum.windows(2).all(|w| w[0] <= w[1]));
         assert_eq!(*cum.last().expect("buckets"), 2);
+    }
+
+    #[test]
+    fn info_gauges_render_with_labels() {
+        let rec = Recorder::new();
+        rec.set_info(
+            "build_info",
+            &[("version", "1.2.3"), ("statistics", "f0|fp")],
+        );
+        let text = rec.render_prometheus("pfe");
+        assert!(text.contains("# TYPE pfe_build_info gauge"));
+        assert!(text.contains("pfe_build_info{version=\"1.2.3\",statistics=\"f0|fp\"} 1"));
+        // Replacement, not accumulation.
+        rec.set_info("build_info", &[("version", "2.0.0")]);
+        assert_eq!(
+            rec.infos_snapshot(),
+            vec![(
+                "build_info".to_string(),
+                vec![("version".to_string(), "2.0.0".to_string())]
+            )]
+        );
+        // Quotes in label values escape instead of breaking the line.
+        rec.set_info("weird", &[("v", "a\"b\\c")]);
+        assert!(rec
+            .render_prometheus("pfe")
+            .contains("pfe_weird{v=\"a\\\"b\\\\c\"} 1"));
+    }
+
+    #[test]
+    fn recorder_trace_store_round_trip() {
+        let rec = Recorder::new();
+        let trace = rec.begin_trace(Some(TraceContext {
+            trace_id: 5,
+            parent: None,
+        }));
+        drop(trace.span("session"));
+        rec.trace_store().finish(trace);
+        assert_eq!(rec.trace_store().lookup(5).expect("kept").spans.len(), 1);
+        assert!(rec.render_chrome_trace().contains("\"name\":\"session\""));
     }
 
     #[test]

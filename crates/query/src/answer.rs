@@ -180,6 +180,13 @@ pub struct Answer {
     /// Realized window coverage — `Some` exactly when the query carried
     /// [`QueryOptions::window`](crate::QueryOptions::window).
     pub window: Option<WindowCoverage>,
+    /// Echo of the request-scoped trace id the answer was computed
+    /// under — `Some` when the client supplied the trace context or
+    /// the request qualified as slow, so clients can fetch the span
+    /// tree of the query that produced this answer. Fast
+    /// server-generated traces skip the echo; their ids are browsed
+    /// from the trace store instead.
+    pub trace_id: Option<u128>,
 }
 
 impl Answer {
@@ -242,6 +249,7 @@ mod tests {
                 group_size: 1,
             },
             window: None,
+            trace_id: None,
         }
     }
 

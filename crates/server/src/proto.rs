@@ -33,7 +33,10 @@ use std::sync::{Arc, RwLock};
 use std::time::Instant;
 
 use pfe_engine::{wire, Engine, EngineConfig, EngineError, EngineStats, Json, Query};
-use pfe_obs::{Counter, Gauge, Histogram, Recorder};
+use pfe_obs::{
+    chrome_trace_json, AttrValue, CompletedTrace, Counter, Gauge, Histogram, Recorder, SpanRecord,
+    TraceContext, TraceHandle,
+};
 use pfe_window::{wire as window_wire, WindowConfig, WindowedEngine};
 
 /// Every op name the dispatcher recognizes, aliases included.
@@ -59,6 +62,8 @@ pub const OPS: &[&str] = &[
     "server_stats",
     "metrics",
     "slow_log",
+    "set_slow_ms",
+    "trace",
     "checkpoint",
     "shutdown",
     "quit",
@@ -98,6 +103,111 @@ pub fn err_saturated(workers: usize, queue: usize) -> Json {
     ])
 }
 
+/// Parse the optional `"trace"` field of a request: a bare hex string
+/// (the trace id) or `{"id": hex, "parent": hex}`. Returns a typed error
+/// payload on a malformed value, `Ok(None)` when absent.
+fn trace_context_from(req: &Json) -> Result<Option<TraceContext>, Json> {
+    let bad = |what: &str| err(format!("bad 'trace' field: {what}"));
+    match req.get("trace") {
+        None | Some(Json::Null) => Ok(None),
+        Some(Json::Str(s)) => {
+            let trace_id =
+                TraceContext::parse_id(s).ok_or_else(|| bad("expected a hex trace id"))?;
+            Ok(Some(TraceContext {
+                trace_id,
+                parent: None,
+            }))
+        }
+        Some(obj @ Json::Obj(_)) => {
+            let id = obj
+                .get("id")
+                .and_then(Json::as_str)
+                .ok_or_else(|| bad("object form requires a hex 'id'"))?;
+            let trace_id = TraceContext::parse_id(id).ok_or_else(|| bad("'id' must be hex"))?;
+            let parent = match obj.get("parent") {
+                None | Some(Json::Null) => None,
+                Some(p) => Some(
+                    p.as_str()
+                        .and_then(TraceContext::parse_id)
+                        .filter(|&v| v <= u64::MAX as u128)
+                        .ok_or_else(|| bad("'parent' must be a hex span id"))?
+                        as u64,
+                ),
+            };
+            Ok(Some(TraceContext { trace_id, parent }))
+        }
+        Some(_) => Err(bad("expected a hex string or an object")),
+    }
+}
+
+/// One completed trace as a span-tree JSON object: spans nest under
+/// their parents (`children` arrays), roots in start order.
+fn trace_to_json(t: &CompletedTrace) -> Json {
+    fn span_json(
+        t: &CompletedTrace,
+        s: &SpanRecord,
+        by_parent: &BTreeMap<u64, Vec<&SpanRecord>>,
+    ) -> Json {
+        let children: Vec<Json> = by_parent
+            .get(&s.id)
+            .map(|kids| kids.iter().map(|k| span_json(t, k, by_parent)).collect())
+            .unwrap_or_default();
+        Json::obj([
+            ("name", Json::Str(s.name.to_string())),
+            ("span", Json::Num(s.id as f64)),
+            ("start_ns", Json::Num(s.start_ns as f64)),
+            ("end_ns", Json::Num(s.end_ns as f64)),
+            (
+                "attrs",
+                Json::Obj(
+                    t.attrs_of(s)
+                        .iter()
+                        .map(|(k, v)| {
+                            let value = match v {
+                                AttrValue::Str(s) => Json::Str((*s).to_string()),
+                                AttrValue::Text(s) => Json::Str(s.clone()),
+                                // f64 holds integers exactly up to 2^53;
+                                // larger ids (fingerprints) go as strings.
+                                AttrValue::U64(n) if *n <= (1u64 << 53) => Json::Num(*n as f64),
+                                AttrValue::U64(n) => Json::Str(n.to_string()),
+                                AttrValue::Hex(n) => Json::Str(format!("{n:#x}")),
+                                AttrValue::I64(n) => Json::Num(*n as f64),
+                                AttrValue::F64(n) => Json::Num(*n),
+                                AttrValue::Bool(b) => Json::Bool(*b),
+                            };
+                            (k.to_string(), value)
+                        })
+                        .collect(),
+                ),
+            ),
+            ("children", Json::Arr(children)),
+        ])
+    }
+    let known: std::collections::BTreeSet<u64> = t.spans.iter().map(|s| s.id).collect();
+    let mut by_parent: BTreeMap<u64, Vec<&SpanRecord>> = BTreeMap::new();
+    let mut roots: Vec<&SpanRecord> = Vec::new();
+    for s in &t.spans {
+        match s.parent {
+            // A parent id the trace never recorded (e.g. a span still
+            // open at finish) degrades to a root, not a lost span.
+            Some(p) if known.contains(&p) => by_parent.entry(p).or_default().push(s),
+            _ => roots.push(s),
+        }
+    }
+    for list in by_parent.values_mut() {
+        list.sort_by_key(|s| s.start_ns);
+    }
+    roots.sort_by_key(|s| s.start_ns);
+    Json::obj([
+        ("trace_id", Json::Str(TraceContext::format_id(t.trace_id))),
+        ("slow", Json::Bool(t.slow)),
+        (
+            "spans",
+            Json::Arr(roots.iter().map(|r| span_json(t, r, &by_parent)).collect()),
+        ),
+    ])
+}
+
 /// Whole-stream or sliding-window serving, behind one protocol.
 pub enum Backend {
     /// Whole-stream serving ([`Engine`]).
@@ -112,6 +222,21 @@ impl Backend {
         match self {
             Backend::Plain(e) => e.query_batch(queries),
             Backend::Windowed(e) => e.query_batch(queries),
+        }
+    }
+
+    /// [`query_batch`](Self::query_batch) under a request trace: the
+    /// engine stages record spans on `trace`, and `Ok` answers echo
+    /// the trace id when the client supplied it (or the request turned
+    /// slow). Identical to the untraced path with a disabled handle.
+    pub fn query_batch_traced(
+        &self,
+        queries: &[Query],
+        trace: &TraceHandle,
+    ) -> Vec<Result<pfe_engine::Answer, EngineError>> {
+        match self {
+            Backend::Plain(e) => e.query_batch_traced(queries, trace),
+            Backend::Windowed(e) => e.query_batch_traced(queries, trace),
         }
     }
 
@@ -276,6 +401,10 @@ pub struct Dispatcher {
     /// `(workers, queue)` reported by `server_stats`; `(0, 0)` until the
     /// TCP layer announces its pool shape.
     pool_shape: RwLock<(usize, usize)>,
+    /// Process start, for `process_uptime_seconds`.
+    started_at: Instant,
+    /// `process_uptime_seconds` gauge, refreshed on every metrics read.
+    uptime: Arc<Gauge>,
 }
 
 impl Dispatcher {
@@ -285,6 +414,18 @@ impl Dispatcher {
     pub fn new(checkpoint_path: Option<PathBuf>) -> Self {
         let recorder = Arc::new(Recorder::new());
         let counters = ServerCounters::new(&recorder);
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        recorder.set_info(
+            "build_info",
+            &[
+                ("version", env!("CARGO_PKG_VERSION")),
+                ("statistics", "f0|frequency|heavy_hitters|l1_sample|fp"),
+                ("cores", &cores.to_string()),
+            ],
+        );
+        let uptime = recorder.gauge("process_uptime_seconds");
         Self {
             started: RwLock::new(None),
             recorder,
@@ -292,6 +433,8 @@ impl Dispatcher {
             checkpoint_path,
             checkpointed: AtomicBool::new(false),
             pool_shape: RwLock::new((0, 0)),
+            started_at: Instant::now(),
+            uptime,
         }
     }
 
@@ -329,6 +472,7 @@ impl Dispatcher {
     /// Mirror backend-derived values into their gauges so a metrics read
     /// reflects the live state, not the state at the last `stats` call.
     fn sync_gauges(&self) {
+        self.uptime.set(self.started_at.elapsed().as_secs());
         let guard = self.started.read().expect("backend lock");
         if let Some(s) = guard.as_ref() {
             match &s.backend {
@@ -359,14 +503,22 @@ impl Dispatcher {
     /// panics on malformed input — every failure is an `"ok":false`
     /// response.
     pub fn handle_line(&self, line: &str) -> Reply {
+        self.handle_line_with_session(line, None)
+    }
+
+    /// [`handle_line`](Self::handle_line) with the transport's session id
+    /// attached: the request's `session` root span carries it, so a span
+    /// tree names the TCP connection it was served on. Pipe mode and
+    /// tests pass `None`.
+    pub fn handle_line_with_session(&self, line: &str, session: Option<u64>) -> Reply {
         self.counters.in_flight.add(1);
-        let reply = self.handle_inner(line);
+        let reply = self.handle_inner(line, session);
         self.counters.in_flight.sub(1);
         self.counters.requests_handled.inc();
         reply
     }
 
-    fn handle_inner(&self, line: &str) -> Reply {
+    fn handle_inner(&self, line: &str, session: Option<u64>) -> Reply {
         let req = match Json::parse(line) {
             Ok(v) => v,
             Err(e) => return Reply::cont(err(e.to_string())),
@@ -375,25 +527,85 @@ impl Dispatcher {
             Some(op) => op.to_string(),
             None => return Reply::cont(err("missing 'op'")),
         };
-        let canonical = if OPS.contains(&op.as_str()) {
-            op.as_str()
-        } else {
-            "unknown"
+        // Resolve the op to its interned name so per-op labels (metric
+        // handles, trace attrs) borrow 'static strings.
+        let canonical: &'static str = OPS.iter().copied().find(|o| *o == op).unwrap_or("unknown");
+        let ctx = match trace_context_from(&req) {
+            Ok(ctx) => ctx,
+            Err(e) => return Reply::cont(e),
         };
+        // Per-request trace: a `session` root span (one per request,
+        // carrying the connection id) over a `dispatch` span the op
+        // handlers hang their stage spans under. Disabled (all no-ops)
+        // when `--trace-sample 0` turned tracing off and the client sent
+        // no context.
+        let trace = self.recorder.begin_trace(ctx);
+        let mut session_span = trace.span("session");
+        if session_span.is_enabled() {
+            session_span.attr("transport", if session.is_some() { "tcp" } else { "pipe" });
+            if let Some(id) = session {
+                session_span.attr("session", id);
+            }
+        }
+        let dispatch_parent = session_span.handle();
+        let mut dispatch_span = dispatch_parent.span("dispatch");
+        dispatch_span.attr(
+            "op",
+            if canonical == op {
+                AttrValue::Str(canonical)
+            } else {
+                AttrValue::Text(op.clone())
+            },
+        );
+        let stage_trace = dispatch_span.handle();
         let (count, latency) = self.counters.op_handles(canonical);
         count.inc();
         let begin = Instant::now();
-        let reply = match self.dispatch(&op, &req) {
+        let mut reply = match self.dispatch(&op, &req, &stage_trace) {
             Ok(reply) => reply,
             Err(json) => Reply::cont(json),
         };
         let elapsed = begin.elapsed();
+        drop(dispatch_span);
+        drop(session_span);
+        // Release the derived handles so `finish` holds the last
+        // reference and can drain the trace without locking.
+        drop(stage_trace);
+        drop(dispatch_parent);
         latency.record_duration(elapsed);
-        self.recorder
+        let logged = self
+            .recorder
             .slow_log()
             .record(&format!("op:{canonical}"), elapsed, || {
-                vec![("op".to_string(), op.clone())]
+                let mut detail = vec![("op".to_string(), op.clone())];
+                if let Some(id) = trace.trace_id() {
+                    detail.push(("trace_id".to_string(), TraceContext::format_id(id)));
+                }
+                detail
             });
+        if logged {
+            trace.mark_slow();
+        }
+        // Echo the trace id on the reply when the client asked for the
+        // trace (supplied its id) or the request turned out slow — the
+        // two cases where the caller will want to drill in. Fast
+        // server-initiated traces skip the echo: the extra wire field
+        // costs more than the whole span-recording path, and those ids
+        // stay discoverable via `{"op":"trace","last":N}` and the slow
+        // log.
+        if trace.client_supplied() || trace.is_slow() {
+            if let Some(id) = trace.trace_id() {
+                if let Json::Obj(map) = &mut reply.json {
+                    if !map.contains_key("trace_id") {
+                        map.insert(
+                            "trace_id".to_string(),
+                            Json::Str(TraceContext::format_id(id)),
+                        );
+                    }
+                }
+            }
+        }
+        self.recorder.trace_store().finish(trace);
         reply
     }
 
@@ -406,11 +618,11 @@ impl Dispatcher {
     }
 
     /// Serve one statistic request through the canonical query types.
-    fn serve_query(&self, req: &Json) -> Result<Json, Json> {
+    fn serve_query(&self, req: &Json, trace: &TraceHandle) -> Result<Json, Json> {
         let query = wire::query_from_json(req).map_err(err)?;
         self.with_backend(|backend, q| {
             let answer = backend
-                .query_batch(std::slice::from_ref(&query))
+                .query_batch_traced(std::slice::from_ref(&query), trace)
                 .pop()
                 .expect("one answer per query")
                 .map_err(|e| err(e.to_string()))?;
@@ -421,7 +633,7 @@ impl Dispatcher {
     /// Serve a whole batch through the mask-sharing planner; per-query
     /// failures — parse errors included — come back as error objects in
     /// their slots, never batch-fatal.
-    fn serve_batch(&self, req: &Json) -> Result<Json, Json> {
+    fn serve_batch(&self, req: &Json, trace: &TraceHandle) -> Result<Json, Json> {
         let items = req
             .get("queries")
             .and_then(Json::as_arr)
@@ -443,7 +655,7 @@ impl Dispatcher {
             .collect();
         let valid: Vec<Query> = parsed.iter().filter_map(|p| p.clone().ok()).collect();
         self.with_backend(|backend, q| {
-            let mut served = backend.query_batch(&valid).into_iter();
+            let mut served = backend.query_batch_traced(&valid, trace).into_iter();
             let answers = parsed
                 .iter()
                 .map(|p| match p {
@@ -635,11 +847,23 @@ impl Dispatcher {
                 )
             })
             .collect();
+        let info: BTreeMap<String, Json> = self
+            .recorder
+            .infos_snapshot()
+            .into_iter()
+            .map(|(name, labels)| {
+                (
+                    name,
+                    Json::Obj(labels.into_iter().map(|(k, v)| (k, Json::Str(v))).collect()),
+                )
+            })
+            .collect();
         Json::obj([
             ("ok", Json::Bool(true)),
             ("counters", Json::Obj(counters)),
             ("gauges", Json::Obj(gauges)),
             ("histograms", Json::Obj(histograms)),
+            ("info", Json::Obj(info)),
         ])
     }
 
@@ -671,6 +895,57 @@ impl Dispatcher {
             ("threshold_ms", Json::Num(log.threshold_ms() as f64)),
             ("entries", Json::Arr(entries)),
         ])
+    }
+
+    /// Response body for the `set_slow_ms` op: retune the slow-log
+    /// threshold on a live server (0 disables capture).
+    fn set_slow_ms_op(&self, req: &Json) -> Result<Json, Json> {
+        let ms = req
+            .get("ms")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| err("missing 'ms'"))? as u64;
+        self.recorder.slow_log().set_threshold_ms(ms);
+        Ok(Json::obj([
+            ("ok", Json::Bool(true)),
+            ("threshold_ms", Json::Num(ms as f64)),
+        ]))
+    }
+
+    /// Response body for the `trace` op: fetch one retained trace by id,
+    /// or the last `n` completed traces, as span trees — or as Chrome
+    /// trace-event JSON when the request carries `"format":"chrome"`.
+    fn trace_op(&self, req: &Json) -> Result<Json, Json> {
+        let store = self.recorder.trace_store();
+        let selected: Vec<CompletedTrace> = match req.get("id").and_then(Json::as_str) {
+            Some(s) => {
+                let id = TraceContext::parse_id(s)
+                    .ok_or_else(|| err(format!("bad trace id '{s}': expected hex")))?;
+                store
+                    .lookup(id)
+                    .map(|t| vec![t])
+                    .ok_or_else(|| err(format!("no retained trace with id '{s}'")))?
+            }
+            None => {
+                let n = req.get("last").and_then(Json::as_f64).unwrap_or(8.0) as usize;
+                store.last(n)
+            }
+        };
+        if req.get("format").and_then(Json::as_str) == Some("chrome") {
+            let text = chrome_trace_json(&selected);
+            let events = Json::parse(&text).expect("chrome trace JSON is well-formed");
+            return Ok(Json::obj([
+                ("ok", Json::Bool(true)),
+                ("format", Json::Str("chrome".to_string())),
+                ("events", events),
+            ]));
+        }
+        Ok(Json::obj([
+            ("ok", Json::Bool(true)),
+            (
+                "traces",
+                Json::Arr(selected.iter().map(trace_to_json).collect()),
+            ),
+        ]))
     }
 
     /// Write the shutdown checkpoint (configured path) exactly once —
@@ -715,7 +990,7 @@ impl Dispatcher {
         })
     }
 
-    fn dispatch(&self, op: &str, req: &Json) -> Result<Reply, Json> {
+    fn dispatch(&self, op: &str, req: &Json, trace: &TraceHandle) -> Result<Reply, Json> {
         match op {
             "start" => self.start(req).map(Reply::cont),
             "ingest" => {
@@ -729,6 +1004,8 @@ impl Dispatcher {
                     .iter()
                     .map(|row| wire::u16s(Some(row)).map_err(err))
                     .collect::<Result<_, _>>()?;
+                let mut ingest_span = trace.span("ingest");
+                ingest_span.attr("rows", dense.len());
                 self.with_backend(|backend, _| {
                     for (accepted, row) in dense.iter().enumerate() {
                         // A mid-batch engine rejection (e.g. a wrong-arity
@@ -765,9 +1042,9 @@ impl Dispatcher {
                 ]))),
             }),
             "f0" | "frequency" | "freq" | "heavy_hitters" | "hh" | "l1_sample" | "fp" => {
-                self.serve_query(req).map(Reply::cont)
+                self.serve_query(req, trace).map(Reply::cont)
             }
-            "batch" => self.serve_batch(req).map(Reply::cont),
+            "batch" => self.serve_batch(req, trace).map(Reply::cont),
             "stats" => self
                 .with_backend(|backend, _| Ok(wire::stats_to_json(&backend.stats())))
                 .map(Reply::cont),
@@ -784,6 +1061,8 @@ impl Dispatcher {
             "server_stats" => Ok(Reply::cont(self.server_stats())),
             "metrics" => Ok(Reply::cont(self.metrics_op(req))),
             "slow_log" => Ok(Reply::cont(self.slow_log_op(req))),
+            "set_slow_ms" => self.set_slow_ms_op(req).map(Reply::cont),
+            "trace" => self.trace_op(req).map(Reply::cont),
             "checkpoint" => self.checkpoint_op(req).map(Reply::cont),
             // The checkpoint itself is NOT written here: it happens after
             // every session drains (`Server::run`, or the pipe-mode loop),

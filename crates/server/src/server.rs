@@ -46,6 +46,11 @@ pub struct ServerConfig {
     /// leaves the log disabled until a `slow_log`/`start` request sets a
     /// threshold).
     pub slow_ms: Option<u64>,
+    /// Request-trace head-sampling: keep 1-in-`N` server-initiated traces
+    /// (`0` disables tracing entirely; client-supplied trace contexts and
+    /// slow-log-qualifying requests are always kept). `None` leaves the
+    /// store's default of 1 — trace everything.
+    pub trace_sample: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -58,6 +63,7 @@ impl Default for ServerConfig {
             poll_interval: Duration::from_millis(50),
             metrics_addr: None,
             slow_ms: None,
+            trace_sample: None,
         }
     }
 }
@@ -201,6 +207,9 @@ impl Server {
         if let Some(ms) = cfg.slow_ms {
             dispatcher.recorder().slow_log().set_threshold_ms(ms);
         }
+        if let Some(n) = cfg.trace_sample {
+            dispatcher.recorder().trace_store().set_sample(n);
+        }
         Ok(Self {
             listener,
             metrics_listener,
@@ -255,8 +264,12 @@ impl Server {
             let dispatcher = Arc::clone(&self.dispatcher);
             let stop = Arc::clone(&self.stop);
             let poll = self.cfg.poll_interval;
+            // Monotone per-connection session ids, so trace `session`
+            // root spans name the connection they were served on.
+            let next_session = Arc::new(std::sync::atomic::AtomicU64::new(1));
             WorkerPool::new(self.cfg.workers, self.cfg.queue, move |stream| {
-                serve_session(stream, &dispatcher, &stop, poll);
+                let session = next_session.fetch_add(1, Ordering::Relaxed);
+                serve_session(stream, &dispatcher, &stop, poll, session);
             })
         };
         let metrics_thread = self.metrics_listener.take().map(|listener| {
@@ -328,17 +341,18 @@ impl Server {
     }
 }
 
-/// The Prometheus scrape endpoint: a deliberately tiny HTTP/1.1 loop (no
-/// routing, no keep-alive — every request gets the full registry and a
-/// close) so scraping needs nothing beyond the standard library. It runs
-/// on its own thread and exits with the server's stop flag.
+/// The Prometheus scrape endpoint: a deliberately tiny HTTP/1.1 loop (one
+/// route, no keep-alive — `GET`/`HEAD /metrics` gets the full registry
+/// and a close, anything else a 404) so scraping needs nothing beyond the
+/// standard library. It runs on its own thread and exits with the
+/// server's stop flag.
 fn serve_metrics(listener: &TcpListener, dispatcher: &Dispatcher, stop: &AtomicBool) {
     while !(stop.load(Ordering::SeqCst) || SIGNAL_STOP.load(Ordering::SeqCst)) {
         match listener.accept() {
             Ok((mut stream, _peer)) => {
-                // Read (and discard) the request head; the response is the
-                // same whatever was asked. Bounded by a read timeout so a
-                // stalled scraper cannot wedge the endpoint.
+                // Read the request head (method + path are all that's
+                // routed on). Bounded by a read timeout so a stalled
+                // scraper cannot wedge the endpoint.
                 let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
                 let mut head = Vec::new();
                 let mut buf = [0u8; 1024];
@@ -353,15 +367,29 @@ fn serve_metrics(listener: &TcpListener, dispatcher: &Dispatcher, stop: &AtomicB
                         }
                     }
                 }
-                let body = dispatcher.render_prometheus();
+                let head_text = String::from_utf8_lossy(&head);
+                let mut parts = head_text.split_whitespace();
+                let method = parts.next().unwrap_or("");
+                let path = parts.next().unwrap_or("");
+                // HEAD answers the same headers (Content-Length included)
+                // with no body, per RFC 9110.
+                let is_head = method.eq_ignore_ascii_case("HEAD");
+                let served = path.split('?').next().unwrap_or("") == "/metrics"
+                    && (is_head || method.eq_ignore_ascii_case("GET"));
+                let (status, body) = if served {
+                    ("200 OK", dispatcher.render_prometheus())
+                } else {
+                    ("404 Not Found", "not found: try /metrics\n".to_string())
+                };
                 let _ = write!(
                     stream,
-                    "HTTP/1.1 200 OK\r\n\
+                    "HTTP/1.1 {}\r\n\
                      Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
                      Content-Length: {}\r\n\
                      Connection: close\r\n\r\n{}",
+                    status,
                     body.len(),
-                    body
+                    if is_head { "" } else { body.as_str() }
                 );
                 let _ = stream.flush();
             }
@@ -395,7 +423,13 @@ fn reject_saturated(mut stream: TcpStream, workers: usize, queue: usize) {
 
 /// One session: read request lines, dispatch, write response lines, until
 /// the peer closes, `quit`/`shutdown` arrives, or the server stops.
-fn serve_session(stream: TcpStream, dispatcher: &Dispatcher, stop: &AtomicBool, poll: Duration) {
+fn serve_session(
+    stream: TcpStream,
+    dispatcher: &Dispatcher,
+    stop: &AtomicBool,
+    poll: Duration,
+    session: u64,
+) {
     let _open = decrement_on_drop(dispatcher);
     // Records accept-to-close wall time into the lifetime histogram when
     // the session ends, however it ends.
@@ -404,7 +438,7 @@ fn serve_session(stream: TcpStream, dispatcher: &Dispatcher, stop: &AtomicBool, 
             .recorder()
             .histogram("server_connection_lifetime_ns"),
     );
-    if session_loop(stream, dispatcher, stop, poll).is_err() {
+    if session_loop(stream, dispatcher, stop, poll, session).is_err() {
         // Peer went away mid-session; nothing to report to it.
     }
 }
@@ -425,6 +459,7 @@ fn session_loop(
     dispatcher: &Dispatcher,
     stop: &AtomicBool,
     poll: Duration,
+    session: u64,
 ) -> std::io::Result<()> {
     stream.set_nodelay(true)?;
     // Reads time out at the poll interval so a session blocked on an idle
@@ -454,7 +489,7 @@ fn session_loop(
                     if trimmed.is_empty() {
                         Control::Continue
                     } else {
-                        let reply = dispatcher.handle_line(trimmed);
+                        let reply = dispatcher.handle_line_with_session(trimmed, Some(session));
                         writeln!(writer, "{}", reply.json)?;
                         writer.flush()?;
                         reply.control

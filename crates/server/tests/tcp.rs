@@ -96,13 +96,14 @@ fn ingest_lines(rows: &[Vec<u16>]) -> Vec<String> {
 }
 
 /// Remove the fields that legitimately differ between a shared-cache
-/// concurrent server and a fresh direct engine (`cached`, `group_size`),
-/// recursively — batch responses nest answers.
+/// concurrent server and a fresh direct engine (`cached`, `group_size`,
+/// and the per-request `trace_id` echo), recursively — batch responses
+/// nest answers.
 fn strip_cost(json: &Json) -> Json {
     match json {
         Json::Obj(map) => Json::Obj(
             map.iter()
-                .filter(|(k, _)| k.as_str() != "cached" && k.as_str() != "group_size")
+                .filter(|(k, _)| !matches!(k.as_str(), "cached" | "group_size" | "trace_id"))
                 .map(|(k, v)| (k.clone(), strip_cost(v)))
                 .collect(),
         ),
@@ -118,7 +119,9 @@ fn strip_cost_and_epoch(json: &Json) -> Json {
     match json {
         Json::Obj(map) => Json::Obj(
             map.iter()
-                .filter(|(k, _)| !matches!(k.as_str(), "cached" | "group_size" | "epoch"))
+                .filter(|(k, _)| {
+                    !matches!(k.as_str(), "cached" | "group_size" | "epoch" | "trace_id")
+                })
                 .map(|(k, v)| (k.clone(), strip_cost_and_epoch(v)))
                 .collect(),
         ),

@@ -255,6 +255,20 @@ impl WindowedEngine {
     /// Windowed answers come back stamped with their realized
     /// [`WindowCoverage`].
     pub fn query_batch(&self, queries: &[Query]) -> Vec<Result<Answer, EngineError>> {
+        self.query_batch_traced(queries, &pfe_obs::TraceHandle::disabled())
+    }
+
+    /// [`query_batch`](Self::query_batch) under a request trace: the
+    /// covering-set resolution, each cold-bucket merge, and the shared
+    /// executor's stages record spans on `trace`, and every `Ok` answer
+    /// echoes the trace id. With a disabled handle this is exactly the
+    /// untraced path — tracing never changes covering choice, merge-cache
+    /// behavior, or answers.
+    pub fn query_batch_traced(
+        &self,
+        queries: &[Query],
+        trace: &pfe_obs::TraceHandle,
+    ) -> Vec<Result<Answer, EngineError>> {
         let mut out: Vec<Option<Result<Answer, EngineError>>> = vec![None; queries.len()];
         // Covering sets to serve: `(covering, slots, snapshot-or-parts)`.
         // Snapshots come from the fingerprint LRU when warm; misses carry
@@ -271,6 +285,7 @@ impl WindowedEngine {
         // request-relative fields (`truncated` depends on `last_n`), so
         // each answer is stamped from its own slot's covering.
         let mut resolved: Vec<Option<Covering>> = vec![None; queries.len()];
+        let mut resolve_span = trace.span("window_resolve");
         {
             let ring = self.ring.lock().expect("ring lock");
             let mut merged = self.merged.lock().expect("merged lock");
@@ -307,11 +322,26 @@ impl WindowedEngine {
                 }
             }
         }
+        if resolve_span.is_enabled() {
+            resolve_span.attr("queries", queries.len());
+            resolve_span.attr("covering_groups", groups.len());
+            resolve_span.attr(
+                "covering_buckets",
+                groups.iter().map(|(c, _, _)| c.buckets as u64).sum::<u64>(),
+            );
+        }
+        drop(resolve_span);
         for (covering, slots, source) in groups {
             let snap = match source {
                 Source::Warm(snap) => snap,
                 Source::Cold(parts) => {
+                    let mut merge_span = trace.span("window_merge");
+                    if merge_span.is_enabled() {
+                        merge_span.attr("fingerprint", covering.fingerprint);
+                        merge_span.attr("buckets", covering.buckets);
+                    }
                     let snap = Arc::new(Snapshot::from_shards(parts, covering.fingerprint));
+                    drop(merge_span);
                     self.merged
                         .lock()
                         .expect("merged lock")
@@ -321,7 +351,7 @@ impl WindowedEngine {
             };
             debug_assert_eq!(snap.n(), covering.covered_rows);
             let group_queries: Vec<Query> = slots.iter().map(|&s| queries[s].clone()).collect();
-            let answers = self.exec.answer_batch(&snap, &group_queries);
+            let answers = self.exec.answer_batch_traced(&snap, &group_queries, trace);
             for (&slot, answer) in slots.iter().zip(answers) {
                 out[slot] = Some(answer.map(|mut a| {
                     if let Some(requested) = queries[slot].options.window {

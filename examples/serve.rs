@@ -139,6 +139,9 @@ fn run_tcp(args: &[String], listen: String) {
     if let Some(ms) = flag_value(args, "--slow-ms").and_then(|v| v.parse().ok()) {
         cfg.slow_ms = Some(ms);
     }
+    if let Some(n) = flag_value(args, "--trace-sample").and_then(|v| v.parse().ok()) {
+        cfg.trace_sample = Some(n);
+    }
     let server = match Server::bind(cfg) {
         Ok(s) => s,
         Err(e) => {
@@ -178,6 +181,9 @@ fn main() {
     // Pipe mode: the same dispatcher over stdin/stdout. `--checkpoint`
     // gives `shutdown` (and the `checkpoint` op) a default path here too.
     let dispatcher = Dispatcher::new(flag_value(&args, "--checkpoint").map(PathBuf::from));
+    if let Some(n) = flag_value(&args, "--trace-sample").and_then(|v| v.parse().ok()) {
+        dispatcher.recorder().trace_store().set_sample(n);
+    }
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
     let demo = if args.iter().any(|a| a == "--demo-window") {
@@ -235,9 +241,10 @@ fn main() {
             "usage: serve [--demo|--demo-window] [--checkpoint PATH]            pipe mode (stdin/stdout)"
         );
         eprintln!(
-            "       serve --listen ADDR [--workers N] [--queue N] [--checkpoint PATH] [--metrics ADDR] [--slow-ms N]   TCP mode"
+            "       serve --listen ADDR [--workers N] [--queue N] [--checkpoint PATH] [--metrics ADDR] [--slow-ms N] [--trace-sample N]   TCP mode"
         );
         eprintln!("  --metrics ADDR serves Prometheus text exposition over HTTP (scrape it); --slow-ms N logs requests >= N ms into the ring behind the slow_log op");
+        eprintln!("  --trace-sample N keeps 1-in-N request traces (0 disables tracing; default traces every request; fetch with the trace op)");
         eprintln!("  speak line-delimited JSON, one request per line:");
         eprintln!("  {{\"op\":\"start\",\"d\":12,\"q\":2,\"shards\":4}}   then ingest/snapshot/f0/frequency/heavy_hitters/l1_sample/batch/stats/server_stats/checkpoint/shutdown/quit");
         eprintln!("  add \"window\":{{\"bucket_rows\":512}} to start for sliding-window serving ('window' field on every statistic op, plus window_stats)");

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Machine-check the tracing overhead budget against a bench-report JSON
+# (scripts/bench_json.sh output): the tracing-on server benchmark
+# (`server_traced_vs_untraced/on`) must be within MAX_PCT (default 5%)
+# of tracing-off (`.../off`). Run the `server` bench target first:
+#
+#   scripts/bench_json.sh server
+#   scripts/check_trace_overhead.sh BENCH_<date>.json
+set -euo pipefail
+
+FILE="${1:?usage: check_trace_overhead.sh BENCH_JSON [MAX_PCT]}"
+MAX_PCT="${2:-5}"
+
+python3 - "$FILE" "$MAX_PCT" <<'EOF'
+import json
+import sys
+
+path, max_pct = sys.argv[1], float(sys.argv[2])
+bench = json.load(open(path))["benchmarks"]
+try:
+    on = bench["server_traced_vs_untraced/on"]
+    off = bench["server_traced_vs_untraced/off"]
+except KeyError as missing:
+    sys.exit(f"FAIL: {path} lacks benchmark id {missing} "
+             "(run scripts/bench_json.sh server first)")
+overhead = (on - off) / off * 100.0
+print(f"tracing on {on:.0f} ns/iter, off {off:.0f} ns/iter: "
+      f"{overhead:+.2f}% (budget {max_pct:.0f}%)")
+if overhead > max_pct:
+    sys.exit(f"FAIL: tracing overhead {overhead:.2f}% exceeds the "
+             f"{max_pct:.0f}% budget")
+print("OK: tracing overhead within budget")
+EOF

@@ -70,6 +70,39 @@ bad=$(grep -vE '^$|^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram)$|^
 lines=$(grep -c '^pfe_' "$body")
 echo "   scrape OK ($lines metric lines, grammar clean)"
 
+echo "== request tracing (guide §7)"
+cargo build --release -p pfe-cli
+pfe=target/release/pfe
+host=${addr%:*}; port=${addr##*:}
+tid="00000000000000000000000000abc123"
+# A traced query over the live TCP socket: the client-supplied id must
+# come back on the answer.
+exec 4<>"/dev/tcp/$host/$port"
+# Columns the earlier demo queries never touched, so the traced
+# request misses the answer cache and records a full compute stage.
+printf '{"op":"f0","cols":[7,8,9],"trace":"%s"}\n' "$tid" >&4
+IFS= read -r reply <&4
+exec 4<&- 4>&-
+echo "$reply" | grep -q '"ok":true' || { echo "FAIL: traced query failed: $reply"; exit 1; }
+echo "$reply" | grep -q "\"trace_id\":\"$tid\"" \
+    || { echo "FAIL: traced query did not echo the client trace id: $reply"; exit 1; }
+# Fetch the span tree back over the trace op (via the pfe CLI client).
+out=$("$pfe" trace "$addr" --id "$tid")
+echo "$out" | grep -q "\"trace_id\":\"$tid\"" || { echo "FAIL: trace op did not return the trace: $out"; exit 1; }
+for span in session dispatch plan compute; do
+    echo "$out" | grep -q "\"name\":\"$span\"" \
+        || { echo "FAIL: span '$span' missing from fetched trace: $out"; exit 1; }
+done
+# Chrome trace-event export: must be valid JSON (python3 -m json.tool)
+# with complete-event markers, ready for chrome://tracing / Perfetto.
+chrome="$tmpdir/trace.json"
+out=$("$pfe" trace "$addr" --last 16 --chrome "$chrome")
+echo "$out" | grep -q '"ok":true' || { echo "FAIL: chrome export failed: $out"; exit 1; }
+python3 -m json.tool "$chrome" >/dev/null || { echo "FAIL: chrome export is not valid JSON"; exit 1; }
+grep -q '"ph":"X"' "$chrome" || { echo "FAIL: chrome export has no complete events"; exit 1; }
+grep -q '"cat":"pfe"' "$chrome" || { echo "FAIL: chrome export missing the pfe category"; exit 1; }
+echo "   tracing OK (echo, span tree, chrome export valid)"
+
 echo "== wire shutdown + durable checkpoint (guide §5)"
 out=$(cargo run --release --example client -- "$addr" --shutdown 2>/dev/null)
 echo "$out" | grep -q '"shutdown":true' || { echo "FAIL: shutdown not acknowledged"; exit 1; }
