@@ -1,0 +1,129 @@
+//! Connection-scale benchmark: live query latency while a crowd of idle
+//! connections hangs off the same event loop.
+//!
+//! The readiness-loop design claims idle sessions are free — epoll holds
+//! them, no thread and no dispatcher work is spent until bytes arrive.
+//! If that claim holds, the measured round-trip time of the active
+//! clients should be flat across crowd sizes; under the old
+//! thread-per-connection design the crowd would have exhausted the pool
+//! long before the first measurement.
+//!
+//! Crowd sizes stop at 5000 here because both ends of every connection
+//! live in this one process (2 fds each, against one `RLIMIT_NOFILE`
+//! budget); `scripts/load_test.sh` runs the same measurement across two
+//! processes to reach the 10k point. On the 1-core CI box the absolute
+//! numbers compress (server, crowd, and clients share the core) — the
+//! shape across crowd sizes is the signal, not the magnitudes.
+
+use std::hint::black_box;
+use std::net::{SocketAddr, TcpStream};
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pfe_engine::Json;
+use pfe_server::{Client, Server, ServerConfig, ServerHandle, ShutdownReport};
+use pfe_stream::gen::uniform_binary;
+
+const D: u32 = 12;
+const ROWS: usize = 10_000;
+/// Requests per active connection per measured round.
+const REQUESTS: usize = 25;
+/// Active (traffic-carrying) connections per round.
+const ACTIVE: usize = 4;
+
+fn query_lines() -> Vec<String> {
+    vec![
+        r#"{"op":"f0","cols":[0,1,2,3,4,5]}"#.to_string(),
+        r#"{"op":"f0","cols":[0,1,2,3,4,5,6]}"#.to_string(),
+        r#"{"op":"heavy_hitters","cols":[0,1,2],"phi":0.05}"#.to_string(),
+        r#"{"op":"frequency","cols":[0,1],"pattern":[1,1]}"#.to_string(),
+    ]
+}
+
+fn serve_ingested(
+    session_capacity: usize,
+) -> (
+    SocketAddr,
+    ServerHandle,
+    std::thread::JoinHandle<ShutdownReport>,
+) {
+    let server = Server::bind(ServerConfig {
+        workers: 2,
+        queue: session_capacity,
+        ..Default::default()
+    })
+    .expect("bind");
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run().expect("run"));
+
+    let mut feeder = Client::connect(addr).expect("connect");
+    feeder
+        .request_line(r#"{"op":"start","d":12,"q":2,"shards":2,"sample_t":2048,"kmv_k":64}"#)
+        .expect("start");
+    let rows = match uniform_binary(D, ROWS, 1) {
+        pfe_row::Dataset::Binary(m) => m.rows().to_vec(),
+        pfe_row::Dataset::Qary(_) => unreachable!("generator yields binary data"),
+    };
+    for chunk in rows.chunks(2000) {
+        let body: Vec<String> = chunk
+            .iter()
+            .map(|row| {
+                let bits: Vec<String> = (0..D).map(|i| ((row >> i) & 1).to_string()).collect();
+                format!("[{}]", bits.join(","))
+            })
+            .collect();
+        feeder
+            .request_line(&format!(r#"{{"op":"ingest","rows":[{}]}}"#, body.join(",")))
+            .expect("ingest");
+    }
+    feeder
+        .request_line(r#"{"op":"snapshot"}"#)
+        .expect("snapshot");
+    feeder.request_line(r#"{"op":"quit"}"#).expect("quit");
+    (addr, handle, join)
+}
+
+/// One measured round of live traffic: `ACTIVE` fresh clients, each
+/// issuing `REQUESTS` queries concurrently.
+fn hammer(addr: SocketAddr) {
+    let queries = query_lines();
+    let threads: Vec<_> = (0..ACTIVE)
+        .map(|t| {
+            let queries = queries.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                for i in 0..REQUESTS {
+                    let line = &queries[(i + t) % queries.len()];
+                    let resp = client.request_line(line).expect("query");
+                    assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "failed: {resp}");
+                    black_box(&resp);
+                }
+                client.request_line(r#"{"op":"quit"}"#).expect("quit");
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("load thread");
+    }
+}
+
+/// Live-traffic round-trip throughput as the idle crowd grows 50×.
+fn bench_idle_crowd(c: &mut Criterion) {
+    let mut g = c.benchmark_group("server_idle_crowd");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements((ACTIVE * REQUESTS) as u64));
+    for crowd_size in [100usize, 1000, 5000] {
+        let (addr, handle, join) = serve_ingested(crowd_size + 64);
+        let crowd: Vec<TcpStream> = (0..crowd_size)
+            .map(|i| TcpStream::connect(addr).unwrap_or_else(|e| panic!("conn {i}: {e}")))
+            .collect();
+        g.bench_function(format!("c{crowd_size}"), |b| b.iter(|| hammer(addr)));
+        drop(crowd);
+        handle.shutdown();
+        join.join().expect("server");
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_idle_crowd);
+criterion_main!(benches);

@@ -1,0 +1,214 @@
+//! Multi-process connection-scale load generator for `pfe-server`.
+//!
+//! One process holds a large crowd of mostly-idle connections against a
+//! live server while a handful of active clients run real query traffic
+//! through it, then reports request latency percentiles, throughput,
+//! and (optionally) replication lag as one JSON object on stdout —
+//! `scripts/load_test.sh` sweeps the crowd size and merges the objects
+//! into the day's `BENCH_<date>.json`.
+//!
+//! ```text
+//! load_gen ADDR --feed 20000                  # start + ingest + snapshot
+//! load_gen ADDR --conns 10000 --requests 2000 [--replica RADDR]
+//! ```
+//!
+//! The crowd and the server each burn one file descriptor per
+//! connection in their own process, which is why the 10k point runs
+//! here and not in the in-process criterion bench (which pays two fds
+//! per connection from a single budget).
+
+use std::net::TcpStream;
+use std::time::Instant;
+
+use pfe_engine::Json;
+use pfe_server::Client;
+
+const USAGE: &str = "usage: load_gen ADDR [--conns C] [--active A] [--requests N] \
+                     [--feed ROWS] [--replica ADDR]";
+
+const D: u32 = 12;
+
+fn query_lines() -> Vec<String> {
+    vec![
+        r#"{"op":"f0","cols":[0,1,2,3,4,5]}"#.to_string(),
+        r#"{"op":"f0","cols":[0,1,2,3,4,5,6]}"#.to_string(),
+        r#"{"op":"heavy_hitters","cols":[0,1,2],"phi":0.05}"#.to_string(),
+        r#"{"op":"frequency","cols":[0,1],"pattern":[1,1]}"#.to_string(),
+    ]
+}
+
+/// `--feed ROWS`: start the engine over the wire and ingest the
+/// deterministic test stream, so every sweep point queries identical
+/// state. Defaults match `pfe serve --replica-of` with no engine flags.
+fn feed(addr: &str, rows: usize) -> Result<(), String> {
+    let mut client = Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let r = client
+        .request_line(&format!(r#"{{"op":"start","d":{D},"q":2}}"#))
+        .map_err(|e| e.to_string())?;
+    if r.get("ok") != Some(&Json::Bool(true)) {
+        return Err(format!("start rejected: {r}"));
+    }
+    let packed = match pfe_stream::gen::uniform_binary(D, rows, 1) {
+        pfe_row::Dataset::Binary(m) => m.rows().to_vec(),
+        pfe_row::Dataset::Qary(_) => unreachable!("generator yields binary data"),
+    };
+    for chunk in packed.chunks(2000) {
+        let body: Vec<String> = chunk
+            .iter()
+            .map(|row| {
+                let bits: Vec<String> = (0..D).map(|i| ((row >> i) & 1).to_string()).collect();
+                format!("[{}]", bits.join(","))
+            })
+            .collect();
+        let r = client
+            .request_line(&format!(r#"{{"op":"ingest","rows":[{}]}}"#, body.join(",")))
+            .map_err(|e| e.to_string())?;
+        if r.get("ok") != Some(&Json::Bool(true)) {
+            return Err(format!("ingest rejected: {r}"));
+        }
+    }
+    client
+        .request_line(r#"{"op":"snapshot"}"#)
+        .map_err(|e| e.to_string())?;
+    let _ = client.request_line(r#"{"op":"quit"}"#);
+    println!(r#"{{"fed":{rows}}}"#);
+    Ok(())
+}
+
+fn percentile(sorted_us: &[u64], p: usize) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    sorted_us[(sorted_us.len() * p / 100).min(sorted_us.len() - 1)]
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn parse_flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result<T, String> {
+    match flag(args, name) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("{name}: bad value {v:?}")),
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(addr) = args.first().filter(|a| !a.starts_with('-')).cloned() else {
+        return Err(USAGE.to_string());
+    };
+    if let Some(rows) = flag(&args, "--feed") {
+        let rows: usize = rows.parse().map_err(|_| "--feed: bad row count")?;
+        return feed(&addr, rows);
+    }
+    let conns: usize = parse_flag(&args, "--conns", 1000)?;
+    let active: usize = parse_flag(&args, "--active", 8.min(conns.max(1)))?;
+    let requests: usize = parse_flag(&args, "--requests", 2000)?;
+    let replica = flag(&args, "--replica");
+
+    // The idle crowd: opened and then deliberately never written to.
+    // Every one must be admitted — a rejection here means the server's
+    // session capacity is the bottleneck, not the event loop.
+    let mut crowd = Vec::with_capacity(conns);
+    let crowd_t0 = Instant::now();
+    for i in 0..conns {
+        let stream = TcpStream::connect(&addr).map_err(|e| format!("conn {i}/{conns}: {e}"))?;
+        crowd.push(stream);
+    }
+    let crowd_secs = crowd_t0.elapsed().as_secs_f64();
+
+    // What the server itself thinks it is holding (crowd + actives + us).
+    let mut probe = Client::connect(&addr).map_err(|e| format!("probe: {e}"))?;
+    let open_reported = probe
+        .request_line(r#"{"op":"server_stats"}"#)
+        .map_err(|e| e.to_string())?
+        .get("connections_open")
+        .and_then(Json::as_f64)
+        .unwrap_or(-1.0);
+
+    // Live traffic through the crowd: `active` clients, each with its
+    // own connection, splitting `requests` between them.
+    let queries = query_lines();
+    let load_t0 = Instant::now();
+    let workers: Vec<_> = (0..active)
+        .map(|t| {
+            let addr = addr.clone();
+            let queries = queries.clone();
+            let quota = requests / active + usize::from(t < requests % active);
+            std::thread::spawn(move || -> (Vec<u64>, u64) {
+                let mut latencies = Vec::with_capacity(quota);
+                let mut failures = 0u64;
+                let Ok(mut client) = Client::connect(&addr) else {
+                    return (latencies, quota as u64);
+                };
+                for i in 0..quota {
+                    let line = &queries[(i + t) % queries.len()];
+                    let t0 = Instant::now();
+                    match client.request_line(line) {
+                        Ok(resp) if resp.get("ok") == Some(&Json::Bool(true)) => {
+                            latencies.push(t0.elapsed().as_micros() as u64);
+                        }
+                        _ => failures += 1,
+                    }
+                }
+                (latencies, failures)
+            })
+        })
+        .collect();
+    let mut latencies = Vec::with_capacity(requests);
+    let mut failures = 0u64;
+    for w in workers {
+        let (l, f) = w.join().map_err(|_| "load thread panicked")?;
+        latencies.extend(l);
+        failures += f;
+    }
+    let wall = load_t0.elapsed().as_secs_f64();
+    latencies.sort_unstable();
+
+    // Replication lag, measured while the crowd is still attached.
+    let replica_lag = match &replica {
+        None => "null".to_string(),
+        Some(raddr) => {
+            let mut rc = Client::connect(raddr).map_err(|e| format!("replica {raddr}: {e}"))?;
+            let stats = rc
+                .request_line(r#"{"op":"replica_stats"}"#)
+                .map_err(|e| e.to_string())?;
+            stats
+                .get("lag_ms")
+                .map(Json::to_string)
+                .unwrap_or_else(|| "null".to_string())
+        }
+    };
+
+    println!(
+        concat!(
+            r#"{{"connections":{},"open_reported":{},"connect_secs":{:.3},"#,
+            r#""active":{},"requests":{},"failures":{},"qps":{:.1},"#,
+            r#""p50_us":{},"p99_us":{},"max_us":{},"replica_lag_ms":{}}}"#
+        ),
+        conns,
+        open_reported,
+        crowd_secs,
+        active,
+        latencies.len(),
+        failures,
+        latencies.len() as f64 / wall.max(1e-9),
+        percentile(&latencies, 50),
+        percentile(&latencies, 99),
+        latencies.last().copied().unwrap_or(0),
+        replica_lag,
+    );
+    drop(crowd);
+    Ok(())
+}
+
+fn main() {
+    if let Err(msg) = run() {
+        eprintln!("load_gen: {msg}");
+        std::process::exit(if msg.starts_with("usage:") { 2 } else { 1 });
+    }
+}

@@ -13,6 +13,7 @@ const BOOL_FLAGS: &[&str] = &[
     "--exact",
     "--bypass-cache",
     "--follow",
+    "--watch",
     "--help",
     "-h",
 ];
@@ -36,6 +37,18 @@ impl Args {
             .position(|a| a == flag)
             .and_then(|i| self.items.get(i + 1))
             .map(|s| s.as_str())
+    }
+
+    /// Every value of a repeatable `flag`, in order (`--replica-of A
+    /// --replica-of B` → `["A", "B"]`).
+    pub fn values(&self, flag: &str) -> Vec<&str> {
+        self.items
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| *a == flag)
+            .filter_map(|(i, _)| self.items.get(i + 1))
+            .map(|s| s.as_str())
+            .collect()
     }
 
     /// Whether `flag` appears at all.
@@ -188,6 +201,13 @@ mod tests {
         assert_eq!(a.value("--out"), Some("snap.pfes"));
         assert!(a.present("--no-header"));
         assert!(!a.present("--quiet"));
+    }
+
+    #[test]
+    fn repeatable_flags_collect_in_order() {
+        let a = args(&["--replica-of", "a", "--poll", "9", "--replica-of", "b"]);
+        assert_eq!(a.values("--replica-of"), vec!["a", "b"]);
+        assert!(a.values("--missing").is_empty());
     }
 
     #[test]

@@ -5,13 +5,20 @@
 //! window ring, auto-detected) instead of waiting for a `start`
 //! request, so a server can restart into its durable state in one
 //! command.
+//!
+//! Replication roles (TCP mode only): `--ship DIR` makes this server a
+//! writer that periodically checkpoints into the snapshot directory;
+//! `--replica-of DIR` (repeatable) makes it a read-only replica that
+//! watches those directories and swaps new snapshots in while serving.
+//! `pfe replica ADDR` reports a replica's health.
 
 use std::io::{BufRead, Write};
 use std::path::PathBuf;
 use std::sync::Arc;
+use std::time::Duration;
 
 use pfe_server::proto::{Control, Dispatcher};
-use pfe_server::{install_signal_handlers, Server, ServerConfig};
+use pfe_server::{install_signal_handlers, ReplicaSpec, Server, ServerConfig, ShipSpec};
 
 use crate::args::{engine_config, Args};
 use crate::backend::resume_backend;
@@ -51,6 +58,33 @@ fn serve_tcp(args: &Args, listen: String) -> Result<i32, String> {
     }
     if let Some(n) = args.parse("--trace-sample")? {
         cfg.trace_sample = Some(n);
+    }
+    if let Some(n) = args.parse("--max-line")? {
+        cfg.max_line_bytes = n;
+    }
+    if let Some(dir) = args.value("--ship") {
+        let interval = args.parse("--ship-ms")?.unwrap_or(1000u64);
+        cfg.ship = Some(ShipSpec {
+            dir: PathBuf::from(dir),
+            interval: Duration::from_millis(interval),
+        });
+    }
+    let replica_dirs = args.values("--replica-of");
+    if !replica_dirs.is_empty() {
+        if args.value("--resume").is_some() {
+            return Err("--replica-of and --resume are mutually exclusive: \
+                        a replica's state comes from the watched snapshots"
+                .to_string());
+        }
+        let poll = args.parse("--replica-poll-ms")?.unwrap_or(200u64);
+        // Engine flags (--alpha, --kmv-k, ...) must match the writer's:
+        // every loaded snapshot is verified against them, exactly as
+        // `--resume` verifies.
+        cfg.replica = Some(ReplicaSpec {
+            dirs: replica_dirs.iter().map(PathBuf::from).collect(),
+            poll: Duration::from_millis(poll),
+            engine: engine_config(args)?,
+        });
     }
     let server = Server::bind(cfg).map_err(|e| e.to_string())?;
     preinstall(args, server.dispatcher())?;
@@ -102,10 +136,19 @@ fn serve_pipe(args: &Args) -> Result<i32, String> {
     Ok(0)
 }
 
-/// `pfe serve [--listen ADDR] [--resume SNAP] [server flags]`.
+/// `pfe serve [--listen ADDR] [--resume SNAP] [--ship DIR |
+/// --replica-of DIR...] [server flags]`.
 pub fn serve(args: &Args) -> Result<i32, String> {
     match args.value("--listen") {
         Some(listen) => serve_tcp(args, listen.to_string()),
-        None => serve_pipe(args),
+        None => {
+            if args.value("--ship").is_some() || !args.values("--replica-of").is_empty() {
+                return Err(
+                    "--ship/--replica-of require --listen: replication is a TCP-server role"
+                        .to_string(),
+                );
+            }
+            serve_pipe(args)
+        }
     }
 }

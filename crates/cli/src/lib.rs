@@ -26,6 +26,7 @@ mod cmd_bench;
 mod cmd_checkpoint;
 mod cmd_ingest;
 mod cmd_query;
+mod cmd_replica;
 mod cmd_serve;
 mod cmd_trace;
 mod cmd_verify;
@@ -44,6 +45,7 @@ SUBCOMMANDS
   checkpoint A B.. --out M   merge shard snapshots into one
   resume SNAP --ingest FILE  continue ingesting into an existing checkpoint
   serve [--listen ADDR]      wire protocol over TCP, or stdin/stdout pipe mode
+  replica ADDR [--watch]     replication health of a live server
   trace ADDR [--last N]      fetch request traces from a live server
   bench-ingest FILE          columnar vs row-at-a-time ingest throughput
   verify FILE                prove file ingest matches the Rust API bit-for-bit
@@ -69,6 +71,16 @@ QUERY
   --json '{...}'      raw wire-protocol request instead of flags
   --batch FILE        one JSON request per line, answered in order
 
+SERVE (TCP mode)
+  --workers N --queue N      dispatch parallelism / extra session headroom
+  --checkpoint SNAP          durable state written on graceful shutdown
+  --metrics ADDR             Prometheus scrape endpoint
+  --max-line BYTES           per-request line cap (default 1 MiB)
+  --ship DIR [--ship-ms N]   writer role: ship snapshots for replicas
+  --replica-of DIR           replica role: watch a writer's snapshot dir
+                             (repeatable; engine flags must match writer)
+  --replica-poll-ms N        replica directory poll interval (default 200)
+
 Run 'pfe <SUBCOMMAND>' with no operands for that subcommand's usage.
 ";
 
@@ -87,6 +99,7 @@ pub fn run(argv: Vec<String>) -> i32 {
         "checkpoint" => cmd_checkpoint::merge(&args),
         "resume" => cmd_ingest::resume(&args),
         "serve" => cmd_serve::serve(&args),
+        "replica" => cmd_replica::replica(&args),
         "trace" => cmd_trace::trace(&args),
         "bench-ingest" => cmd_bench::bench_ingest(&args),
         "verify" => cmd_verify::verify(&args),

@@ -265,17 +265,64 @@ impl Engine {
         recorder: Arc<Recorder>,
     ) -> Result<Self, EngineError> {
         let snap = Snapshot::load_from(path)?;
+        Self::from_snapshot(Arc::new(snap), cfg, recorder).map(|(engine, _q)| engine)
+    }
+
+    /// Build an engine directly around an in-memory snapshot (e.g. one
+    /// produced by [`merge_snapshot_files`](crate::merge_snapshot_files)):
+    /// [`resume_with_recorder`](Self::resume_with_recorder) without the
+    /// file read. Returns the engine and the stream alphabet `q` decoded
+    /// from the snapshot, which transports need for wire encoding.
+    ///
+    /// # Errors
+    /// `Incompatible` when `cfg` disagrees with the snapshot, plus config
+    /// validation errors.
+    pub fn from_snapshot(
+        snap: Arc<Snapshot>,
+        cfg: EngineConfig,
+        recorder: Arc<Recorder>,
+    ) -> Result<(Self, u32), EngineError> {
         let (d, q) = crate::persist::validate_resume(&snap, &cfg)?;
         let exec = QueryExecutor::with_recorder(cfg.cache_capacity, false, Arc::clone(&recorder));
         let mut pipeline =
             IngestPipeline::with_base(d, q, &cfg, Some(snap.to_base_shard()), snap.epoch())?;
         pipeline.instrument(recorder.counter("engine_ingest_backpressure"));
-        Ok(Self {
+        let engine = Self {
             pipeline: Mutex::new(Some(pipeline)),
-            published: RwLock::new(Some(Arc::new(snap))),
+            published: RwLock::new(Some(snap)),
             exec,
             retired: Mutex::new(None),
-        })
+        };
+        Ok((engine, q))
+    }
+
+    /// Atomically swap a newer snapshot in as the published (query-serving)
+    /// state without touching the ingest pipeline — the read-replica hot
+    /// path. In-flight queries finish against the old snapshot; the next
+    /// query sees the new one.
+    ///
+    /// The swap is only legal when `snap` is mergeable with the published
+    /// snapshot (same config-derived shape) and carries a strictly newer
+    /// epoch: the answer cache is keyed by epoch, so republishing an epoch
+    /// with different contents would serve stale cached answers. Callers
+    /// hitting the epoch rejection should rebuild via
+    /// [`from_snapshot`](Self::from_snapshot) instead (fresh cache).
+    ///
+    /// # Errors
+    /// `NoSnapshot` when nothing is published yet, `Incompatible` on a
+    /// shape mismatch or a non-increasing epoch.
+    pub fn install_snapshot(&self, snap: Arc<Snapshot>) -> Result<(), EngineError> {
+        let current = self.current()?;
+        current.check_mergeable(&snap)?;
+        if snap.epoch() <= current.epoch() {
+            return Err(EngineError::Incompatible(format!(
+                "snapshot epoch {} is not newer than published epoch {}",
+                snap.epoch(),
+                current.epoch()
+            )));
+        }
+        *self.published.write().expect("snapshot lock") = Some(snap);
+        Ok(())
     }
 
     /// Stop ingest: flush, join the workers, publish their final merged

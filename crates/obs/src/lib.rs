@@ -363,6 +363,23 @@ impl SlowLog {
         true
     }
 
+    /// Log an entry unconditionally, bypassing the duration threshold —
+    /// for operational anomalies that are problems regardless of speed
+    /// (a replica rejecting a corrupt snapshot, say). `micros` is 0: the
+    /// entry records an event, not a duration.
+    pub fn note(&self, what: &str, detail: Vec<(String, String)>) {
+        let entry = SlowEntry {
+            what: what.to_string(),
+            micros: 0,
+            detail,
+        };
+        let mut ring = self.ring.lock().expect("slow log lock");
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(entry);
+    }
+
     /// The retained entries, oldest first.
     pub fn entries(&self) -> Vec<SlowEntry> {
         self.ring

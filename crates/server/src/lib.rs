@@ -1,11 +1,15 @@
 #![deny(missing_docs)]
 //! `pfe-server` — concurrent network serving of projected-frequency
-//! queries: the line-delimited JSON protocol over TCP, with a bounded
-//! worker pool, typed saturation rejection, and graceful
-//! checkpoint-on-shutdown. Zero external dependencies (`std::net` + a
-//! hand-rolled pool, per the repo's offline-compat convention).
+//! queries: the line-delimited JSON protocol over TCP, served by a
+//! nonblocking readiness loop (epoll, via a hand-rolled `std`-only
+//! poller) so one process holds tens of thousands of mostly-idle
+//! connections, with a bounded dispatch pool, typed saturation
+//! rejection, graceful checkpoint-on-shutdown, and snapshot-shipping
+//! read replicas for horizontal read scale. Zero external dependencies
+//! (`std::net` + raw `epoll`/`poll` syscalls, per the repo's
+//! offline-compat convention).
 //!
-//! Three layers, each usable alone:
+//! The layers, each usable alone:
 //!
 //! 1. **[`proto`]** — the protocol dispatcher. One [`Dispatcher`] turns a
 //!    request line into a response [`proto::Reply`]; it owns the backend
@@ -15,15 +19,26 @@
 //!    all share this one definition, so transports can never drift.
 //!    [`proto::OPS`] is the op registry CI checks `docs/PROTOCOL.md`
 //!    against.
-//! 2. **[`Server`]** — a TCP listener whose accepted connections are
-//!    served by a bounded [`pool::WorkerPool`]. When every worker is busy
-//!    and the queue is full, a new connection gets the typed
-//!    `"code":"saturated"` rejection instead of queueing unboundedly.
-//!    Shutdown — via [`ServerHandle::shutdown`], the wire `shutdown` op,
-//!    or SIGINT/SIGTERM ([`install_signal_handlers`]) — stops accepting,
+//! 2. **[`poll`] + [`framing`]** — the event-loop building blocks: a
+//!    mio-style readiness poller (epoll on Linux, `poll(2)` elsewhere on
+//!    Unix) and a resumable line framer that reassembles requests from
+//!    arbitrary TCP chunkings and rejects oversized lines with a typed
+//!    error.
+//! 3. **[`Server`]** — the TCP listener and readiness loop. Sessions are
+//!    event-driven (an idle connection costs one fd, no thread); request
+//!    execution fans out over a bounded [`pool::WorkerPool`], and
+//!    `workers + queue` bounds concurrently open sessions — beyond it a
+//!    connection gets the typed `"code":"saturated"` rejection. Shutdown
+//!    — via [`ServerHandle::shutdown`], the wire `shutdown` op, or
+//!    SIGINT/SIGTERM ([`install_signal_handlers`]) — stops accepting,
 //!    drains in-flight requests, and checkpoints the backend durably via
 //!    `pfe-persist`.
-//! 3. **[`Client`]** — a small synchronous client (one request line out,
+//! 4. **[`replica`]** — snapshot-shipping replication: a writer
+//!    checkpoints into a snapshot directory (atomic rename, monotonic
+//!    epoch filenames); read replicas watch it and atomically swap new
+//!    epochs in while serving, answering bit-identically to the writer
+//!    at the same epoch.
+//! 5. **[`Client`]** — a small synchronous client (one request line out,
 //!    one response line back), the library behind `examples/client.rs`.
 //!
 //! A full round trip, in process:
@@ -50,17 +65,23 @@
 //! ```
 //!
 //! `examples/serve.rs` (workspace root) runs this server from the command
-//! line (`--listen`), `benches/server.rs` measures throughput against
-//! connection and worker counts, and `docs/GUIDE.md` walks the whole
-//! install → ingest → query → serve path.
+//! line (`--listen`), `benches/server.rs` and `benches/connections.rs`
+//! measure throughput and connection scaling, `scripts/load_test.sh`
+//! drives the writer + replica topology end to end, and `docs/GUIDE.md`
+//! walks the whole install → ingest → query → serve → scale-out path.
 
 pub mod client;
+pub mod framing;
+pub mod poll;
 pub mod pool;
 pub mod proto;
+pub mod replica;
 pub mod server;
 
 pub use client::{Client, ClientError};
+pub use framing::{FrameEvent, LineFramer};
 pub use proto::{Control, Dispatcher};
+pub use replica::{ReplicaSpec, ShipSpec};
 pub use server::{
     install_signal_handlers, Server, ServerConfig, ServerError, ServerHandle, ShutdownReport,
 };

@@ -29,10 +29,10 @@
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, RwLock};
-use std::time::Instant;
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::{Instant, SystemTime};
 
-use pfe_engine::{wire, Engine, EngineConfig, EngineError, EngineStats, Json, Query};
+use pfe_engine::{wire, Engine, EngineConfig, EngineError, EngineStats, Json, Query, Snapshot};
 use pfe_obs::{
     chrome_trace_json, AttrValue, CompletedTrace, Counter, Gauge, Histogram, Recorder, SpanRecord,
     TraceContext, TraceHandle,
@@ -64,6 +64,7 @@ pub const OPS: &[&str] = &[
     "slow_log",
     "set_slow_ms",
     "trace",
+    "replica_stats",
     "checkpoint",
     "shutdown",
     "quit",
@@ -101,6 +102,47 @@ pub fn err_saturated(workers: usize, queue: usize) -> Json {
         ),
         ("code", Json::Str("saturated".to_string())),
     ])
+}
+
+/// The typed rejection a read-replica answers to any mutating op
+/// (`"code":"read_only"` is the stable, machine-matchable field).
+pub fn err_read_only(op: &str) -> Json {
+    Json::obj([
+        ("ok", Json::Bool(false)),
+        (
+            "error",
+            Json::Str(format!(
+                "replica is read-only: '{op}' must run on the writer"
+            )),
+        ),
+        ("code", Json::Str("read_only".to_string())),
+        ("op", Json::Str(op.to_string())),
+    ])
+}
+
+/// The typed rejection for a request line over the configured cap
+/// (`"code":"line_too_long"`). The session survives: the server discards
+/// to the next newline and keeps answering.
+pub fn err_line_too_long(limit: usize) -> Json {
+    Json::obj([
+        ("ok", Json::Bool(false)),
+        (
+            "error",
+            Json::Str(format!(
+                "request line exceeds the {limit}-byte cap; request discarded"
+            )),
+        ),
+        ("code", Json::Str("line_too_long".to_string())),
+    ])
+}
+
+/// Replication lag: milliseconds elapsed since the writer produced the
+/// snapshot (its file mtime). `None` when the clock went backwards.
+fn lag_ms_since(mtime: SystemTime) -> Option<u64> {
+    SystemTime::now()
+        .duration_since(mtime)
+        .ok()
+        .map(|d| d.as_millis().min(u64::MAX as u128) as u64)
 }
 
 /// Parse the optional `"trace"` field of a request: a bare hex string
@@ -388,6 +430,30 @@ struct Started {
     q: u32,
 }
 
+/// Replica-role bookkeeping: where snapshots come from, how many swaps
+/// landed or failed, and what the last applied epoch looks like. Present
+/// only on dispatchers serving in `--replica-of` mode.
+struct ReplicaState {
+    sources: Vec<PathBuf>,
+    applies: Arc<Counter>,
+    failures: Arc<Counter>,
+    epoch_gauge: Arc<Gauge>,
+    lag_gauge: Arc<Gauge>,
+    last: Mutex<ReplicaLast>,
+}
+
+#[derive(Default)]
+struct ReplicaLast {
+    epoch: u64,
+    /// Per-source epochs folded into the applied snapshot.
+    source_epochs: Vec<u64>,
+    /// Modification time of the newest snapshot file applied — the
+    /// writer-side timestamp replication lag is measured against.
+    snapshot_mtime: Option<SystemTime>,
+    applied: bool,
+    last_error: Option<String>,
+}
+
 /// The shared protocol state machine: owns the backend, the counters, and
 /// the shutdown-checkpoint path; `handle_line` is safe to call from many
 /// session threads at once (ingest serializes inside the engine, queries
@@ -405,6 +471,9 @@ pub struct Dispatcher {
     started_at: Instant,
     /// `process_uptime_seconds` gauge, refreshed on every metrics read.
     uptime: Arc<Gauge>,
+    /// `Some` when serving as a read replica (set once at bind, before
+    /// any session exists).
+    replica: RwLock<Option<ReplicaState>>,
 }
 
 impl Dispatcher {
@@ -435,7 +504,173 @@ impl Dispatcher {
             pool_shape: RwLock::new((0, 0)),
             started_at: Instant::now(),
             uptime,
+            replica: RwLock::new(None),
         }
+    }
+
+    /// Mark this dispatcher as a read replica fed from `sources` (snapshot
+    /// directories): mutating ops (`start`, `ingest`, `snapshot`,
+    /// `checkpoint`) answer the typed `read_only` rejection, and
+    /// `replica_stats` reports replication health. Called once at bind,
+    /// before any session is served.
+    pub fn set_replica_sources(&self, sources: Vec<PathBuf>) {
+        let state = ReplicaState {
+            sources,
+            applies: self.recorder.counter("replica_applies"),
+            failures: self.recorder.counter("replica_apply_failures"),
+            epoch_gauge: self.recorder.gauge("replica_epoch"),
+            lag_gauge: self.recorder.gauge("replica_lag_ms"),
+            last: Mutex::new(ReplicaLast::default()),
+        };
+        *self.replica.write().expect("replica lock") = Some(state);
+    }
+
+    /// Whether this dispatcher serves in read-replica mode.
+    pub fn is_replica(&self) -> bool {
+        self.replica.read().expect("replica lock").is_some()
+    }
+
+    /// Which backend flavor is live: `Some("plain")`, `Some("windowed")`,
+    /// or `None` before any `start`/install.
+    pub fn backend_kind(&self) -> Option<&'static str> {
+        let guard = self.started.read().expect("backend lock");
+        guard.as_ref().map(|s| match s.backend {
+            Backend::Plain(_) => "plain",
+            Backend::Windowed(_) => "windowed",
+        })
+    }
+
+    /// Swap a freshly loaded snapshot in as the serving state (replica
+    /// apply path). Tries the in-place [`Engine::install_snapshot`] swap
+    /// first (keeps the warm answer cache); where that is not legal —
+    /// first load, a non-increasing merged epoch, or a non-plain backend —
+    /// it rebuilds a fresh engine around the snapshot. Returns the epoch
+    /// now serving.
+    ///
+    /// # Errors
+    /// The engine error, stringified, when the snapshot is incompatible
+    /// with `cfg`; the previous state keeps serving untouched.
+    pub fn adopt_snapshot(&self, snap: Snapshot, cfg: &EngineConfig) -> Result<u64, String> {
+        let epoch = snap.epoch();
+        let snap = Arc::new(snap);
+        {
+            let guard = self.started.read().expect("backend lock");
+            if let Some(Started {
+                backend: Backend::Plain(e),
+                ..
+            }) = guard.as_ref()
+            {
+                if e.install_snapshot(Arc::clone(&snap)).is_ok() {
+                    return Ok(epoch);
+                }
+            }
+        }
+        let (engine, q) = Engine::from_snapshot(snap, cfg.clone(), Arc::clone(&self.recorder))
+            .map_err(|e| e.to_string())?;
+        self.install(Backend::Plain(engine), q);
+        Ok(epoch)
+    }
+
+    /// Record a successful replica apply (watcher thread): bump counters,
+    /// publish the epoch and lag gauges, clear any sticky error.
+    pub fn record_replica_apply(
+        &self,
+        epoch: u64,
+        source_epochs: Vec<u64>,
+        snapshot_mtime: Option<SystemTime>,
+    ) {
+        let guard = self.replica.read().expect("replica lock");
+        let Some(state) = guard.as_ref() else {
+            return;
+        };
+        state.applies.inc();
+        state.epoch_gauge.set(epoch);
+        if let Some(ms) = snapshot_mtime.and_then(lag_ms_since) {
+            state.lag_gauge.set(ms);
+        }
+        let mut last = state.last.lock().expect("replica last lock");
+        last.epoch = epoch;
+        last.source_epochs = source_epochs;
+        last.snapshot_mtime = snapshot_mtime;
+        last.applied = true;
+        last.last_error = None;
+    }
+
+    /// Record a failed replica apply (truncated/corrupt/incompatible
+    /// snapshot): bump the failure counter and write a typed slow-log
+    /// entry. The previously applied epoch keeps serving.
+    pub fn record_replica_failure(&self, file: &str, error: &str) {
+        let guard = self.replica.read().expect("replica lock");
+        let Some(state) = guard.as_ref() else {
+            return;
+        };
+        state.failures.inc();
+        state.last.lock().expect("replica last lock").last_error = Some(error.to_string());
+        self.recorder.slow_log().note(
+            "replica",
+            vec![
+                ("code".to_string(), "replica_apply_failed".to_string()),
+                ("file".to_string(), file.to_string()),
+                ("error".to_string(), error.to_string()),
+            ],
+        );
+    }
+
+    /// Response body for the `replica_stats` op.
+    fn replica_stats_op(&self) -> Json {
+        let guard = self.replica.read().expect("replica lock");
+        let Some(state) = guard.as_ref() else {
+            return Json::obj([("ok", Json::Bool(true)), ("replica", Json::Bool(false))]);
+        };
+        let last = state.last.lock().expect("replica last lock");
+        let lag = last.snapshot_mtime.and_then(lag_ms_since);
+        if let Some(ms) = lag {
+            state.lag_gauge.set(ms);
+        }
+        Json::obj([
+            ("ok", Json::Bool(true)),
+            ("replica", Json::Bool(true)),
+            (
+                "sources",
+                Json::Arr(
+                    state
+                        .sources
+                        .iter()
+                        .map(|p| Json::Str(p.display().to_string()))
+                        .collect(),
+                ),
+            ),
+            (
+                "epoch",
+                if last.applied {
+                    Json::Num(last.epoch as f64)
+                } else {
+                    Json::Null
+                },
+            ),
+            (
+                "source_epochs",
+                Json::Arr(
+                    last.source_epochs
+                        .iter()
+                        .map(|&e| Json::Num(e as f64))
+                        .collect(),
+                ),
+            ),
+            ("applies", Json::Num(state.applies.get() as f64)),
+            ("failures", Json::Num(state.failures.get() as f64)),
+            (
+                "lag_ms",
+                lag.map(|ms| Json::Num(ms as f64)).unwrap_or(Json::Null),
+            ),
+            (
+                "last_error",
+                last.last_error
+                    .as_ref()
+                    .map(|e| Json::Str(e.clone()))
+                    .unwrap_or(Json::Null),
+            ),
+        ])
     }
 
     /// Install a pre-built backend (e.g. one resumed from a checkpoint by
@@ -607,6 +842,20 @@ impl Dispatcher {
         }
         self.recorder.trace_store().finish(trace);
         reply
+    }
+
+    /// Run `f` against the live plain engine; `None` when no backend is
+    /// installed or the backend is windowed. (Snapshot shipping needs the
+    /// engine surface — epoch, refresh — not the wire surface.)
+    pub(crate) fn with_plain_engine<T>(&self, f: impl FnOnce(&Engine) -> T) -> Option<T> {
+        let guard = self.started.read().expect("backend lock");
+        match guard.as_ref() {
+            Some(Started {
+                backend: Backend::Plain(e),
+                ..
+            }) => Some(f(e)),
+            _ => None,
+        }
     }
 
     fn with_backend<T>(&self, f: impl FnOnce(&Backend, u32) -> Result<T, Json>) -> Result<T, Json> {
@@ -991,6 +1240,13 @@ impl Dispatcher {
     }
 
     fn dispatch(&self, op: &str, req: &Json, trace: &TraceHandle) -> Result<Reply, Json> {
+        // A replica's state is whatever the writer shipped: the mutating
+        // ops are rejected up front with a typed error. (`snapshot` is
+        // mutating here — republishing the local pipeline would clobber
+        // the swapped-in snapshot with the stale base it was built on.)
+        if matches!(op, "start" | "ingest" | "snapshot" | "checkpoint") && self.is_replica() {
+            return Err(err_read_only(op));
+        }
         match op {
             "start" => self.start(req).map(Reply::cont),
             "ingest" => {
@@ -1063,6 +1319,7 @@ impl Dispatcher {
             "slow_log" => Ok(Reply::cont(self.slow_log_op(req))),
             "set_slow_ms" => self.set_slow_ms_op(req).map(Reply::cont),
             "trace" => self.trace_op(req).map(Reply::cont),
+            "replica_stats" => Ok(Reply::cont(self.replica_stats_op())),
             "checkpoint" => self.checkpoint_op(req).map(Reply::cont),
             // The checkpoint itself is NOT written here: it happens after
             // every session drains (`Server::run`, or the pipe-mode loop),

@@ -1,0 +1,122 @@
+//! Property test: the incremental [`LineFramer`] is observationally
+//! equivalent to the blocking server it replaced, under EVERY chunking.
+//!
+//! The reference model is what a blocking `BufReader::read_line` loop
+//! sees when the whole stream is available at once: split on `\n`, each
+//! complete line within the cap is a frame, each over-cap line is one
+//! oversized rejection, and an unterminated over-cap tail rejects early.
+//! The framer must produce the identical event sequence — nothing lost,
+//! duplicated, or reordered — no matter how the kernel slices the bytes,
+//! and byte-at-a-time must agree with any other slicing.
+
+use pfe_server::{FrameEvent, LineFramer};
+use proptest::prelude::*;
+
+/// The blocking-read reference: frame the complete stream in one pass.
+fn reference_events(stream: &[u8], cap: usize) -> Vec<FrameEvent> {
+    let mut parts: Vec<&[u8]> = stream.split(|&b| b == b'\n').collect();
+    // `split` always yields a final segment: the unterminated tail
+    // (empty when the stream ends in a newline).
+    let tail = parts.pop().expect("split is never empty");
+    let mut events: Vec<FrameEvent> = parts
+        .into_iter()
+        .map(|line| {
+            if line.len() > cap {
+                FrameEvent::Oversized { limit: cap }
+            } else {
+                FrameEvent::Line(line.to_vec())
+            }
+        })
+        .collect();
+    if tail.len() > cap {
+        // The framer need not wait for the newline to know the line in
+        // progress is doomed.
+        events.push(FrameEvent::Oversized { limit: cap });
+    }
+    events
+}
+
+/// Feed `stream` through a fresh framer in the given chunk sizes
+/// (cycled), collecting events as they become ready — interleaved with
+/// the pushes, the way the event loop consumes them.
+fn framed(stream: &[u8], cap: usize, chunk_sizes: &[usize]) -> (Vec<FrameEvent>, usize) {
+    let mut framer = LineFramer::new(cap);
+    let mut events = Vec::new();
+    let mut offset = 0;
+    let mut i = 0;
+    while offset < stream.len() {
+        let want = chunk_sizes[i % chunk_sizes.len()].max(1);
+        let end = (offset + want).min(stream.len());
+        framer.push(&stream[offset..end]);
+        offset = end;
+        i += 1;
+        while let Some(ev) = framer.pop_event() {
+            events.push(ev);
+        }
+    }
+    (events, framer.buffered())
+}
+
+/// Assemble a wire stream from generated line bodies (newline bytes
+/// remapped — a body byte may not be the terminator).
+fn build_stream(bodies: &[Vec<u8>], terminated: bool) -> Vec<u8> {
+    let mut stream = Vec::new();
+    for (i, body) in bodies.iter().enumerate() {
+        stream.extend(body.iter().map(|&b| if b == b'\n' { b' ' } else { b }));
+        if i + 1 < bodies.len() || terminated {
+            stream.push(b'\n');
+        }
+    }
+    stream
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// Any chunking yields exactly the blocking reference's events, and
+    /// the framer retains exactly the unterminated tail (or nothing,
+    /// when the tail already overran the cap).
+    #[test]
+    fn prop_framer_matches_blocking_reference_under_any_chunking(
+        bodies in proptest::collection::vec(
+            proptest::collection::vec(0u8..255, 0..60), 0..16),
+        terminated in any::<bool>(),
+        cap in 1usize..48,
+        chunk_sizes in proptest::collection::vec(1usize..17, 1..40),
+    ) {
+        let stream = build_stream(&bodies, terminated);
+        let expected = reference_events(&stream, cap);
+
+        let (events, buffered) = framed(&stream, cap, &chunk_sizes);
+        prop_assert_eq!(&events, &expected, "chunked framing diverged");
+
+        let tail_len = stream.split(|&b| b == b'\n').next_back().map_or(0, <[u8]>::len);
+        let expect_buffered = if tail_len > cap { 0 } else { tail_len };
+        prop_assert_eq!(buffered, expect_buffered, "retained tail wrong");
+
+        // Byte-at-a-time — the degenerate chunking every fault matters
+        // most for — agrees too.
+        let (trickled, _) = framed(&stream, cap, &[1]);
+        prop_assert_eq!(&trickled, &expected, "byte-at-a-time diverged");
+    }
+
+    /// Replies can never desync: the number of `Line` events equals the
+    /// number of within-cap newline-terminated requests, regardless of
+    /// how many oversized lines are interleaved.
+    #[test]
+    fn prop_line_count_is_chunking_invariant(
+        bodies in proptest::collection::vec(
+            proptest::collection::vec(0u8..255, 0..40), 1..12),
+        cap in 1usize..32,
+        a in 1usize..9,
+        b in 1usize..9,
+    ) {
+        let stream = build_stream(&bodies, true);
+        let (x, _) = framed(&stream, cap, &[a, b]);
+        let (y, _) = framed(&stream, cap, &[b, a, 1]);
+        prop_assert_eq!(&x, &y, "event sequence depends on chunking");
+        let lines = x.iter().filter(|e| matches!(e, FrameEvent::Line(_))).count();
+        let ok_bodies = bodies.iter().filter(|l| l.len() <= cap).count();
+        prop_assert_eq!(lines, ok_bodies, "lost or duplicated a request");
+    }
+}

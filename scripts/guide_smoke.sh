@@ -7,7 +7,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 tmpdir=$(mktemp -d)
-trap 'kill $server_pid 2>/dev/null || true; rm -rf "$tmpdir"' EXIT
+trap 'kill ${server_pid:-} ${writer_pid:-} ${replica_pid:-} 2>/dev/null || true; rm -rf "$tmpdir"' EXIT
 
 echo "== build (guide §1)"
 cargo build --release --example serve --example client
@@ -152,5 +152,69 @@ echo "$out" | grep -q '"snapshot_rows":500' || { echo "FAIL: pfe stats rows wron
 out=$("$pfe" verify "$csv")
 echo "$out" | grep -q '"ok":true' || { echo "FAIL: pfe verify found a divergence: $out"; exit 1; }
 echo "   pfe ingest/query/stats/verify OK"
+
+echo "== replication: writer -> replica -> query (guide §9)"
+wait_addr() { # logfile -> prints "listening on" address
+    local a=""
+    for _ in $(seq 1 100); do
+        a=$(grep -o 'listening on [0-9.:]*' "$1" 2>/dev/null | awk '{print $3}' || true)
+        [ -n "$a" ] && break
+        sleep 0.1
+    done
+    [ -n "$a" ] || { echo "FAIL: server never reported its address" >&2; cat "$1" >&2; exit 1; }
+    echo "$a"
+}
+ask() { # addr request -> prints one reply line
+    local host=${1%:*} port=${1##*:} reply
+    exec 6<>"/dev/tcp/$host/$port"
+    printf '%s\n' "$2" >&6
+    IFS= read -r reply <&6
+    exec 6<&- 6>&-
+    echo "$reply"
+}
+shipdir="$tmpdir/ship"
+mkdir -p "$shipdir"
+"$pfe" serve --listen 127.0.0.1:0 --workers 2 --queue 8 \
+    --ship "$shipdir" --ship-ms 200 2>"$tmpdir/writer.err" &
+writer_pid=$!
+waddr=$(wait_addr "$tmpdir/writer.err")
+"$pfe" serve --listen 127.0.0.1:0 --workers 2 --queue 8 \
+    --replica-of "$shipdir" --replica-poll-ms 100 2>"$tmpdir/replica.err" &
+replica_pid=$!
+raddr=$(wait_addr "$tmpdir/replica.err")
+echo "   writer at $waddr, replica at $raddr"
+out=$(ask "$waddr" '{"op":"start","d":6,"q":2}')
+echo "$out" | grep -q '"ok":true' || { echo "FAIL: writer start failed: $out"; exit 1; }
+out=$(ask "$waddr" '{"op":"ingest","rows":[[0,1,0,1,0,1],[1,1,0,0,1,0],[0,0,1,1,0,1],[1,0,1,0,1,1],[0,1,1,0,0,0],[1,1,1,1,0,1],[0,0,0,1,1,0],[1,0,0,1,0,0]]}')
+echo "$out" | grep -q '"ok":true' || { echo "FAIL: writer ingest failed: $out"; exit 1; }
+# The shipper checkpoints on its own clock; the replica applies on its
+# own poll. Wait for the replica to report an applied epoch...
+applied=""
+for _ in $(seq 1 100); do
+    stats=$("$pfe" replica "$raddr" 2>/dev/null || true)
+    if echo "$stats" | grep -q '"epoch":[0-9]'; then applied=1; break; fi
+    sleep 0.2
+done
+[ -n "$applied" ] || { echo "FAIL: replica never applied a snapshot"; cat "$tmpdir/replica.err"; exit 1; }
+echo "$stats" | grep -q '"replica":true' || { echo "FAIL: replica_stats missing role: $stats"; exit 1; }
+# ...then the same query must answer byte-identically on both ends
+# (same epoch, same snapshot — retried briefly in case a ship is
+# mid-flight between the two asks).
+req='{"op":"f0","cols":[0,1,2]}'
+match=""
+for _ in $(seq 1 50); do
+    w=$(ask "$waddr" "$req")
+    r=$(ask "$raddr" "$req")
+    [ "$w" = "$r" ] && { match=1; break; }
+    sleep 0.2
+done
+[ -n "$match" ] || { echo "FAIL: replica answer diverges: writer=$w replica=$r"; exit 1; }
+echo "$w" | grep -q '"ok":true' || { echo "FAIL: replicated query failed: $w"; exit 1; }
+# Writes against the replica are the typed read-only rejection.
+out=$(ask "$raddr" '{"op":"ingest","rows":[[0,0,0,0,0,0]]}')
+echo "$out" | grep -q '"code":"read_only"' || { echo "FAIL: replica accepted a write: $out"; exit 1; }
+kill "$writer_pid" "$replica_pid" 2>/dev/null || true
+wait "$writer_pid" "$replica_pid" 2>/dev/null || true
+echo "   replication OK (writer -> snapshot dir -> replica, byte-identical answer)"
 
 echo "OK: guide quickstart runs end to end (checkpoint: $(wc -c <"$ckpt") bytes)"
